@@ -1,0 +1,189 @@
+//! Criterion benches over the experiment kernels: one group per
+//! table/figure of the reconstructed evaluation (DESIGN.md §5).
+//!
+//! Criterion measures the *simulator's* wall-clock here; the experiment
+//! results themselves (simulated time) come from `repro` and are recorded
+//! in EXPERIMENTS.md. Running both keeps the harness honest: the benches
+//! execute exactly the kernels the tables are generated from.
+
+use agas::GasMode;
+use bench::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsim::NetConfig;
+use std::hint::black_box;
+
+fn bench_e1_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_put_latency");
+    for mode in GasMode::ALL {
+        for size in [8u32, 4096, 262144] {
+            g.bench_with_input(
+                BenchmarkId::new(mode.label(), size),
+                &size,
+                |b, &size| {
+                    b.iter(|| black_box(put_latency(mode, size, NetConfig::ib_fdr())));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_e2_get_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_get_latency");
+    for mode in GasMode::ALL {
+        g.bench_function(mode.label(), |b| {
+            b.iter(|| black_box(get_latency(mode, 4096, NetConfig::ib_fdr())));
+        });
+    }
+    g.finish();
+}
+
+fn bench_e3_bandwidth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_bandwidth");
+    g.sample_size(10);
+    for mode in GasMode::ALL {
+        g.bench_function(mode.label(), |b| {
+            b.iter(|| black_box(put_bandwidth(mode, 65536, NetConfig::ib_fdr())));
+        });
+    }
+    g.finish();
+}
+
+fn bench_e4_message_rate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_message_rate");
+    g.sample_size(10);
+    for mode in GasMode::ALL {
+        g.bench_function(mode.label(), |b| {
+            b.iter(|| black_box(message_rate(mode, 32, NetConfig::ib_fdr())));
+        });
+    }
+    g.finish();
+}
+
+fn bench_e5_gups(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_gups");
+    g.sample_size(10);
+    for mode in GasMode::ALL {
+        g.bench_with_input(BenchmarkId::new(mode.label(), 8), &8usize, |b, &n| {
+            b.iter(|| black_box(gups_scaling(mode, n, NetConfig::ib_fdr())));
+        });
+    }
+    g.finish();
+}
+
+fn bench_e6_capacity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_table_capacity");
+    g.sample_size(10);
+    for cap in [usize::MAX, 256, 16] {
+        let label = if cap == usize::MAX { "unbounded".into() } else { cap.to_string() };
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(table_capacity(cap)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_e7_migration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_migration_cost");
+    for mode in [GasMode::AgasSoftware, GasMode::AgasNetwork] {
+        for class in [12u8, 20] {
+            g.bench_with_input(
+                BenchmarkId::new(mode.label(), 1u64 << class),
+                &class,
+                |b, &class| {
+                    b.iter(|| black_box(migration_cost(mode, class, NetConfig::ib_fdr())));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_e8_skew(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_skew_rebalance");
+    g.sample_size(10);
+    g.bench_function("pgas_static", |b| {
+        b.iter(|| black_box(skew_row(GasMode::Pgas, false, 8)));
+    });
+    g.bench_function("net_rebalance", |b| {
+        b.iter(|| black_box(skew_row(GasMode::AgasNetwork, true, 8)));
+    });
+    g.finish();
+}
+
+fn bench_e9_stencil(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_stencil");
+    g.sample_size(10);
+    for mode in GasMode::ALL {
+        g.bench_function(mode.label(), |b| {
+            b.iter(|| black_box(stencil_row(mode, 16, NetConfig::ib_fdr())));
+        });
+    }
+    g.finish();
+}
+
+fn bench_e10_footprint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_footprint");
+    for mode in GasMode::ALL {
+        g.bench_function(mode.label(), |b| {
+            b.iter(|| black_box(protocol_footprint(mode, true)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("a1_rcache_on", |b| b.iter(|| black_box(rcache_ablation(true))));
+    g.bench_function("a1_rcache_off", |b| b.iter(|| black_box(rcache_ablation(false))));
+    g.bench_function("a2_eager_4096_at_8k", |b| {
+        b.iter(|| black_box(eager_threshold_latency(4096, 8192)))
+    });
+    g.bench_function("a3_forwarding", |b| b.iter(|| black_box(migration_race(true))));
+    g.bench_function("a3_nack_only", |b| b.iter(|| black_box(migration_race(false))));
+    g.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(10);
+    g.bench_function("e4b_ports_4", |b| b.iter(|| black_box(message_rate_ports(4))));
+    g.bench_function("e11_parcel_pwc", |b| {
+        b.iter(|| black_box(parcel_latency(parcel_rt::Transport::Pwc, 64)))
+    });
+    g.bench_function("e11_parcel_isir", |b| {
+        b.iter(|| black_box(parcel_latency(parcel_rt::Transport::Isir, 64)))
+    });
+    g.bench_function("e12_bisection_4x", |b| b.iter(|| black_box(bisection_bandwidth(4))));
+    g.bench_function("e13_bfs_8", |b| {
+        b.iter(|| black_box(bfs_teps(8, parcel_rt::Transport::Pwc)))
+    });
+    g.bench_function("e14_flood_coalesced", |b| {
+        b.iter(|| black_box(parcel_flood(true, 512)))
+    });
+    g.bench_function("e15_transpose_net", |b| {
+        b.iter(|| black_box(transpose_bandwidth(GasMode::AgasNetwork, 1)))
+    });
+    g.bench_function("e1b_loaded_latency_net", |b| {
+        b.iter(|| black_box(loaded_latency(GasMode::AgasNetwork)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    experiments,
+    bench_e1_latency,
+    bench_e2_get_latency,
+    bench_e3_bandwidth,
+    bench_e4_message_rate,
+    bench_e5_gups,
+    bench_e6_capacity,
+    bench_e7_migration,
+    bench_e8_skew,
+    bench_e9_stencil,
+    bench_e10_footprint,
+    bench_ablations,
+    bench_extensions,
+);
+criterion_main!(experiments);

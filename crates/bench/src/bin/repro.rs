@@ -1,0 +1,565 @@
+//! `repro` — regenerate every table and figure of the reconstructed
+//! evaluation (DESIGN.md §5).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin repro -- all     # everything
+//! cargo run --release -p bench --bin repro -- e1      # one experiment
+//! ```
+//!
+//! All numbers are **simulated time** on the deterministic model: rerunning
+//! any experiment reproduces it bit-for-bit. Parameter sweeps run their
+//! (independent) simulations in parallel with rayon.
+
+use agas::GasMode;
+use bench::*;
+use netsim::NetConfig;
+use rayon::prelude::*;
+
+fn header(id: &str, title: &str) {
+    println!();
+    println!("== {id}: {title}");
+}
+
+fn fmt_cap(c: usize) -> String {
+    if c == usize::MAX {
+        "unbounded".into()
+    } else {
+        c.to_string()
+    }
+}
+
+fn e1() {
+    header("E1", "memput latency vs transfer size (Fig.)");
+    println!(
+        "{:>9} {:>12} {:>12} {:>12} {:>10}",
+        "size", "PGAS", "AGAS-SW", "AGAS-NET", "NET/PGAS"
+    );
+    let rows: Vec<_> = SIZES
+        .par_iter()
+        .map(|&size| {
+            let net = NetConfig::ib_fdr();
+            let p = put_latency(GasMode::Pgas, size, net);
+            let s = put_latency(GasMode::AgasSoftware, size, net);
+            let n = put_latency(GasMode::AgasNetwork, size, net);
+            (size, p, s, n)
+        })
+        .collect();
+    for (size, p, s, n) in rows {
+        println!(
+            "{:>9} {:>12} {:>12} {:>12} {:>9.3}x",
+            size,
+            format!("{p}"),
+            format!("{s}"),
+            format!("{n}"),
+            n.ps() as f64 / p.ps() as f64
+        );
+    }
+}
+
+fn e1b() {
+    header("E1b", "put latency under load: mean / p99 (Fig. inset)");
+    println!("{:<10} {:>12} {:>12}", "mode", "mean", "p99");
+    let rows: Vec<_> = GasMode::ALL
+        .par_iter()
+        .map(|&m| (m, loaded_latency(m)))
+        .collect();
+    for (m, (mean, p99)) in rows {
+        println!(
+            "{:<10} {:>12} {:>12}",
+            m.label(),
+            format!("{mean}"),
+            format!("{p99}")
+        );
+    }
+}
+
+fn e2() {
+    header("E2", "memget latency vs transfer size (Fig.)");
+    println!(
+        "{:>9} {:>12} {:>12} {:>12} {:>10}",
+        "size", "PGAS", "AGAS-SW", "AGAS-NET", "NET/PGAS"
+    );
+    let rows: Vec<_> = SIZES
+        .par_iter()
+        .map(|&size| {
+            let net = NetConfig::ib_fdr();
+            let p = get_latency(GasMode::Pgas, size, net);
+            let s = get_latency(GasMode::AgasSoftware, size, net);
+            let n = get_latency(GasMode::AgasNetwork, size, net);
+            (size, p, s, n)
+        })
+        .collect();
+    for (size, p, s, n) in rows {
+        println!(
+            "{:>9} {:>12} {:>12} {:>12} {:>9.3}x",
+            size,
+            format!("{p}"),
+            format!("{s}"),
+            format!("{n}"),
+            n.ps() as f64 / p.ps() as f64
+        );
+    }
+}
+
+fn e3() {
+    header("E3", "put bandwidth vs transfer size, window 16 (Fig.)");
+    println!(
+        "{:>9} {:>12} {:>12} {:>12}",
+        "size", "PGAS GB/s", "SW GB/s", "NET GB/s"
+    );
+    let rows: Vec<_> = SIZES
+        .par_iter()
+        .map(|&size| {
+            let net = NetConfig::ib_fdr();
+            (
+                size,
+                put_bandwidth(GasMode::Pgas, size, net),
+                put_bandwidth(GasMode::AgasSoftware, size, net),
+                put_bandwidth(GasMode::AgasNetwork, size, net),
+            )
+        })
+        .collect();
+    for (size, p, s, n) in rows {
+        println!("{size:>9} {p:>12.3} {s:>12.3} {n:>12.3}");
+    }
+}
+
+fn e4() {
+    header("E4", "8-byte put message rate vs outstanding window (Fig.)");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "window", "PGAS Mop/s", "SW Mop/s", "NET Mop/s"
+    );
+    let rows: Vec<_> = WINDOWS
+        .par_iter()
+        .map(|&w| {
+            let net = NetConfig::ib_fdr();
+            (
+                w,
+                message_rate(GasMode::Pgas, w, net),
+                message_rate(GasMode::AgasSoftware, w, net),
+                message_rate(GasMode::AgasNetwork, w, net),
+            )
+        })
+        .collect();
+    for (w, p, s, n) in rows {
+        println!("{w:>8} {p:>12.3} {s:>12.3} {n:>12.3}");
+    }
+}
+
+fn e4b() {
+    header("E4b", "message-rate ceiling vs NIC queue pairs (AGAS-NET, window 128)");
+    println!("{:>7} {:>12}", "ports", "Mop/s");
+    let rows: Vec<_> = [1usize, 2, 4, 8]
+        .par_iter()
+        .map(|&p| (p, message_rate_ports(p)))
+        .collect();
+    for (p, rate) in rows {
+        println!("{p:>7} {rate:>12.3}");
+    }
+}
+
+fn e5() {
+    header("E5", "GUPS weak scaling (Fig.)");
+    println!(
+        "{:>6} {:>11} {:>11} {:>11} {:>16}",
+        "locs", "PGAS MUPS", "SW MUPS", "NET MUPS", "SW cpu-s/Mupd"
+    );
+    let rows: Vec<_> = SCALES
+        .par_iter()
+        .map(|&n| {
+            let net = NetConfig::ib_fdr();
+            (
+                n,
+                gups_scaling(GasMode::Pgas, n, net),
+                gups_scaling(GasMode::AgasSoftware, n, net),
+                gups_scaling(GasMode::AgasNetwork, n, net),
+            )
+        })
+        .collect();
+    for (n, p, s, t) in rows {
+        println!(
+            "{:>6} {:>11.2} {:>11.2} {:>11.2} {:>16.3}",
+            n, p.mups, s.mups, t.mups, s.cpu_per_mupdate
+        );
+    }
+}
+
+fn e6() {
+    header("E6", "NIC translation-table capacity sensitivity (Fig.)");
+    println!(
+        "{:>11} {:>10} {:>10} {:>13}",
+        "capacity", "MUPS", "hit rate", "sw fallbacks"
+    );
+    let rows: Vec<_> = CAPACITIES.par_iter().map(|&c| table_capacity(c)).collect();
+    for r in rows {
+        println!(
+            "{:>11} {:>10.2} {:>9.1}% {:>13}",
+            fmt_cap(r.capacity),
+            r.mups,
+            r.hit_rate * 100.0,
+            r.sw_fallbacks
+        );
+    }
+    let sw = gups_scaling(GasMode::AgasSoftware, 8, NetConfig::ib_fdr());
+    println!("{:>11} {:>10.2}   (software-AGAS floor)", "AGAS-SW", sw.mups);
+}
+
+fn e7() {
+    header("E7", "block migration cost vs block size (Tab.)");
+    println!("{:>10} {:>12} {:>12}", "block", "AGAS-SW", "AGAS-NET");
+    let rows: Vec<_> = MIG_CLASSES
+        .par_iter()
+        .map(|&class| {
+            let net = NetConfig::ib_fdr();
+            (
+                class,
+                migration_cost(GasMode::AgasSoftware, class, net),
+                migration_cost(GasMode::AgasNetwork, class, net),
+            )
+        })
+        .collect();
+    for (class, sw, net) in rows {
+        println!(
+            "{:>10} {:>12} {:>12}",
+            format!("{} KiB", (1u64 << class) / 1024),
+            format!("{sw}"),
+            format!("{net}")
+        );
+    }
+}
+
+fn e8() {
+    header("E8", "skewed access + migration rebalancing (Fig.)");
+    println!(
+        "{:<24} {:>12} {:>13} {:>11}",
+        "configuration", "makespan", "reads/s", "migrations"
+    );
+    let n = 8;
+    let configs: Vec<(&str, GasMode, bool)> = vec![
+        ("PGAS (static)", GasMode::Pgas, false),
+        ("AGAS-SW, no rebal.", GasMode::AgasSoftware, false),
+        ("AGAS-SW + rebalance", GasMode::AgasSoftware, true),
+        ("AGAS-NET, no rebal.", GasMode::AgasNetwork, false),
+        ("AGAS-NET + rebalance", GasMode::AgasNetwork, true),
+    ];
+    let rows: Vec<_> = configs
+        .par_iter()
+        .map(|&(label, mode, rebal)| (label, skew_row(mode, rebal, n)))
+        .collect();
+    for (label, r) in rows {
+        println!(
+            "{:<24} {:>12} {:>13.0} {:>11}",
+            label,
+            format!("{}", r.elapsed),
+            r.ops_per_sec,
+            r.migrations
+        );
+    }
+}
+
+fn e9() {
+    header("E9", "application proxy: 2-D halo-exchange stencil (Tab.)");
+    println!(
+        "{:>6} {:>14} {:>14} {:>14}",
+        "locs", "PGAS/iter", "SW/iter", "NET/iter"
+    );
+    let rows: Vec<_> = [4usize, 16, 64]
+        .par_iter()
+        .map(|&n| {
+            let net = NetConfig::ib_fdr();
+            (
+                n,
+                stencil_row(GasMode::Pgas, n, net),
+                stencil_row(GasMode::AgasSoftware, n, net),
+                stencil_row(GasMode::AgasNetwork, n, net),
+            )
+        })
+        .collect();
+    for (n, p, s, t) in rows {
+        println!(
+            "{:>6} {:>14} {:>14} {:>14}",
+            n,
+            format!("{}", p.per_iter),
+            format!("{}", s.per_iter),
+            format!("{}", t.per_iter)
+        );
+    }
+}
+
+fn e9b() {
+    header("E9b", "application proxy: 3-D face-exchange stencil (Tab.)");
+    println!(
+        "{:>6} {:>14} {:>14} {:>14}",
+        "locs", "PGAS/iter", "SW/iter", "NET/iter"
+    );
+    let rows: Vec<_> = [4usize, 16]
+        .par_iter()
+        .map(|&n| {
+            (
+                n,
+                stencil3d_row(GasMode::Pgas, n),
+                stencil3d_row(GasMode::AgasSoftware, n),
+                stencil3d_row(GasMode::AgasNetwork, n),
+            )
+        })
+        .collect();
+    for (n, p, s, t) in rows {
+        println!(
+            "{:>6} {:>14} {:>14} {:>14}",
+            n,
+            format!("{}", p.per_iter),
+            format!("{}", s.per_iter),
+            format!("{}", t.per_iter)
+        );
+    }
+}
+
+fn e10() {
+    header("E10", "protocol operations per remote access (Tab.)");
+    println!(
+        "{:<10} {:<5} {:>9} {:>9} {:>6} {:>13} {:>11}",
+        "mode", "op", "rdma", "messages", "ctrl", "CPU handlers", "NIC xlates"
+    );
+    for mode in GasMode::ALL {
+        for (put, opname) in [(true, "put"), (false, "get")] {
+            let f = protocol_footprint(mode, put);
+            println!(
+                "{:<10} {:<5} {:>9} {:>9} {:>6} {:>13} {:>11}",
+                mode.label(),
+                opname,
+                f.rdma_ops,
+                f.messages,
+                f.ctrl,
+                f.cpu_handlers,
+                f.nic_xlates
+            );
+        }
+    }
+}
+
+fn a1() {
+    header("A1", "ablation: registration cache (8 × 1 MiB rendezvous sends)");
+    let on = rcache_ablation(true);
+    let off = rcache_ablation(false);
+    println!("rcache on : {on}");
+    println!("rcache off: {off}  ({:.2}x slower)", off.ps() as f64 / on.ps() as f64);
+}
+
+fn a2() {
+    header("A2", "ablation: eager/rendezvous threshold crossover");
+    println!(
+        "{:>9} {:>12} {:>12} {:>12}",
+        "size", "thr=512", "thr=4096", "thr=32768"
+    );
+    let sizes = [256u32, 512, 1024, 4096, 8192, 32768, 65536];
+    let rows: Vec<_> = sizes
+        .par_iter()
+        .map(|&s| {
+            (
+                s,
+                eager_threshold_latency(512, s),
+                eager_threshold_latency(4096, s),
+                eager_threshold_latency(32768, s),
+            )
+        })
+        .collect();
+    for (s, a, b, c) in rows {
+        println!(
+            "{:>9} {:>12} {:>12} {:>12}",
+            s,
+            format!("{a}"),
+            format!("{b}"),
+            format!("{c}")
+        );
+    }
+}
+
+fn a3() {
+    header("A3", "ablation: stale access after migration — NIC forwarding vs NACK-only");
+    println!(
+        "{:<14} {:>12} {:>12} {:>9} {:>7} {:>9}",
+        "policy", "stale put", "fresh put", "forwards", "nacks", "retries"
+    );
+    for (label, fwd) in [("forwarding", true), ("NACK-only", false)] {
+        let r = migration_race(fwd);
+        println!(
+            "{:<14} {:>12} {:>12} {:>9} {:>7} {:>9}",
+            label,
+            format!("{}", r.stale_put_latency),
+            format!("{}", r.fresh_put_latency),
+            r.forwards,
+            r.nacks,
+            r.retries
+        );
+    }
+}
+
+fn e10b() {
+    header("E10b", "protocol footprint of one migration (Tab.)");
+    println!("{:<10} {:>9} {:>9} {:>7}", "mode", "messages", "dir ops", "moves");
+    for mode in [GasMode::AgasSoftware, GasMode::AgasNetwork] {
+        let f = migration_footprint(mode);
+        println!(
+            "{:<10} {:>9} {:>9} {:>7}",
+            mode.label(),
+            f.messages,
+            f.dir_ops,
+            f.moves
+        );
+    }
+}
+
+fn e11() {
+    header(
+        "E11",
+        "parcel network backend: PWC (one-sided) vs ISIR (two-sided) (Tab.)",
+    );
+    println!("{:>9} {:>12} {:>12}", "payload", "PWC", "ISIR");
+    let rows: Vec<_> = [8u32, 64, 512, 4096, 32768, 262144]
+        .par_iter()
+        .map(|&p| {
+            (
+                p,
+                parcel_latency(parcel_rt::Transport::Pwc, p),
+                parcel_latency(parcel_rt::Transport::Isir, p),
+            )
+        })
+        .collect();
+    for (p, pwc, isir) in rows {
+        println!("{:>9} {:>12} {:>12}", p, format!("{pwc}"), format!("{isir}"));
+    }
+    let rp = parcel_rate(parcel_rt::Transport::Pwc);
+    let ri = parcel_rate(parcel_rt::Transport::Isir);
+    println!("sustained 32 B parcel rate: PWC {rp:.2} Mp/s, ISIR {ri:.2} Mp/s");
+}
+
+fn e12() {
+    header("E12", "fabric oversubscription: aggregate bandwidth of 4 disjoint streams");
+    println!("{:>8} {:>16}", "factor", "aggregate GB/s");
+    let rows: Vec<_> = [1u64, 2, 4, 8]
+        .par_iter()
+        .map(|&k| (k, bisection_bandwidth(k)))
+        .collect();
+    for (k, bw) in rows {
+        println!("{k:>8} {bw:>16.3}");
+    }
+}
+
+fn e13() {
+    header("E13", "message-driven BFS traversal rate (Tab.)");
+    println!("{:>6} {:>14} {:>14}", "locs", "PWC MTEPS", "ISIR MTEPS");
+    let rows: Vec<_> = [2usize, 4, 8, 16, 32]
+        .par_iter()
+        .map(|&n| {
+            (
+                n,
+                bfs_teps(n, parcel_rt::Transport::Pwc),
+                bfs_teps(n, parcel_rt::Transport::Isir),
+            )
+        })
+        .collect();
+    for (n, pwc, isir) in rows {
+        println!("{:>6} {:>14.2} {:>14.2}", n, pwc / 1e6, isir / 1e6);
+    }
+}
+
+fn e14() {
+    header("E14", "parcel coalescing ablation (message aggregation)");
+    println!(
+        "{:<22} {:>12} {:>12} {:>10}",
+        "workload", "time", "messages", "batches"
+    );
+    let rows: Vec<(&str, CoalesceRow)> = vec![
+        ("BFS/ib, no coal.", bfs_coalescing(false)),
+        ("BFS/ib, coalesced", bfs_coalescing(true)),
+        ("GUPS/ib, no coal.", gups_coalescing_on(false, NetConfig::ib_fdr())),
+        ("GUPS/ib, coalesced", gups_coalescing_on(true, NetConfig::ib_fdr())),
+        ("flood 2k, no coal.", parcel_flood(false, 2048)),
+        ("flood 2k, coalesced", parcel_flood(true, 2048)),
+    ];
+    for (label, r) in rows {
+        println!(
+            "{:<22} {:>12} {:>12} {:>10}",
+            label,
+            format!("{}", r.elapsed),
+            r.messages,
+            r.batches
+        );
+    }
+}
+
+fn e15() {
+    header("E15", "all-to-all transpose: aggregate bandwidth (Tab.)");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "factor", "PGAS GB/s", "SW GB/s", "NET GB/s"
+    );
+    let rows: Vec<_> = [1u64, 2, 4]
+        .par_iter()
+        .map(|&k| {
+            (
+                k,
+                transpose_bandwidth(GasMode::Pgas, k),
+                transpose_bandwidth(GasMode::AgasSoftware, k),
+                transpose_bandwidth(GasMode::AgasNetwork, k),
+            )
+        })
+        .collect();
+    for (k, p, s, n) in rows {
+        println!("{k:>8} {p:>12.3} {s:>12.3} {n:>12.3}");
+    }
+}
+
+fn main() {
+    let what = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let experiments: Vec<(&str, fn())> = vec![
+        ("e1", e1),
+        ("e1b", e1b),
+        ("e2", e2),
+        ("e3", e3),
+        ("e4", e4),
+        ("e4b", e4b),
+        ("e5", e5),
+        ("e6", e6),
+        ("e7", e7),
+        ("e8", e8),
+        ("e9", e9),
+        ("e9b", e9b),
+        ("e10", e10),
+        ("e10b", e10b),
+        ("e11", e11),
+        ("e12", e12),
+        ("e13", e13),
+        ("e14", e14),
+        ("e15", e15),
+        ("a1", a1),
+        ("a2", a2),
+        ("a3", a3),
+    ];
+    println!(
+        "nmvgas reconstructed evaluation — deterministic simulation results \
+         (simulated time; see DESIGN.md §5 and EXPERIMENTS.md)"
+    );
+    match what.as_str() {
+        "all" => {
+            for (_, f) in &experiments {
+                f();
+            }
+        }
+        id => match experiments.iter().find(|(name, _)| *name == id) {
+            Some((_, f)) => f(),
+            None => {
+                eprintln!(
+                    "unknown experiment {id:?}; use one of: all {}",
+                    experiments
+                        .iter()
+                        .map(|(n, _)| *n)
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                );
+                std::process::exit(2);
+            }
+        },
+    }
+}

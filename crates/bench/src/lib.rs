@@ -1,0 +1,12 @@
+//! Experiment kernels for the reconstructed evaluation.
+//!
+//! Each function here regenerates the data behind one table/figure of
+//! DESIGN.md §5 (experiments E1–E10, ablations A1–A3) and returns plain
+//! data, so both the `repro` binary (which prints the paper-style rows)
+//! and the criterion benches (which time the simulator itself) share one
+//! implementation. All results are **simulated time** — the model's output,
+//! deterministic for a given seed.
+
+pub mod experiments;
+
+pub use experiments::*;

@@ -1,0 +1,204 @@
+//! The per-locality block translation table (BTT).
+//!
+//! The software side of AGAS: every locality records, for each block it
+//! currently *owns*, where the block's bytes live in the local arena, the
+//! block's migration generation, and its pin count. Action handlers pin a
+//! block while operating on it; migration of a pinned block is deferred
+//! until the last pin drops.
+
+use netsim::PhysAddr;
+use std::collections::HashMap;
+
+/// Lifecycle of a locally owned block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockState {
+    /// Resident and serving accesses.
+    Resident,
+    /// Hand-off in progress: data sent to the new owner, installation not
+    /// yet acknowledged. Incoming software accesses queue.
+    Moving,
+}
+
+/// One BTT entry.
+#[derive(Clone, Copy, Debug)]
+pub struct BttEntry {
+    /// Physical base of the block in this locality's arena.
+    pub base: PhysAddr,
+    /// Size class (block is `1 << class` bytes).
+    pub class: u8,
+    /// Migration generation (starts at 1, bumps on every move).
+    pub generation: u32,
+    /// Active pins (handlers currently operating on the block).
+    pub pins: u32,
+    /// Residency state.
+    pub state: BlockState,
+}
+
+/// The block translation table.
+#[derive(Default)]
+pub struct Btt {
+    entries: HashMap<u64, BttEntry>,
+}
+
+impl Btt {
+    /// An empty table.
+    pub fn new() -> Btt {
+        Btt::default()
+    }
+
+    /// Record ownership of `block_key`.
+    pub fn insert(&mut self, block_key: u64, base: PhysAddr, class: u8, generation: u32) {
+        let prev = self.entries.insert(
+            block_key,
+            BttEntry {
+                base,
+                class,
+                generation,
+                pins: 0,
+                state: BlockState::Resident,
+            },
+        );
+        debug_assert!(prev.is_none(), "BTT double-insert for {block_key:#x}");
+    }
+
+    /// Drop ownership (block migrated away or freed). Returns the entry.
+    pub fn remove(&mut self, block_key: u64) -> Option<BttEntry> {
+        let e = self.entries.remove(&block_key);
+        debug_assert!(
+            e.map_or(true, |e| e.pins == 0),
+            "removed a pinned block {block_key:#x}"
+        );
+        e
+    }
+
+    /// Translate a block key; `None` means "not owned here".
+    pub fn lookup(&self, block_key: u64) -> Option<&BttEntry> {
+        self.entries.get(&block_key)
+    }
+
+    /// Mutable entry access.
+    pub fn lookup_mut(&mut self, block_key: u64) -> Option<&mut BttEntry> {
+        self.entries.get_mut(&block_key)
+    }
+
+    /// Is the block resident (owned and not mid-migration)?
+    pub fn is_resident(&self, block_key: u64) -> bool {
+        matches!(
+            self.entries.get(&block_key),
+            Some(BttEntry {
+                state: BlockState::Resident,
+                ..
+            })
+        )
+    }
+
+    /// Pin `block_key` for a handler. Returns the entry snapshot, or `None`
+    /// if the block is not resident here (caller must re-route).
+    pub fn pin(&mut self, block_key: u64) -> Option<BttEntry> {
+        let e = self.entries.get_mut(&block_key)?;
+        if e.state != BlockState::Resident {
+            return None;
+        }
+        e.pins += 1;
+        Some(*e)
+    }
+
+    /// Release a pin. Returns the remaining pin count.
+    pub fn unpin(&mut self, block_key: u64) -> u32 {
+        let e = self
+            .entries
+            .get_mut(&block_key)
+            .expect("unpin of unknown block");
+        assert!(e.pins > 0, "unpin underflow for {block_key:#x}");
+        e.pins -= 1;
+        e.pins
+    }
+
+    /// Mark a block as mid-migration. Panics if pinned (callers must wait
+    /// for pins to drain first).
+    pub fn set_moving(&mut self, block_key: u64) {
+        let e = self
+            .entries
+            .get_mut(&block_key)
+            .expect("set_moving on unknown block");
+        assert_eq!(e.pins, 0, "cannot move a pinned block");
+        e.state = BlockState::Moving;
+    }
+
+    /// Number of blocks owned here (any state).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no blocks are owned.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate owned block keys (arbitrary order).
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.entries.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut btt = Btt::new();
+        btt.insert(100, 0x40, 6, 1);
+        let e = btt.lookup(100).unwrap();
+        assert_eq!(e.base, 0x40);
+        assert_eq!(e.generation, 1);
+        assert!(btt.is_resident(100));
+        assert!(btt.lookup(200).is_none());
+        let removed = btt.remove(100).unwrap();
+        assert_eq!(removed.base, 0x40);
+        assert!(btt.lookup(100).is_none());
+    }
+
+    #[test]
+    fn pin_unpin_counts() {
+        let mut btt = Btt::new();
+        btt.insert(1, 0, 6, 1);
+        assert!(btt.pin(1).is_some());
+        assert!(btt.pin(1).is_some());
+        assert_eq!(btt.lookup(1).unwrap().pins, 2);
+        assert_eq!(btt.unpin(1), 1);
+        assert_eq!(btt.unpin(1), 0);
+    }
+
+    #[test]
+    fn pin_missing_block_fails() {
+        let mut btt = Btt::new();
+        assert!(btt.pin(9).is_none());
+    }
+
+    #[test]
+    fn moving_blocks_reject_pins() {
+        let mut btt = Btt::new();
+        btt.insert(1, 0, 6, 1);
+        btt.set_moving(1);
+        assert!(!btt.is_resident(1));
+        assert!(btt.pin(1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "pinned")]
+    fn cannot_move_pinned_block() {
+        let mut btt = Btt::new();
+        btt.insert(1, 0, 6, 1);
+        btt.pin(1);
+        btt.set_moving(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn unpin_underflow_panics() {
+        let mut btt = Btt::new();
+        btt.insert(1, 0, 6, 1);
+        btt.unpin(1);
+    }
+}

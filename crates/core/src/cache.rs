@@ -1,0 +1,126 @@
+//! Source-side owner caches.
+//!
+//! In both AGAS modes the initiator of a remote operation needs a guess at
+//! the block's current owner. The cache maps block keys to
+//! `(owner, generation)` hints, seeded by directory replies and invalidated
+//! lazily: a stale hint is only discovered when the operation bounces
+//! (software NACK or NIC miss), which triggers a directory re-query.
+
+use netsim::lru::LruMap;
+use netsim::LocalityId;
+
+/// A cached ownership hint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OwnerHint {
+    /// Believed current owner.
+    pub owner: LocalityId,
+    /// Generation the hint was learned at.
+    pub generation: u32,
+}
+
+/// Per-locality translation (owner) cache.
+pub struct OwnerCache {
+    map: LruMap<u64, OwnerHint>,
+    hits: u64,
+    misses: u64,
+}
+
+impl OwnerCache {
+    /// A cache holding at most `capacity` hints.
+    pub fn new(capacity: usize) -> OwnerCache {
+        OwnerCache {
+            map: LruMap::new(capacity),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up a hint for `block_key`.
+    pub fn lookup(&mut self, block_key: u64) -> Option<OwnerHint> {
+        match self.map.get(&block_key) {
+            Some(h) => {
+                self.hits += 1;
+                Some(*h)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Record a hint, keeping the newest generation on conflict.
+    pub fn update(&mut self, block_key: u64, hint: OwnerHint) {
+        if let Some(existing) = self.map.get_mut(&block_key) {
+            if existing.generation <= hint.generation {
+                *existing = hint;
+            }
+            return;
+        }
+        self.map.insert(block_key, hint);
+    }
+
+    /// Drop a hint (known stale).
+    pub fn invalidate(&mut self, block_key: u64) {
+        self.map.remove(&block_key);
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = OwnerCache::new(8);
+        assert_eq!(c.lookup(1), None);
+        c.update(1, OwnerHint { owner: 3, generation: 1 });
+        assert_eq!(c.lookup(1), Some(OwnerHint { owner: 3, generation: 1 }));
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn newer_generation_wins() {
+        let mut c = OwnerCache::new(8);
+        c.update(1, OwnerHint { owner: 3, generation: 5 });
+        c.update(1, OwnerHint { owner: 4, generation: 2 }); // stale: ignored
+        assert_eq!(c.lookup(1).unwrap().owner, 3);
+        c.update(1, OwnerHint { owner: 7, generation: 6 });
+        assert_eq!(c.lookup(1).unwrap().owner, 7);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = OwnerCache::new(8);
+        c.update(1, OwnerHint { owner: 3, generation: 1 });
+        c.invalidate(1);
+        assert_eq!(c.lookup(1), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn capacity_bounds_entries() {
+        let mut c = OwnerCache::new(2);
+        for k in 0..5u64 {
+            c.update(k, OwnerHint { owner: k as u32, generation: 1 });
+        }
+        assert_eq!(c.len(), 2);
+        assert!(c.lookup(0).is_none());
+        assert!(c.lookup(4).is_some());
+    }
+}

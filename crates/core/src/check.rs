@@ -1,0 +1,123 @@
+//! Cluster-wide consistency checking (diagnostics / test oracle).
+//!
+//! After quiescence, the GAS must satisfy a set of global invariants that
+//! no single locality can see on its own. Tests call [`check_blocks`]
+//! after every scenario; embedders can run it whenever their cluster is
+//! idle to catch protocol regressions.
+
+use crate::gva::Gva;
+use crate::{GasMode, GasWorld};
+
+/// A violated invariant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// A block has zero or multiple resident owners.
+    OwnerCount {
+        /// The block.
+        gva: Gva,
+        /// The residents found.
+        owners: Vec<u32>,
+    },
+    /// The home directory disagrees with actual residency.
+    StaleDirectory {
+        /// The block.
+        gva: Gva,
+        /// What the directory says.
+        dir_owner: u32,
+        /// Who actually holds it.
+        actual_owner: u32,
+    },
+    /// The home directory lost a live block entirely.
+    MissingDirectory {
+        /// The block.
+        gva: Gva,
+    },
+    /// (Network mode) the owner's NIC entry is absent or points at the
+    /// wrong storage/generation.
+    NicMismatch {
+        /// The block.
+        gva: Gva,
+        /// Description of the mismatch.
+        detail: &'static str,
+    },
+    /// An operation never completed (initiator-side leak).
+    PendingOps {
+        /// The locality holding them.
+        locality: u32,
+        /// How many.
+        count: usize,
+    },
+}
+
+/// Check every invariant for `blocks`; returns all violations found
+/// (empty = consistent). The cluster must be quiescent.
+pub fn check_blocks<S: GasWorld>(world: &S, blocks: &[Gva]) -> Vec<Violation> {
+    let n = world.cluster_ref().len() as u32;
+    let mode = world.gas_mode();
+    let mut out = Vec::new();
+    for &gva in blocks {
+        let key = gva.block_key();
+        let owners: Vec<u32> = (0..n)
+            .filter(|&l| world.gas_ref(l).btt.is_resident(key))
+            .collect();
+        if owners.len() != 1 {
+            out.push(Violation::OwnerCount {
+                gva,
+                owners: owners.clone(),
+            });
+            continue;
+        }
+        let owner = owners[0];
+        if mode != GasMode::Pgas {
+            let home = gva.home();
+            match world.gas_ref(home).dir.peek(key) {
+                None => out.push(Violation::MissingDirectory { gva }),
+                Some(rec) if rec.owner != owner => out.push(Violation::StaleDirectory {
+                    gva,
+                    dir_owner: rec.owner,
+                    actual_owner: owner,
+                }),
+                Some(_) => {}
+            }
+            if mode == GasMode::AgasNetwork {
+                let btt = *world.gas_ref(owner).btt.lookup(key).expect("checked resident");
+                match world.cluster_ref().loc(owner).nic.xlate.peek(key) {
+                    None => out.push(Violation::NicMismatch {
+                        gva,
+                        detail: "owner NIC has no live entry",
+                    }),
+                    Some(e) if e.base != btt.base => out.push(Violation::NicMismatch {
+                        gva,
+                        detail: "NIC base differs from BTT",
+                    }),
+                    Some(e) if e.generation != btt.generation => {
+                        out.push(Violation::NicMismatch {
+                            gva,
+                            detail: "NIC generation differs from BTT",
+                        })
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+    for l in 0..n {
+        let pending = world.gas_ref(l).outstanding_ops();
+        if pending != 0 {
+            out.push(Violation::PendingOps {
+                locality: l,
+                count: pending,
+            });
+        }
+    }
+    out
+}
+
+/// Panic with a readable report if any invariant is violated.
+pub fn assert_consistent<S: GasWorld>(world: &S, blocks: &[Gva]) {
+    let violations = check_blocks(world, blocks);
+    assert!(
+        violations.is_empty(),
+        "GAS consistency violated:\n{violations:#?}"
+    );
+}

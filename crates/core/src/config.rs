@@ -1,0 +1,102 @@
+//! GAS-layer tuning parameters.
+
+use netsim::Time;
+
+/// Which global-address-space implementation is active.
+///
+/// This is the paper's experimental variable: every benchmark runs once per
+/// mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GasMode {
+    /// Static PGAS: a block's home (from its address bits) owns it forever.
+    /// Remote access is direct RDMA on initiator-computed physical
+    /// addresses; blocks can never move.
+    Pgas,
+    /// Software-managed AGAS: blocks migrate, and every remote access is a
+    /// two-sided message handled by the owner's *CPU*, which performs the
+    /// BTT translation and the copy (the classic HPX-5 AGAS baseline).
+    AgasSoftware,
+    /// Network-managed AGAS (the paper's contribution): blocks migrate, and
+    /// remote accesses are one-sided RDMA on *virtual* addresses translated
+    /// by the target **NIC** with zero CPU involvement.
+    AgasNetwork,
+}
+
+impl GasMode {
+    /// All modes, in presentation order.
+    pub const ALL: [GasMode; 3] = [GasMode::Pgas, GasMode::AgasSoftware, GasMode::AgasNetwork];
+
+    /// Short label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            GasMode::Pgas => "PGAS",
+            GasMode::AgasSoftware => "AGAS-SW",
+            GasMode::AgasNetwork => "AGAS-NET",
+        }
+    }
+
+    /// Can blocks migrate under this mode?
+    pub fn supports_migration(self) -> bool {
+        !matches!(self, GasMode::Pgas)
+    }
+}
+
+/// Cost parameters of the GAS software paths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GasConfig {
+    /// CPU time to dispatch and run a software remote-access handler
+    /// (software-AGAS path), excluding the per-byte copy.
+    pub sw_handler: Time,
+    /// CPU time of a directory lookup/update at the home.
+    pub dir_lookup: Time,
+    /// Fixed cost of a purely local GAS access.
+    pub local_op: Time,
+    /// Per-byte copy cost of software-path data handling (ps/B).
+    pub copy_per_byte_ps: u64,
+    /// Source-side owner-cache capacity, in blocks.
+    pub cache_capacity: usize,
+    /// Abort an operation after this many bounce/retry cycles.
+    pub max_attempts: u32,
+    /// Base back-off before re-issuing a bounced operation (scaled by the
+    /// attempt count to guarantee progress past in-flight migrations).
+    pub retry_backoff: Time,
+}
+
+impl Default for GasConfig {
+    fn default() -> GasConfig {
+        GasConfig {
+            sw_handler: Time::from_ns(500),
+            dir_lookup: Time::from_ns(200),
+            local_op: Time::from_ns(80),
+            copy_per_byte_ps: 25,
+            cache_capacity: 1 << 16,
+            max_attempts: 64,
+            retry_backoff: Time::from_ns(400),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<&str> = GasMode::ALL.iter().map(|m| m.label()).collect();
+        assert_eq!(labels, vec!["PGAS", "AGAS-SW", "AGAS-NET"]);
+    }
+
+    #[test]
+    fn migration_support() {
+        assert!(!GasMode::Pgas.supports_migration());
+        assert!(GasMode::AgasSoftware.supports_migration());
+        assert!(GasMode::AgasNetwork.supports_migration());
+    }
+
+    #[test]
+    fn default_config_sane() {
+        let c = GasConfig::default();
+        assert!(c.max_attempts >= 8);
+        assert!(c.sw_handler > c.local_op);
+    }
+}

@@ -1,0 +1,140 @@
+//! The home-based ownership directory.
+//!
+//! Each block's *home* locality (encoded in its GVA) is the authoritative
+//! record of who currently owns the block. Initiators that bounce off a
+//! stale owner query the home; migrations commit by updating the home.
+//! Entries carry generation numbers so late-arriving updates never regress
+//! ownership.
+
+use netsim::LocalityId;
+use std::collections::HashMap;
+
+/// An authoritative ownership record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OwnerRec {
+    /// Current owner of the block.
+    pub owner: LocalityId,
+    /// Current migration generation.
+    pub generation: u32,
+}
+
+/// The directory shard held by one home locality.
+#[derive(Default)]
+pub struct Directory {
+    map: HashMap<u64, OwnerRec>,
+    lookups: u64,
+    updates: u64,
+}
+
+impl Directory {
+    /// An empty shard.
+    pub fn new() -> Directory {
+        Directory::default()
+    }
+
+    /// Register a freshly allocated block owned by `owner` at generation 1.
+    pub fn register(&mut self, block_key: u64, owner: LocalityId) {
+        let prev = self.map.insert(
+            block_key,
+            OwnerRec {
+                owner,
+                generation: 1,
+            },
+        );
+        debug_assert!(prev.is_none(), "directory double-register {block_key:#x}");
+    }
+
+    /// Authoritative lookup. Panics on unknown blocks: the home *must* know
+    /// every block homed at it (allocation registers synchronously).
+    pub fn lookup(&mut self, block_key: u64) -> OwnerRec {
+        self.lookups += 1;
+        *self
+            .map
+            .get(&block_key)
+            .unwrap_or_else(|| panic!("directory lookup of unknown block {block_key:#x}"))
+    }
+
+    /// Commit a migration: newer generations win, stale updates are ignored
+    /// (they can arrive out of order through the network). Returns whether
+    /// the update was applied.
+    pub fn update(&mut self, block_key: u64, rec: OwnerRec) -> bool {
+        self.updates += 1;
+        let e = self
+            .map
+            .get_mut(&block_key)
+            .unwrap_or_else(|| panic!("directory update of unknown block {block_key:#x}"));
+        if rec.generation > e.generation {
+            *e = rec;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Non-counting read of an ownership record (diagnostics/tests).
+    pub fn peek(&self, block_key: u64) -> Option<OwnerRec> {
+        self.map.get(&block_key).copied()
+    }
+
+    /// Forget a freed block.
+    pub fn unregister(&mut self, block_key: u64) -> Option<OwnerRec> {
+        self.map.remove(&block_key)
+    }
+
+    /// Blocks registered at this shard.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no blocks are registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `(lookups, updates)` served.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.lookups, self.updates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut d = Directory::new();
+        d.register(5, 2);
+        assert_eq!(d.lookup(5), OwnerRec { owner: 2, generation: 1 });
+        assert_eq!(d.stats(), (1, 0));
+    }
+
+    #[test]
+    fn update_applies_newer_only() {
+        let mut d = Directory::new();
+        d.register(5, 2);
+        assert!(d.update(5, OwnerRec { owner: 3, generation: 2 }));
+        // A stale (reordered) update must not regress ownership.
+        assert!(!d.update(5, OwnerRec { owner: 9, generation: 2 }));
+        assert!(!d.update(5, OwnerRec { owner: 9, generation: 1 }));
+        assert_eq!(d.lookup(5).owner, 3);
+        assert!(d.update(5, OwnerRec { owner: 4, generation: 3 }));
+        assert_eq!(d.lookup(5).owner, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown block")]
+    fn lookup_unknown_panics() {
+        let mut d = Directory::new();
+        d.lookup(1);
+    }
+
+    #[test]
+    fn unregister() {
+        let mut d = Directory::new();
+        d.register(5, 2);
+        assert!(d.unregister(5).is_some());
+        assert!(d.is_empty());
+        assert!(d.unregister(5).is_none());
+    }
+}

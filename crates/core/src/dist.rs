@@ -1,0 +1,138 @@
+//! Static block distributions.
+//!
+//! A distribution maps a block index of a global allocation to the block's
+//! *home* locality — the directory anchor and initial owner. PGAS mode uses
+//! the distribution as the permanent placement; AGAS modes treat it only as
+//! the starting point.
+
+use netsim::LocalityId;
+use std::rc::Rc;
+
+/// How a global allocation's blocks are spread over localities.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Distribution {
+    /// Block `i` lives at locality `i mod n` (HPX's `hpx_gas_alloc_cyclic`).
+    Cyclic,
+    /// Contiguous runs of `ceil(total/n)` blocks per locality.
+    Blocked,
+    /// Every block at one locality (`hpx_gas_alloc_local` at scale).
+    Single(LocalityId),
+    /// Caller-chosen placement: block `i` at `homes[i % homes.len()]`
+    /// (HPX's user-defined distributions; cheap to clone via `Rc`).
+    Explicit(Rc<Vec<LocalityId>>),
+}
+
+impl Distribution {
+    /// Home of block `index` out of `total` blocks over `n` localities.
+    pub fn home(&self, index: u64, total: u64, n: u32) -> LocalityId {
+        debug_assert!(index < total);
+        debug_assert!(n > 0);
+        match self {
+            Distribution::Cyclic => (index % n as u64) as LocalityId,
+            Distribution::Blocked => {
+                let per = total.div_ceil(n as u64);
+                ((index / per) as u32).min(n - 1)
+            }
+            Distribution::Single(loc) => {
+                debug_assert!(*loc < n);
+                *loc
+            }
+            Distribution::Explicit(homes) => {
+                assert!(!homes.is_empty(), "explicit distribution needs homes");
+                let h = homes[(index % homes.len() as u64) as usize];
+                debug_assert!(h < n);
+                h
+            }
+        }
+    }
+
+    /// Number of blocks homed at `loc` for an allocation of `total` blocks.
+    pub fn blocks_at(&self, loc: LocalityId, total: u64, n: u32) -> u64 {
+        match self {
+            Distribution::Cyclic => {
+                let base = total / n as u64;
+                let extra = total % n as u64;
+                base + u64::from((loc as u64) < extra)
+            }
+            Distribution::Blocked => {
+                let per = total.div_ceil(n as u64);
+                let start = per * loc as u64;
+                total.saturating_sub(start).min(per)
+            }
+            Distribution::Single(l) => {
+                if *l == loc {
+                    total
+                } else {
+                    0
+                }
+            }
+            Distribution::Explicit(_) => {
+                (0..total).filter(|&i| self.home(i, total, n) == loc).count() as u64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cyclic_wraps() {
+        let d = Distribution::Cyclic;
+        let homes: Vec<u32> = (0..8).map(|i| d.home(i, 8, 3)).collect();
+        assert_eq!(homes, vec![0, 1, 2, 0, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn blocked_is_contiguous() {
+        let d = Distribution::Blocked;
+        let homes: Vec<u32> = (0..8).map(|i| d.home(i, 8, 3)).collect();
+        assert_eq!(homes, vec![0, 0, 0, 1, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn blocked_remainder_clamped() {
+        let d = Distribution::Blocked;
+        // 4 blocks over 3 localities: per = 2 => homes 0,0,1,1.
+        let homes: Vec<u32> = (0..4).map(|i| d.home(i, 4, 3)).collect();
+        assert_eq!(homes, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn single_pins_everything() {
+        let d = Distribution::Single(2);
+        assert!((0..10).all(|i| d.home(i, 10, 4) == 2));
+    }
+
+    #[test]
+    fn explicit_placement_repeats_pattern() {
+        let d = Distribution::Explicit(Rc::new(vec![2, 0, 2]));
+        let homes: Vec<u32> = (0..6).map(|i| d.home(i, 6, 3)).collect();
+        assert_eq!(homes, vec![2, 0, 2, 2, 0, 2]);
+        assert_eq!(d.blocks_at(2, 6, 3), 4);
+        assert_eq!(d.blocks_at(1, 6, 3), 0);
+    }
+
+    #[test]
+    fn blocks_at_agrees_with_home() {
+        for dist in [
+            Distribution::Cyclic,
+            Distribution::Blocked,
+            Distribution::Single(1),
+            Distribution::Explicit(Rc::new(vec![3, 1])),
+        ] {
+            for total in [1u64, 7, 8, 9, 100] {
+                let n = 4;
+                for loc in 0..n {
+                    let counted = (0..total).filter(|&i| dist.home(i, total, n) == loc).count() as u64;
+                    assert_eq!(
+                        counted,
+                        dist.blocks_at(loc, total, n),
+                        "{dist:?} total={total} loc={loc}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! # agas — the network-managed virtual global address space
+//!
+//! This crate is the paper's primary contribution, reconstructed: a virtual
+//! global address space for message-driven runtimes in which the
+//! virtual→physical translation of global addresses is **managed by the
+//! network layer** (the simulated NIC's translation table) rather than by
+//! runtime software, while still supporting **block migration**.
+//!
+//! Three interchangeable implementations sit behind one API
+//! ([`ops::memput`] / [`ops::memget`] / [`migrate::migrate_block`]):
+//!
+//! | mode | translation | remote access | mobility |
+//! |---|---|---|---|
+//! | [`GasMode::Pgas`] | address arithmetic | RDMA on physical addresses | none |
+//! | [`GasMode::AgasSoftware`] | target-CPU BTT lookup | two-sided parcel + reply | yes |
+//! | [`GasMode::AgasNetwork`] | **target-NIC table** | RDMA on *virtual* addresses | yes |
+//!
+//! Supporting machinery: [`gva`] address encoding, [`btt`] block translation
+//! tables, [`directory`] home-based ownership, [`cache`] source-side owner
+//! hints, [`alloc`] collective allocation, [`migrate`] the migration
+//! protocol with NIC forwarding/NACK recovery.
+
+pub mod alloc;
+pub mod btt;
+pub mod check;
+pub mod cache;
+pub mod config;
+pub mod directory;
+pub mod dist;
+pub mod gva;
+pub mod migrate;
+pub mod ops;
+
+pub use alloc::{alloc_array, free_array, GlobalArray, PgasMap};
+pub use btt::{BlockState, Btt, BttEntry};
+pub use check::{assert_consistent, check_blocks, Violation};
+pub use cache::{OwnerCache, OwnerHint};
+pub use config::{GasConfig, GasMode};
+pub use directory::{Directory, OwnerRec};
+pub use dist::Distribution;
+pub use gva::Gva;
+
+use netsim::{Engine, LocalityId, PhysAddr, ServerPool, Time};
+use photon::PhotonWorld;
+use std::collections::HashMap;
+
+/// GAS wire-protocol messages, embedded into the world's message enum via
+/// [`GasWorld::wrap_gas`].
+#[derive(Debug)]
+pub enum GasMsg {
+    /// Software-AGAS remote write: handled by the owner's CPU.
+    SwPut {
+        /// Target block key.
+        block: u64,
+        /// Byte offset within the block.
+        offset: u64,
+        /// Payload.
+        data: Vec<u8>,
+        /// Initiator's operation id.
+        ctx: u64,
+        /// Where the ack goes.
+        reply_to: LocalityId,
+    },
+    /// Ack of a software write.
+    SwPutAck {
+        /// Initiator's operation id.
+        ctx: u64,
+    },
+    /// Software-AGAS remote read.
+    SwGet {
+        /// Target block key.
+        block: u64,
+        /// Byte offset within the block.
+        offset: u64,
+        /// Bytes requested.
+        len: u32,
+        /// Initiator's operation id.
+        ctx: u64,
+        /// Where the reply goes.
+        reply_to: LocalityId,
+    },
+    /// Data reply of a software read.
+    SwGetReply {
+        /// Initiator's operation id.
+        ctx: u64,
+        /// The data.
+        data: Vec<u8>,
+    },
+    /// The believed owner no longer holds the block: initiator must
+    /// re-resolve through the home directory.
+    SwRetry {
+        /// Initiator's operation id.
+        ctx: u64,
+        /// The block that bounced.
+        block: u64,
+    },
+    /// Ask a block's home for the authoritative owner.
+    DirQuery {
+        /// Block key.
+        block: u64,
+        /// Initiator's operation id (0 = none).
+        ctx: u64,
+        /// Where the reply goes.
+        reply_to: LocalityId,
+    },
+    /// Authoritative ownership answer.
+    DirReply {
+        /// Block key.
+        block: u64,
+        /// Current owner.
+        owner: LocalityId,
+        /// Current generation.
+        generation: u32,
+        /// Echoed operation id.
+        ctx: u64,
+    },
+    /// Commit a migration at the home directory.
+    DirUpdate {
+        /// Block key.
+        block: u64,
+        /// New owner.
+        owner: LocalityId,
+        /// New generation.
+        generation: u32,
+        /// Who to ack (the new owner).
+        reply_to: LocalityId,
+    },
+    /// Home acknowledged the directory update.
+    DirUpdateAck {
+        /// Block key.
+        block: u64,
+    },
+    /// Request to migrate `block` to `dst`; routed via the home to the
+    /// current owner.
+    MigRequest {
+        /// Block key.
+        block: u64,
+        /// Destination locality.
+        dst: LocalityId,
+        /// Requester's context for the completion callback.
+        ctx: u64,
+        /// The requester.
+        reply_to: LocalityId,
+        /// Routing hops consumed (guards against pathological chases).
+        hops: u8,
+    },
+    /// The block's bytes, moving from old owner to new owner.
+    MigData {
+        /// Block key.
+        block: u64,
+        /// Size class.
+        class: u8,
+        /// New generation (old + 1).
+        generation: u32,
+        /// Block contents.
+        data: Vec<u8>,
+        /// The old owner.
+        src: LocalityId,
+        /// Requester context, forwarded for the completion callback.
+        ctx: u64,
+        /// The original requester.
+        reply_to: LocalityId,
+    },
+    /// New owner → old owner: installation complete, drain queued accesses.
+    MigAck {
+        /// Block key.
+        block: u64,
+    },
+    /// Migration fully committed (home updated); completion callback.
+    MigDone {
+        /// Requester context.
+        ctx: u64,
+        /// The migrated block.
+        block: u64,
+    },
+    /// Free a block at runtime; routed via the home to the current owner.
+    FreeRequest {
+        /// Block key.
+        block: u64,
+        /// Requester context.
+        ctx: u64,
+        /// The requester.
+        reply_to: LocalityId,
+        /// Routing hops consumed.
+        hops: u8,
+    },
+    /// Owner → home: retire the directory record for a freed block.
+    DirUnregister {
+        /// Block key.
+        block: u64,
+        /// Requester context, forwarded.
+        ctx: u64,
+        /// Who receives the final FreeDone.
+        reply_to: LocalityId,
+    },
+    /// A runtime free fully committed.
+    FreeDone {
+        /// Requester context.
+        ctx: u64,
+        /// The freed block.
+        block: u64,
+    },
+}
+
+/// GAS-layer statistics (per locality).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GasStats {
+    /// memput operations initiated.
+    pub puts: u64,
+    /// memget operations initiated.
+    pub gets: u64,
+    /// Operations satisfied locally.
+    pub local_ops: u64,
+    /// Operations sent to a remote owner.
+    pub remote_ops: u64,
+    /// Bounce/retry cycles (stale owner hints, NIC misses).
+    pub retries: u64,
+    /// Directory queries issued.
+    pub dir_queries: u64,
+    /// Software put handlers executed here.
+    pub sw_puts_handled: u64,
+    /// Software get handlers executed here.
+    pub sw_gets_handled: u64,
+    /// Network-managed operations that degraded to the software path after
+    /// repeated NIC-table misses.
+    pub sw_fallbacks: u64,
+    /// Migrations initiated from here (as the old owner).
+    pub migrations_started: u64,
+    /// Migration completions observed by this requester.
+    pub migrations_done: u64,
+}
+
+pub(crate) enum OpPayload {
+    Put {
+        data: Vec<u8>,
+    },
+    Get {
+        len: u32,
+        scratch: Option<(PhysAddr, u8)>,
+    },
+}
+
+pub(crate) struct PendingOp {
+    pub payload: OpPayload,
+    pub gva: Gva,
+    pub ctx: u64,
+    pub attempts: u32,
+    /// When the operation was submitted (for the latency histograms).
+    pub issued: Time,
+    /// Set after repeated NIC-table misses: degrade this operation to the
+    /// software (two-sided) path, as real network-managed tables do under
+    /// capacity thrash.
+    pub force_sw: bool,
+}
+
+pub(crate) struct MovingState {
+    pub dst: LocalityId,
+    pub queued: Vec<GasMsg>,
+}
+
+pub(crate) struct PendingInstall {
+    pub ctx: u64,
+    pub reply_to: LocalityId,
+    pub old_owner: LocalityId,
+}
+
+/// Per-locality GAS state.
+pub struct GasLocal {
+    /// Cost parameters.
+    pub cfg: GasConfig,
+    /// The block translation table (blocks owned here).
+    pub btt: Btt,
+    /// Source-side owner cache.
+    pub cache: OwnerCache,
+    /// Directory shard (authoritative for blocks homed here).
+    pub dir: Directory,
+    /// Per-block software-access heat (the software analogue of the NIC's
+    /// hit telemetry; drained by load-balancing policies).
+    pub heat: HashMap<u64, u64>,
+    /// Completion-latency histogram of memputs issued here (ns samples).
+    pub put_latency: netsim::LogHistogram,
+    /// Completion-latency histogram of memgets issued here (ns samples).
+    pub get_latency: netsim::LogHistogram,
+    /// Statistics.
+    pub stats: GasStats,
+    pub(crate) pending: HashMap<u64, PendingOp>,
+    pub(crate) next_op: u64,
+    pub(crate) next_seq: HashMap<u8, u64>,
+    pub(crate) moving: HashMap<u64, MovingState>,
+    pub(crate) pending_installs: HashMap<u64, PendingInstall>,
+    pub(crate) deferred_migs: HashMap<u64, Vec<(LocalityId, u64, LocalityId)>>,
+    pub(crate) deferred_frees: HashMap<u64, Vec<(u64, LocalityId)>>,
+}
+
+impl GasLocal {
+    /// Fresh per-locality state.
+    pub fn new(cfg: GasConfig) -> GasLocal {
+        GasLocal {
+            cache: OwnerCache::new(cfg.cache_capacity),
+            cfg,
+            btt: Btt::new(),
+            dir: Directory::new(),
+            heat: HashMap::new(),
+            put_latency: netsim::LogHistogram::new(),
+            get_latency: netsim::LogHistogram::new(),
+            stats: GasStats::default(),
+            pending: HashMap::new(),
+            next_op: 0,
+            next_seq: HashMap::new(),
+            moving: HashMap::new(),
+            pending_installs: HashMap::new(),
+            deferred_migs: HashMap::new(),
+            deferred_frees: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn alloc_op(&mut self) -> u64 {
+        let op = self.next_op;
+        self.next_op += 1;
+        op
+    }
+
+    pub(crate) fn alloc_seq(&mut self, class: u8) -> u64 {
+        let s = self.next_seq.entry(class).or_insert(0);
+        let out = *s;
+        *s += 1;
+        out
+    }
+
+    /// Outstanding initiator-side operations.
+    pub fn outstanding_ops(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// The contract between the GAS and the world embedding it.
+///
+/// The world routes `Packet::User` payloads that decode to [`GasMsg`] into
+/// [`ops::handle_msg`], and forwards its [`PhotonWorld`] PWC callbacks to
+/// [`ops::on_pwc_complete`] / [`ops::on_pwc_failed`] (the GAS is the only
+/// issuer of PWC operations).
+pub trait GasWorld: PhotonWorld {
+    /// Per-locality GAS state.
+    fn gas(&mut self, loc: LocalityId) -> &mut GasLocal;
+    /// Shared access to per-locality GAS state (diagnostics/checkers).
+    fn gas_ref(&self, loc: LocalityId) -> &GasLocal;
+    /// The active GAS mode (uniform across the cluster).
+    fn gas_mode(&self) -> GasMode;
+    /// The replicated PGAS physical-placement registry.
+    fn pgas(&mut self) -> &mut PgasMap;
+    /// The locality's CPU worker pool (shared with the runtime scheduler,
+    /// so GAS software handlers and application actions contend for the
+    /// same cores — the effect the network-managed design eliminates).
+    fn cpu(&mut self, loc: LocalityId) -> &mut ServerPool;
+    /// Embed a GAS protocol message into the world's wire enum.
+    fn wrap_gas(msg: GasMsg) -> Self::Msg;
+
+    /// A memput completed.
+    fn gas_put_done(eng: &mut Engine<Self>, loc: LocalityId, ctx: u64);
+    /// A memget completed with its data.
+    fn gas_get_done(eng: &mut Engine<Self>, loc: LocalityId, ctx: u64, data: Vec<u8>);
+    /// A migration requested with context `ctx` fully committed.
+    fn gas_migrate_done(eng: &mut Engine<Self>, loc: LocalityId, ctx: u64, block: u64);
+    /// A runtime free requested with context `ctx` fully committed.
+    fn gas_free_done(eng: &mut Engine<Self>, loc: LocalityId, ctx: u64, block: u64);
+}

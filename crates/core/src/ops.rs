@@ -1,0 +1,805 @@
+//! The GAS operation state machines: memput, memget, routing, pinning, and
+//! the protocol handlers.
+//!
+//! Every operation follows the same skeleton — resolve a target, take the
+//! mode's fast path, recover through the home directory when the fast path
+//! bounces — but the fast paths differ structurally, and that difference is
+//! the paper:
+//!
+//! * **PGAS** — the initiator *computes* the physical placement (home from
+//!   the address bits, physical base from the replicated allocation map)
+//!   and issues plain RDMA. No translation state anywhere; no mobility.
+//! * **AGAS-SW** — the initiator sends a two-sided [`GasMsg::SwPut`] /
+//!   [`GasMsg::SwGet`] parcel; the owner's **CPU** translates through its
+//!   BTT, performs the copy, and replies. Every byte of remote access
+//!   consumes target cores.
+//! * **AGAS-NET** — the initiator issues RDMA on the *virtual* block key;
+//!   the owner's **NIC** translates. The target CPU is never involved; a
+//!   stale target answers with a NACK (or NIC-forwards), and the initiator
+//!   re-resolves through the home and retries.
+
+use crate::gva::Gva;
+use crate::{GasMode, GasMsg, GasWorld, OpPayload, OwnerHint, PendingOp};
+use netsim::{send_user, Engine, LocalityId, NackReason, OpKind, PhysAddr, RdmaTarget, Time};
+use photon::{pwc_get, pwc_put};
+
+fn copy_time(per_byte_ps: u64, len: usize) -> Time {
+    Time::from_ps(len as u64 * per_byte_ps)
+}
+
+/// Record an operation's completion latency (nanosecond samples).
+fn record_latency<S: GasWorld>(
+    eng: &mut Engine<S>,
+    loc: LocalityId,
+    p: &PendingOp,
+    done: Time,
+) {
+    let ns = done.saturating_sub(p.issued).as_ns();
+    let g = eng.state.gas(loc);
+    match p.payload {
+        OpPayload::Put { .. } => g.put_latency.record(ns),
+        OpPayload::Get { .. } => g.get_latency.record(ns),
+    }
+}
+
+fn scratch_class(len: u32) -> u8 {
+    let needed = len.max(8);
+    (u32::BITS - (needed - 1).leading_zeros()) as u8
+}
+
+/// Write `data` to the global address `gva`. Completion arrives via
+/// [`GasWorld::gas_put_done`] with `ctx`. The write must stay within one
+/// block (use [`crate::GlobalArray::chunks`] to split larger ranges).
+pub fn memput<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, gva: Gva, data: Vec<u8>, ctx: u64) {
+    assert!(
+        gva.offset() + data.len() as u64 <= gva.block_size(),
+        "memput crosses a block boundary"
+    );
+    assert!(!data.is_empty(), "empty memput");
+    let now = eng.now();
+    let g = eng.state.gas(loc);
+    g.stats.puts += 1;
+    let op = g.alloc_op();
+    g.pending.insert(
+        op,
+        PendingOp {
+            payload: OpPayload::Put { data },
+            gva,
+            ctx,
+            attempts: 0,
+            issued: now,
+            force_sw: false,
+        },
+    );
+    issue(eng, loc, op);
+}
+
+/// Read `len` bytes from the global address `gva`. Completion (with the
+/// data) arrives via [`GasWorld::gas_get_done`] with `ctx`.
+pub fn memget<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, gva: Gva, len: u32, ctx: u64) {
+    assert!(
+        gva.offset() + len as u64 <= gva.block_size(),
+        "memget crosses a block boundary"
+    );
+    assert!(len > 0, "empty memget");
+    let now = eng.now();
+    let g = eng.state.gas(loc);
+    g.stats.gets += 1;
+    let op = g.alloc_op();
+    g.pending.insert(
+        op,
+        PendingOp {
+            payload: OpPayload::Get { len, scratch: None },
+            gva,
+            ctx,
+            attempts: 0,
+            issued: now,
+            force_sw: false,
+        },
+    );
+    issue(eng, loc, op);
+}
+
+/// (Re-)issue a pending operation along the active mode's fast path.
+fn issue<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, op: u64) {
+    let mode = eng.state.gas_mode();
+    let (gva, is_put) = {
+        let g = eng.state.gas(loc);
+        let p = g.pending.get(&op).expect("issue of unknown op");
+        (p.gva, matches!(p.payload, OpPayload::Put { .. }))
+    };
+    let block = gva.block_key();
+    let home = gva.home();
+
+    match mode {
+        GasMode::Pgas => {
+            if home == loc {
+                commit_local(eng, loc, op);
+            } else {
+                let base = *eng
+                    .state
+                    .pgas()
+                    .get(&block)
+                    .expect("PGAS op on unallocated block");
+                let target = RdmaTarget::Phys(base + gva.offset());
+                eng.state.gas(loc).stats.remote_ops += 1;
+                issue_rdma(eng, loc, op, home, target, is_put);
+            }
+        }
+        GasMode::AgasNetwork => {
+            if eng.state.gas(loc).btt.is_resident(block) {
+                commit_local(eng, loc, op);
+            } else {
+                let target_loc = hint_owner(eng, loc, block, home);
+                let force_sw = eng.state.gas(loc).pending.get(&op).unwrap().force_sw;
+                if force_sw {
+                    if target_loc == loc {
+                        bounce(eng, loc, op, block);
+                        return;
+                    }
+                    eng.state.gas(loc).stats.remote_ops += 1;
+                    issue_sw(eng, loc, op, gva, target_loc);
+                } else {
+                    let target = RdmaTarget::Virt {
+                        block,
+                        offset: gva.offset(),
+                    };
+                    eng.state.gas(loc).stats.remote_ops += 1;
+                    issue_rdma(eng, loc, op, target_loc, target, is_put);
+                }
+            }
+        }
+        GasMode::AgasSoftware => {
+            if eng.state.gas(loc).btt.is_resident(block) {
+                commit_local(eng, loc, op);
+            } else {
+                let target_loc = hint_owner(eng, loc, block, home);
+                if target_loc == loc {
+                    // A hint naming ourselves while the block is absent is
+                    // stale by construction; re-resolve.
+                    bounce(eng, loc, op, block);
+                    return;
+                }
+                eng.state.gas(loc).stats.remote_ops += 1;
+                issue_sw(eng, loc, op, gva, target_loc);
+            }
+        }
+    }
+}
+
+/// Issue the software (two-sided) remote access toward `target_loc`.
+fn issue_sw<S: GasWorld>(
+    eng: &mut Engine<S>,
+    loc: LocalityId,
+    op: u64,
+    gva: Gva,
+    target_loc: LocalityId,
+) {
+    let block = gva.block_key();
+    let (msg, wire) = {
+        let g = eng.state.gas(loc);
+        let p = g.pending.get(&op).unwrap();
+        match &p.payload {
+            OpPayload::Put { data } => (
+                GasMsg::SwPut {
+                    block,
+                    offset: gva.offset(),
+                    data: data.clone(),
+                    ctx: op,
+                    reply_to: loc,
+                },
+                data.len() as u32,
+            ),
+            OpPayload::Get { len, .. } => (
+                GasMsg::SwGet {
+                    block,
+                    offset: gva.offset(),
+                    len: *len,
+                    ctx: op,
+                    reply_to: loc,
+                },
+                eng.state.cluster_ref().config.ctrl_bytes,
+            ),
+        }
+    };
+    send_user(eng, loc, target_loc, wire, S::wrap_gas(msg));
+}
+
+fn hint_owner<S: GasWorld>(
+    eng: &mut Engine<S>,
+    loc: LocalityId,
+    block: u64,
+    home: LocalityId,
+) -> LocalityId {
+    eng.state
+        .gas(loc)
+        .cache
+        .lookup(block)
+        .map(|h| h.owner)
+        .unwrap_or(home)
+}
+
+fn issue_rdma<S: GasWorld>(
+    eng: &mut Engine<S>,
+    loc: LocalityId,
+    op: u64,
+    target_loc: LocalityId,
+    target: RdmaTarget,
+    is_put: bool,
+) {
+    if is_put {
+        let data = {
+            let g = eng.state.gas(loc);
+            match &g.pending.get(&op).unwrap().payload {
+                OpPayload::Put { data } => data.clone(),
+                OpPayload::Get { .. } => unreachable!(),
+            }
+        };
+        pwc_put(eng, loc, target_loc, target, data, op, None, None);
+    } else {
+        // Ensure a scratch landing buffer exists (reused across retries).
+        let (len, scratch) = {
+            let g = eng.state.gas(loc);
+            match &g.pending.get(&op).unwrap().payload {
+                OpPayload::Get { len, scratch } => (*len, *scratch),
+                OpPayload::Put { .. } => unreachable!(),
+            }
+        };
+        let (addr, class) = match scratch {
+            Some(s) => s,
+            None => {
+                let class = scratch_class(len);
+                let addr = eng
+                    .state
+                    .cluster()
+                    .mem_mut(loc)
+                    .alloc_block(class)
+                    .expect("scratch allocation failed");
+                let g = eng.state.gas(loc);
+                if let OpPayload::Get { scratch, .. } = &mut g.pending.get_mut(&op).unwrap().payload
+                {
+                    *scratch = Some((addr, class));
+                }
+                (addr, class)
+            }
+        };
+        let _ = class;
+        // Scratch buffers come from the runtime's pre-registered pool.
+        pwc_get(eng, loc, target_loc, target, len, addr, op, None);
+    }
+}
+
+/// Commit an operation against locally resident storage.
+fn commit_local<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, op: u64) {
+    let mode = eng.state.gas_mode();
+    let (gva, len, per_byte) = {
+        let g = eng.state.gas(loc);
+        let p = g.pending.get(&op).unwrap();
+        let len = match &p.payload {
+            OpPayload::Put { data } => data.len(),
+            OpPayload::Get { len, .. } => *len as usize,
+        };
+        (p.gva, len, g.cfg.copy_per_byte_ps)
+    };
+    let block = gva.block_key();
+    let base = match mode {
+        GasMode::Pgas => *eng.state.pgas().get(&block).expect("PGAS local op on unknown block"),
+        _ => {
+            eng.state
+                .gas(loc)
+                .btt
+                .lookup(block)
+                .expect("local commit without residency")
+                .base
+        }
+    };
+    let phys = base + gva.offset();
+    let g = eng.state.gas(loc);
+    g.stats.local_ops += 1;
+    let delay = g.cfg.local_op + copy_time(per_byte, len);
+    // Perform the memory effect now (deterministic), deliver the callback
+    // after the modeled local latency.
+    let now = eng.now();
+    let p = eng.state.gas(loc).pending.remove(&op).unwrap();
+    record_latency(eng, loc, &p, now + delay);
+    match p.payload {
+        OpPayload::Put { data } => {
+            eng.state
+                .cluster()
+                .mem_mut(loc)
+                .write(phys, &data)
+                .expect("local memput out of bounds");
+            let ctx = p.ctx;
+            eng.schedule(delay, move |eng| S::gas_put_done(eng, loc, ctx));
+        }
+        OpPayload::Get { len, scratch } => {
+            if let Some((addr, class)) = scratch {
+                eng.state.cluster().mem_mut(loc).free_block(addr, class);
+            }
+            let data = eng
+                .state
+                .cluster()
+                .mem(loc)
+                .read(phys, len as usize)
+                .expect("local memget out of bounds")
+                .to_vec();
+            let ctx = p.ctx;
+            eng.schedule(delay, move |eng| S::gas_get_done(eng, loc, ctx, data));
+        }
+    }
+}
+
+/// A fast path bounced: invalidate the hint and re-resolve via the home.
+fn bounce<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, op: u64, block: u64) {
+    let home = Gva(block).home();
+    let (max_attempts, give_up) = {
+        let g = eng.state.gas(loc);
+        let Some(p) = g.pending.get_mut(&op) else {
+            return; // completed concurrently; nothing to retry
+        };
+        p.attempts += 1;
+        g.stats.retries += 1;
+        g.cache.invalidate(block);
+        g.stats.dir_queries += 1;
+        if !p.force_sw && p.attempts >= 3 {
+            // Persistent NIC-table misses (capacity thrash): degrade to the
+            // software path, which cannot miss at the true owner.
+            p.force_sw = true;
+            g.stats.sw_fallbacks += 1;
+        }
+        (g.cfg.max_attempts, p.attempts > g.cfg.max_attempts)
+    };
+    assert!(
+        !give_up,
+        "GAS op on block {block:#x} exceeded {max_attempts} retries (livelock?)"
+    );
+    let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
+    send_user(
+        eng,
+        loc,
+        home,
+        ctrl,
+        S::wrap_gas(GasMsg::DirQuery {
+            block,
+            ctx: op,
+            reply_to: loc,
+        }),
+    );
+}
+
+// ---------------------------------------------------------------- PWC glue
+
+/// Route a [`photon::PhotonWorld::pwc_complete`] callback here.
+pub fn on_pwc_complete<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, ctx: u64) {
+    let p = eng
+        .state
+        .gas(loc)
+        .pending
+        .remove(&ctx)
+        .expect("PWC completion for unknown GAS op");
+    let now = eng.now();
+    record_latency(eng, loc, &p, now);
+    match p.payload {
+        OpPayload::Put { .. } => S::gas_put_done(eng, loc, p.ctx),
+        OpPayload::Get { len, scratch } => {
+            let (addr, class) = scratch.expect("get completed without scratch");
+            let data = eng
+                .state
+                .cluster()
+                .mem(loc)
+                .read(addr, len as usize)
+                .expect("scratch vanished")
+                .to_vec();
+            eng.state.cluster().mem_mut(loc).free_block(addr, class);
+            S::gas_get_done(eng, loc, p.ctx, data);
+        }
+    }
+}
+
+/// Route a [`photon::PhotonWorld::xlate_miss_local`] callback here: the
+/// local NIC missed its table for an incoming one-sided operation. If the
+/// block is in fact resident (the entry was evicted under capacity
+/// pressure), software reinstalls it — the hardware analogue of a TLB miss
+/// handler. The bounced initiator's retry then hits.
+pub fn on_xlate_miss<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, block: u64) {
+    if eng.state.gas_mode() != GasMode::AgasNetwork {
+        return;
+    }
+    let Some(entry) = eng.state.gas(loc).btt.lookup(block).copied() else {
+        return; // genuinely absent (migrated away / freed): nothing to do
+    };
+    if !eng.state.gas(loc).btt.is_resident(block) {
+        return; // mid-migration: the forwarding tombstone is authoritative
+    }
+    // Reinstalling is a software interrupt: charge the CPU briefly.
+    let service = eng.state.gas(loc).cfg.dir_lookup;
+    let now = eng.now();
+    let (_, finish) = eng.state.cpu(loc).admit(now, service);
+    eng.state.cluster().loc_mut(loc).counters.cpu_busy += service;
+    eng.schedule_at(finish, move |eng| {
+        // Re-check: the block may have started moving while queued.
+        if !eng.state.gas(loc).btt.is_resident(block) {
+            return;
+        }
+        eng.state.cluster().install_xlate(
+            loc,
+            block,
+            netsim::XlateEntry {
+                base: entry.base,
+                len: 1u64 << entry.class,
+                generation: entry.generation,
+            },
+        );
+    });
+}
+
+/// Route a [`photon::PhotonWorld::pwc_failed`] callback here.
+pub fn on_pwc_failed<S: GasWorld>(
+    eng: &mut Engine<S>,
+    loc: LocalityId,
+    ctx: u64,
+    _kind: OpKind,
+    reason: NackReason,
+    block: u64,
+) {
+    debug_assert!(
+        matches!(reason, NackReason::Miss | NackReason::TtlExceeded),
+        "unexpected GAS NACK reason {reason:?}"
+    );
+    bounce(eng, loc, ctx, block);
+}
+
+// ---------------------------------------------------------------- handlers
+
+/// Handle a [`GasMsg`] delivered to `at` from `from`. The world's
+/// [`netsim::Protocol::deliver`] routes GAS-decoding `User` packets here.
+pub fn handle_msg<S: GasWorld>(eng: &mut Engine<S>, from: LocalityId, at: LocalityId, msg: GasMsg) {
+    match msg {
+        GasMsg::SwPut { .. } | GasMsg::SwGet { .. } => handle_sw_access(eng, at, msg),
+        GasMsg::SwPutAck { ctx } => {
+            let p = eng
+                .state
+                .gas(at)
+                .pending
+                .remove(&ctx)
+                .expect("SwPutAck for unknown op");
+            let now = eng.now();
+            record_latency(eng, at, &p, now);
+            S::gas_put_done(eng, at, p.ctx);
+        }
+        GasMsg::SwGetReply { ctx, data } => {
+            let p = eng
+                .state
+                .gas(at)
+                .pending
+                .remove(&ctx)
+                .expect("SwGetReply for unknown op");
+            let now = eng.now();
+            record_latency(eng, at, &p, now);
+            S::gas_get_done(eng, at, p.ctx, data);
+        }
+        GasMsg::SwRetry { ctx, block } => bounce(eng, at, ctx, block),
+        GasMsg::DirQuery {
+            block,
+            ctx,
+            reply_to,
+        } => {
+            // Directory lookups are software: they occupy the home's CPU.
+            let service = eng.state.gas(at).cfg.dir_lookup;
+            let now = eng.now();
+            let (_, finish) = eng.state.cpu(at).admit(now, service);
+            {
+                let l = eng.state.cluster().loc_mut(at);
+                l.counters.cpu_busy += service;
+                l.counters.dir_lookups += 1;
+            }
+            eng.schedule_at(finish, move |eng| {
+                let rec = eng.state.gas(at).dir.lookup(block);
+                let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
+                send_user(
+                    eng,
+                    at,
+                    reply_to,
+                    ctrl,
+                    S::wrap_gas(GasMsg::DirReply {
+                        block,
+                        owner: rec.owner,
+                        generation: rec.generation,
+                        ctx,
+                    }),
+                );
+            });
+        }
+        GasMsg::DirReply {
+            block,
+            owner,
+            generation,
+            ctx,
+        } => {
+            let g = eng.state.gas(at);
+            g.cache.update(block, OwnerHint { owner, generation });
+            if let Some(p) = g.pending.get(&ctx) {
+                let backoff = g.cfg.retry_backoff * p.attempts as u64;
+                eng.schedule(backoff, move |eng| {
+                    if eng.state.gas(at).pending.contains_key(&ctx) {
+                        issue(eng, at, ctx);
+                    }
+                });
+            }
+        }
+        GasMsg::DirUpdate {
+            block,
+            owner,
+            generation,
+            reply_to,
+        } => {
+            let service = eng.state.gas(at).cfg.dir_lookup;
+            let now = eng.now();
+            let (_, finish) = eng.state.cpu(at).admit(now, service);
+            {
+                let l = eng.state.cluster().loc_mut(at);
+                l.counters.cpu_busy += service;
+                l.counters.dir_lookups += 1;
+            }
+            eng.schedule_at(finish, move |eng| {
+                eng.state.gas(at).dir.update(
+                    block,
+                    crate::OwnerRec {
+                        owner,
+                        generation,
+                    },
+                );
+                let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
+                send_user(
+                    eng,
+                    at,
+                    reply_to,
+                    ctrl,
+                    S::wrap_gas(GasMsg::DirUpdateAck { block }),
+                );
+            });
+        }
+        GasMsg::DirUpdateAck { block } => crate::migrate::on_dir_update_ack(eng, at, block),
+        GasMsg::MigRequest {
+            block,
+            dst,
+            ctx,
+            reply_to,
+            hops,
+        } => crate::migrate::on_mig_request(eng, at, block, dst, ctx, reply_to, hops),
+        GasMsg::MigData {
+            block,
+            class,
+            generation,
+            data,
+            src,
+            ctx,
+            reply_to,
+        } => crate::migrate::on_mig_data(eng, at, block, class, generation, data, src, ctx, reply_to),
+        GasMsg::MigAck { block } => crate::migrate::on_mig_ack(eng, at, block),
+        GasMsg::MigDone { ctx, block } => {
+            eng.state.gas(at).stats.migrations_done += 1;
+            S::gas_migrate_done(eng, at, ctx, block);
+        }
+        GasMsg::FreeRequest {
+            block,
+            ctx,
+            reply_to,
+            hops,
+        } => crate::migrate::on_free_request(eng, at, block, ctx, reply_to, hops),
+        GasMsg::DirUnregister {
+            block,
+            ctx,
+            reply_to,
+        } => crate::migrate::on_dir_unregister(eng, at, block, ctx, reply_to),
+        GasMsg::FreeDone { ctx, block } => S::gas_free_done(eng, at, ctx, block),
+    }
+    let _ = from;
+}
+
+/// Software-AGAS remote access at the (believed) owner: queue if the block
+/// is mid-migration, otherwise charge the CPU and run the handler.
+fn handle_sw_access<S: GasWorld>(eng: &mut Engine<S>, at: LocalityId, msg: GasMsg) {
+    let (block, data_len) = match &msg {
+        GasMsg::SwPut { block, data, .. } => (*block, data.len()),
+        GasMsg::SwGet { block, len, .. } => (*block, *len as usize),
+        _ => unreachable!(),
+    };
+    // Mid-migration: park the access; it is re-sent to the new owner on
+    // MigAck (the initiator never notices).
+    if let Some(ms) = eng.state.gas(at).moving.get_mut(&block) {
+        ms.queued.push(msg);
+        return;
+    }
+    let (service, per_byte) = {
+        let g = eng.state.gas(at);
+        (g.cfg.sw_handler, g.cfg.copy_per_byte_ps)
+    };
+    let service = service + copy_time(per_byte, data_len);
+    {
+        let g = eng.state.gas(at);
+        *g.heat.entry(block).or_insert(0) += 1;
+    }
+    let now = eng.now();
+    let (_, finish) = eng.state.cpu(at).admit(now, service);
+    {
+        let l = eng.state.cluster().loc_mut(at);
+        l.counters.cpu_busy += service;
+        l.counters.sw_handler_runs += 1;
+    }
+    eng.schedule_at(finish, move |eng| run_sw_access(eng, at, msg));
+}
+
+fn run_sw_access<S: GasWorld>(eng: &mut Engine<S>, at: LocalityId, msg: GasMsg) {
+    let block = match &msg {
+        GasMsg::SwPut { block, .. } | GasMsg::SwGet { block, .. } => *block,
+        _ => unreachable!(),
+    };
+    // Re-check residency at execution time: a migration may have started
+    // while the handler sat in the CPU queue.
+    if let Some(ms) = eng.state.gas(at).moving.get_mut(&block) {
+        ms.queued.push(msg);
+        return;
+    }
+    let entry = eng.state.gas(at).btt.lookup(block).copied();
+    let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
+    match msg {
+        GasMsg::SwPut {
+            offset,
+            data,
+            ctx,
+            reply_to,
+            ..
+        } => match entry {
+            Some(e) => {
+                assert!(
+                    offset + data.len() as u64 <= 1u64 << e.class,
+                    "software put out of block bounds"
+                );
+                eng.state
+                    .cluster()
+                    .mem_mut(at)
+                    .write(e.base + offset, &data)
+                    .expect("BTT entry points outside arena");
+                eng.state.gas(at).stats.sw_puts_handled += 1;
+                send_user(eng, at, reply_to, ctrl, S::wrap_gas(GasMsg::SwPutAck { ctx }));
+            }
+            None => {
+                send_user(
+                    eng,
+                    at,
+                    reply_to,
+                    ctrl,
+                    S::wrap_gas(GasMsg::SwRetry { ctx, block }),
+                );
+            }
+        },
+        GasMsg::SwGet {
+            offset,
+            len,
+            ctx,
+            reply_to,
+            ..
+        } => match entry {
+            Some(e) => {
+                assert!(
+                    offset + len as u64 <= 1u64 << e.class,
+                    "software get out of block bounds"
+                );
+                let data = eng
+                    .state
+                    .cluster()
+                    .mem(at)
+                    .read(e.base + offset, len as usize)
+                    .expect("BTT entry points outside arena")
+                    .to_vec();
+                eng.state.gas(at).stats.sw_gets_handled += 1;
+                send_user(
+                    eng,
+                    at,
+                    reply_to,
+                    len,
+                    S::wrap_gas(GasMsg::SwGetReply { ctx, data }),
+                );
+            }
+            None => {
+                send_user(
+                    eng,
+                    at,
+                    reply_to,
+                    ctrl,
+                    S::wrap_gas(GasMsg::SwRetry { ctx, block }),
+                );
+            }
+        },
+        _ => unreachable!(),
+    }
+}
+
+// ---------------------------------------------------------------- routing & pinning
+
+/// Where a parcel targeting `gva` should go, as seen from `loc`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Route {
+    /// The block is resident here: execute locally against this physical
+    /// base (block base, not offset-adjusted).
+    Local {
+        /// Physical base of the block.
+        base: PhysAddr,
+        /// Size class.
+        class: u8,
+    },
+    /// Send/forward toward this locality.
+    Forward(LocalityId),
+}
+
+/// Resolve the parcel route for `gva` at `loc`. Message-driven runtimes
+/// *forward* parcels toward data rather than keeping initiator state: a
+/// stale step costs an extra hop, never a lost parcel.
+pub fn route<S: GasWorld>(world: &mut S, loc: LocalityId, gva: Gva) -> Route {
+    let block = gva.block_key();
+    let home = gva.home();
+    match world.gas_mode() {
+        GasMode::Pgas => {
+            if home == loc {
+                let base = *world.pgas().get(&block).expect("route on unallocated block");
+                Route::Local {
+                    base,
+                    class: gva.class(),
+                }
+            } else {
+                Route::Forward(home)
+            }
+        }
+        GasMode::AgasSoftware | GasMode::AgasNetwork => {
+            let g = world.gas(loc);
+            if let Some(e) = g.btt.lookup(block) {
+                match e.state {
+                    crate::BlockState::Resident => Route::Local {
+                        base: e.base,
+                        class: e.class,
+                    },
+                    crate::BlockState::Moving => {
+                        let dst = g.moving.get(&block).map(|m| m.dst).unwrap_or(home);
+                        Route::Forward(dst)
+                    }
+                }
+            } else if home == loc {
+                // We are the authority: route to the directory's owner.
+                Route::Forward(g.dir.lookup(block).owner)
+            } else if let Some(h) = g.cache.lookup(block) {
+                Route::Forward(h.owner)
+            } else {
+                Route::Forward(home)
+            }
+        }
+    }
+}
+
+/// Pin `gva`'s block for a local handler. Returns the physical base and
+/// class, or `None` if the block is not executable here (caller re-routes).
+pub fn pin<S: GasWorld>(world: &mut S, loc: LocalityId, gva: Gva) -> Option<(PhysAddr, u8)> {
+    let block = gva.block_key();
+    match world.gas_mode() {
+        GasMode::Pgas => {
+            if gva.home() == loc {
+                Some((*world.pgas().get(&block)?, gva.class()))
+            } else {
+                None
+            }
+        }
+        _ => world.gas(loc).btt.pin(block).map(|e| (e.base, e.class)),
+    }
+}
+
+/// Release a pin taken with [`pin`]; may start a deferred migration.
+pub fn unpin<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, gva: Gva) {
+    let block = gva.block_key();
+    if eng.state.gas_mode() == GasMode::Pgas {
+        return;
+    }
+    let pins = eng.state.gas(loc).btt.unpin(block);
+    if pins == 0 {
+        crate::migrate::retry_deferred(eng, loc, block);
+    }
+}

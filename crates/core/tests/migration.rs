@@ -1,0 +1,230 @@
+//! Protocol-level tests of block migration, including races with in-flight
+//! traffic — the scenario the NIC forwarding tombstones exist for.
+
+mod common;
+
+use agas::migrate::migrate_block;
+use agas::ops::{memget, memput, pin, unpin};
+use agas::{alloc_array, Distribution, GasMode};
+use common::{assert_consistent, engine, Ev, World};
+use netsim::{Engine, NetConfig};
+
+fn mig_done(eng: &Engine<World>, ctx: u64) -> bool {
+    eng.state
+        .events
+        .iter()
+        .any(|(_, _, e)| matches!(e, Ev::MigDone(c, _) if *c == ctx))
+}
+
+fn get_data(eng: &Engine<World>, ctx: u64) -> Option<Vec<u8>> {
+    eng.state.events.iter().find_map(|(_, _, e)| match e {
+        Ev::GetDone(c, d) if *c == ctx => Some(d.clone()),
+        _ => None,
+    })
+}
+
+#[test]
+fn migration_preserves_data_and_consistency() {
+    for mode in [GasMode::AgasSoftware, GasMode::AgasNetwork] {
+        let mut eng = engine(4, mode);
+        let arr = alloc_array(&mut eng, 4, 12, Distribution::Cyclic);
+        let gva = arr.block(1); // homed/owned at 1
+        memput(&mut eng, 0, gva, vec![0xAB; 4096], 1);
+        eng.run();
+        migrate_block(&mut eng, 0, gva, 3, 2);
+        eng.run();
+        assert!(mig_done(&eng, 2), "{mode:?}");
+        // New owner is 3; directory agrees; data intact.
+        assert!(eng.state.gas[3].btt.is_resident(gva.block_key()), "{mode:?}");
+        assert!(!eng.state.gas[1].btt.is_resident(gva.block_key()), "{mode:?}");
+        assert_consistent(&eng, &arr.blocks);
+        memget(&mut eng, 2, gva, 4096, 3);
+        eng.run();
+        assert_eq!(get_data(&eng, 3).unwrap(), vec![0xAB; 4096], "{mode:?}");
+    }
+}
+
+#[test]
+fn migration_bumps_generation() {
+    let mut eng = engine(3, GasMode::AgasNetwork);
+    let arr = alloc_array(&mut eng, 3, 10, Distribution::Cyclic);
+    let gva = arr.block(0);
+    migrate_block(&mut eng, 0, gva, 1, 1);
+    eng.run();
+    migrate_block(&mut eng, 0, gva, 2, 2);
+    eng.run();
+    migrate_block(&mut eng, 0, gva, 0, 3);
+    eng.run();
+    assert!(mig_done(&eng, 1) && mig_done(&eng, 2) && mig_done(&eng, 3));
+    let e = eng.state.gas[0].btt.lookup(gva.block_key()).unwrap();
+    assert_eq!(e.generation, 4); // 1 + three migrations
+    assert_consistent(&eng, &arr.blocks);
+}
+
+#[test]
+fn migrate_to_current_owner_is_trivial() {
+    let mut eng = engine(3, GasMode::AgasNetwork);
+    let arr = alloc_array(&mut eng, 3, 10, Distribution::Cyclic);
+    migrate_block(&mut eng, 0, arr.block(1), 1, 9);
+    eng.run();
+    assert!(mig_done(&eng, 9));
+    assert!(eng.state.gas[1].btt.is_resident(arr.block(1).block_key()));
+    assert_eq!(eng.state.cluster.total_counters().migrations_out, 0);
+}
+
+#[test]
+fn puts_racing_migration_are_applied_exactly_once() {
+    for mode in [GasMode::AgasSoftware, GasMode::AgasNetwork] {
+        let mut eng = engine(4, mode);
+        let arr = alloc_array(&mut eng, 2, 14, Distribution::Cyclic); // 16 KiB blocks
+        let gva = arr.block(1);
+        // Launch 64 puts to distinct offsets and a migration mid-stream.
+        for i in 0..32u64 {
+            memput(&mut eng, 0, gva.with_offset(i * 64), vec![(i + 1) as u8; 64], i);
+        }
+        migrate_block(&mut eng, 2, gva, 3, 1000);
+        for i in 32..64u64 {
+            memput(&mut eng, 0, gva.with_offset(i * 64), vec![(i + 1) as u8; 64], i);
+        }
+        eng.run();
+        assert!(mig_done(&eng, 1000), "{mode:?}");
+        let puts_done = eng
+            .state
+            .events
+            .iter()
+            .filter(|(_, _, e)| matches!(e, Ev::PutDone(_)))
+            .count();
+        assert_eq!(puts_done, 64, "{mode:?}: lost put completions");
+        // Every offset readable with its value at the new owner.
+        for i in 0..64u64 {
+            memget(&mut eng, 1, gva.with_offset(i * 64), 64, 2000 + i);
+            eng.run();
+            assert_eq!(
+                get_data(&eng, 2000 + i).unwrap(),
+                vec![(i + 1) as u8; 64],
+                "{mode:?}: offset {i} corrupted"
+            );
+        }
+        assert_consistent(&eng, &arr.blocks);
+    }
+}
+
+#[test]
+fn nic_forwarding_rescues_in_flight_puts() {
+    // NET mode: verify the forwarding tombstone actually fires during the
+    // migration window.
+    let mut eng = engine(4, GasMode::AgasNetwork);
+    let arr = alloc_array(&mut eng, 2, 20, Distribution::Cyclic); // 1 MiB block: long handoff
+    let gva = arr.block(1);
+    migrate_block(&mut eng, 1, gva, 2, 1);
+    // While MigData is in flight, hit the old owner.
+    for i in 0..8u64 {
+        memput(&mut eng, 0, gva.with_offset(i * 8), vec![i as u8 + 1; 8], 10 + i);
+    }
+    eng.run();
+    assert!(mig_done(&eng, 1));
+    let total = eng.state.cluster.total_counters();
+    assert!(
+        total.xlate_forwards > 0 || total.nacks_sent > 0,
+        "migration window never exercised"
+    );
+    for i in 0..8u64 {
+        memget(&mut eng, 3, gva.with_offset(i * 8), 8, 100 + i);
+        eng.run();
+        assert_eq!(get_data(&eng, 100 + i).unwrap(), vec![i as u8 + 1; 8]);
+    }
+}
+
+#[test]
+fn forwarding_disabled_still_converges_via_home() {
+    // Ablation A3: NACK-only recovery.
+    let net = NetConfig {
+        nic_forwarding: false,
+        ..NetConfig::ideal()
+    };
+    let mut eng = Engine::new(World::new(4, GasMode::AgasNetwork, net), 42);
+    let arr = alloc_array(&mut eng, 2, 20, Distribution::Cyclic);
+    let gva = arr.block(1);
+    migrate_block(&mut eng, 1, gva, 2, 1);
+    for i in 0..8u64 {
+        memput(&mut eng, 0, gva.with_offset(i * 8), vec![i as u8 + 1; 8], 10 + i);
+    }
+    eng.run();
+    assert!(mig_done(&eng, 1));
+    let total = eng.state.cluster.total_counters();
+    assert_eq!(total.xlate_forwards, 0);
+    for i in 0..8u64 {
+        memget(&mut eng, 3, gva.with_offset(i * 8), 8, 100 + i);
+        eng.run();
+        assert_eq!(get_data(&eng, 100 + i).unwrap(), vec![i as u8 + 1; 8]);
+    }
+}
+
+#[test]
+fn pinned_block_defers_migration_until_unpin() {
+    let mut eng = engine(3, GasMode::AgasNetwork);
+    let arr = alloc_array(&mut eng, 3, 10, Distribution::Cyclic);
+    let gva = arr.block(1);
+    // Pin at the owner (as an executing handler would).
+    assert!(pin(&mut eng.state, 1, gva).is_some());
+    migrate_block(&mut eng, 0, gva, 2, 7);
+    eng.run();
+    assert!(!mig_done(&eng, 7), "migration must wait for the pin");
+    assert!(eng.state.gas[1].btt.is_resident(gva.block_key()));
+    unpin(&mut eng, 1, gva);
+    eng.run();
+    assert!(mig_done(&eng, 7));
+    assert!(eng.state.gas[2].btt.is_resident(gva.block_key()));
+    assert_consistent(&eng, &arr.blocks);
+}
+
+#[test]
+fn stale_readers_after_migration_recover() {
+    for mode in [GasMode::AgasSoftware, GasMode::AgasNetwork] {
+        let mut eng = engine(4, mode);
+        let arr = alloc_array(&mut eng, 4, 12, Distribution::Cyclic);
+        let gva = arr.block(2);
+        memput(&mut eng, 0, gva, vec![0x5A; 128], 1);
+        eng.run();
+        // Locality 0 now caches owner=2. Migrate to 3 behind its back.
+        migrate_block(&mut eng, 1, gva, 3, 2);
+        eng.run();
+        // The stale cache entry forces a bounce + directory re-resolve.
+        memget(&mut eng, 0, gva, 128, 3);
+        eng.run();
+        assert_eq!(get_data(&eng, 3).unwrap(), vec![0x5A; 128], "{mode:?}");
+        assert_consistent(&eng, &arr.blocks);
+    }
+}
+
+#[test]
+fn migration_counters_track_moves() {
+    let mut eng = engine(3, GasMode::AgasSoftware);
+    let arr = alloc_array(&mut eng, 6, 10, Distribution::Cyclic);
+    for (i, gva) in arr.blocks.iter().enumerate() {
+        migrate_block(&mut eng, 0, *gva, ((gva.home() + 1) % 3) as u32, i as u64);
+    }
+    eng.run();
+    let total = eng.state.cluster.total_counters();
+    assert_eq!(total.migrations_out, 6);
+    assert_eq!(total.migrations_in, 6);
+    assert_consistent(&eng, &arr.blocks);
+}
+
+#[test]
+fn concurrent_migrations_of_same_block_serialize() {
+    let mut eng = engine(4, GasMode::AgasNetwork);
+    let arr = alloc_array(&mut eng, 2, 12, Distribution::Cyclic);
+    let gva = arr.block(1);
+    migrate_block(&mut eng, 0, gva, 2, 1);
+    migrate_block(&mut eng, 0, gva, 3, 2);
+    migrate_block(&mut eng, 2, gva, 0, 3);
+    eng.run();
+    assert!(mig_done(&eng, 1) && mig_done(&eng, 2) && mig_done(&eng, 3));
+    assert_consistent(&eng, &arr.blocks);
+    // Exactly one resident copy somewhere.
+    let owners = (0..4)
+        .filter(|&l| eng.state.gas[l as usize].btt.is_resident(gva.block_key()))
+        .count();
+    assert_eq!(owners, 1);
+}

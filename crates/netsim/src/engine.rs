@@ -1,0 +1,345 @@
+//! The discrete-event engine: a virtual clock and an event queue.
+//!
+//! Every behaviour in the simulator — wire transits, NIC DMA completions,
+//! scheduler dispatches — is an *event*: a boxed `FnOnce(&mut Engine<S>)`
+//! executed at a scheduled instant of virtual time. The engine guarantees:
+//!
+//! * **causality** — events run in nondecreasing time order; scheduling in
+//!   the past is a bug and panics in debug builds (clamped in release);
+//! * **determinism** — ties at the same instant break by schedule order
+//!   (a monotone sequence number), so a given seed and program produce an
+//!   identical execution on every run and platform. A running FNV-1a hash of
+//!   `(time, seq)` pairs ([`Engine::trace_hash`]) lets tests assert this.
+
+use crate::rng::Xoshiro256;
+use crate::time::Time;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+type EventFn<S> = Box<dyn FnOnce(&mut Engine<S>)>;
+
+struct Scheduled<S> {
+    time: Time,
+    seq: u64,
+    run: EventFn<S>,
+}
+
+// Order by (time, seq) only; the closure takes no part in ordering.
+impl<S> PartialEq for Scheduled<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<S> Eq for Scheduled<S> {}
+impl<S> PartialOrd for Scheduled<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<S> Ord for Scheduled<S> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// The discrete-event simulation engine, generic over the user state `S`.
+///
+/// `S` holds everything the simulated world contains (localities, NICs,
+/// runtime schedulers, application state); events receive `&mut Engine<S>`
+/// and may read the clock, mutate `state`, and schedule further events.
+///
+/// ```
+/// use netsim::{Engine, Time};
+///
+/// let mut eng = Engine::new(Vec::new(), /*seed*/ 1);
+/// eng.schedule(Time::from_ns(20), |e| e.state.push("second"));
+/// eng.schedule(Time::from_ns(10), |e| {
+///     e.state.push("first");
+///     e.schedule(Time::from_ns(30), |e| e.state.push("third"));
+/// });
+/// eng.run();
+/// assert_eq!(eng.state, ["first", "second", "third"]);
+/// assert_eq!(eng.now(), Time::from_ns(40));
+/// ```
+pub struct Engine<S> {
+    /// The simulated world. Public: events address it directly.
+    pub state: S,
+    now: Time,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<S>>,
+    rng: Xoshiro256,
+    executed: u64,
+    trace_hash: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+impl<S> Engine<S> {
+    /// Create an engine over `state`, seeding the deterministic PRNG.
+    pub fn new(state: S, seed: u64) -> Engine<S> {
+        Engine {
+            state,
+            now: Time::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            rng: Xoshiro256::seed_from_u64(seed),
+            executed: 0,
+            trace_hash: FNV_OFFSET,
+        }
+    }
+
+    /// The current instant of virtual time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    #[inline]
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending.
+    #[inline]
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Running FNV-1a hash over the `(time, seq)` pairs of executed events.
+    ///
+    /// Two runs of the same program with the same seed must produce the same
+    /// hash; the determinism property tests rely on this.
+    #[inline]
+    pub fn trace_hash(&self) -> u64 {
+        self.trace_hash
+    }
+
+    /// The engine's deterministic PRNG.
+    #[inline]
+    pub fn rng(&mut self) -> &mut Xoshiro256 {
+        &mut self.rng
+    }
+
+    /// Schedule `event` to run `delay` after the current instant.
+    pub fn schedule<F>(&mut self, delay: Time, event: F)
+    where
+        F: FnOnce(&mut Engine<S>) + 'static,
+    {
+        let at = self.now + delay;
+        self.schedule_at(at, event);
+    }
+
+    /// Schedule `event` at the absolute instant `at`.
+    ///
+    /// Scheduling in the past violates causality: debug builds panic,
+    /// release builds clamp to `now`.
+    pub fn schedule_at<F>(&mut self, at: Time, event: F)
+    where
+        F: FnOnce(&mut Engine<S>) + 'static,
+    {
+        debug_assert!(at >= self.now, "event scheduled in the past: {at} < {}", self.now);
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            time: at,
+            seq,
+            run: Box::new(event),
+        });
+    }
+
+    /// Execute the next pending event, if any. Returns `false` when idle.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.now, "causality violated");
+        self.now = ev.time;
+        self.executed += 1;
+        self.trace_hash = fnv_step(self.trace_hash, ev.time.ps());
+        self.trace_hash = fnv_step(self.trace_hash, ev.seq);
+        (ev.run)(self);
+        true
+    }
+
+    /// Run until the event queue drains (quiescence). Returns events executed.
+    pub fn run(&mut self) -> u64 {
+        let start = self.executed;
+        while self.step() {}
+        self.executed - start
+    }
+
+    /// Run until the queue drains or the clock would pass `deadline`.
+    ///
+    /// Events scheduled strictly after `deadline` remain pending; the clock
+    /// is advanced to `deadline` if the simulation outlived it.
+    pub fn run_until(&mut self, deadline: Time) -> u64 {
+        let start = self.executed;
+        while let Some(head) = self.queue.peek() {
+            if head.time > deadline {
+                self.now = deadline;
+                break;
+            }
+            self.step();
+        }
+        if self.queue.is_empty() && self.now < deadline {
+            // Quiesced early: the clock stays at the last event.
+        }
+        self.executed - start
+    }
+
+    /// Run at most `n` further events.
+    pub fn run_steps(&mut self, n: u64) -> u64 {
+        let mut done = 0;
+        while done < n && self.step() {
+            done += 1;
+        }
+        done
+    }
+}
+
+#[inline]
+fn fnv_step(mut hash: u64, value: u64) -> u64 {
+    for byte in value.to_le_bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut eng = Engine::new(Vec::<u32>::new(), 0);
+        eng.schedule(Time::from_ns(30), |e| e.state.push(3));
+        eng.schedule(Time::from_ns(10), |e| e.state.push(1));
+        eng.schedule(Time::from_ns(20), |e| e.state.push(2));
+        eng.run();
+        assert_eq!(eng.state, vec![1, 2, 3]);
+        assert_eq!(eng.now(), Time::from_ns(30));
+    }
+
+    #[test]
+    fn simultaneous_events_run_in_schedule_order() {
+        let mut eng = Engine::new(Vec::<u32>::new(), 0);
+        for i in 0..10 {
+            eng.schedule(Time::from_ns(5), move |e| e.state.push(i));
+        }
+        eng.run();
+        assert_eq!(eng.state, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut eng = Engine::new(0u64, 0);
+        fn tick(e: &mut Engine<u64>) {
+            e.state += 1;
+            if e.state < 100 {
+                e.schedule(Time::from_ns(1), tick);
+            }
+        }
+        eng.schedule(Time::ZERO, tick);
+        eng.run();
+        assert_eq!(eng.state, 100);
+        assert_eq!(eng.now(), Time::from_ns(99));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut eng = Engine::new(Vec::<u64>::new(), 0);
+        for i in 1..=10 {
+            eng.schedule(Time::from_ns(i * 10), move |e| e.state.push(i));
+        }
+        let ran = eng.run_until(Time::from_ns(45));
+        assert_eq!(ran, 4);
+        assert_eq!(eng.state, vec![1, 2, 3, 4]);
+        assert_eq!(eng.now(), Time::from_ns(45));
+        assert_eq!(eng.events_pending(), 6);
+        eng.run();
+        assert_eq!(eng.state.len(), 10);
+    }
+
+    #[test]
+    fn run_steps_limits_execution() {
+        let mut eng = Engine::new(0u32, 0);
+        for _ in 0..5 {
+            eng.schedule(Time::ZERO, |e| e.state += 1);
+        }
+        assert_eq!(eng.run_steps(3), 3);
+        assert_eq!(eng.state, 3);
+        assert_eq!(eng.run_steps(10), 2);
+        assert_eq!(eng.state, 5);
+    }
+
+    #[test]
+    fn clock_does_not_go_backwards() {
+        let mut eng = Engine::new((), 0);
+        eng.schedule(Time::from_ns(100), |e| {
+            // Scheduling with zero delay from t=100 stays at t=100.
+            e.schedule(Time::ZERO, |e2| {
+                assert_eq!(e2.now(), Time::from_ns(100));
+            });
+        });
+        eng.run();
+    }
+
+    #[test]
+    fn trace_hash_is_reproducible() {
+        fn build() -> Engine<u64> {
+            let mut eng = Engine::new(0u64, 99);
+            for i in 0..50u64 {
+                let jitter = eng.rng().next_below(1000);
+                eng.schedule(Time::from_ps(jitter + i), move |e| {
+                    e.state = e.state.wrapping_add(i);
+                });
+            }
+            eng
+        }
+        let mut a = build();
+        let mut b = build();
+        a.run();
+        b.run();
+        assert_eq!(a.trace_hash(), b.trace_hash());
+        assert_eq!(a.state, b.state);
+    }
+
+    #[test]
+    fn trace_hash_distinguishes_schedules() {
+        let mut a = Engine::new((), 0);
+        a.schedule(Time::from_ns(1), |_| {});
+        a.run();
+        let mut b = Engine::new((), 0);
+        b.schedule(Time::from_ns(2), |_| {});
+        b.run();
+        assert_ne!(a.trace_hash(), b.trace_hash());
+    }
+
+    #[test]
+    fn state_shared_with_events_via_rc() {
+        // Events may capture shared handles as well as touch `state`.
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut eng = Engine::new((), 0);
+        for i in 0..3 {
+            let log = Rc::clone(&log);
+            eng.schedule(Time::from_ns(i), move |_| log.borrow_mut().push(i));
+        }
+        eng.run();
+        assert_eq!(*log.borrow(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_engine_is_idle() {
+        let mut eng = Engine::new((), 0);
+        assert!(!eng.step());
+        assert_eq!(eng.run(), 0);
+        assert_eq!(eng.now(), Time::ZERO);
+    }
+}

@@ -1,0 +1,47 @@
+//! # netsim — deterministic cluster/NIC simulator
+//!
+//! The hardware substrate for the `nmvgas` reproduction of *Network-Managed
+//! Virtual Global Address Space for Message-driven Runtimes* (HPDC 2016).
+//! The paper's experiments ran on an InfiniBand cluster whose NICs were
+//! taught (via the Photon middleware) to translate *virtual* global
+//! addresses; this crate substitutes a discrete-event model of that
+//! hardware:
+//!
+//! * [`engine::Engine`] — virtual clock + event queue, bit-for-bit
+//!   deterministic from a seed;
+//! * [`config::NetConfig`] — LogGP cost parameters plus NIC translation
+//!   costs/capacity;
+//! * [`net::Cluster`] — localities, each with a [`memory::Memory`] arena and
+//!   a [`nic::Nic`] whose [`nic::XlateTable`] is the paper's contribution in
+//!   miniature: virtual-block → physical translation, forwarding tombstones
+//!   for migrated blocks, NACKs for unknown ones;
+//! * [`net::send_user`], [`net::rdma_put`], [`net::rdma_get`] — the timed
+//!   operation state machines.
+//!
+//! Layers above implement [`net::Protocol`] to receive deliveries. See the
+//! repository `DESIGN.md` for how this substitutes for the paper's testbed.
+
+pub mod config;
+pub mod engine;
+pub mod lru;
+pub mod memory;
+pub mod net;
+pub mod nic;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use config::NetConfig;
+pub use engine::Engine;
+pub use memory::{MemError, Memory, PhysAddr};
+pub use net::{
+    rdma_get, rdma_put, send_user, Cluster, Envelope, GetReq, Locality, NackReason, OpId, OpKind,
+    Packet, Protocol, PutReq, RdmaTarget,
+};
+pub use nic::{LocalityId, Nic, Xlate, XlateEntry, XlateTable};
+pub use queue::ServerPool;
+pub use stats::{Counters, LogHistogram, TimeWeighted};
+pub use time::Time;
+pub use trace::{TraceEvent, TraceKind, Tracer};

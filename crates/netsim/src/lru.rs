@@ -1,0 +1,334 @@
+//! A slab-backed LRU map used for the NIC translation table and the
+//! source-side translation caches.
+//!
+//! Capacity-bounded: inserting into a full map evicts the least-recently-used
+//! entry and returns it, which the NIC model surfaces as a translation-table
+//! eviction (experiment E6 sweeps this capacity). Implemented as a
+//! `HashMap<K, index>` plus an intrusive doubly-linked list threaded through a
+//! slab of nodes — O(1) insert/lookup/touch/evict with no per-operation
+//! allocation once warm.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: u32 = u32::MAX;
+
+struct Node<K, V> {
+    key: K,
+    // `None` only while the slot sits on the free list.
+    value: Option<V>,
+    prev: u32,
+    next: u32,
+}
+
+/// A least-recently-used map with a fixed capacity.
+///
+/// ```
+/// use netsim::lru::LruMap;
+///
+/// let mut lru = LruMap::new(2);
+/// lru.insert("a", 1);
+/// lru.insert("b", 2);
+/// lru.get(&"a");                         // refresh "a"
+/// let evicted = lru.insert("c", 3);      // evicts the LRU: "b"
+/// assert_eq!(evicted, Some(("b", 2)));
+/// ```
+pub struct LruMap<K, V> {
+    map: HashMap<K, u32>,
+    slab: Vec<Node<K, V>>,
+    free: Vec<u32>,
+    head: u32, // most recently used
+    tail: u32, // least recently used
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
+    /// Create a map holding at most `capacity` entries (`0` means the map
+    /// rejects all inserts — the "no NIC table" ablation).
+    pub fn new(capacity: usize) -> LruMap<K, V> {
+        LruMap {
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are present.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn detach(&mut self, idx: u32) {
+        let (prev, next) = {
+            let n = &self.slab[idx as usize];
+            (n.prev, n.next)
+        };
+        if prev != NIL {
+            self.slab[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn attach_front(&mut self, idx: u32) {
+        let old_head = self.head;
+        {
+            let n = &mut self.slab[idx as usize];
+            n.prev = NIL;
+            n.next = old_head;
+        }
+        if old_head != NIL {
+            self.slab[old_head as usize].prev = idx;
+        } else {
+            self.tail = idx;
+        }
+        self.head = idx;
+    }
+
+    /// Look up `key`, marking it most-recently-used on hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let idx = *self.map.get(key)?;
+        if self.head != idx {
+            self.detach(idx);
+            self.attach_front(idx);
+        }
+        self.slab[idx as usize].value.as_ref()
+    }
+
+    /// Mutable lookup, marking the entry most-recently-used on hit.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let idx = *self.map.get(key)?;
+        if self.head != idx {
+            self.detach(idx);
+            self.attach_front(idx);
+        }
+        self.slab[idx as usize].value.as_mut()
+    }
+
+    /// Look up without disturbing recency (for diagnostics).
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        let idx = *self.map.get(key)?;
+        self.slab[idx as usize].value.as_ref()
+    }
+
+    /// Insert or replace. Returns the evicted `(key, value)` if the map was
+    /// full, or `None`. Inserting into a zero-capacity map returns the pair
+    /// straight back.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if self.capacity == 0 {
+            return Some((key, value));
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            self.slab[idx as usize].value = Some(value);
+            if self.head != idx {
+                self.detach(idx);
+                self.attach_front(idx);
+            }
+            return None;
+        }
+        if self.map.len() >= self.capacity {
+            // Evict the LRU entry and reuse its slot for the new pair.
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            self.detach(victim);
+            let node = &mut self.slab[victim as usize];
+            let old_key = std::mem::replace(&mut node.key, key.clone());
+            let old_val = node.value.take().expect("live node without value");
+            node.value = Some(value);
+            self.map.remove(&old_key);
+            self.map.insert(key, victim);
+            self.attach_front(victim);
+            return Some((old_key, old_val));
+        }
+        let idx = if let Some(idx) = self.free.pop() {
+            let node = &mut self.slab[idx as usize];
+            node.key = key.clone();
+            node.value = Some(value);
+            idx
+        } else {
+            let idx = self.slab.len() as u32;
+            self.slab.push(Node {
+                key: key.clone(),
+                value: Some(value),
+                prev: NIL,
+                next: NIL,
+            });
+            idx
+        };
+        self.map.insert(key, idx);
+        self.attach_front(idx);
+        None
+    }
+
+    /// Remove `key`, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let idx = self.map.remove(key)?;
+        self.detach(idx);
+        self.free.push(idx);
+        self.slab[idx as usize].value.take()
+    }
+
+    /// Iterate entries from most- to least-recently used.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        LruIter {
+            lru: self,
+            cursor: self.head,
+        }
+    }
+
+    /// Remove every entry.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+}
+
+struct LruIter<'a, K, V> {
+    lru: &'a LruMap<K, V>,
+    cursor: u32,
+}
+
+impl<'a, K: Eq + Hash + Clone, V> Iterator for LruIter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor == NIL {
+            return None;
+        }
+        let node = &self.lru.slab[self.cursor as usize];
+        self.cursor = node.next;
+        Some((&node.key, node.value.as_ref().expect("live node without value")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get() {
+        let mut lru = LruMap::new(4);
+        assert!(lru.insert(1, "a").is_none());
+        assert!(lru.insert(2, "b").is_none());
+        assert_eq!(lru.get(&1), Some(&"a"));
+        assert_eq!(lru.get(&3), None);
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn eviction_is_lru_order() {
+        let mut lru = LruMap::new(3);
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        lru.insert(3, 30);
+        // Touch 1 so 2 becomes the LRU.
+        assert_eq!(lru.get(&1), Some(&10));
+        let evicted = lru.insert(4, 40);
+        assert_eq!(evicted, Some((2, 20)));
+        assert!(lru.get(&2).is_none());
+        assert_eq!(lru.len(), 3);
+    }
+
+    #[test]
+    fn replace_does_not_evict() {
+        let mut lru = LruMap::new(2);
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        assert!(lru.insert(1, 11).is_none());
+        assert_eq!(lru.get(&1), Some(&11));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_rejects() {
+        let mut lru = LruMap::new(0);
+        assert_eq!(lru.insert(1, 10), Some((1, 10)));
+        assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn remove_then_reuse_slot() {
+        let mut lru: LruMap<u32, String> = LruMap::new(2);
+        lru.insert(1, "one".to_string());
+        lru.insert(2, "two".to_string());
+        assert_eq!(lru.remove(&1), Some("one".to_string()));
+        assert_eq!(lru.len(), 1);
+        assert!(lru.insert(3, "three".to_string()).is_none());
+        assert_eq!(lru.get(&3), Some(&"three".to_string()));
+        assert_eq!(lru.get(&2), Some(&"two".to_string()));
+    }
+
+    #[test]
+    fn remove_missing_is_none() {
+        let mut lru: LruMap<u32, u32> = LruMap::new(2);
+        assert_eq!(lru.remove(&9), None);
+        lru.insert(1, 1);
+        assert_eq!(lru.remove(&9), None);
+        assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn iter_most_recent_first() {
+        let mut lru = LruMap::new(3);
+        lru.insert(1, 'a');
+        lru.insert(2, 'b');
+        lru.insert(3, 'c');
+        lru.get(&1);
+        let keys: Vec<u32> = lru.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn heavy_churn_matches_shadow_model() {
+        let mut lru = LruMap::new(16);
+        let mut shadow: Vec<(u64, u64)> = Vec::new(); // MRU at front
+        for i in 0..10_000u64 {
+            let k = i % 37;
+            if let Some(pos) = shadow.iter().position(|&(sk, _)| sk == k) {
+                shadow.remove(pos);
+            }
+            shadow.insert(0, (k, i));
+            if shadow.len() > 16 {
+                shadow.pop();
+            }
+            lru.insert(k, i);
+            assert!(lru.len() <= 16);
+        }
+        for (k, v) in &shadow {
+            assert_eq!(lru.peek(k), Some(v));
+        }
+        assert_eq!(lru.len(), shadow.len());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut lru = LruMap::new(4);
+        lru.insert(1, 1);
+        lru.insert(2, 2);
+        lru.clear();
+        assert!(lru.is_empty());
+        assert!(lru.get(&1).is_none());
+        lru.insert(3, 3);
+        assert_eq!(lru.get(&3), Some(&3));
+    }
+}

@@ -1,0 +1,196 @@
+//! Per-locality memory: a byte arena plus a power-of-two block allocator.
+//!
+//! Global-address-space *blocks* live in these arenas; a "physical address"
+//! in the simulator is a byte offset into a locality's arena. The allocator
+//! is segregated by power-of-two size class — exactly the granularity of the
+//! GVA encoding's size classes — with a bump pointer for fresh storage and a
+//! per-class free list for reuse (blocks are freed on migration hand-off).
+
+use std::collections::HashMap;
+
+/// A physical address: a byte offset into one locality's arena.
+pub type PhysAddr = u64;
+
+/// Error type for arena operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemError {
+    /// The arena cannot grow to satisfy the request.
+    OutOfMemory,
+    /// An access fell outside the arena or its target allocation.
+    Bounds,
+}
+
+/// A locality's memory arena and block allocator.
+pub struct Memory {
+    data: Vec<u8>,
+    limit: usize,
+    free: HashMap<u8, Vec<PhysAddr>>,
+    allocated_bytes: u64,
+    live_blocks: u64,
+}
+
+impl Memory {
+    /// Create an arena that may grow up to `limit` bytes.
+    pub fn new(limit: usize) -> Memory {
+        Memory {
+            data: Vec::new(),
+            limit,
+            free: HashMap::new(),
+            allocated_bytes: 0,
+            live_blocks: 0,
+        }
+    }
+
+    /// Bytes currently backing live allocations.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.allocated_bytes
+    }
+
+    /// Number of live blocks.
+    pub fn live_blocks(&self) -> u64 {
+        self.live_blocks
+    }
+
+    /// Total arena footprint (live + free-listed).
+    pub fn footprint(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Allocate one block of size class `class` (block size `1 << class`
+    /// bytes), zero-initialized.
+    pub fn alloc_block(&mut self, class: u8) -> Result<PhysAddr, MemError> {
+        let size = 1usize << class;
+        let addr = if let Some(addr) = self.free.get_mut(&class).and_then(Vec::pop) {
+            // Reused storage must be zeroed: a migrated-in block overwrites
+            // it anyway, but fresh allocations observe zeros.
+            let a = addr as usize;
+            self.data[a..a + size].fill(0);
+            addr
+        } else {
+            let addr = self.data.len() as PhysAddr;
+            if self.data.len() + size > self.limit {
+                return Err(MemError::OutOfMemory);
+            }
+            self.data.resize(self.data.len() + size, 0);
+            addr
+        };
+        self.allocated_bytes += size as u64;
+        self.live_blocks += 1;
+        Ok(addr)
+    }
+
+    /// Return a block of size class `class` at `addr` to the free list.
+    pub fn free_block(&mut self, addr: PhysAddr, class: u8) {
+        self.free.entry(class).or_default().push(addr);
+        self.allocated_bytes = self.allocated_bytes.saturating_sub(1 << class);
+        self.live_blocks = self.live_blocks.saturating_sub(1);
+    }
+
+    /// Read `len` bytes starting at `addr`.
+    pub fn read(&self, addr: PhysAddr, len: usize) -> Result<&[u8], MemError> {
+        let a = addr as usize;
+        self.data.get(a..a + len).ok_or(MemError::Bounds)
+    }
+
+    /// Copy `src` into the arena starting at `addr`.
+    pub fn write(&mut self, addr: PhysAddr, src: &[u8]) -> Result<(), MemError> {
+        let a = addr as usize;
+        let dst = self
+            .data
+            .get_mut(a..a + src.len())
+            .ok_or(MemError::Bounds)?;
+        dst.copy_from_slice(src);
+        Ok(())
+    }
+
+    /// Mutable view of `len` bytes at `addr` (action handlers operate on
+    /// pinned blocks through this).
+    pub fn slice_mut(&mut self, addr: PhysAddr, len: usize) -> Result<&mut [u8], MemError> {
+        let a = addr as usize;
+        self.data.get_mut(a..a + len).ok_or(MemError::Bounds)
+    }
+
+    /// Atomic-style read-modify-write of a little-endian `u64` cell
+    /// (the GUPS update primitive).
+    pub fn xor_u64(&mut self, addr: PhysAddr, val: u64) -> Result<u64, MemError> {
+        let bytes = self.slice_mut(addr, 8)?;
+        let mut cell = [0u8; 8];
+        cell.copy_from_slice(bytes);
+        let new = u64::from_le_bytes(cell) ^ val;
+        bytes.copy_from_slice(&new.to_le_bytes());
+        Ok(new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_zeroed_and_distinct() {
+        let mut m = Memory::new(1 << 20);
+        let a = m.alloc_block(6).unwrap();
+        let b = m.alloc_block(6).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(m.read(a, 64).unwrap(), &[0u8; 64][..]);
+        assert_eq!(m.live_blocks(), 2);
+        assert_eq!(m.allocated_bytes(), 128);
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut m = Memory::new(1 << 20);
+        let a = m.alloc_block(8).unwrap();
+        let payload: Vec<u8> = (0..=255).collect();
+        m.write(a, &payload).unwrap();
+        assert_eq!(m.read(a, 256).unwrap(), &payload[..]);
+    }
+
+    #[test]
+    fn free_list_reuses_and_rezeroes() {
+        let mut m = Memory::new(1 << 20);
+        let a = m.alloc_block(6).unwrap();
+        m.write(a, &[0xAB; 64]).unwrap();
+        m.free_block(a, 6);
+        assert_eq!(m.live_blocks(), 0);
+        let b = m.alloc_block(6).unwrap();
+        assert_eq!(a, b, "free list should hand the slot back");
+        assert_eq!(m.read(b, 64).unwrap(), &[0u8; 64][..]);
+    }
+
+    #[test]
+    fn free_lists_are_per_class() {
+        let mut m = Memory::new(1 << 20);
+        let a = m.alloc_block(6).unwrap();
+        m.free_block(a, 6);
+        let c = m.alloc_block(7).unwrap();
+        assert_ne!(a, c, "different class must not reuse the slot");
+    }
+
+    #[test]
+    fn out_of_memory_is_reported() {
+        let mut m = Memory::new(100);
+        assert_eq!(m.alloc_block(7), Err(MemError::OutOfMemory)); // 128 > 100
+        let a = m.alloc_block(6); // 64 <= 100
+        assert!(a.is_ok());
+        assert_eq!(m.alloc_block(6), Err(MemError::OutOfMemory));
+    }
+
+    #[test]
+    fn bounds_are_checked() {
+        let mut m = Memory::new(1 << 10);
+        let a = m.alloc_block(6).unwrap();
+        assert_eq!(m.read(a + 60, 8), Err(MemError::Bounds));
+        assert_eq!(m.write(1 << 20, &[1]), Err(MemError::Bounds));
+        assert!(m.read(a, 64).is_ok());
+    }
+
+    #[test]
+    fn xor_u64_read_modify_write() {
+        let mut m = Memory::new(1 << 10);
+        let a = m.alloc_block(6).unwrap();
+        assert_eq!(m.xor_u64(a, 0xDEAD).unwrap(), 0xDEAD);
+        assert_eq!(m.xor_u64(a, 0xDEAD).unwrap(), 0);
+        assert_eq!(m.xor_u64(a + 64, 1), Err(MemError::Bounds));
+    }
+}

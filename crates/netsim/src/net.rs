@@ -1,0 +1,1231 @@
+//! Network operations over the simulated cluster.
+//!
+//! Three primitive operation classes, matching what the Photon middleware
+//! needs from the fabric:
+//!
+//! * [`send_user`] — a two-sided message delivered to the destination's
+//!   software handler ([`Protocol::deliver`]); target CPU cost is charged by
+//!   the layer that runs the handler.
+//! * [`rdma_put`] — a one-sided write. The destination may be a raw physical
+//!   address (classic registered-memory RDMA, the PGAS fast path) or a
+//!   *virtual* block key + offset, translated by the **target NIC's**
+//!   translation table with zero CPU involvement (the network-managed AGAS
+//!   path). Stale/unknown blocks produce NACKs or NIC-level forwarding.
+//! * [`rdma_get`] — the symmetric one-sided read.
+//!
+//! Every operation is decomposed into timed events: initiator-side CPU
+//! overhead, transmit-port serialization, wire latency, receive-port
+//! serialization, NIC translation, DMA, and the control-message ack/NACK on
+//! the way back. Port reservations serialize per NIC, which is what produces
+//! contention, bandwidth ceilings, and message-rate limits.
+
+use crate::config::NetConfig;
+use crate::engine::Engine;
+use crate::memory::{Memory, PhysAddr};
+use crate::nic::{LocalityId, Nic, Xlate, XlateEntry};
+use crate::stats::Counters;
+use crate::time::Time;
+use crate::trace::{TraceKind, Tracer};
+
+/// A token correlating an RDMA operation with its completion or NACK.
+/// Allocated by [`Cluster::alloc_op`]; the initiating layer keeps a table
+/// from `OpId` to its continuation state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub u64);
+
+/// Which RDMA verb an `OpId` belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// One-sided write.
+    Put,
+    /// One-sided read.
+    Get,
+}
+
+/// Why a NIC refused a one-sided operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NackReason {
+    /// No translation entry for the block at the target NIC (never
+    /// installed, evicted under capacity pressure, or forwarding disabled).
+    Miss,
+    /// The access fell outside the translated block.
+    Bounds,
+    /// Forwarding hops exceeded the configured TTL (migration chase).
+    TtlExceeded,
+}
+
+/// Destination (or source) of a one-sided operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RdmaTarget {
+    /// A raw physical address in the target's arena: the initiator resolved
+    /// the placement itself (PGAS, or software-AGAS after consulting the
+    /// owner's CPU).
+    Phys(PhysAddr),
+    /// A virtual block reference translated by the target NIC
+    /// (network-managed AGAS). `block` is the GVA with offset bits masked;
+    /// `offset` is the byte offset within the block.
+    Virt { block: u64, offset: u64 },
+}
+
+/// What arrives at a locality: either an upper-layer message or a
+/// NIC-generated notification.
+#[derive(Debug)]
+pub enum Packet<M> {
+    /// A two-sided message from the layer above.
+    User(M),
+    /// An initiated put completed (remotely visible).
+    PutDone { op: OpId },
+    /// An initiated get completed (`local` buffer now holds the data).
+    GetDone { op: OpId },
+    /// Remote-completion notification at the *target* of a put that carried
+    /// a `remote_tag` (Photon's put-with-completion ledger entry).
+    RemoteNote { tag: u64, len: u32 },
+    /// The local NIC missed its translation table for an incoming
+    /// one-sided operation (a "table miss interrupt" raised to the host so
+    /// software can reinstall a resident-but-evicted entry).
+    XlateMiss {
+        /// The block key that missed.
+        block: u64,
+    },
+    /// A one-sided operation bounced.
+    Nack {
+        op: OpId,
+        kind: OpKind,
+        reason: NackReason,
+        /// The block key the operation addressed (0 for `Phys` targets).
+        block: u64,
+    },
+}
+
+/// A delivered packet plus its endpoints.
+#[derive(Debug)]
+pub struct Envelope<M> {
+    /// Originating locality of the packet (for NACKs/acks: the NIC that
+    /// generated them).
+    pub src: LocalityId,
+    /// Destination locality (always the locality whose handler runs).
+    pub dst: LocalityId,
+    /// The payload.
+    pub packet: Packet<M>,
+}
+
+/// The glue between the simulator substrate and the protocol stack above it:
+/// the engine state exposes its [`Cluster`] and receives packet deliveries.
+pub trait Protocol: Sized + 'static {
+    /// The upper layer's message type (photon control, parcels, directory
+    /// traffic, ...).
+    type Msg: 'static;
+    /// Mutable access to the embedded cluster.
+    fn cluster(&mut self) -> &mut Cluster;
+    /// Shared access to the embedded cluster.
+    fn cluster_ref(&self) -> &Cluster;
+    /// Invoked by the simulator when a packet reaches `env.dst`.
+    fn deliver(eng: &mut Engine<Self>, env: Envelope<Self::Msg>);
+}
+
+/// One simulated node: NIC, memory arena, counters.
+pub struct Locality {
+    /// The node's NIC (ports + translation table).
+    pub nic: Nic,
+    /// The node's memory arena.
+    pub mem: Memory,
+    /// Protocol counters.
+    pub counters: Counters,
+}
+
+/// The simulated cluster: a set of localities and the shared cost model.
+pub struct Cluster {
+    /// Cost-model parameters (uniform fabric).
+    pub config: NetConfig,
+    locs: Vec<Locality>,
+    next_op: u64,
+    /// The (off-by-default) execution tracer.
+    pub tracer: Tracer,
+    /// Shared switch-core serialization state (oversubscribed fabrics).
+    switch_free: Time,
+    /// Per-byte cost on the switch core (0 = full bisection, skip).
+    core_ps_per_byte: u64,
+}
+
+impl Cluster {
+    /// Build a cluster of `n` localities, each with an arena limited to
+    /// `mem_limit` bytes.
+    pub fn new(n: usize, config: NetConfig, mem_limit: usize) -> Cluster {
+        let locs = (0..n)
+            .map(|_| Locality {
+                nic: Nic::new(config.xlate_capacity, config.nic_ports),
+                mem: Memory::new(mem_limit),
+                counters: Counters::default(),
+            })
+            .collect();
+        let core_ps_per_byte = if config.oversubscription > 1 && n > 0 {
+            // Aggregate core bandwidth = n/k × link ⇒ per-byte cost scales
+            // by k/n relative to one link.
+            config.gap_per_byte_ps * config.oversubscription / n as u64
+        } else {
+            0
+        };
+        Cluster {
+            config,
+            locs,
+            next_op: 0,
+            tracer: Tracer::new(),
+            switch_free: Time::ZERO,
+            core_ps_per_byte,
+        }
+    }
+
+    /// Reserve the shared switch core for a `bytes`-byte transit starting
+    /// no earlier than `earliest`; returns when the transit clears the
+    /// core (identity when full bisection is assumed).
+    pub fn switch_reserve(&mut self, earliest: Time, bytes: u32) -> Time {
+        if self.core_ps_per_byte == 0 {
+            return earliest;
+        }
+        let dur = Time::from_ps(
+            (bytes as u64 + self.config.header_bytes as u64) * self.core_ps_per_byte,
+        );
+        let start = earliest.max(self.switch_free);
+        self.switch_free = start + dur;
+        self.switch_free
+    }
+
+    /// Number of localities.
+    pub fn len(&self) -> usize {
+        self.locs.len()
+    }
+
+    /// True for a zero-node cluster (never useful, but keeps clippy honest).
+    pub fn is_empty(&self) -> bool {
+        self.locs.is_empty()
+    }
+
+    /// Shared access to locality `id`.
+    pub fn loc(&self, id: LocalityId) -> &Locality {
+        &self.locs[id as usize]
+    }
+
+    /// Mutable access to locality `id`.
+    pub fn loc_mut(&mut self, id: LocalityId) -> &mut Locality {
+        &mut self.locs[id as usize]
+    }
+
+    /// Memory arena of locality `id`.
+    pub fn mem(&self, id: LocalityId) -> &Memory {
+        &self.locs[id as usize].mem
+    }
+
+    /// Mutable memory arena of locality `id`.
+    pub fn mem_mut(&mut self, id: LocalityId) -> &mut Memory {
+        &mut self.locs[id as usize].mem
+    }
+
+    /// Allocate a fresh operation token.
+    pub fn alloc_op(&mut self) -> OpId {
+        let op = OpId(self.next_op);
+        self.next_op += 1;
+        op
+    }
+
+    /// Install a NIC translation entry at `loc`, counting evictions.
+    pub fn install_xlate(&mut self, loc: LocalityId, block_key: u64, entry: XlateEntry) {
+        let l = self.loc_mut(loc);
+        if l.nic.xlate.install(block_key, entry) {
+            l.counters.xlate_evictions += 1;
+        }
+    }
+
+    /// Per-locality NIC port utilization over `[0, horizon]`:
+    /// `(tx_busy/horizon, rx_busy/horizon)` per locality.
+    pub fn nic_utilization(&self, horizon: Time) -> Vec<(f64, f64)> {
+        let h = horizon.ps().max(1) as f64;
+        self.locs
+            .iter()
+            .map(|l| {
+                (
+                    l.counters.nic_tx_busy.ps() as f64 / h,
+                    l.counters.nic_rx_busy.ps() as f64 / h,
+                )
+            })
+            .collect()
+    }
+
+    /// Cluster-wide counter totals.
+    pub fn total_counters(&self) -> Counters {
+        let mut total = Counters::default();
+        for l in &self.locs {
+            total.merge(&l.counters);
+        }
+        total
+    }
+
+    /// Reserve `loc`'s transmit port for `dur` starting no earlier than
+    /// `earliest`; accounts busy time; returns the finish instant.
+    fn tx(&mut self, loc: LocalityId, earliest: Time, dur: Time) -> Time {
+        let l = self.loc_mut(loc);
+        let (_, finish) = l.nic.tx_reserve(earliest, dur);
+        l.counters.nic_tx_busy += dur;
+        finish
+    }
+
+    /// Receive-port analogue of [`Cluster::tx`].
+    fn rx(&mut self, loc: LocalityId, earliest: Time, dur: Time) -> Time {
+        let l = self.loc_mut(loc);
+        let (_, finish) = l.nic.rx_reserve(earliest, dur);
+        l.counters.nic_rx_busy += dur;
+        finish
+    }
+}
+
+/// One wire transit's latency: the configured base plus deterministic
+/// random jitter (if enabled).
+fn transit<S: Protocol>(eng: &mut Engine<S>) -> Time {
+    let cfg = eng.state.cluster_ref().config;
+    if cfg.jitter_ns == 0 {
+        return cfg.latency;
+    }
+    let extra = eng.rng().next_below(cfg.jitter_ns + 1);
+    cfg.latency + Time::from_ns(extra)
+}
+
+/// Arrival time of a `bytes`-byte transit injected at `tx_done`: clears
+/// the (possibly oversubscribed) switch core, then rides the wire.
+fn fabric_arrival<S: Protocol>(eng: &mut Engine<S>, tx_done: Time, bytes: u32) -> Time {
+    let cleared = eng.state.cluster().switch_reserve(tx_done, bytes);
+    cleared + transit(eng)
+}
+
+/// Deliver `packet` to `dst` at absolute time `at` (helper).
+fn deliver_at<S: Protocol>(
+    eng: &mut Engine<S>,
+    at: Time,
+    src: LocalityId,
+    dst: LocalityId,
+    packet: Packet<S::Msg>,
+) {
+    eng.schedule_at(at, move |eng| {
+        if matches!(packet, Packet::PutDone { .. } | Packet::GetDone { .. }) {
+            let now = eng.now();
+            eng.state
+                .cluster()
+                .tracer
+                .record(now, TraceKind::Completion { at: dst });
+        }
+        S::deliver(eng, Envelope { src, dst, packet });
+    });
+}
+
+/// Send a two-sided message of `wire_bytes` payload bytes from `src` to
+/// `dst`. The message value `msg` is handed to [`Protocol::deliver`] when it
+/// arrives (after tx serialization, wire latency, and rx serialization).
+pub fn send_user<S: Protocol>(
+    eng: &mut Engine<S>,
+    src: LocalityId,
+    dst: LocalityId,
+    wire_bytes: u32,
+    msg: S::Msg,
+) {
+    let now = eng.now();
+    let cfg = eng.state.cluster().config;
+    {
+        let c = eng.state.cluster();
+        c.tracer.record(now, TraceKind::MsgInject { src, dst, bytes: wire_bytes });
+        let l = c.loc_mut(src);
+        l.counters.msgs_sent += 1;
+        l.counters.bytes_sent += wire_bytes as u64;
+    }
+    if src == dst {
+        let at = now + cfg.loopback;
+        eng.schedule_at(at, move |eng| {
+            eng.state.cluster().loc_mut(dst).counters.msgs_recv += 1;
+            S::deliver(
+                eng,
+                Envelope {
+                    src,
+                    dst,
+                    packet: Packet::User(msg),
+                },
+            );
+        });
+        return;
+    }
+    let dur = cfg.serialize(wire_bytes);
+    let tx_done = eng.state.cluster().tx(src, now + cfg.o_send, dur);
+    let arrival = fabric_arrival(eng, tx_done, wire_bytes);
+    eng.schedule_at(arrival, move |eng| {
+        let now = eng.now();
+        let dur = eng.state.cluster().config.serialize(wire_bytes);
+        let rx_done = eng.state.cluster().rx(dst, now, dur);
+        eng.schedule_at(rx_done, move |eng| {
+            let now = eng.now();
+            let c = eng.state.cluster();
+            c.tracer.record(now, TraceKind::MsgDeliver { src, dst });
+            c.loc_mut(dst).counters.msgs_recv += 1;
+            S::deliver(
+                eng,
+                Envelope {
+                    src,
+                    dst,
+                    packet: Packet::User(msg),
+                },
+            );
+        });
+    });
+}
+
+/// A one-sided write request.
+#[derive(Debug)]
+pub struct PutReq {
+    /// Locality whose NIC should commit the write (the believed owner).
+    pub target: LocalityId,
+    /// Where within the target the bytes land.
+    pub dst: RdmaTarget,
+    /// Payload (snapshotted at initiation, as hardware DMA would).
+    pub data: Vec<u8>,
+    /// Completion token.
+    pub op: OpId,
+    /// When set, the target locality's handler receives
+    /// [`Packet::RemoteNote`] with this tag once the data is visible —
+    /// Photon's put-with-completion remote ledger entry.
+    pub remote_tag: Option<u64>,
+    /// Remaining NIC forwarding hops.
+    pub ttl: u8,
+}
+
+/// A one-sided read request.
+#[derive(Debug)]
+pub struct GetReq {
+    /// Locality whose NIC should source the bytes (the believed owner).
+    pub target: LocalityId,
+    /// Where within the target the bytes come from.
+    pub src: RdmaTarget,
+    /// Bytes to read.
+    pub len: u32,
+    /// Physical destination in the *initiator's* arena.
+    pub local: PhysAddr,
+    /// Completion token.
+    pub op: OpId,
+    /// Remaining NIC forwarding hops.
+    pub ttl: u8,
+}
+
+fn block_key_of(t: &RdmaTarget) -> u64 {
+    match t {
+        RdmaTarget::Phys(_) => 0,
+        RdmaTarget::Virt { block, .. } => *block,
+    }
+}
+
+/// Initiate a one-sided write from `initiator`.
+pub fn rdma_put<S: Protocol>(eng: &mut Engine<S>, initiator: LocalityId, req: PutReq) {
+    let now = eng.now();
+    let cfg = eng.state.cluster().config;
+    {
+        let c = eng.state.cluster();
+        c.tracer.record(
+            now,
+            TraceKind::PutInject {
+                src: initiator,
+                dst: req.target,
+                bytes: req.data.len() as u32,
+            },
+        );
+        let l = c.loc_mut(initiator);
+        l.counters.rdma_puts += 1;
+        l.counters.bytes_sent += req.data.len() as u64;
+    }
+    if initiator == req.target {
+        // Loop-back: the local NIC still performs the translation, but no
+        // wire or port serialization is paid.
+        let at = now + cfg.loopback;
+        eng.schedule_at(at, move |eng| put_commit(eng, initiator, req, true));
+        return;
+    }
+    let dur = cfg.serialize(req.data.len() as u32);
+    let tx_done = eng.state.cluster().tx(initiator, now + cfg.o_send, dur);
+    let arrival = fabric_arrival(eng, tx_done, req.data.len() as u32);
+    eng.schedule_at(arrival, move |eng| put_arrive(eng, initiator, req));
+}
+
+fn put_arrive<S: Protocol>(eng: &mut Engine<S>, initiator: LocalityId, req: PutReq) {
+    let now = eng.now();
+    let cfg = eng.state.cluster().config;
+    let dur = cfg.serialize(req.data.len() as u32);
+    let rx_done = eng.state.cluster().rx(req.target, now, dur);
+    let xlate_cost = match req.dst {
+        RdmaTarget::Virt { .. } => cfg.xlate_ns,
+        RdmaTarget::Phys(_) => Time::ZERO,
+    };
+    eng.schedule_at(rx_done + xlate_cost, move |eng| {
+        put_commit(eng, initiator, req, false)
+    });
+}
+
+/// Translate and commit a put at its current target; generate the ack,
+/// remote note, NACK, or forwarding hop.
+fn put_commit<S: Protocol>(
+    eng: &mut Engine<S>,
+    initiator: LocalityId,
+    mut req: PutReq,
+    local: bool,
+) {
+    let now = eng.now();
+    let cfg = eng.state.cluster().config;
+    let target = req.target;
+    let block = block_key_of(&req.dst);
+    let resolved: Result<PhysAddr, NackReason> = match req.dst {
+        RdmaTarget::Phys(addr) => Ok(addr),
+        RdmaTarget::Virt { block, offset } => {
+            let l = eng.state.cluster().loc_mut(target);
+            match l.nic.xlate.lookup(block) {
+                Xlate::Hit(entry) => {
+                    if offset + req.data.len() as u64 <= entry.len {
+                        l.counters.xlate_hits += 1;
+                        eng.state
+                            .cluster()
+                            .tracer
+                            .record(now, TraceKind::XlateHit { at: target, block });
+                        Ok(entry.base + offset)
+                    } else {
+                        Err(NackReason::Bounds)
+                    }
+                }
+                Xlate::Forward(next) => {
+                    if cfg.nic_forwarding && req.ttl > 0 {
+                        // Store-and-forward hop toward the new owner.
+                        l.counters.xlate_forwards += 1;
+                        eng.state.cluster().tracer.record(
+                            now,
+                            TraceKind::XlateForward { at: target, next, block },
+                        );
+                        let dur = cfg.serialize(req.data.len() as u32);
+                        let tx_done = eng.state.cluster().tx(target, now, dur);
+                        let arrival = fabric_arrival(eng, tx_done, req.data.len() as u32);
+                        req.target = next;
+                        req.ttl -= 1;
+                        eng.schedule_at(arrival, move |eng| put_arrive(eng, initiator, req));
+                        return;
+                    } else if cfg.nic_forwarding {
+                        Err(NackReason::TtlExceeded)
+                    } else {
+                        Err(NackReason::Miss)
+                    }
+                }
+                Xlate::Miss => {
+                    l.counters.xlate_misses += 1;
+                    eng.state
+                        .cluster()
+                        .tracer
+                        .record(now, TraceKind::XlateMiss { at: target, block });
+                    deliver_at(eng, now, target, target, Packet::XlateMiss { block });
+                    Err(NackReason::Miss)
+                }
+            }
+        }
+    };
+    match resolved {
+        Ok(addr) => {
+            let write_ok = eng
+                .state
+                .cluster()
+                .mem_mut(target)
+                .write(addr, &req.data)
+                .is_ok();
+            if !write_ok {
+                nack(eng, target, initiator, req.op, OpKind::Put, NackReason::Bounds, block, local);
+                return;
+            }
+            let visible = now + cfg.dma(req.data.len() as u32);
+            if let Some(tag) = req.remote_tag {
+                let len = req.data.len() as u32;
+                deliver_at(eng, visible, target, target, Packet::RemoteNote { tag, len });
+            }
+            let op = req.op;
+            if local {
+                deliver_at(eng, visible, target, initiator, Packet::PutDone { op });
+            } else {
+                // Hardware ack: a control message back to the initiator.
+                eng.state.cluster().loc_mut(target).counters.ctrl_sent += 1;
+                let ctrl = cfg.serialize_ctrl();
+                let tx_done = eng.state.cluster().tx(target, visible, ctrl);
+                let at = fabric_arrival(eng, tx_done, cfg.ctrl_bytes);
+                deliver_at(eng, at, target, initiator, Packet::PutDone { op });
+            }
+        }
+        Err(reason) => nack(eng, target, initiator, req.op, OpKind::Put, reason, block, local),
+    }
+}
+
+/// Initiate a one-sided read from `initiator`.
+pub fn rdma_get<S: Protocol>(eng: &mut Engine<S>, initiator: LocalityId, req: GetReq) {
+    let now = eng.now();
+    let cfg = eng.state.cluster().config;
+    {
+        let c = eng.state.cluster();
+        c.tracer.record(
+            now,
+            TraceKind::GetInject {
+                src: initiator,
+                dst: req.target,
+                bytes: req.len,
+            },
+        );
+        let l = c.loc_mut(initiator);
+        l.counters.rdma_gets += 1;
+        l.counters.bytes_sent += cfg.ctrl_bytes as u64;
+    }
+    if initiator == req.target {
+        let at = now + cfg.loopback;
+        eng.schedule_at(at, move |eng| get_commit(eng, initiator, req, true));
+        return;
+    }
+    let ctrl = cfg.serialize_ctrl();
+    let tx_done = eng.state.cluster().tx(initiator, now + cfg.o_send, ctrl);
+    let arrival = fabric_arrival(eng, tx_done, cfg.ctrl_bytes);
+    eng.schedule_at(arrival, move |eng| get_arrive(eng, initiator, req));
+}
+
+fn get_arrive<S: Protocol>(eng: &mut Engine<S>, initiator: LocalityId, req: GetReq) {
+    let now = eng.now();
+    let cfg = eng.state.cluster().config;
+    let ctrl = cfg.serialize_ctrl();
+    let rx_done = eng.state.cluster().rx(req.target, now, ctrl);
+    let xlate_cost = match req.src {
+        RdmaTarget::Virt { .. } => cfg.xlate_ns,
+        RdmaTarget::Phys(_) => Time::ZERO,
+    };
+    eng.schedule_at(rx_done + xlate_cost, move |eng| {
+        get_commit(eng, initiator, req, false)
+    });
+}
+
+fn get_commit<S: Protocol>(
+    eng: &mut Engine<S>,
+    initiator: LocalityId,
+    mut req: GetReq,
+    local: bool,
+) {
+    let now = eng.now();
+    let cfg = eng.state.cluster().config;
+    let target = req.target;
+    let block = block_key_of(&req.src);
+    let resolved: Result<PhysAddr, NackReason> = match req.src {
+        RdmaTarget::Phys(addr) => Ok(addr),
+        RdmaTarget::Virt { block, offset } => {
+            let l = eng.state.cluster().loc_mut(target);
+            match l.nic.xlate.lookup(block) {
+                Xlate::Hit(entry) => {
+                    if offset + req.len as u64 <= entry.len {
+                        l.counters.xlate_hits += 1;
+                        Ok(entry.base + offset)
+                    } else {
+                        Err(NackReason::Bounds)
+                    }
+                }
+                Xlate::Forward(next) => {
+                    if cfg.nic_forwarding && req.ttl > 0 {
+                        l.counters.xlate_forwards += 1;
+                        let ctrl = cfg.serialize_ctrl();
+                        let tx_done = eng.state.cluster().tx(target, now, ctrl);
+                        let arrival = fabric_arrival(eng, tx_done, cfg.ctrl_bytes);
+                        req.target = next;
+                        req.ttl -= 1;
+                        eng.schedule_at(arrival, move |eng| get_arrive(eng, initiator, req));
+                        return;
+                    } else if cfg.nic_forwarding {
+                        Err(NackReason::TtlExceeded)
+                    } else {
+                        Err(NackReason::Miss)
+                    }
+                }
+                Xlate::Miss => {
+                    l.counters.xlate_misses += 1;
+                    deliver_at(eng, now, target, target, Packet::XlateMiss { block });
+                    Err(NackReason::Miss)
+                }
+            }
+        }
+    };
+    match resolved {
+        Ok(addr) => {
+            let data: Vec<u8> = match eng.state.cluster().mem(target).read(addr, req.len as usize)
+            {
+                Ok(slice) => slice.to_vec(),
+                Err(_) => {
+                    nack(eng, target, initiator, req.op, OpKind::Get, NackReason::Bounds, block, local);
+                    return;
+                }
+            };
+            let op = req.op;
+            let local_addr = req.local;
+            if local {
+                // Local get: a DMA-speed copy within the node.
+                let at = now + cfg.dma(req.len);
+                eng.schedule_at(at, move |eng| {
+                    eng.state
+                        .cluster()
+                        .mem_mut(initiator)
+                        .write(local_addr, &data)
+                        .expect("get local buffer out of bounds");
+                    S::deliver(
+                        eng,
+                        Envelope {
+                            src: target,
+                            dst: initiator,
+                            packet: Packet::GetDone { op },
+                        },
+                    );
+                });
+                return;
+            }
+            // Response: payload travels target → initiator.
+            {
+                let l = eng.state.cluster().loc_mut(target);
+                l.counters.bytes_sent += req.len as u64;
+                l.counters.ctrl_sent += 1;
+            }
+            let dur = cfg.serialize(req.len);
+            let ready = now + cfg.dma(req.len);
+            let tx_done = eng.state.cluster().tx(target, ready, dur);
+            let arrival = fabric_arrival(eng, tx_done, req.len);
+            eng.schedule_at(arrival, move |eng| {
+                let now = eng.now();
+                let dur = eng.state.cluster().config.serialize(data.len() as u32);
+                let rx_done = eng.state.cluster().rx(initiator, now, dur);
+                eng.schedule_at(rx_done, move |eng| {
+                    eng.state
+                        .cluster()
+                        .mem_mut(initiator)
+                        .write(local_addr, &data)
+                        .expect("get local buffer out of bounds");
+                    S::deliver(
+                        eng,
+                        Envelope {
+                            src: target,
+                            dst: initiator,
+                            packet: Packet::GetDone { op },
+                        },
+                    );
+                });
+            });
+        }
+        Err(reason) => nack(eng, target, initiator, req.op, OpKind::Get, reason, block, local),
+    }
+}
+
+/// Emit a NACK control message from `target`'s NIC back to `initiator`.
+#[allow(clippy::too_many_arguments)]
+fn nack<S: Protocol>(
+    eng: &mut Engine<S>,
+    target: LocalityId,
+    initiator: LocalityId,
+    op: OpId,
+    kind: OpKind,
+    reason: NackReason,
+    block: u64,
+    local: bool,
+) {
+    let now = eng.now();
+    let cfg = eng.state.cluster().config;
+    eng.state.cluster().loc_mut(target).counters.nacks_sent += 1;
+    let at = if local {
+        now + cfg.loopback
+    } else {
+        let ctrl = cfg.serialize_ctrl();
+        let tx_done = eng.state.cluster().tx(target, now, ctrl);
+        fabric_arrival(eng, tx_done, cfg.ctrl_bytes)
+    };
+    eng.schedule_at(at, move |eng| {
+        let now = eng.now();
+        let c = eng.state.cluster();
+        c.tracer.record(now, TraceKind::Nack { from: target, to: initiator });
+        c.loc_mut(initiator).counters.nacks_recv += 1;
+        S::deliver(
+            eng,
+            Envelope {
+                src: target,
+                dst: initiator,
+                packet: Packet::Nack {
+                    op,
+                    kind,
+                    reason,
+                    block,
+                },
+            },
+        );
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nic::XlateEntry;
+
+    /// Minimal protocol: log every delivered envelope with its timestamp.
+    struct TestWorld {
+        cluster: Cluster,
+        log: Vec<(Time, LocalityId, String)>,
+    }
+
+    impl TestWorld {
+        fn new(n: usize, cfg: NetConfig) -> TestWorld {
+            TestWorld {
+                cluster: Cluster::new(n, cfg, 1 << 24),
+                log: Vec::new(),
+            }
+        }
+    }
+
+    impl Protocol for TestWorld {
+        type Msg = String;
+        fn cluster(&mut self) -> &mut Cluster {
+            &mut self.cluster
+        }
+        fn cluster_ref(&self) -> &Cluster {
+            &self.cluster
+        }
+        fn deliver(eng: &mut Engine<Self>, env: Envelope<String>) {
+            let desc = match env.packet {
+                Packet::User(s) => format!("user:{s}"),
+                Packet::PutDone { op } => format!("putdone:{}", op.0),
+                Packet::GetDone { op } => format!("getdone:{}", op.0),
+                Packet::RemoteNote { tag, len } => format!("note:{tag}:{len}"),
+                Packet::XlateMiss { block } => format!("xmiss:{block}"),
+                Packet::Nack { op, reason, .. } => format!("nack:{}:{reason:?}", op.0),
+            };
+            let now = eng.now();
+            eng.state.log.push((now, env.dst, desc));
+        }
+    }
+
+    fn engine(n: usize) -> Engine<TestWorld> {
+        Engine::new(TestWorld::new(n, NetConfig::ideal()), 1)
+    }
+
+    #[test]
+    fn user_message_arrival_time_matches_model() {
+        let mut eng = engine(2);
+        send_user(&mut eng, 0, 1, 100, "hi".into());
+        eng.run();
+        // ideal: o_send 10 + serialize(100)=110 + L 100 + rx 110 = 330ns.
+        assert_eq!(eng.state.log.len(), 1);
+        let (t, dst, ref desc) = eng.state.log[0];
+        assert_eq!(dst, 1);
+        assert_eq!(desc, "user:hi");
+        assert_eq!(t, Time::from_ns(330));
+        assert_eq!(eng.state.cluster.loc(0).counters.msgs_sent, 1);
+        assert_eq!(eng.state.cluster.loc(1).counters.msgs_recv, 1);
+    }
+
+    #[test]
+    fn loopback_message_is_cheap() {
+        let mut eng = engine(2);
+        send_user(&mut eng, 0, 0, 100, "self".into());
+        eng.run();
+        assert_eq!(eng.state.log[0].0, Time::from_ns(20)); // ideal loopback
+    }
+
+    #[test]
+    fn back_to_back_sends_serialize_on_tx_port() {
+        let mut eng = engine(2);
+        send_user(&mut eng, 0, 1, 100, "a".into());
+        send_user(&mut eng, 0, 1, 100, "b".into());
+        eng.run();
+        let t_a = eng.state.log[0].0;
+        let t_b = eng.state.log[1].0;
+        // Second message waits a full serialize (110ns) behind the first on
+        // both ports.
+        assert_eq!(t_b - t_a, Time::from_ns(110));
+    }
+
+    #[test]
+    fn rdma_put_phys_writes_and_completes() {
+        let mut eng = engine(2);
+        let addr = eng.state.cluster.mem_mut(1).alloc_block(10).unwrap();
+        let op = eng.state.cluster.alloc_op();
+        rdma_put(
+            &mut eng,
+            0,
+            PutReq {
+                target: 1,
+                dst: RdmaTarget::Phys(addr),
+                data: vec![7u8; 16],
+                op,
+                remote_tag: None,
+                ttl: 2,
+            },
+        );
+        eng.run();
+        assert_eq!(eng.state.cluster.mem(1).read(addr, 16).unwrap(), &[7u8; 16][..]);
+        assert_eq!(eng.state.log.len(), 1);
+        assert_eq!(eng.state.log[0].1, 0); // completion at initiator
+        assert!(eng.state.log[0].2.starts_with("putdone"));
+    }
+
+    #[test]
+    fn rdma_put_virt_hit_with_remote_note() {
+        let mut eng = engine(2);
+        let base = eng.state.cluster.mem_mut(1).alloc_block(10).unwrap();
+        eng.state.cluster.install_xlate(
+            1,
+            0xB10C,
+            XlateEntry {
+                base,
+                len: 1024,
+                generation: 1,
+            },
+        );
+        let op = eng.state.cluster.alloc_op();
+        rdma_put(
+            &mut eng,
+            0,
+            PutReq {
+                target: 1,
+                dst: RdmaTarget::Virt {
+                    block: 0xB10C,
+                    offset: 64,
+                },
+                data: vec![9u8; 8],
+                op,
+                remote_tag: Some(77),
+                ttl: 2,
+            },
+        );
+        eng.run();
+        assert_eq!(eng.state.cluster.mem(1).read(base + 64, 8).unwrap(), &[9u8; 8][..]);
+        let kinds: Vec<&str> = eng.state.log.iter().map(|(_, _, d)| d.as_str()).collect();
+        assert!(kinds.contains(&"note:77:8"), "{kinds:?}");
+        assert!(kinds.iter().any(|k| k.starts_with("putdone")), "{kinds:?}");
+        assert_eq!(eng.state.cluster.loc(1).counters.xlate_hits, 1);
+    }
+
+    #[test]
+    fn rdma_put_unknown_block_nacks_miss() {
+        let mut eng = engine(2);
+        let op = eng.state.cluster.alloc_op();
+        rdma_put(
+            &mut eng,
+            0,
+            PutReq {
+                target: 1,
+                dst: RdmaTarget::Virt {
+                    block: 0xDEAD,
+                    offset: 0,
+                },
+                data: vec![1u8; 8],
+                op,
+                remote_tag: None,
+                ttl: 2,
+            },
+        );
+        eng.run();
+        // The miss generates both a local table-miss interrupt at the
+        // target and a NACK back to the initiator.
+        let kinds: Vec<&str> = eng.state.log.iter().map(|(_, _, d)| d.as_str()).collect();
+        assert!(kinds.contains(&"xmiss:57005"), "{kinds:?}"); // 0xDEAD
+        assert!(kinds.contains(&format!("nack:{}:Miss", op.0).as_str()), "{kinds:?}");
+        assert_eq!(eng.state.cluster.loc(1).counters.xlate_misses, 1);
+        assert_eq!(eng.state.cluster.loc(1).counters.nacks_sent, 1);
+        assert_eq!(eng.state.cluster.loc(0).counters.nacks_recv, 1);
+    }
+
+    #[test]
+    fn rdma_put_out_of_block_nacks_bounds() {
+        let mut eng = engine(2);
+        let base = eng.state.cluster.mem_mut(1).alloc_block(6).unwrap();
+        eng.state.cluster.install_xlate(
+            1,
+            5,
+            XlateEntry {
+                base,
+                len: 64,
+                generation: 1,
+            },
+        );
+        let op = eng.state.cluster.alloc_op();
+        rdma_put(
+            &mut eng,
+            0,
+            PutReq {
+                target: 1,
+                dst: RdmaTarget::Virt {
+                    block: 5,
+                    offset: 60,
+                },
+                data: vec![1u8; 8],
+                op,
+                remote_tag: None,
+                ttl: 2,
+            },
+        );
+        eng.run();
+        assert_eq!(eng.state.log[0].2, format!("nack:{}:Bounds", op.0));
+    }
+
+    #[test]
+    fn forwarding_chases_one_hop() {
+        let mut eng = engine(3);
+        // Block lives at 2; locality 1 holds a forwarding tombstone.
+        let base = eng.state.cluster.mem_mut(2).alloc_block(10).unwrap();
+        eng.state.cluster.install_xlate(
+            2,
+            0xAB,
+            XlateEntry {
+                base,
+                len: 1024,
+                generation: 2,
+            },
+        );
+        eng.state
+            .cluster
+            .loc_mut(1)
+            .nic
+            .xlate
+            .retire_to_forward(0xAB, 2);
+        let op = eng.state.cluster.alloc_op();
+        rdma_put(
+            &mut eng,
+            0,
+            PutReq {
+                target: 1,
+                dst: RdmaTarget::Virt {
+                    block: 0xAB,
+                    offset: 0,
+                },
+                data: vec![3u8; 4],
+                op,
+                remote_tag: None,
+                ttl: 2,
+            },
+        );
+        eng.run();
+        assert_eq!(eng.state.cluster.mem(2).read(base, 4).unwrap(), &[3u8; 4][..]);
+        assert_eq!(eng.state.cluster.loc(1).counters.xlate_forwards, 1);
+        assert!(eng.state.log.iter().any(|(_, _, d)| d.starts_with("putdone")));
+        // The ack comes from the *final* owner.
+        let done = eng.state.log.iter().find(|(_, _, d)| d.starts_with("putdone")).unwrap();
+        assert_eq!(done.1, 0);
+    }
+
+    #[test]
+    fn forwarding_disabled_nacks_instead() {
+        let cfg = NetConfig {
+            nic_forwarding: false,
+            ..NetConfig::ideal()
+        };
+        let mut eng = Engine::new(TestWorld::new(3, cfg), 1);
+        eng.state
+            .cluster
+            .loc_mut(1)
+            .nic
+            .xlate
+            .retire_to_forward(0xAB, 2);
+        let op = eng.state.cluster.alloc_op();
+        rdma_put(
+            &mut eng,
+            0,
+            PutReq {
+                target: 1,
+                dst: RdmaTarget::Virt {
+                    block: 0xAB,
+                    offset: 0,
+                },
+                data: vec![3u8; 4],
+                op,
+                remote_tag: None,
+                ttl: 2,
+            },
+        );
+        eng.run();
+        assert_eq!(eng.state.log[0].2, format!("nack:{}:Miss", op.0));
+        assert_eq!(eng.state.cluster.loc(1).counters.xlate_forwards, 0);
+    }
+
+    #[test]
+    fn forwarding_ttl_exhaustion() {
+        let mut eng = engine(3);
+        // A forwarding loop 1 → 2 → 1 must terminate by TTL.
+        eng.state
+            .cluster
+            .loc_mut(1)
+            .nic
+            .xlate
+            .retire_to_forward(0xAB, 2);
+        eng.state
+            .cluster
+            .loc_mut(2)
+            .nic
+            .xlate
+            .retire_to_forward(0xAB, 1);
+        let op = eng.state.cluster.alloc_op();
+        rdma_put(
+            &mut eng,
+            0,
+            PutReq {
+                target: 1,
+                dst: RdmaTarget::Virt {
+                    block: 0xAB,
+                    offset: 0,
+                },
+                data: vec![3u8; 4],
+                op,
+                remote_tag: None,
+                ttl: 2,
+            },
+        );
+        eng.run();
+        assert_eq!(
+            eng.state.log[0].2,
+            format!("nack:{}:TtlExceeded", op.0)
+        );
+        let total = eng.state.cluster.total_counters();
+        assert_eq!(total.xlate_forwards, 2);
+    }
+
+    #[test]
+    fn rdma_get_round_trips_data() {
+        let mut eng = engine(2);
+        let remote = eng.state.cluster.mem_mut(1).alloc_block(10).unwrap();
+        eng.state
+            .cluster
+            .mem_mut(1)
+            .write(remote, &[5u8; 32])
+            .unwrap();
+        eng.state.cluster.install_xlate(
+            1,
+            0xCC,
+            XlateEntry {
+                base: remote,
+                len: 1024,
+                generation: 1,
+            },
+        );
+        let local = eng.state.cluster.mem_mut(0).alloc_block(10).unwrap();
+        let op = eng.state.cluster.alloc_op();
+        rdma_get(
+            &mut eng,
+            0,
+            GetReq {
+                target: 1,
+                src: RdmaTarget::Virt {
+                    block: 0xCC,
+                    offset: 0,
+                },
+                len: 32,
+                local,
+                op,
+                ttl: 2,
+            },
+        );
+        eng.run();
+        assert_eq!(eng.state.cluster.mem(0).read(local, 32).unwrap(), &[5u8; 32][..]);
+        assert!(eng.state.log.iter().any(|(_, l, d)| *l == 0 && d.starts_with("getdone")));
+    }
+
+    #[test]
+    fn rdma_get_miss_nacks() {
+        let mut eng = engine(2);
+        let local = eng.state.cluster.mem_mut(0).alloc_block(8).unwrap();
+        let op = eng.state.cluster.alloc_op();
+        rdma_get(
+            &mut eng,
+            0,
+            GetReq {
+                target: 1,
+                src: RdmaTarget::Virt {
+                    block: 0xF00,
+                    offset: 0,
+                },
+                len: 8,
+                local,
+                op,
+                ttl: 2,
+            },
+        );
+        eng.run();
+        let kinds: Vec<&str> = eng.state.log.iter().map(|(_, _, d)| d.as_str()).collect();
+        assert!(
+            kinds.contains(&format!("nack:{}:Miss", op.0).as_str()),
+            "{kinds:?}"
+        );
+    }
+
+    #[test]
+    fn local_put_and_get_work() {
+        let mut eng = engine(1);
+        let base = eng.state.cluster.mem_mut(0).alloc_block(8).unwrap();
+        eng.state.cluster.install_xlate(
+            0,
+            1,
+            XlateEntry {
+                base,
+                len: 256,
+                generation: 1,
+            },
+        );
+        let op = eng.state.cluster.alloc_op();
+        rdma_put(
+            &mut eng,
+            0,
+            PutReq {
+                target: 0,
+                dst: RdmaTarget::Virt { block: 1, offset: 8 },
+                data: vec![0xEE; 4],
+                op,
+                remote_tag: Some(1),
+                ttl: 2,
+            },
+        );
+        eng.run();
+        assert_eq!(eng.state.cluster.mem(0).read(base + 8, 4).unwrap(), &[0xEE; 4][..]);
+        assert!(eng.state.log.iter().any(|(_, _, d)| d.starts_with("putdone")));
+        assert!(eng.state.log.iter().any(|(_, _, d)| d == "note:1:4"));
+    }
+
+    #[test]
+    fn oversubscription_throttles_disjoint_pairs() {
+        // Two disjoint pairs send simultaneously. Full bisection: they do
+        // not interact. 2:1 oversubscription on a 4-node fabric: the core
+        // carries only 2 links' worth of aggregate bandwidth.
+        let run = |oversub: u64| {
+            let cfg = NetConfig {
+                oversubscription: oversub,
+                ..NetConfig::ideal()
+            };
+            let mut eng = Engine::new(TestWorld::new(4, cfg), 1);
+            send_user(&mut eng, 0, 1, 60_000, "a".into());
+            send_user(&mut eng, 2, 3, 60_000, "b".into());
+            eng.run();
+            eng.state.log.iter().map(|&(t, _, _)| t).max().unwrap()
+        };
+        let full = run(1);
+        let half = run(4); // aggregate = 4/4 = 1 link for both flows
+        assert!(half > full, "full={full} half={half}");
+    }
+
+    #[test]
+    fn larger_put_takes_longer() {
+        let run_one = |size: u32| {
+            let mut eng = engine(2);
+            let addr = eng.state.cluster.mem_mut(1).alloc_block(22).unwrap();
+            let op = eng.state.cluster.alloc_op();
+            rdma_put(
+                &mut eng,
+                0,
+                PutReq {
+                    target: 1,
+                    dst: RdmaTarget::Phys(addr),
+                    data: vec![0u8; size as usize],
+                    op,
+                    remote_tag: None,
+                    ttl: 2,
+                },
+            );
+            eng.run();
+            eng.state.log[0].0
+        };
+        let small = run_one(8);
+        let big = run_one(65_536);
+        assert!(big > small * 10, "{small} vs {big}");
+    }
+}

@@ -1,0 +1,296 @@
+//! The simulated NIC.
+//!
+//! Each locality owns one NIC with a transmit port, a receive port, and —
+//! the artifact this paper adds — a **virtual-address translation table**
+//! ([`XlateTable`]). The table maps global-address-space *block keys* (the
+//! GVA with its offset bits masked off; the GAS layer computes these) to
+//! physical arena addresses. When the table holds an entry for an incoming
+//! one-sided operation, the NIC translates and DMAs with **no CPU
+//! involvement**; when the block has migrated away it may hold a
+//! *forwarding entry* naming the new owner; otherwise the operation is
+//! NACKed back to its initiator, which recovers through the home directory.
+//!
+//! Port timing: each port is a serial resource. Reserving it returns the
+//! interval actually occupied, modeling injection/extraction contention —
+//! this is what produces the bandwidth roll-off and message-rate ceilings in
+//! experiments E3/E4.
+
+use crate::lru::LruMap;
+use crate::memory::PhysAddr;
+use crate::time::Time;
+use std::collections::HashMap;
+
+/// Identifies a locality (a node of the simulated cluster).
+pub type LocalityId = u32;
+
+/// A live NIC translation-table entry: where a block's bytes sit in the
+/// owner's arena.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct XlateEntry {
+    /// Physical base address of the block in this locality's arena.
+    pub base: PhysAddr,
+    /// Block length in bytes.
+    pub len: u64,
+    /// Generation number, bumped on every migration of the block. Lets the
+    /// GAS layer discard stale NACK-triggered updates.
+    pub generation: u32,
+}
+
+/// Outcome of a NIC translation lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Xlate {
+    /// The block is resident here.
+    Hit(XlateEntry),
+    /// The block migrated; the NIC remembers where it went.
+    Forward(LocalityId),
+    /// Unknown block (never installed, evicted, or forward expired).
+    Miss,
+}
+
+/// The NIC-resident translation table: a capacity-bounded LRU of live
+/// entries plus an unbounded side table of forwarding tombstones.
+///
+/// Forwarding tombstones are small (16 B in hardware terms) and short-lived —
+/// the GAS layer retires them once the home directory has quiesced — so they
+/// are modeled outside the LRU capacity.
+pub struct XlateTable {
+    live: LruMap<u64, XlateEntry>,
+    forwards: HashMap<u64, LocalityId>,
+    // Per-entry hit telemetry (real NICs expose per-QP/per-entry counters;
+    // load-balancing policies read and reset these).
+    hits: HashMap<u64, u64>,
+}
+
+impl XlateTable {
+    /// Create a table with space for `capacity` live entries.
+    pub fn new(capacity: usize) -> XlateTable {
+        XlateTable {
+            live: LruMap::new(capacity),
+            forwards: HashMap::new(),
+            hits: HashMap::new(),
+        }
+    }
+
+    /// Translate `block_key`. Touches LRU recency on hit.
+    pub fn lookup(&mut self, block_key: u64) -> Xlate {
+        if let Some(entry) = self.live.get(&block_key) {
+            let e = *entry;
+            *self.hits.entry(block_key).or_insert(0) += 1;
+            return Xlate::Hit(e);
+        }
+        if let Some(&next) = self.forwards.get(&block_key) {
+            return Xlate::Forward(next);
+        }
+        Xlate::Miss
+    }
+
+    /// Install (or refresh) a live entry. Returns `true` if an unrelated
+    /// entry was evicted to make room (capacity pressure — experiment E6).
+    pub fn install(&mut self, block_key: u64, entry: XlateEntry) -> bool {
+        self.forwards.remove(&block_key);
+        self.live.insert(block_key, entry).is_some()
+    }
+
+    /// Drop the live entry for `block_key`, leaving a forwarding tombstone
+    /// pointing at `new_owner` (called on migration hand-off).
+    pub fn retire_to_forward(&mut self, block_key: u64, new_owner: LocalityId) {
+        self.live.remove(&block_key);
+        self.forwards.insert(block_key, new_owner);
+    }
+
+    /// Remove any state (live or forward) for `block_key` (block freed, or
+    /// forward tombstone expired).
+    pub fn invalidate(&mut self, block_key: u64) {
+        self.live.remove(&block_key);
+        self.forwards.remove(&block_key);
+        self.hits.remove(&block_key);
+    }
+
+    /// Drain the per-entry hit telemetry (counters reset to zero).
+    /// Load-balancing policies poll this to find hot blocks.
+    pub fn take_hit_telemetry(&mut self) -> HashMap<u64, u64> {
+        std::mem::take(&mut self.hits)
+    }
+
+    /// Drop every live entry (a NIC reset / firmware fault). Forwarding
+    /// tombstones survive (they live in the NIC's persistent route table in
+    /// this model). Subsequent traffic misses and software reinstalls.
+    pub fn flush_live(&mut self) {
+        self.live.clear();
+        self.hits.clear();
+    }
+
+    /// Number of live (non-forward) entries.
+    pub fn live_entries(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Number of forwarding tombstones.
+    pub fn forward_entries(&self) -> usize {
+        self.forwards.len()
+    }
+
+    /// Peek a live entry without touching recency.
+    pub fn peek(&self, block_key: u64) -> Option<&XlateEntry> {
+        self.live.peek(&block_key)
+    }
+}
+
+/// One locality's NIC: parallel tx/rx ports (hardware queue pairs) and the
+/// translation table. Each port is a serial resource; a message occupies
+/// the earliest-free port of its direction.
+pub struct Nic {
+    tx_free: Vec<Time>,
+    rx_free: Vec<Time>,
+    /// The network-managed translation state (the paper's contribution).
+    pub xlate: XlateTable,
+}
+
+fn reserve(ports: &mut [Time], earliest: Time, dur: Time) -> (Time, Time) {
+    let idx = ports
+        .iter()
+        .enumerate()
+        .min_by_key(|&(i, &t)| (t, i))
+        .map(|(i, _)| i)
+        .expect("NIC with zero ports");
+    let start = earliest.max(ports[idx]);
+    let finish = start + dur;
+    ports[idx] = finish;
+    (start, finish)
+}
+
+impl Nic {
+    /// A NIC with `ports` queue pairs per direction and an
+    /// `xlate_capacity`-entry translation table.
+    pub fn new(xlate_capacity: usize, ports: usize) -> Nic {
+        assert!(ports >= 1, "NIC needs at least one port");
+        Nic {
+            tx_free: vec![Time::ZERO; ports],
+            rx_free: vec![Time::ZERO; ports],
+            xlate: XlateTable::new(xlate_capacity),
+        }
+    }
+
+    /// Reserve a transmit port for `dur` starting no earlier than
+    /// `earliest`; returns `(start, finish)` of the occupied interval.
+    pub fn tx_reserve(&mut self, earliest: Time, dur: Time) -> (Time, Time) {
+        reserve(&mut self.tx_free, earliest, dur)
+    }
+
+    /// Reserve a receive port, as [`Nic::tx_reserve`].
+    pub fn rx_reserve(&mut self, earliest: Time, dur: Time) -> (Time, Time) {
+        reserve(&mut self.rx_free, earliest, dur)
+    }
+
+    /// Earliest instant any transmit port is idle.
+    pub fn tx_free_at(&self) -> Time {
+        self.tx_free.iter().copied().min().unwrap_or(Time::ZERO)
+    }
+
+    /// Earliest instant any receive port is idle.
+    pub fn rx_free_at(&self) -> Time {
+        self.rx_free.iter().copied().min().unwrap_or(Time::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(base: u64, len: u64, generation: u32) -> XlateEntry {
+        XlateEntry {
+            base,
+            len,
+            generation,
+        }
+    }
+
+    #[test]
+    fn lookup_miss_then_hit() {
+        let mut t = XlateTable::new(8);
+        assert_eq!(t.lookup(42), Xlate::Miss);
+        assert!(!t.install(42, entry(0x1000, 64, 1)));
+        assert_eq!(t.lookup(42), Xlate::Hit(entry(0x1000, 64, 1)));
+        assert_eq!(t.live_entries(), 1);
+    }
+
+    #[test]
+    fn forward_tombstones() {
+        let mut t = XlateTable::new(8);
+        t.install(7, entry(0, 64, 1));
+        t.retire_to_forward(7, 3);
+        assert_eq!(t.lookup(7), Xlate::Forward(3));
+        assert_eq!(t.live_entries(), 0);
+        assert_eq!(t.forward_entries(), 1);
+        // Re-installing (block migrated back) clears the tombstone.
+        t.install(7, entry(0x40, 64, 3));
+        assert_eq!(t.lookup(7), Xlate::Hit(entry(0x40, 64, 3)));
+        assert_eq!(t.forward_entries(), 0);
+    }
+
+    #[test]
+    fn invalidate_clears_everything() {
+        let mut t = XlateTable::new(8);
+        t.install(1, entry(0, 64, 1));
+        t.retire_to_forward(2, 5);
+        t.invalidate(1);
+        t.invalidate(2);
+        assert_eq!(t.lookup(1), Xlate::Miss);
+        assert_eq!(t.lookup(2), Xlate::Miss);
+    }
+
+    #[test]
+    fn capacity_eviction_reports() {
+        let mut t = XlateTable::new(2);
+        assert!(!t.install(1, entry(0, 64, 1)));
+        assert!(!t.install(2, entry(64, 64, 1)));
+        // Third insert evicts LRU (key 1).
+        assert!(t.install(3, entry(128, 64, 1)));
+        assert_eq!(t.lookup(1), Xlate::Miss);
+        assert_eq!(t.lookup(2), Xlate::Hit(entry(64, 64, 1)));
+    }
+
+    #[test]
+    fn zero_capacity_table_always_misses() {
+        let mut t = XlateTable::new(0);
+        assert!(t.install(1, entry(0, 64, 1)));
+        assert_eq!(t.lookup(1), Xlate::Miss);
+    }
+
+    #[test]
+    fn multiple_ports_overlap() {
+        let mut nic = Nic::new(8, 2);
+        let (s1, _) = nic.tx_reserve(Time::ZERO, Time::from_ns(10));
+        let (s2, _) = nic.tx_reserve(Time::ZERO, Time::from_ns(10));
+        assert_eq!(s1, Time::ZERO);
+        assert_eq!(s2, Time::ZERO, "second port should take the message");
+        let (s3, _) = nic.tx_reserve(Time::ZERO, Time::from_ns(10));
+        assert_eq!(s3, Time::from_ns(10), "third message queues");
+    }
+
+    #[test]
+    fn ports_serialize() {
+        let mut nic = Nic::new(8, 1);
+        let (s1, f1) = nic.tx_reserve(Time::from_ns(0), Time::from_ns(10));
+        assert_eq!((s1, f1), (Time::from_ns(0), Time::from_ns(10)));
+        // Second reservation queues behind the first.
+        let (s2, f2) = nic.tx_reserve(Time::from_ns(5), Time::from_ns(10));
+        assert_eq!((s2, f2), (Time::from_ns(10), Time::from_ns(20)));
+        // A later arrival after the port drained starts immediately.
+        let (s3, _) = nic.tx_reserve(Time::from_ns(100), Time::from_ns(1));
+        assert_eq!(s3, Time::from_ns(100));
+        // rx port is independent.
+        let (s4, _) = nic.rx_reserve(Time::from_ns(0), Time::from_ns(3));
+        assert_eq!(s4, Time::from_ns(0));
+    }
+
+    #[test]
+    fn generation_is_preserved() {
+        let mut t = XlateTable::new(4);
+        t.install(9, entry(0, 128, 41));
+        match t.lookup(9) {
+            Xlate::Hit(e) => assert_eq!(e.generation, 41),
+            other => panic!("expected hit, got {other:?}"),
+        }
+    }
+}

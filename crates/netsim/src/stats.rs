@@ -1,0 +1,327 @@
+//! Measurement infrastructure: counters, log-scale histograms, and
+//! time-weighted utilization accumulators.
+//!
+//! Experiment E10 ("protocol operations per memput") is read directly off
+//! these counters; every other experiment reports simulated time plus the
+//! relevant counter deltas.
+
+use crate::time::Time;
+use std::fmt;
+
+/// Per-locality protocol counters.
+///
+/// Incremented by the NIC/network models and by the upper layers (runtime
+/// scheduler, GAS). All counts are cumulative since construction.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Two-sided user messages injected.
+    pub msgs_sent: u64,
+    /// Two-sided user messages delivered to software.
+    pub msgs_recv: u64,
+    /// Payload bytes injected (all operation kinds).
+    pub bytes_sent: u64,
+    /// RDMA put operations initiated.
+    pub rdma_puts: u64,
+    /// RDMA get operations initiated.
+    pub rdma_gets: u64,
+    /// NIC translation-table hits at this locality's NIC.
+    pub xlate_hits: u64,
+    /// NIC translation-table misses (→ NACK to initiator).
+    pub xlate_misses: u64,
+    /// Operations retransmitted by this NIC via a forwarding entry.
+    pub xlate_forwards: u64,
+    /// NIC translation-table evictions (capacity pressure).
+    pub xlate_evictions: u64,
+    /// NACK control messages sent by this NIC.
+    pub nacks_sent: u64,
+    /// NACKs received by initiators at this locality.
+    pub nacks_recv: u64,
+    /// Control messages (acks, RTS/CTS, directory traffic) sent.
+    pub ctrl_sent: u64,
+    /// Software message-handler invocations (target CPU involvement —
+    /// the quantity the network-managed design drives to zero).
+    pub sw_handler_runs: u64,
+    /// Directory (home) lookups served at this locality.
+    pub dir_lookups: u64,
+    /// Blocks migrated away from this locality.
+    pub migrations_out: u64,
+    /// Blocks migrated into this locality.
+    pub migrations_in: u64,
+    /// Cumulative CPU busy time of this locality's workers.
+    pub cpu_busy: Time,
+    /// Cumulative NIC transmit-port busy time.
+    pub nic_tx_busy: Time,
+    /// Cumulative NIC receive-port busy time.
+    pub nic_rx_busy: Time,
+}
+
+impl Counters {
+    /// Element-wise accumulate `other` into `self` (cluster-wide totals).
+    pub fn merge(&mut self, other: &Counters) {
+        self.msgs_sent += other.msgs_sent;
+        self.msgs_recv += other.msgs_recv;
+        self.bytes_sent += other.bytes_sent;
+        self.rdma_puts += other.rdma_puts;
+        self.rdma_gets += other.rdma_gets;
+        self.xlate_hits += other.xlate_hits;
+        self.xlate_misses += other.xlate_misses;
+        self.xlate_forwards += other.xlate_forwards;
+        self.xlate_evictions += other.xlate_evictions;
+        self.nacks_sent += other.nacks_sent;
+        self.nacks_recv += other.nacks_recv;
+        self.ctrl_sent += other.ctrl_sent;
+        self.sw_handler_runs += other.sw_handler_runs;
+        self.dir_lookups += other.dir_lookups;
+        self.migrations_out += other.migrations_out;
+        self.migrations_in += other.migrations_in;
+        self.cpu_busy += other.cpu_busy;
+        self.nic_tx_busy += other.nic_tx_busy;
+        self.nic_rx_busy += other.nic_rx_busy;
+    }
+
+    /// Total network operations (one- plus two-sided) initiated.
+    pub fn ops_initiated(&self) -> u64 {
+        self.msgs_sent + self.rdma_puts + self.rdma_gets
+    }
+}
+
+/// A base-2 logarithmic histogram of `u64` samples (latencies in ps,
+/// message sizes in bytes, queue depths, ...).
+#[derive(Clone, Debug)]
+pub struct LogHistogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, sample: u64) {
+        let bucket = 64 - sample.leading_zeros() as usize; // 0 for sample==0
+        self.buckets[bucket.min(63)] += 1;
+        self.count += 1;
+        self.sum += sample;
+        self.min = self.min.min(sample);
+        self.max = self.max.max(sample);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean of recorded samples (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample (`None` if empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample (`None` if empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Approximate quantile `q ∈ [0,1]` from bucket boundaries: returns the
+    /// upper edge of the bucket containing the q-th sample.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return Some(if i == 0 { 0 } else { 1u64 << i.min(63) });
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for LogHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} min={} max={}",
+            self.count,
+            self.mean(),
+            self.min().unwrap_or(0),
+            self.max().unwrap_or(0)
+        )
+    }
+}
+
+/// Accumulates a time-weighted integral of a step function (queue depth,
+/// outstanding ops) so its time-average can be reported.
+#[derive(Clone, Debug, Default)]
+pub struct TimeWeighted {
+    last_change: Time,
+    level: u64,
+    integral: u128, // level × picoseconds
+}
+
+impl TimeWeighted {
+    /// A fresh accumulator at level 0, time 0.
+    pub fn new() -> TimeWeighted {
+        TimeWeighted::default()
+    }
+
+    /// Record that the level changed to `level` at instant `now`.
+    pub fn set(&mut self, now: Time, level: u64) {
+        debug_assert!(now >= self.last_change);
+        self.integral += self.level as u128 * (now.ps() - self.last_change.ps()) as u128;
+        self.last_change = now;
+        self.level = level;
+    }
+
+    /// Adjust the level by a delta at instant `now`.
+    pub fn add(&mut self, now: Time, delta: i64) {
+        let level = (self.level as i64 + delta).max(0) as u64;
+        self.set(now, level);
+    }
+
+    /// Current level.
+    pub fn level(&self) -> u64 {
+        self.level
+    }
+
+    /// The time-average level over `[0, now]`.
+    pub fn average(&self, now: Time) -> f64 {
+        if now.ps() == 0 {
+            return self.level as f64;
+        }
+        let total = self.integral
+            + self.level as u128 * (now.ps().saturating_sub(self.last_change.ps())) as u128;
+        total as f64 / now.ps() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_merge_adds() {
+        let mut a = Counters {
+            msgs_sent: 3,
+            bytes_sent: 100,
+            cpu_busy: Time::from_ns(5),
+            ..Counters::default()
+        };
+        let b = Counters {
+            msgs_sent: 2,
+            rdma_puts: 7,
+            cpu_busy: Time::from_ns(10),
+            ..Counters::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.msgs_sent, 5);
+        assert_eq!(a.rdma_puts, 7);
+        assert_eq!(a.bytes_sent, 100);
+        assert_eq!(a.cpu_busy, Time::from_ns(15));
+        assert_eq!(a.ops_initiated(), 12);
+    }
+
+    #[test]
+    fn histogram_basic_stats() {
+        let mut h = LogHistogram::new();
+        for v in [1u64, 2, 4, 8] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.mean(), 3.75);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(8));
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone() {
+        let mut h = LogHistogram::new();
+        for i in 0..1000u64 {
+            h.record(i);
+        }
+        let q50 = h.quantile(0.5).unwrap();
+        let q99 = h.quantile(0.99).unwrap();
+        assert!(q50 <= q99);
+        assert!(q99 <= 1024);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = LogHistogram::new();
+        a.record(10);
+        let mut b = LogHistogram::new();
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Some(10));
+        assert_eq!(a.max(), Some(1000));
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let mut tw = TimeWeighted::new();
+        tw.set(Time::from_ns(0), 2);
+        tw.set(Time::from_ns(10), 4);
+        // 2 for 10ns, then 4 for 10ns => average 3 at t=20ns.
+        assert_eq!(tw.average(Time::from_ns(20)), 3.0);
+        assert_eq!(tw.level(), 4);
+    }
+
+    #[test]
+    fn time_weighted_add_clamps_at_zero() {
+        let mut tw = TimeWeighted::new();
+        tw.add(Time::from_ns(1), -5);
+        assert_eq!(tw.level(), 0);
+        tw.add(Time::from_ns(2), 3);
+        assert_eq!(tw.level(), 3);
+    }
+}

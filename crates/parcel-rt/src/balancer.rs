@@ -1,0 +1,162 @@
+//! The in-runtime load balancer — AGAS's reason to exist, running as a
+//! periodic *runtime service* rather than benchmark driver code.
+//!
+//! Every `period` of virtual time, the policy:
+//!
+//! 1. drains per-block access telemetry from each locality — the NIC
+//!    translation table's hit counters (network-managed mode) plus the
+//!    software handlers' heat map (software mode);
+//! 2. computes per-locality load and, while the hottest locality carries
+//!    more than `imbalance_ratio ×` the coolest's load, migrates its
+//!    hottest blocks toward the coolest locality (up to `moves_per_round`);
+//! 3. reschedules itself — and stops after `idle_rounds_to_stop` rounds
+//!    with no traffic, so simulations still quiesce.
+//!
+//! Telemetry gathering is modeled as free (a real implementation
+//! piggybacks it on existing collectives); the migrations themselves run
+//! the full protocol and pay full cost.
+
+use crate::world::World;
+use agas::GasMode;
+use netsim::{Engine, LocalityId, Time};
+use std::collections::HashMap;
+
+/// Balancer policy parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct BalancerConfig {
+    /// Interval between policy rounds.
+    pub period: Time,
+    /// Maximum migrations per round.
+    pub moves_per_round: usize,
+    /// Only act when `hottest load > imbalance_ratio × coolest load`.
+    pub imbalance_ratio: f64,
+    /// Ignore blocks with fewer hits than this in a round.
+    pub min_heat: u64,
+    /// Stop after this many consecutive rounds with no observed traffic.
+    pub idle_rounds_to_stop: u32,
+}
+
+impl Default for BalancerConfig {
+    fn default() -> BalancerConfig {
+        BalancerConfig {
+            period: Time::from_us(200),
+            moves_per_round: 4,
+            imbalance_ratio: 1.5,
+            min_heat: 8,
+            idle_rounds_to_stop: 2,
+        }
+    }
+}
+
+/// Cumulative balancer statistics (stored in the world).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BalancerStats {
+    /// Policy rounds executed.
+    pub rounds: u64,
+    /// Migrations requested.
+    pub migrations: u64,
+}
+
+/// Start the balancer service. Call once after boot (and after the GAS
+/// mode is known — it refuses to run under PGAS, where nothing can move).
+pub fn start(eng: &mut Engine<World>, cfg: BalancerConfig) {
+    assert!(
+        eng.state.mode.supports_migration(),
+        "the balancer needs a mobile GAS (AGAS mode)"
+    );
+    eng.schedule(cfg.period, move |eng| round(eng, cfg, 0));
+}
+
+/// Drain this round's telemetry: block → (hits, owner).
+fn drain_telemetry(eng: &mut Engine<World>) -> HashMap<u64, (u64, LocalityId)> {
+    let n = eng.state.n_localities();
+    let mut heat: HashMap<u64, (u64, LocalityId)> = HashMap::new();
+    for loc in 0..n {
+        let nic_hits = eng
+            .state
+            .cluster
+            .loc_mut(loc)
+            .nic
+            .xlate
+            .take_hit_telemetry();
+        for (block, hits) in nic_hits {
+            let e = heat.entry(block).or_insert((0, loc));
+            e.0 += hits;
+            e.1 = loc;
+        }
+        let sw_heat = std::mem::take(&mut eng.state.gas[loc as usize].heat);
+        for (block, hits) in sw_heat {
+            let e = heat.entry(block).or_insert((0, loc));
+            e.0 += hits;
+            e.1 = loc;
+        }
+    }
+    // Telemetry is attributed to wherever the hits were observed; a block
+    // that migrated mid-round may appear under its old owner — the
+    // migration protocol routes the move request correctly regardless.
+    heat
+}
+
+fn round(eng: &mut Engine<World>, cfg: BalancerConfig, idle_rounds: u32) {
+    eng.state.balancer_stats.rounds += 1;
+    let n = eng.state.n_localities();
+    let heat = drain_telemetry(eng);
+    let total: u64 = heat.values().map(|&(h, _)| h).sum();
+    if total == 0 {
+        let idle = idle_rounds + 1;
+        if idle < cfg.idle_rounds_to_stop {
+            eng.schedule(cfg.period, move |eng| round(eng, cfg, idle));
+        }
+        return;
+    }
+
+    // Per-locality load and per-locality hottest blocks.
+    let mut load = vec![0u64; n as usize];
+    let mut by_owner: HashMap<LocalityId, Vec<(u64, u64)>> = HashMap::new();
+    for (&block, &(hits, owner)) in &heat {
+        load[owner as usize] += hits;
+        by_owner.entry(owner).or_default().push((hits, block));
+    }
+
+    let mut moves = 0usize;
+    while moves < cfg.moves_per_round {
+        let hottest = (0..n).max_by_key(|&l| (load[l as usize], l)).unwrap();
+        let coolest = (0..n).min_by_key(|&l| (load[l as usize], l)).unwrap();
+        let hot_load = load[hottest as usize];
+        let cool_load = load[coolest as usize];
+        if hottest == coolest
+            || (hot_load as f64) <= (cool_load.max(1) as f64) * cfg.imbalance_ratio
+        {
+            break;
+        }
+        let candidates = by_owner.entry(hottest).or_default();
+        candidates.sort_unstable();
+        let Some((hits, block)) = candidates.pop() else {
+            break;
+        };
+        if hits < cfg.min_heat {
+            break;
+        }
+        load[hottest as usize] -= hits;
+        load[coolest as usize] += hits;
+        eng.state.balancer_stats.migrations += 1;
+        agas::migrate::migrate_block(
+            eng,
+            hottest,
+            agas::Gva(block),
+            coolest,
+            crate::world::NO_COMPLETION,
+        );
+        moves += 1;
+    }
+    eng.schedule(cfg.period, move |eng| round(eng, cfg, 0));
+}
+
+/// Convenience: the heat source active under `mode` (documentation aid).
+pub fn telemetry_source(mode: GasMode) -> &'static str {
+    match mode {
+        GasMode::Pgas => "none (static placement)",
+        GasMode::AgasSoftware => "software handler heat map",
+        GasMode::AgasNetwork => "NIC translation-table hit counters",
+    }
+}

@@ -1,0 +1,178 @@
+//! A tiny self-contained wire codec for action arguments.
+//!
+//! Parcels carry byte payloads; actions decode them with `ArgReader` and
+//! drivers encode them with `ArgWriter`. Little-endian, length-prefixed,
+//! no external dependencies — the format only has to be consistent inside
+//! one simulation, but keeping it explicit makes payload sizes (and thus
+//! wire costs) honest.
+
+use agas::Gva;
+
+/// Encodes arguments into a byte payload.
+#[derive(Default)]
+pub struct ArgWriter {
+    buf: Vec<u8>,
+}
+
+impl ArgWriter {
+    /// Fresh, empty writer.
+    pub fn new() -> ArgWriter {
+        ArgWriter::default()
+    }
+
+    /// Append a `u8`.
+    pub fn u8(mut self, v: u8) -> Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Append a `u32`.
+    pub fn u32(mut self, v: u32) -> Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a `u64`.
+    pub fn u64(mut self, v: u64) -> Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append an `f64`.
+    pub fn f64(mut self, v: f64) -> Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a global address.
+    pub fn gva(self, v: Gva) -> Self {
+        self.u64(v.0)
+    }
+
+    /// Append a length-prefixed byte slice.
+    pub fn bytes(mut self, v: &[u8]) -> Self {
+        self.buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Finish, yielding the payload.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Decodes arguments from a byte payload. Panics on malformed input —
+/// payloads are produced by [`ArgWriter`] in the same process, so a decode
+/// failure is a programming error, not an I/O condition.
+pub struct ArgReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ArgReader<'a> {
+    /// Read from `buf`.
+    pub fn new(buf: &'a [u8]) -> ArgReader<'a> {
+        ArgReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+
+    /// Next `u8`.
+    pub fn u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    /// Next `u32`.
+    pub fn u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().unwrap())
+    }
+
+    /// Next `u64`.
+    pub fn u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    /// Next `f64`.
+    pub fn f64(&mut self) -> f64 {
+        f64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    /// Next global address.
+    pub fn gva(&mut self) -> Gva {
+        Gva(self.u64())
+    }
+
+    /// Next length-prefixed byte slice.
+    pub fn bytes(&mut self) -> &'a [u8] {
+        let len = self.u32() as usize;
+        self.take(len)
+    }
+
+    /// Everything not yet consumed.
+    pub fn rest(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        s
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_types() {
+        let g = Gva::new(3, 10, 7, 5);
+        let payload = ArgWriter::new()
+            .u8(9)
+            .u32(70_000)
+            .u64(1 << 40)
+            .f64(2.5)
+            .gva(g)
+            .bytes(b"hello")
+            .finish();
+        let mut r = ArgReader::new(&payload);
+        assert_eq!(r.u8(), 9);
+        assert_eq!(r.u32(), 70_000);
+        assert_eq!(r.u64(), 1 << 40);
+        assert_eq!(r.f64(), 2.5);
+        assert_eq!(r.gva(), g);
+        assert_eq!(r.bytes(), b"hello");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn rest_consumes_tail() {
+        let payload = ArgWriter::new().u8(1).bytes(b"xyz").finish();
+        let mut r = ArgReader::new(&payload);
+        assert_eq!(r.u8(), 1);
+        assert_eq!(r.rest(), &[3, 0, 0, 0, b'x', b'y', b'z']);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn empty_bytes() {
+        let payload = ArgWriter::new().bytes(b"").finish();
+        let mut r = ArgReader::new(&payload);
+        assert_eq!(r.bytes(), b"");
+    }
+
+    #[test]
+    #[should_panic]
+    fn overread_panics() {
+        let payload = ArgWriter::new().u8(1).finish();
+        let mut r = ArgReader::new(&payload);
+        r.u8();
+        r.u8();
+    }
+}

@@ -1,0 +1,175 @@
+//! Collective operations: binomial-tree broadcast and LCO-based reduction.
+//!
+//! Broadcasts ride ordinary parcels targeted at per-locality *anchor*
+//! blocks (one block per locality, allocated at boot), so they exercise the
+//! same GAS routing as application traffic.
+
+use crate::codec::{ArgReader, ArgWriter};
+use crate::parcel::{ActionId, ActionRegistry, Parcel};
+use crate::rt::Runtime;
+use crate::sched;
+use crate::world::World;
+use agas::{alloc_array, Distribution, GlobalArray, Gva};
+use netsim::{Engine, LocalityId};
+
+/// Handles to the built-in collective actions.
+#[derive(Clone, Copy, Debug)]
+pub struct Collectives {
+    /// The broadcast-relay action.
+    pub relay: ActionId,
+    /// A no-op action that just fires its continuation (barriers).
+    pub nop: ActionId,
+    /// An action that replies with its locality id, rank-prefixed
+    /// (gather of ranks; also a liveness probe).
+    pub rank_probe: ActionId,
+}
+
+/// Size class of the per-locality anchor blocks.
+pub const ANCHOR_CLASS: u8 = 6;
+
+/// Register built-in collective actions (called by the runtime builder).
+pub fn install(registry: &mut ActionRegistry) -> Collectives {
+    let relay = registry.register("__bcast_relay", relay_action);
+    let nop = registry.register("__nop", |eng, ctx| {
+        sched::reply(eng, &ctx, vec![]);
+    });
+    let rank_probe = registry.register("__rank_probe", |eng, ctx| {
+        if let Some(cont) = ctx.cont {
+            crate::lco::set_gather(eng, ctx.loc, cont, ctx.loc, &ctx.loc.to_le_bytes());
+        }
+    });
+    Collectives {
+        relay,
+        nop,
+        rank_probe,
+    }
+}
+
+/// Allocate the per-locality anchor array (called at boot).
+pub fn alloc_anchors(eng: &mut Engine<World>) -> GlobalArray {
+    let n = eng.state.n_localities() as u64;
+    alloc_array(eng, n, ANCHOR_CLASS, Distribution::Cyclic)
+}
+
+/// Relay payload layout: rank, n, root, inner action, done LCO (0 = none),
+/// anchors base seq, then the inner args as `bytes`.
+fn relay_action(eng: &mut Engine<World>, ctx: crate::parcel::ActionCtx) {
+    let mut r = ArgReader::new(&ctx.args);
+    let rank = r.u32();
+    let n = r.u32();
+    let root = r.u32();
+    let inner = ActionId(r.u32());
+    let done = r.gva();
+    let inner_args = r.bytes().to_vec();
+    let loc = ctx.loc;
+
+    // Binomial tree over virtual ranks (rank 0 = root): children of rank r
+    // are r + 2^k for 2^k > r.
+    let mut k = 1u32;
+    while k <= rank {
+        k <<= 1;
+    }
+    while rank + k < n {
+        let child_rank = rank + k;
+        let child_loc = (root + child_rank) % n;
+        let child_anchor = anchor_of(eng, child_loc);
+        let args = ArgWriter::new()
+            .u32(child_rank)
+            .u32(n)
+            .u32(root)
+            .u32(inner.0)
+            .gva(done)
+            .bytes(&inner_args)
+            .finish();
+        sched::send_parcel(
+            eng,
+            loc,
+            Parcel {
+                target: child_anchor,
+                action: eng.state.registry_relay_id(),
+                args,
+                cont: None,
+                src: loc,
+                hops: 0,
+            },
+        );
+        k <<= 1;
+    }
+    // Run the inner action locally at this locality's anchor.
+    let my_anchor = anchor_of(eng, loc);
+    let cont = (!done.is_null()).then_some(done);
+    sched::send_parcel(
+        eng,
+        loc,
+        Parcel {
+            target: my_anchor,
+            action: inner,
+            args: inner_args,
+            cont,
+            src: loc,
+            hops: 0,
+        },
+    );
+}
+
+fn anchor_of(_eng: &Engine<World>, loc: LocalityId) -> Gva {
+    // Anchors are the first cyclic class-ANCHOR_CLASS allocation: block i is
+    // homed at locality i with seq 0.
+    Gva::new(loc, ANCHOR_CLASS, 0, 0)
+}
+
+/// Broadcast `action` to every locality's anchor via a binomial tree
+/// rooted at `root`. If `done` is a (non-null) LCO, every local delivery's
+/// reply contributes to it (size it with `n` inputs).
+pub fn broadcast(
+    rt: &mut Runtime,
+    root: LocalityId,
+    action: ActionId,
+    args: Vec<u8>,
+    done: Option<Gva>,
+) {
+    let n = rt.n();
+    let relay = rt.collectives.relay;
+    let payload = ArgWriter::new()
+        .u32(0)
+        .u32(n)
+        .u32(root)
+        .u32(action.0)
+        .gva(done.unwrap_or(Gva::NULL))
+        .bytes(&args)
+        .finish();
+    let target = rt.anchor(root);
+    rt.spawn(root, target, relay, payload, None);
+}
+
+/// Driver-side barrier: broadcast a no-op to every locality and wait for
+/// all completions; `cb` runs once the whole cluster processed it.
+pub fn barrier(rt: &mut Runtime, cb: impl FnOnce(&mut Engine<World>, Vec<u8>) + 'static) {
+    let n = rt.n() as u64;
+    let nop = rt.collectives.nop;
+    let gate = crate::lco::new_and(&mut rt.eng, 0, n);
+    broadcast(rt, 0, nop, Vec::new(), Some(gate));
+    crate::lco::attach_driver(&mut rt.eng, gate, cb);
+}
+
+/// Driver-side gather of every locality's id (a cluster liveness probe);
+/// `cb` receives the decoded `(rank, bytes)` list.
+pub fn gather_ranks(
+    rt: &mut Runtime,
+    cb: impl FnOnce(&mut Engine<World>, Vec<(u32, Vec<u8>)>) + 'static,
+) {
+    let n = rt.n() as u64;
+    let probe = rt.collectives.rank_probe;
+    let gather = crate::lco::new_gather(&mut rt.eng, 0, n);
+    broadcast(rt, 0, probe, Vec::new(), Some(gather));
+    crate::lco::attach_driver(&mut rt.eng, gather, move |eng, bytes| {
+        cb(eng, crate::lco::decode_gather(&bytes));
+    });
+}
+
+impl World {
+    pub(crate) fn registry_relay_id(&self) -> ActionId {
+        self.registry_lookup("__bcast_relay")
+            .expect("collectives not installed")
+    }
+}

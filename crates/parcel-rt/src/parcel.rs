@@ -1,0 +1,195 @@
+//! Parcels and actions.
+//!
+//! A *parcel* is the unit of work transfer in a message-driven runtime
+//! (HPX-5's term): it names a global address to act on, an action to run
+//! there, argument bytes, and an optional continuation LCO that receives
+//! the action's result. Parcels move **to the data**: if the target block
+//! has migrated, the parcel is forwarded rather than failed.
+
+use crate::world::World;
+use agas::Gva;
+use netsim::{Engine, LocalityId, PhysAddr};
+
+/// Identifies a registered action (uniform across all localities).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ActionId(pub u32);
+
+/// The reserved pseudo-action carried by LCO-set parcels.
+pub const ACTION_LCO_SET: ActionId = ActionId(u32::MAX);
+
+/// Bytes of parcel header on the wire (target + action + continuation +
+/// source), added to the payload when computing serialization cost.
+pub const PARCEL_HEADER_BYTES: u32 = 24;
+
+/// A unit of message-driven work.
+#[derive(Debug)]
+pub struct Parcel {
+    /// The global address the action operates on.
+    pub target: Gva,
+    /// The action to execute at the target.
+    pub action: ActionId,
+    /// Argument payload.
+    pub args: Vec<u8>,
+    /// LCO that receives the action's reply, if any.
+    pub cont: Option<Gva>,
+    /// The locality that created the parcel.
+    pub src: LocalityId,
+    /// Forwarding hops consumed so far.
+    pub hops: u8,
+}
+
+impl Parcel {
+    /// Wire footprint: payload plus the parcel header.
+    pub fn wire_size(&self) -> u32 {
+        self.args.len() as u32 + PARCEL_HEADER_BYTES
+    }
+
+    /// Serialize for a byte-oriented transport (the ISIR backend).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.args.len() + 32);
+        out.extend_from_slice(&self.target.0.to_le_bytes());
+        out.extend_from_slice(&self.action.0.to_le_bytes());
+        out.extend_from_slice(&self.cont.map_or(0, |g| g.0).to_le_bytes());
+        out.extend_from_slice(&self.src.to_le_bytes());
+        out.push(self.hops);
+        out.extend_from_slice(&self.args);
+        out
+    }
+
+    /// Inverse of [`Parcel::encode`].
+    pub fn decode(bytes: &[u8]) -> Parcel {
+        let target = Gva(u64::from_le_bytes(bytes[0..8].try_into().unwrap()));
+        let action = ActionId(u32::from_le_bytes(bytes[8..12].try_into().unwrap()));
+        let cont_raw = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+        let src = u32::from_le_bytes(bytes[20..24].try_into().unwrap());
+        let hops = bytes[24];
+        Parcel {
+            target,
+            action,
+            args: bytes[25..].to_vec(),
+            cont: (cont_raw != 0).then_some(Gva(cont_raw)),
+            src,
+            hops,
+        }
+    }
+}
+
+/// Everything an executing action sees.
+pub struct ActionCtx {
+    /// The locality the action runs at.
+    pub loc: LocalityId,
+    /// The parcel's target address.
+    pub target: Gva,
+    /// Physical base of the (pinned) target block in the local arena.
+    pub base: PhysAddr,
+    /// Size class of the target block.
+    pub class: u8,
+    /// Argument payload.
+    pub args: Vec<u8>,
+    /// Continuation LCO, if the sender wants the reply.
+    pub cont: Option<Gva>,
+    /// The sending locality.
+    pub src: LocalityId,
+}
+
+impl ActionCtx {
+    /// Physical address of the parcel's exact target byte.
+    pub fn target_phys(&self) -> PhysAddr {
+        self.base + self.target.offset()
+    }
+}
+
+/// The action function type. Actions run to completion (no blocking);
+/// asynchrony is expressed with further parcels and LCOs.
+pub type ActionFn = Box<dyn Fn(&mut Engine<World>, ActionCtx)>;
+
+/// The table of registered actions, identical on every locality (actions
+/// are registered before boot, as in any SPMD runtime).
+#[derive(Default)]
+pub struct ActionRegistry {
+    fns: Vec<ActionFn>,
+    names: Vec<String>,
+}
+
+impl ActionRegistry {
+    /// Empty registry.
+    pub fn new() -> ActionRegistry {
+        ActionRegistry::default()
+    }
+
+    /// Register `f` under `name`, returning its id.
+    pub fn register(
+        &mut self,
+        name: &str,
+        f: impl Fn(&mut Engine<World>, ActionCtx) + 'static,
+    ) -> ActionId {
+        let id = ActionId(self.fns.len() as u32);
+        self.fns.push(Box::new(f));
+        self.names.push(name.to_string());
+        id
+    }
+
+    /// Look up an action body.
+    pub fn get(&self, id: ActionId) -> &ActionFn {
+        &self.fns[id.0 as usize]
+    }
+
+    /// Look up an action's registered name (diagnostics).
+    pub fn name(&self, id: ActionId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// Number of registered actions.
+    pub fn len(&self) -> usize {
+        self.fns.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.fns.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_assigns_sequential_ids() {
+        let mut r = ActionRegistry::new();
+        let a = r.register("a", |_, _| {});
+        let b = r.register("b", |_, _| {});
+        assert_eq!(a, ActionId(0));
+        assert_eq!(b, ActionId(1));
+        assert_eq!(r.name(a), "a");
+        assert_eq!(r.name(b), "b");
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn wire_size_includes_header() {
+        let p = Parcel {
+            target: Gva::new(0, 6, 0, 0),
+            action: ActionId(0),
+            args: vec![0; 100],
+            cont: None,
+            src: 0,
+            hops: 0,
+        };
+        assert_eq!(p.wire_size(), 124);
+    }
+
+    #[test]
+    fn ctx_target_phys_adds_offset() {
+        let ctx = ActionCtx {
+            loc: 0,
+            target: Gva::new(0, 10, 0, 40),
+            base: 0x1000,
+            class: 10,
+            args: vec![],
+            cont: None,
+            src: 0,
+        };
+        assert_eq!(ctx.target_phys(), 0x1000 + 40);
+    }
+}

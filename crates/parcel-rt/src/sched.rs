@@ -1,0 +1,203 @@
+//! The per-locality parcel scheduler.
+//!
+//! Arriving parcels are routed (local execute vs. forward toward the
+//! block's owner), charged against the locality's worker pool, pinned
+//! against their target block, and run. The worker pool is *shared* with
+//! the GAS software handlers — in software-AGAS mode remote memory traffic
+//! and application actions fight for the same cores, which is precisely
+//! the contention the network-managed design removes.
+
+use crate::lco::{self, LCO_CLASS};
+use crate::parcel::{ActionCtx, Parcel, ACTION_LCO_SET};
+use crate::world::{Msg, Transport, World, PARCEL_TAG};
+use agas::GasWorld;
+use netsim::{send_user, Engine, LocalityId, Time};
+
+const MAX_PARCEL_HOPS: u8 = 64;
+
+/// Inject `parcel` from `from`: route it toward the believed owner of its
+/// target and send (loop-back when the first hop is local).
+pub fn send_parcel(eng: &mut Engine<World>, from: LocalityId, parcel: Parcel) {
+    eng.state.rt[from as usize].stats.parcels_sent += 1;
+    let first_hop = if parcel.target.class() == LCO_CLASS {
+        parcel.target.home()
+    } else {
+        match agas::ops::route(&mut eng.state, from, parcel.target) {
+            agas::ops::Route::Local { .. } => from,
+            agas::ops::Route::Forward(next) => next,
+        }
+    };
+    transmit(eng, from, first_hop, parcel);
+}
+
+/// Put a parcel on the wire toward `next` using the configured transport.
+pub(crate) fn transmit(eng: &mut Engine<World>, from: LocalityId, next: LocalityId, parcel: Parcel) {
+    match eng.state.rtcfg.transport {
+        Transport::Pwc => {
+            if let Some(ccfg) = eng.state.rtcfg.coalesce {
+                if from != next {
+                    coalesce(eng, from, next, parcel, ccfg);
+                    return;
+                }
+            }
+            let wire = parcel.wire_size();
+            send_user(eng, from, next, wire, Msg::Parcel(parcel));
+        }
+        Transport::Isir => {
+            // Serialize and go through the tag-matching two-sided path
+            // (eager/rendezvous + credits), as an MPI-backed runtime would.
+            let bytes = parcel.encode();
+            photon::send(eng, from, next, PARCEL_TAG, bytes, None);
+        }
+    }
+}
+
+/// Buffer `parcel` toward `next`, flushing on size or (armed once per
+/// buffer) after the configured delay.
+fn coalesce(
+    eng: &mut Engine<World>,
+    from: LocalityId,
+    next: LocalityId,
+    parcel: Parcel,
+    ccfg: crate::world::CoalesceConfig,
+) {
+    let (full, arm_timer) = {
+        let buf = eng.state.rt[from as usize]
+            .coalesce_buf
+            .entry(next)
+            .or_insert_with(|| (Vec::new(), 0, false));
+        buf.1 += parcel.wire_size() as usize;
+        buf.0.push(parcel);
+        let full = buf.0.len() >= ccfg.max_parcels || buf.1 >= ccfg.max_bytes;
+        let arm = !full && !buf.2;
+        if arm {
+            buf.2 = true;
+        }
+        (full, arm)
+    };
+    if full {
+        flush_coalesced(eng, from, next);
+    } else if arm_timer {
+        eng.schedule(ccfg.flush_after, move |eng| {
+            flush_coalesced(eng, from, next);
+        });
+    }
+}
+
+/// Send a destination's buffered parcels as one batch message.
+fn flush_coalesced(eng: &mut Engine<World>, from: LocalityId, next: LocalityId) {
+    let Some((parcels, bytes, _)) = eng.state.rt[from as usize].coalesce_buf.remove(&next) else {
+        return; // already flushed by the size trigger
+    };
+    if parcels.is_empty() {
+        return;
+    }
+    eng.state.rt[from as usize].stats.batches_sent += 1;
+    // One wire message: summed payloads + one shared header.
+    let wire = bytes as u32;
+    send_user(eng, from, next, wire, Msg::ParcelBatch(parcels));
+}
+
+/// A parcel arrived at `dst` (called from the world's packet dispatch).
+pub fn parcel_arrive(eng: &mut Engine<World>, _src: LocalityId, dst: LocalityId, parcel: Parcel) {
+    // LCO parcels: handled at the LCO's home with a light CPU charge.
+    if parcel.target.class() == LCO_CLASS {
+        let home = parcel.target.home();
+        if home != dst {
+            forward(eng, dst, parcel, home);
+            return;
+        }
+        debug_assert_eq!(parcel.action, ACTION_LCO_SET, "non-set parcel at an LCO");
+        let service = eng.state.rtcfg.lco_op;
+        let now = eng.now();
+        let (_, finish) = eng.state.cpu(dst).admit(now, service);
+        eng.state.cluster.loc_mut(dst).counters.cpu_busy += service;
+        let (lco, value) = (parcel.target, parcel.args);
+        eng.schedule_at(finish, move |eng| lco::apply(eng, dst, lco, value));
+        return;
+    }
+    match agas::ops::route(&mut eng.state, dst, parcel.target) {
+        agas::ops::Route::Local { .. } => {
+            // Charge the action dispatch + argument handling to a worker.
+            let (base_cost, per_byte) = {
+                let c = &eng.state.rtcfg;
+                (c.action_base, c.recv_per_byte_ps)
+            };
+            let service = base_cost + Time::from_ps(parcel.args.len() as u64 * per_byte);
+            let now = eng.now();
+            let (_, finish) = eng.state.cpu(dst).admit(now, service);
+            eng.state.cluster.loc_mut(dst).counters.cpu_busy += service;
+            let prof = eng.state.rt[dst as usize]
+                .action_profile
+                .entry(parcel.action.0)
+                .or_insert((0, Time::ZERO));
+            prof.0 += 1;
+            prof.1 += service;
+            eng.schedule_at(finish, move |eng| execute(eng, dst, parcel));
+        }
+        agas::ops::Route::Forward(next) => {
+            // Owner-cache hints are only trusted for the first hops; a
+            // parcel still bouncing re-routes through the authoritative
+            // home (stale caches can otherwise ping-pong it forever).
+            let home = parcel.target.home();
+            let next = if parcel.hops >= 2 && dst != home && next != home {
+                home
+            } else {
+                next
+            };
+            forward(eng, dst, parcel, next);
+        }
+    }
+}
+
+fn forward(eng: &mut Engine<World>, at: LocalityId, mut parcel: Parcel, next: LocalityId) {
+    assert!(
+        parcel.hops < MAX_PARCEL_HOPS,
+        "parcel to {:?} forwarded {} times (routing loop?)",
+        parcel.target,
+        parcel.hops
+    );
+    parcel.hops += 1;
+    eng.state.rt[at as usize].stats.parcels_forwarded += 1;
+    // A long chase means the target block is churning: back off so the
+    // migration can commit instead of racing our retransmissions.
+    let delay = if parcel.hops > 4 {
+        Time::from_ns(500) * (1u64 << (parcel.hops as u64 - 4).min(12))
+    } else {
+        Time::ZERO
+    };
+    eng.schedule(delay, move |eng| {
+        transmit(eng, at, next, parcel);
+    });
+}
+
+/// Run the action: pin the target block, invoke the handler, unpin.
+fn execute(eng: &mut Engine<World>, dst: LocalityId, parcel: Parcel) {
+    let Some((base, class)) = agas::ops::pin(&mut eng.state, dst, parcel.target) else {
+        // The block moved while the parcel queued; chase it.
+        parcel_arrive(eng, dst, dst, parcel);
+        return;
+    };
+    eng.state.rt[dst as usize].stats.parcels_executed += 1;
+    let registry = eng.state.registry.clone();
+    let target = parcel.target;
+    let ctx = ActionCtx {
+        loc: dst,
+        target,
+        base,
+        class,
+        args: parcel.args,
+        cont: parcel.cont,
+        src: parcel.src,
+    };
+    registry.get(parcel.action)(eng, ctx);
+    agas::ops::unpin(eng, dst, target);
+}
+
+/// Send `value` to an action's continuation LCO, if it has one. The usual
+/// last line of an action that produces a result.
+pub fn reply(eng: &mut Engine<World>, ctx: &ActionCtx, value: Vec<u8>) {
+    if let Some(cont) = ctx.cont {
+        lco::lco_set(eng, ctx.loc, cont, value);
+    }
+}

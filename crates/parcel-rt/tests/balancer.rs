@@ -1,0 +1,106 @@
+//! The in-runtime load-balancer service: telemetry-driven migration.
+
+use agas::{Distribution, GasMode};
+use netsim::Time;
+use parcel_rt::{BalancerConfig, Runtime};
+use std::cell::Cell;
+use std::rc::Rc;
+use workloads::driver::IssueFn;
+
+fn hot_traffic(rt: &mut Runtime, data: &agas::GlobalArray, ops_per_loc: u64) {
+    // Every locality hammers the first 4 blocks (all initially on loc 0).
+    let blocks = data.blocks.clone();
+    let issue: Rc<IssueFn> = Rc::new(move |eng, loc, seq, ctx| {
+        let gva = blocks[((seq + loc as u64) % 4) as usize];
+        agas::ops::memget(eng, loc, gva, 512, ctx);
+    });
+    let n = rt.n();
+    workloads::driver::pump_all(&mut rt.eng, n, ops_per_loc, 8, issue, |_| {});
+}
+
+#[test]
+fn balancer_spreads_hot_blocks() {
+    for mode in [GasMode::AgasSoftware, GasMode::AgasNetwork] {
+        let mut rt = Runtime::builder(4, mode).boot();
+        // Blocked placement: the 4 hot blocks start together on locality 0.
+        let data = rt.alloc(16, 13, Distribution::Blocked);
+        rt.start_balancer(BalancerConfig {
+            period: Time::from_us(100),
+            moves_per_round: 2,
+            min_heat: 4,
+            ..BalancerConfig::default()
+        });
+        hot_traffic(&mut rt, &data, 600);
+        rt.run();
+        rt.assert_quiescent();
+        let stats = rt.eng.state.balancer_stats;
+        assert!(stats.rounds >= 2, "{mode:?}: balancer never ran");
+        assert!(stats.migrations >= 2, "{mode:?}: balancer never moved anything");
+        // The 4 hot blocks must no longer share one locality.
+        let owners: std::collections::HashSet<u32> = (0..4u64)
+            .map(|i| {
+                let key = data.block(i).block_key();
+                (0..4u32)
+                    .find(|&l| rt.eng.state.gas[l as usize].btt.is_resident(key))
+                    .unwrap()
+            })
+            .collect();
+        assert!(owners.len() >= 2, "{mode:?}: hot set still colocated: {owners:?}");
+    }
+}
+
+#[test]
+fn balancer_stops_when_idle() {
+    let mut rt = Runtime::builder(2, GasMode::AgasNetwork).boot();
+    let _data = rt.alloc(4, 12, Distribution::Cyclic);
+    rt.start_balancer(BalancerConfig {
+        period: Time::from_us(50),
+        idle_rounds_to_stop: 2,
+        ..BalancerConfig::default()
+    });
+    // No traffic at all: the service must terminate so the engine quiesces.
+    rt.run();
+    assert!(rt.now() < Time::from_ms(1), "balancer kept the engine alive");
+    assert_eq!(rt.eng.state.balancer_stats.migrations, 0);
+}
+
+#[test]
+fn balancer_ignores_balanced_load() {
+    let mut rt = Runtime::builder(4, GasMode::AgasNetwork).boot();
+    // Cyclic placement: load is already even.
+    let data = rt.alloc(16, 13, Distribution::Cyclic);
+    rt.start_balancer(BalancerConfig {
+        period: Time::from_us(100),
+        ..BalancerConfig::default()
+    });
+    let blocks = data.blocks.clone();
+    let issue: Rc<IssueFn> = Rc::new(move |eng, loc, seq, ctx| {
+        // Uniform traffic over all 16 blocks.
+        let gva = blocks[((seq * 5 + loc as u64) % 16) as usize];
+        agas::ops::memget(eng, loc, gva, 256, ctx);
+    });
+    workloads::driver::pump_all(&mut rt.eng, 4, 400, 8, issue, |_| {});
+    rt.run();
+    assert_eq!(
+        rt.eng.state.balancer_stats.migrations, 0,
+        "balanced load must not trigger migrations"
+    );
+}
+
+#[test]
+fn balancer_under_traffic_is_deterministic() {
+    let run = || {
+        let mut rt = Runtime::builder(4, GasMode::AgasNetwork).seed(5).boot();
+        let data = rt.alloc(16, 13, Distribution::Blocked);
+        rt.start_balancer(BalancerConfig {
+            period: Time::from_us(100),
+            ..BalancerConfig::default()
+        });
+        hot_traffic(&mut rt, &data, 400);
+        rt.run();
+        (rt.eng.trace_hash(), rt.eng.state.balancer_stats.migrations)
+    };
+    let counted = Rc::new(Cell::new(0));
+    let _ = counted;
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,82 @@
+//! Collective operations: broadcast (covered in runtime.rs), barrier, and
+//! gather.
+
+use agas::GasMode;
+use parcel_rt::{barrier, gather_ranks, Runtime};
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+#[test]
+fn barrier_completes_on_all_sizes() {
+    for n in [1usize, 2, 3, 8, 16] {
+        let mut rt = Runtime::builder(n, GasMode::AgasNetwork).boot();
+        let fired = Rc::new(Cell::new(false));
+        let f = fired.clone();
+        barrier(&mut rt, move |_, _| f.set(true));
+        rt.run();
+        assert!(fired.get(), "n={n}");
+    }
+}
+
+#[test]
+fn gather_collects_every_rank_in_order() {
+    for n in [1usize, 2, 5, 9] {
+        let mut rt = Runtime::builder(n, GasMode::AgasSoftware).boot();
+        let got: Rc<RefCell<Vec<(u32, Vec<u8>)>>> = Rc::new(RefCell::new(Vec::new()));
+        let g = got.clone();
+        gather_ranks(&mut rt, move |_, parts| *g.borrow_mut() = parts);
+        rt.run();
+        let parts = got.borrow();
+        assert_eq!(parts.len(), n, "n={n}");
+        for (i, (rank, bytes)) in parts.iter().enumerate() {
+            assert_eq!(*rank, i as u32);
+            assert_eq!(bytes, &(i as u32).to_le_bytes().to_vec());
+        }
+    }
+}
+
+#[test]
+fn gather_lco_sorts_out_of_order_contributions() {
+    let mut rt = Runtime::builder(4, GasMode::AgasNetwork).boot();
+    let lco = parcel_rt::new_gather(&mut rt.eng, 0, 3);
+    // Contribute from three localities in scrambled rank order.
+    parcel_rt::set_gather(&mut rt.eng, 2, lco, 9, b"nine");
+    parcel_rt::set_gather(&mut rt.eng, 1, lco, 3, b"three");
+    parcel_rt::set_gather(&mut rt.eng, 3, lco, 5, b"five");
+    let got: Rc<RefCell<Vec<(u32, Vec<u8>)>>> = Rc::new(RefCell::new(Vec::new()));
+    let g = got.clone();
+    parcel_rt::attach_driver(&mut rt.eng, lco, move |_, bytes| {
+        *g.borrow_mut() = parcel_rt::decode_gather(&bytes);
+    });
+    rt.run();
+    let parts = got.borrow();
+    assert_eq!(
+        &*parts,
+        &[
+            (3, b"three".to_vec()),
+            (5, b"five".to_vec()),
+            (9, b"nine".to_vec())
+        ]
+    );
+}
+
+#[test]
+fn sequential_barriers_preserve_phases() {
+    // Classic BSP check: work from phase k+1 never observes phase k
+    // incomplete. We count phase completions through two barriers.
+    let mut rt = Runtime::builder(6, GasMode::AgasNetwork).boot();
+    let log: Rc<RefCell<Vec<&'static str>>> = Rc::new(RefCell::new(Vec::new()));
+    let l1 = log.clone();
+    let l2 = log.clone();
+    barrier(&mut rt, move |eng, _| {
+        l1.borrow_mut().push("phase1");
+        // Start phase 2 only after phase 1's barrier fired.
+        let rt_state = &mut eng.state;
+        let _ = rt_state;
+        l1.borrow_mut().push("phase2-start");
+    });
+    rt.run();
+    barrier(&mut rt, move |_, _| l2.borrow_mut().push("phase2"));
+    rt.run();
+    assert_eq!(&*log.borrow(), &["phase1", "phase2-start", "phase2"]);
+}

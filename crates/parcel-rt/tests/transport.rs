@@ -1,0 +1,181 @@
+//! The two parcel network backends (HPX-5's `--hpx-network` knob):
+//! PWC (one-sided delivery) vs ISIR (two-sided tag matching).
+
+use agas::{Distribution, GasMode};
+use netsim::Time;
+use parcel_rt::{ArgReader, ArgWriter, Parcel, RtConfig, Runtime, Transport};
+use std::cell::Cell;
+use std::rc::Rc;
+
+fn isir() -> RtConfig {
+    RtConfig {
+        transport: Transport::Isir,
+        ..RtConfig::default()
+    }
+}
+
+#[test]
+fn parcel_codec_round_trips() {
+    let p = Parcel {
+        target: agas::Gva::new(3, 12, 9, 100),
+        action: parcel_rt::ActionId(7),
+        args: vec![1, 2, 3, 4, 5],
+        cont: Some(agas::Gva::new(0, 3, 4, 0)),
+        src: 2,
+        hops: 5,
+    };
+    let q = Parcel::decode(&p.encode());
+    assert_eq!(q.target, p.target);
+    assert_eq!(q.action, p.action);
+    assert_eq!(q.args, p.args);
+    assert_eq!(q.cont, p.cont);
+    assert_eq!(q.src, p.src);
+    assert_eq!(q.hops, p.hops);
+}
+
+#[test]
+fn parcel_codec_none_continuation() {
+    let p = Parcel {
+        target: agas::Gva::new(0, 6, 0, 0),
+        action: parcel_rt::ActionId(0),
+        args: vec![],
+        cont: None,
+        src: 0,
+        hops: 0,
+    };
+    let q = Parcel::decode(&p.encode());
+    assert_eq!(q.cont, None);
+    assert!(q.args.is_empty());
+}
+
+#[test]
+fn isir_transport_delivers_parcels() {
+    for mode in GasMode::ALL {
+        let mut b = Runtime::builder(4, mode);
+        let count = Rc::new(Cell::new(0u32));
+        let c2 = count.clone();
+        let bump = b.register("bump", move |eng, ctx| {
+            c2.set(c2.get() + 1);
+            let phys = ctx.target_phys();
+            eng.state.cluster.mem_mut(ctx.loc).xor_u64(phys, 1).unwrap();
+            parcel_rt::reply(eng, &ctx, vec![]);
+        });
+        let mut rt = b.rt_config(isir()).boot();
+        let arr = rt.alloc(8, 12, Distribution::Cyclic);
+        let done = rt.new_and(0, 24);
+        for i in 0..24u64 {
+            rt.spawn((i % 4) as u32, arr.block(i % 8), bump, vec![], Some(done));
+        }
+        let fired = Rc::new(Cell::new(false));
+        let f = fired.clone();
+        rt.wait_lco(done, move |_, _| f.set(true));
+        rt.run();
+        assert!(fired.get(), "{mode:?}");
+        assert_eq!(count.get(), 24, "{mode:?}");
+    }
+}
+
+#[test]
+fn isir_large_parcels_take_rendezvous() {
+    let mut b = Runtime::builder(2, GasMode::AgasNetwork);
+    let got = Rc::new(Cell::new(0usize));
+    let g2 = got.clone();
+    let sink = b.register("sink", move |eng, ctx| {
+        let mut r = ArgReader::new(&ctx.args);
+        g2.set(r.bytes().len());
+        parcel_rt::reply(eng, &ctx, vec![]);
+    });
+    let mut rt = b.rt_config(isir()).boot();
+    let arr = rt.alloc(2, 12, Distribution::Cyclic);
+    let payload = vec![7u8; 100_000];
+    let fut = rt.new_future(0);
+    rt.spawn(0, arr.block(1), sink, ArgWriter::new().bytes(&payload).finish(), Some(fut));
+    let fired = Rc::new(Cell::new(false));
+    let f = fired.clone();
+    rt.wait_lco(fut, move |_, _| f.set(true));
+    rt.run();
+    assert!(fired.get());
+    assert_eq!(got.get(), 100_000);
+    // The payload crossed the eager threshold: rendezvous must have run.
+    assert!(rt.eng.state.eps[0].stats.rdv_sends >= 1);
+}
+
+#[test]
+fn isir_parcels_chase_migrating_blocks() {
+    let mut b = Runtime::builder(4, GasMode::AgasNetwork);
+    let count = Rc::new(Cell::new(0u32));
+    let c2 = count.clone();
+    let bump = b.register("bump", move |eng, ctx| {
+        c2.set(c2.get() + 1);
+        parcel_rt::reply(eng, &ctx, vec![]);
+    });
+    let mut rt = b.rt_config(isir()).boot();
+    let arr = rt.alloc(2, 12, Distribution::Cyclic);
+    let done = rt.new_and(0, 20);
+    for round in 0..4u32 {
+        for _ in 0..5 {
+            rt.spawn(0, arr.block(1), bump, vec![], Some(done));
+        }
+        rt.migrate(2, arr.block(1), round % 4);
+    }
+    let fired = Rc::new(Cell::new(false));
+    let f = fired.clone();
+    rt.wait_lco(done, move |_, _| f.set(true));
+    rt.run();
+    assert!(fired.get());
+    assert_eq!(count.get(), 20);
+}
+
+#[test]
+fn pwc_transport_has_lower_parcel_latency() {
+    // The paper's premise for building on Photon: one-sided delivery beats
+    // two-sided matching for small parcels.
+    let latency = |transport| {
+        let mut b = Runtime::builder(2, GasMode::AgasNetwork);
+        let nop = b.register("nop", |eng, ctx| parcel_rt::reply(eng, &ctx, vec![]));
+        let mut rt = b
+            .rt_config(RtConfig {
+                transport,
+                ..RtConfig::default()
+            })
+            .boot();
+        let arr = rt.alloc(2, 12, Distribution::Cyclic);
+        let fut = rt.new_future(0);
+        let t0 = rt.now();
+        rt.spawn(0, arr.block(1), nop, vec![0u8; 64], Some(fut));
+        let done = Rc::new(Cell::new(Time::ZERO));
+        let d2 = done.clone();
+        rt.wait_lco(fut, move |eng, _| d2.set(eng.now()));
+        rt.run();
+        done.get() - t0
+    };
+    let pwc = latency(Transport::Pwc);
+    let isir = latency(Transport::Isir);
+    assert!(isir > pwc, "isir={isir} pwc={pwc}");
+}
+
+#[test]
+fn transports_agree_on_results() {
+    // Same program, both backends: identical final memory state.
+    let run = |transport| {
+        let mut b = Runtime::builder(3, GasMode::AgasSoftware);
+        workloads::gups::register_actions(&mut b);
+        let mut rt = b
+            .rt_config(RtConfig {
+                transport,
+                ..RtConfig::default()
+            })
+            .boot();
+        let cfg = workloads::gups::GupsConfig {
+            cells_per_loc: 256,
+            updates_per_loc: 100,
+            window: 4,
+            use_actions: true,
+            ..workloads::gups::GupsConfig::default()
+        };
+        let table = workloads::gups::alloc_table(&mut rt, &cfg);
+        workloads::gups::run(&mut rt, &cfg, &table);
+        workloads::gups::table_checksum(&rt, &table)
+    };
+    assert_eq!(run(Transport::Pwc), run(Transport::Isir));
+}

@@ -1,0 +1,1167 @@
+//! # photon — RMA middleware reproduction
+//!
+//! A reproduction of the Photon remote-memory-access middleware (Kissel &
+//! Swany, IPDRM'16) that HPX-5's network layer — and this paper's
+//! network-managed address space — is built on. Photon's defining primitive
+//! is **put/get-with-completion (PWC)**: a one-sided operation that delivers
+//! a *local* completion identifier to the initiator and, for puts, a
+//! *remote* completion identifier into a ledger at the target, letting a
+//! message-driven runtime attach rendezvous-free notifications to RDMA.
+//!
+//! Provided here, over the [`netsim`] substrate:
+//!
+//! * [`pwc_put`] / [`pwc_get`] — one-sided ops on physical *or* virtual
+//!   (NIC-translated) targets, with local/remote completion callbacks;
+//! * [`send`] / [`post_recv`] — two-sided tag-matched messaging with an
+//!   eager path (payload inline, one copy) and a rendezvous RTS/CTS path
+//!   (zero-copy RDMA) above [`PhotonConfig::eager_threshold`];
+//! * credit-based flow control over per-peer eager ledgers;
+//! * a registration cache ([`rcache::RegCache`]) modeling memory-pinning
+//!   costs.
+//!
+//! The layer above implements [`PhotonWorld`]: it stores one
+//! [`PhotonEndpoint`] per locality, embeds [`PhotonMsg`] in its wire enum,
+//! and receives completion callbacks.
+
+pub mod config;
+pub mod matching;
+pub mod rcache;
+
+pub use config::PhotonConfig;
+pub use matching::{MatchQueue, Unexpected, ANY_TAG};
+pub use rcache::RegCache;
+
+use netsim::{
+    rdma_get, rdma_put, send_user, Engine, GetReq, LocalityId, NackReason, OpKind, Packet,
+    PhysAddr, Protocol, PutReq, RdmaTarget, Time,
+};
+use std::collections::{HashMap, VecDeque};
+
+/// Tag bit reserved for Photon's internal rendezvous-completion notes.
+/// Upper-layer `remote_tag`s must keep this bit clear.
+pub const RDV_NOTE_BIT: u64 = 1 << 63;
+
+/// Photon's wire-control messages, embedded into the world's message enum
+/// via [`PhotonWorld::wrap`].
+#[derive(Debug)]
+pub enum PhotonMsg {
+    /// Small message: payload travels inline, lands in the eager ledger.
+    Eager {
+        /// Match tag.
+        tag: u64,
+        /// Sender-side handle (returned by [`send`]).
+        send_id: u64,
+        /// Inline payload.
+        data: Vec<u8>,
+    },
+    /// Rendezvous request-to-send for a large payload.
+    Rts {
+        /// Match tag.
+        tag: u64,
+        /// Sender-side handle.
+        send_id: u64,
+        /// Payload length.
+        len: u32,
+    },
+    /// Clear-to-send: the receiver allocated and registered a landing
+    /// buffer at physical address `dst`.
+    Cts {
+        /// Echoed sender handle.
+        send_id: u64,
+        /// Landing buffer in the receiver's arena.
+        dst: PhysAddr,
+    },
+    /// One eager-ledger credit flowing back to the sender.
+    CreditReturn,
+}
+
+/// Endpoint statistics (per locality).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhotonStats {
+    /// Eager-path sends injected.
+    pub eager_sends: u64,
+    /// Rendezvous-path sends started.
+    pub rdv_sends: u64,
+    /// Sends that stalled waiting for eager credits.
+    pub stalled_sends: u64,
+    /// PWC puts initiated.
+    pub pwc_puts: u64,
+    /// PWC gets initiated.
+    pub pwc_gets: u64,
+    /// Credits returned to peers.
+    pub credits_returned: u64,
+}
+
+enum Pending {
+    Pwc { ctx: u64 },
+    RdvData { send_id: u64 },
+}
+
+struct RdvSend {
+    dst: LocalityId,
+    data: Vec<u8>,
+    local_src: Option<(PhysAddr, u64)>,
+}
+
+struct RdvRecv {
+    src: LocalityId,
+    tag: u64,
+    addr: PhysAddr,
+    len: u32,
+    class: u8,
+}
+
+/// Per-locality Photon endpoint state.
+pub struct PhotonEndpoint {
+    /// Tuning parameters.
+    pub cfg: PhotonConfig,
+    /// Endpoint statistics.
+    pub stats: PhotonStats,
+    ops: HashMap<u64, Pending>,
+    rcache: RegCache,
+    matching: MatchQueue,
+    credits: HashMap<LocalityId, usize>,
+    backlog: HashMap<LocalityId, VecDeque<(u64, u64, Vec<u8>)>>, // (tag, send_id, data)
+    rdv_sends: HashMap<u64, RdvSend>,
+    rdv_recvs: HashMap<u64, RdvRecv>,
+    next_send_id: u64,
+    remote_ledger: VecDeque<(u64, u32)>,
+}
+
+impl PhotonEndpoint {
+    /// Create an endpoint with the given configuration.
+    pub fn new(cfg: PhotonConfig) -> PhotonEndpoint {
+        PhotonEndpoint {
+            rcache: RegCache::new(&cfg),
+            cfg,
+            stats: PhotonStats::default(),
+            ops: HashMap::new(),
+            matching: MatchQueue::new(),
+            credits: HashMap::new(),
+            backlog: HashMap::new(),
+            rdv_sends: HashMap::new(),
+            rdv_recvs: HashMap::new(),
+            next_send_id: 0,
+            remote_ledger: VecDeque::new(),
+        }
+    }
+
+    /// Pop the oldest unconsumed remote-completion ledger entry
+    /// (`photon_probe_ledger` in the original API): `(tag, len)` of a PWC
+    /// put that landed here. Entries accumulate alongside the
+    /// [`PhotonWorld::pwc_remote`] callback; polling consumers drain them.
+    pub fn probe_ledger(&mut self) -> Option<(u64, u32)> {
+        self.remote_ledger.pop_front()
+    }
+
+    /// Unconsumed remote-ledger entries.
+    pub fn ledger_depth(&self) -> usize {
+        self.remote_ledger.len()
+    }
+
+    /// Registration-cache statistics: `(hits, misses)` in pages.
+    pub fn rcache_stats(&self) -> (u64, u64) {
+        (self.rcache.hits(), self.rcache.misses())
+    }
+
+    /// Outstanding one-sided operations.
+    pub fn outstanding_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The matching engine (exposed for tests and diagnostics).
+    pub fn match_queue(&self) -> &MatchQueue {
+        &self.matching
+    }
+
+    /// Remaining eager credits toward `peer`.
+    pub fn credits_to(&self, peer: LocalityId) -> usize {
+        *self.credits.get(&peer).unwrap_or(&self.cfg.ledger_slots)
+    }
+
+    fn take_credit(&mut self, peer: LocalityId) -> bool {
+        let slots = self.cfg.ledger_slots;
+        let c = self.credits.entry(peer).or_insert(slots);
+        if *c > 0 {
+            *c -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn return_credit(&mut self, peer: LocalityId) {
+        let slots = self.cfg.ledger_slots;
+        *self.credits.entry(peer).or_insert(slots) += 1;
+    }
+}
+
+/// The contract between Photon and the layer above it.
+pub trait PhotonWorld: Protocol {
+    /// The endpoint owned by locality `loc`.
+    fn endpoint(&mut self, loc: LocalityId) -> &mut PhotonEndpoint;
+    /// Embed a Photon control message into the world's wire enum.
+    fn wrap(msg: PhotonMsg) -> Self::Msg;
+
+    /// An initiated PWC operation completed; `ctx` is the caller's context.
+    fn pwc_complete(eng: &mut Engine<Self>, loc: LocalityId, ctx: u64);
+    /// A PWC put addressed *to this locality* became visible, carrying the
+    /// initiator's `remote_tag` (Photon's remote completion ledger).
+    fn pwc_remote(eng: &mut Engine<Self>, loc: LocalityId, tag: u64, len: u32);
+    /// An initiated PWC operation bounced (translation miss/forward-fail).
+    fn pwc_failed(
+        eng: &mut Engine<Self>,
+        loc: LocalityId,
+        ctx: u64,
+        kind: OpKind,
+        reason: NackReason,
+        block: u64,
+    );
+    /// A two-sided message matched a posted receive and its payload is
+    /// available.
+    fn recv_complete(
+        eng: &mut Engine<Self>,
+        loc: LocalityId,
+        src: LocalityId,
+        tag: u64,
+        data: Vec<u8>,
+    );
+    /// A two-sided send's payload has left the initiator (safe to reuse).
+    fn send_complete(eng: &mut Engine<Self>, loc: LocalityId, send_id: u64);
+    /// The local NIC raised a translation-table miss interrupt for `block`
+    /// (an incoming one-sided op found no entry). Worlds running
+    /// network-managed AGAS reinstall resident-but-evicted entries here;
+    /// the default ignores it.
+    fn xlate_miss_local(eng: &mut Engine<Self>, loc: LocalityId, block: u64) {
+        let _ = (eng, loc, block);
+    }
+}
+
+fn copy_time(cfg: &PhotonConfig, len: usize) -> Time {
+    Time::from_ps(len as u64 * cfg.copy_per_byte_ps)
+}
+
+fn size_class_for(len: u32) -> u8 {
+    let needed = len.max(64);
+    (u32::BITS - (needed - 1).leading_zeros()) as u8
+}
+
+// ------------------------------------------------------------------ PWC
+
+/// One-sided put with completion. `ctx` returns via
+/// [`PhotonWorld::pwc_complete`] (or `pwc_failed`); `remote_tag`, if set,
+/// surfaces at the target via [`PhotonWorld::pwc_remote`]. `local_src`
+/// describes where the payload lives in the initiator's arena for
+/// registration-cost accounting (`None` = pre-registered pool).
+#[allow(clippy::too_many_arguments)]
+pub fn pwc_put<S: PhotonWorld>(
+    eng: &mut Engine<S>,
+    src: LocalityId,
+    dst: LocalityId,
+    target: RdmaTarget,
+    data: Vec<u8>,
+    ctx: u64,
+    remote_tag: Option<u64>,
+    local_src: Option<(PhysAddr, u64)>,
+) {
+    if let Some(tag) = remote_tag {
+        assert_eq!(tag & RDV_NOTE_BIT, 0, "remote_tag bit 63 is reserved");
+    }
+    let ep = eng.state.endpoint(src);
+    ep.stats.pwc_puts += 1;
+    let cfg = ep.cfg;
+    let reg_delay = match local_src {
+        Some((addr, len)) => ep.rcache.register(&cfg, addr, len),
+        None => Time::ZERO,
+    };
+    let ttl = eng.state.cluster_ref().config.forward_ttl;
+    let op = eng.state.cluster().alloc_op();
+    eng.state
+        .endpoint(src)
+        .ops
+        .insert(op.0, Pending::Pwc { ctx });
+    eng.schedule(reg_delay, move |eng| {
+        rdma_put(
+            eng,
+            src,
+            PutReq {
+                target: dst,
+                dst: target,
+                data,
+                op,
+                remote_tag,
+                ttl,
+            },
+        );
+    });
+}
+
+/// One-sided get with completion: reads `len` bytes from `target` at `dst`
+/// into the initiator's arena at `local`. `local_src` describes the landing
+/// buffer for registration-cost accounting (`None` = pre-registered pool,
+/// e.g. the runtime's scratch allocator).
+#[allow(clippy::too_many_arguments)]
+pub fn pwc_get<S: PhotonWorld>(
+    eng: &mut Engine<S>,
+    src: LocalityId,
+    dst: LocalityId,
+    target: RdmaTarget,
+    len: u32,
+    local: PhysAddr,
+    ctx: u64,
+    local_src: Option<(PhysAddr, u64)>,
+) {
+    let ep = eng.state.endpoint(src);
+    ep.stats.pwc_gets += 1;
+    let cfg = ep.cfg;
+    let reg_delay = match local_src {
+        Some((addr, l)) => ep.rcache.register(&cfg, addr, l),
+        None => Time::ZERO,
+    };
+    let ttl = eng.state.cluster_ref().config.forward_ttl;
+    let op = eng.state.cluster().alloc_op();
+    eng.state
+        .endpoint(src)
+        .ops
+        .insert(op.0, Pending::Pwc { ctx });
+    eng.schedule(reg_delay, move |eng| {
+        rdma_get(
+            eng,
+            src,
+            GetReq {
+                target: dst,
+                src: target,
+                len,
+                local,
+                op,
+                ttl,
+            },
+        );
+    });
+}
+
+// ------------------------------------------------------------------ two-sided
+
+/// Two-sided tag-matched send. Returns the send handle; completion of the
+/// local buffer arrives via [`PhotonWorld::send_complete`]. Payloads at or
+/// below the eager threshold travel inline (consuming one eager credit);
+/// larger payloads run the rendezvous protocol. `local_src` feeds the
+/// registration cache on the rendezvous path.
+pub fn send<S: PhotonWorld>(
+    eng: &mut Engine<S>,
+    src: LocalityId,
+    dst: LocalityId,
+    tag: u64,
+    data: Vec<u8>,
+    local_src: Option<(PhysAddr, u64)>,
+) -> u64 {
+    let ep = eng.state.endpoint(src);
+    let send_id = ep.next_send_id;
+    ep.next_send_id += 1;
+    let eager_threshold = ep.cfg.eager_threshold;
+    if data.len() as u32 <= eager_threshold {
+        if ep.take_credit(dst) {
+            ep.stats.eager_sends += 1;
+            inject_eager(eng, src, dst, tag, send_id, data);
+        } else {
+            ep.stats.stalled_sends += 1;
+            ep.backlog
+                .entry(dst)
+                .or_default()
+                .push_back((tag, send_id, data));
+        }
+    } else {
+        ep.stats.rdv_sends += 1;
+        let len = data.len() as u32;
+        ep.rdv_sends.insert(
+            send_id,
+            RdvSend {
+                dst,
+                data,
+                local_src,
+            },
+        );
+        let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
+        send_user(
+            eng,
+            src,
+            dst,
+            ctrl,
+            S::wrap(PhotonMsg::Rts { tag, send_id, len }),
+        );
+    }
+    send_id
+}
+
+fn inject_eager<S: PhotonWorld>(
+    eng: &mut Engine<S>,
+    src: LocalityId,
+    dst: LocalityId,
+    tag: u64,
+    send_id: u64,
+    data: Vec<u8>,
+) {
+    let wire = data.len() as u32;
+    send_user(
+        eng,
+        src,
+        dst,
+        wire,
+        S::wrap(PhotonMsg::Eager { tag, send_id, data }),
+    );
+    // The payload is buffered/injected; the local buffer is reusable now.
+    eng.schedule(Time::ZERO, move |eng| S::send_complete(eng, src, send_id));
+}
+
+/// Post a receive for `tag` (or [`ANY_TAG`]) at `loc`. Matching messages —
+/// already arrived or future — surface via [`PhotonWorld::recv_complete`].
+pub fn post_recv<S: PhotonWorld>(eng: &mut Engine<S>, loc: LocalityId, tag: u64) {
+    if let Some(msg) = eng.state.endpoint(loc).matching.post(tag) {
+        dispatch_match(eng, loc, msg);
+    }
+}
+
+fn dispatch_match<S: PhotonWorld>(eng: &mut Engine<S>, loc: LocalityId, msg: Unexpected) {
+    match msg {
+        Unexpected::Eager { src, tag, data, .. } => consume_eager(eng, loc, src, tag, data),
+        Unexpected::Rts {
+            src,
+            tag,
+            send_id,
+            len,
+        } => start_rdv_recv(eng, loc, src, tag, send_id, len),
+    }
+}
+
+fn consume_eager<S: PhotonWorld>(
+    eng: &mut Engine<S>,
+    loc: LocalityId,
+    src: LocalityId,
+    tag: u64,
+    data: Vec<u8>,
+) {
+    let ep = eng.state.endpoint(loc);
+    let copy = ep.cfg.match_overhead + copy_time(&ep.cfg, data.len());
+    ep.stats.credits_returned += 1;
+    let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
+    send_user(eng, loc, src, ctrl, S::wrap(PhotonMsg::CreditReturn));
+    eng.schedule(copy, move |eng| S::recv_complete(eng, loc, src, tag, data));
+}
+
+fn start_rdv_recv<S: PhotonWorld>(
+    eng: &mut Engine<S>,
+    loc: LocalityId,
+    src: LocalityId,
+    tag: u64,
+    send_id: u64,
+    len: u32,
+) {
+    // The RTS went through the matching engine too.
+    let match_cost = eng.state.endpoint(loc).cfg.match_overhead;
+    eng.schedule(match_cost, move |eng| {
+        start_rdv_recv_matched(eng, loc, src, tag, send_id, len);
+    });
+}
+
+fn start_rdv_recv_matched<S: PhotonWorld>(
+    eng: &mut Engine<S>,
+    loc: LocalityId,
+    src: LocalityId,
+    tag: u64,
+    send_id: u64,
+    len: u32,
+) {
+    let class = size_class_for(len);
+    let addr = eng
+        .state
+        .cluster()
+        .mem_mut(loc)
+        .alloc_block(class)
+        .expect("rendezvous landing buffer allocation failed");
+    eng.state.endpoint(loc).rdv_recvs.insert(
+        send_id,
+        RdvRecv {
+            src,
+            tag,
+            addr,
+            len,
+            class,
+        },
+    );
+    let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
+    send_user(
+        eng,
+        loc,
+        src,
+        ctrl,
+        S::wrap(PhotonMsg::Cts { send_id, dst: addr }),
+    );
+}
+
+// ------------------------------------------------------------------ dispatch
+
+/// Handle a Photon control message delivered to `at` from `from`.
+/// The world's [`Protocol::deliver`] routes `Packet::User` payloads that
+/// decode to [`PhotonMsg`] here.
+pub fn handle_msg<S: PhotonWorld>(
+    eng: &mut Engine<S>,
+    from: LocalityId,
+    at: LocalityId,
+    msg: PhotonMsg,
+) {
+    match msg {
+        PhotonMsg::Eager { tag, send_id, data } => {
+            let arrived = eng.state.endpoint(at).matching.arrive(Unexpected::Eager {
+                src: from,
+                tag,
+                send_id,
+                data,
+            });
+            if let Some(m) = arrived {
+                dispatch_match(eng, at, m);
+            }
+        }
+        PhotonMsg::Rts { tag, send_id, len } => {
+            let arrived = eng.state.endpoint(at).matching.arrive(Unexpected::Rts {
+                src: from,
+                tag,
+                send_id,
+                len,
+            });
+            if let Some(m) = arrived {
+                dispatch_match(eng, at, m);
+            }
+        }
+        PhotonMsg::Cts { send_id, dst } => {
+            let ep = eng.state.endpoint(at);
+            let cfg = ep.cfg;
+            let rdv = ep
+                .rdv_sends
+                .remove(&send_id)
+                .expect("CTS for unknown rendezvous send");
+            debug_assert_eq!(rdv.dst, from);
+            let reg_delay = match rdv.local_src {
+                Some((addr, len)) => eng.state.endpoint(at).rcache.register(&cfg, addr, len),
+                None => Time::ZERO,
+            };
+            let op = eng.state.cluster().alloc_op();
+            eng.state
+                .endpoint(at)
+                .ops
+                .insert(op.0, Pending::RdvData { send_id });
+            let data = rdv.data;
+            let ttl = eng.state.cluster_ref().config.forward_ttl;
+            eng.schedule(reg_delay, move |eng| {
+                rdma_put(
+                    eng,
+                    at,
+                    PutReq {
+                        target: from,
+                        dst: RdmaTarget::Phys(dst),
+                        data,
+                        op,
+                        remote_tag: Some(RDV_NOTE_BIT | send_id),
+                        ttl,
+                    },
+                );
+            });
+        }
+        PhotonMsg::CreditReturn => {
+            let ep = eng.state.endpoint(at);
+            ep.return_credit(from);
+            // Drain at most one backlogged eager send toward that peer.
+            let next = ep.backlog.get_mut(&from).and_then(VecDeque::pop_front);
+            if let Some((tag, send_id, data)) = next {
+                let took = eng.state.endpoint(at).take_credit(from);
+                debug_assert!(took);
+                eng.state.endpoint(at).stats.eager_sends += 1;
+                inject_eager(eng, at, from, tag, send_id, data);
+            }
+        }
+    }
+}
+
+/// Handle a NIC-generated packet (completion, remote note, NACK) delivered
+/// to `at`. The world's [`Protocol::deliver`] routes every non-`User`
+/// packet here.
+pub fn handle_completion<S: PhotonWorld>(
+    eng: &mut Engine<S>,
+    _from: LocalityId,
+    at: LocalityId,
+    packet: Packet<S::Msg>,
+) {
+    match packet {
+        Packet::PutDone { op } | Packet::GetDone { op } => {
+            match eng.state.endpoint(at).ops.remove(&op.0) {
+                Some(Pending::Pwc { ctx }) => S::pwc_complete(eng, at, ctx),
+                Some(Pending::RdvData { send_id }) => S::send_complete(eng, at, send_id),
+                None => panic!("completion for unknown op {}", op.0),
+            }
+        }
+        Packet::RemoteNote { tag, len } => {
+            if tag & RDV_NOTE_BIT != 0 {
+                let send_id = tag & !RDV_NOTE_BIT;
+                let rr = eng
+                    .state
+                    .endpoint(at)
+                    .rdv_recvs
+                    .remove(&send_id)
+                    .expect("rendezvous note for unknown recv");
+                let data = eng
+                    .state
+                    .cluster()
+                    .mem(at)
+                    .read(rr.addr, rr.len as usize)
+                    .expect("rendezvous buffer vanished")
+                    .to_vec();
+                eng.state
+                    .cluster()
+                    .mem_mut(at)
+                    .free_block(rr.addr, rr.class);
+                S::recv_complete(eng, at, rr.src, rr.tag, data);
+            } else {
+                let ep = eng.state.endpoint(at);
+                if ep.remote_ledger.len() >= 4096 {
+                    ep.remote_ledger.pop_front();
+                }
+                ep.remote_ledger.push_back((tag, len));
+                S::pwc_remote(eng, at, tag, len);
+            }
+        }
+        Packet::XlateMiss { block } => S::xlate_miss_local(eng, at, block),
+        Packet::Nack {
+            op,
+            kind,
+            reason,
+            block,
+        } => match eng.state.endpoint(at).ops.remove(&op.0) {
+            Some(Pending::Pwc { ctx }) => S::pwc_failed(eng, at, ctx, kind, reason, block),
+            Some(Pending::RdvData { .. }) => {
+                panic!("rendezvous data put NACKed ({reason:?}): physical targets cannot miss")
+            }
+            None => panic!("NACK for unknown op {}", op.0),
+        },
+        Packet::User(_) => {
+            panic!("handle_completion received a User packet; route it via handle_msg")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{Cluster, Envelope, NetConfig, XlateEntry};
+
+    enum Msg {
+        P(PhotonMsg),
+    }
+
+    #[derive(Debug, PartialEq)]
+    enum Event {
+        PwcDone(u64),
+        PwcRemote(u64, u32),
+        PwcFail(u64),
+        Recv { src: u32, tag: u64, len: usize },
+        SendDone(u64),
+    }
+
+    struct World {
+        cluster: Cluster,
+        eps: Vec<PhotonEndpoint>,
+        events: Vec<(Time, LocalityId, Event)>,
+        payloads: Vec<Vec<u8>>,
+    }
+
+    impl World {
+        fn new(n: usize, pcfg: PhotonConfig) -> World {
+            World {
+                cluster: Cluster::new(n, NetConfig::ideal(), 1 << 26),
+                eps: (0..n).map(|_| PhotonEndpoint::new(pcfg)).collect(),
+                events: Vec::new(),
+                payloads: Vec::new(),
+            }
+        }
+    }
+
+    impl Protocol for World {
+        type Msg = Msg;
+        fn cluster(&mut self) -> &mut Cluster {
+            &mut self.cluster
+        }
+        fn cluster_ref(&self) -> &Cluster {
+            &self.cluster
+        }
+        fn deliver(eng: &mut Engine<Self>, env: Envelope<Msg>) {
+            match env.packet {
+                Packet::User(Msg::P(p)) => handle_msg(eng, env.src, env.dst, p),
+                other => handle_completion(eng, env.src, env.dst, other),
+            }
+        }
+    }
+
+    impl PhotonWorld for World {
+        fn endpoint(&mut self, loc: LocalityId) -> &mut PhotonEndpoint {
+            &mut self.eps[loc as usize]
+        }
+        fn wrap(msg: PhotonMsg) -> Msg {
+            Msg::P(msg)
+        }
+        fn pwc_complete(eng: &mut Engine<Self>, loc: LocalityId, ctx: u64) {
+            let now = eng.now();
+            eng.state.events.push((now, loc, Event::PwcDone(ctx)));
+        }
+        fn pwc_remote(eng: &mut Engine<Self>, loc: LocalityId, tag: u64, len: u32) {
+            let now = eng.now();
+            eng.state.events.push((now, loc, Event::PwcRemote(tag, len)));
+        }
+        fn pwc_failed(
+            eng: &mut Engine<Self>,
+            loc: LocalityId,
+            ctx: u64,
+            _kind: OpKind,
+            _reason: NackReason,
+            _block: u64,
+        ) {
+            let now = eng.now();
+            eng.state.events.push((now, loc, Event::PwcFail(ctx)));
+        }
+        fn recv_complete(
+            eng: &mut Engine<Self>,
+            loc: LocalityId,
+            src: LocalityId,
+            tag: u64,
+            data: Vec<u8>,
+        ) {
+            let now = eng.now();
+            let len = data.len();
+            eng.state.payloads.push(data);
+            eng.state
+                .events
+                .push((now, loc, Event::Recv { src, tag, len }));
+        }
+        fn send_complete(eng: &mut Engine<Self>, loc: LocalityId, send_id: u64) {
+            let now = eng.now();
+            eng.state.events.push((now, loc, Event::SendDone(send_id)));
+        }
+    }
+
+    fn world(n: usize) -> Engine<World> {
+        Engine::new(World::new(n, PhotonConfig::default()), 5)
+    }
+
+    fn events_of<'a>(eng: &'a Engine<World>, loc: LocalityId) -> Vec<&'a Event> {
+        eng.state
+            .events
+            .iter()
+            .filter(|(_, l, _)| *l == loc)
+            .map(|(_, _, e)| e)
+            .collect()
+    }
+
+    #[test]
+    fn pwc_put_completes_with_remote_note() {
+        let mut eng = world(2);
+        let base = eng.state.cluster.mem_mut(1).alloc_block(12).unwrap();
+        eng.state.cluster.install_xlate(
+            1,
+            77,
+            XlateEntry {
+                base,
+                len: 4096,
+                generation: 1,
+            },
+        );
+        pwc_put(
+            &mut eng,
+            0,
+            1,
+            RdmaTarget::Virt { block: 77, offset: 128 },
+            vec![0xAA; 64],
+            /*ctx*/ 9,
+            Some(500),
+            None,
+        );
+        eng.run();
+        assert_eq!(
+            eng.state.cluster.mem(1).read(base + 128, 64).unwrap(),
+            &[0xAA; 64][..]
+        );
+        assert_eq!(events_of(&eng, 0), vec![&Event::PwcDone(9)]);
+        assert_eq!(events_of(&eng, 1), vec![&Event::PwcRemote(500, 64)]);
+        assert_eq!(eng.state.eps[0].outstanding_ops(), 0);
+    }
+
+    #[test]
+    fn pwc_get_completes() {
+        let mut eng = world(2);
+        let remote = eng.state.cluster.mem_mut(1).alloc_block(12).unwrap();
+        eng.state
+            .cluster
+            .mem_mut(1)
+            .write(remote, &[3u8; 256])
+            .unwrap();
+        eng.state.cluster.install_xlate(
+            1,
+            88,
+            XlateEntry {
+                base: remote,
+                len: 4096,
+                generation: 1,
+            },
+        );
+        let local = eng.state.cluster.mem_mut(0).alloc_block(12).unwrap();
+        pwc_get(
+            &mut eng,
+            0,
+            1,
+            RdmaTarget::Virt { block: 88, offset: 0 },
+            256,
+            local,
+            4,
+            Some((local, 256)),
+        );
+        eng.run();
+        assert_eq!(
+            eng.state.cluster.mem(0).read(local, 256).unwrap(),
+            &[3u8; 256][..]
+        );
+        assert_eq!(events_of(&eng, 0), vec![&Event::PwcDone(4)]);
+    }
+
+    #[test]
+    fn pwc_put_to_unknown_block_fails() {
+        let mut eng = world(2);
+        pwc_put(
+            &mut eng,
+            0,
+            1,
+            RdmaTarget::Virt { block: 0xBAD, offset: 0 },
+            vec![1; 8],
+            7,
+            None,
+            None,
+        );
+        eng.run();
+        assert_eq!(events_of(&eng, 0), vec![&Event::PwcFail(7)]);
+        assert_eq!(eng.state.eps[0].outstanding_ops(), 0);
+    }
+
+    #[test]
+    fn eager_send_recv_round_trip() {
+        let mut eng = world(2);
+        post_recv(&mut eng, 1, 42);
+        let id = send(&mut eng, 0, 1, 42, vec![9u8; 100], None);
+        eng.run();
+        assert!(events_of(&eng, 0).contains(&&Event::SendDone(id)));
+        assert!(events_of(&eng, 1).contains(&&Event::Recv {
+            src: 0,
+            tag: 42,
+            len: 100
+        }));
+        assert_eq!(eng.state.payloads[0], vec![9u8; 100]);
+        // Credit flowed back.
+        assert_eq!(
+            eng.state.eps[0].credits_to(1),
+            PhotonConfig::default().ledger_slots
+        );
+        assert_eq!(eng.state.eps[0].stats.eager_sends, 1);
+        assert_eq!(eng.state.eps[0].stats.rdv_sends, 0);
+    }
+
+    #[test]
+    fn unexpected_message_waits_for_post() {
+        let mut eng = world(2);
+        send(&mut eng, 0, 1, 13, vec![1u8; 10], None);
+        eng.run();
+        assert!(events_of(&eng, 1).is_empty());
+        assert_eq!(eng.state.eps[1].match_queue().unexpected_len(), 1);
+        post_recv(&mut eng, 1, 13);
+        eng.run();
+        assert!(events_of(&eng, 1).contains(&&Event::Recv {
+            src: 0,
+            tag: 13,
+            len: 10
+        }));
+    }
+
+    #[test]
+    fn wildcard_recv_matches() {
+        let mut eng = world(2);
+        post_recv(&mut eng, 1, ANY_TAG);
+        send(&mut eng, 0, 1, 0xFEED, vec![2u8; 4], None);
+        eng.run();
+        assert!(events_of(&eng, 1).contains(&&Event::Recv {
+            src: 0,
+            tag: 0xFEED,
+            len: 4
+        }));
+    }
+
+    #[test]
+    fn large_send_uses_rendezvous_zero_copy() {
+        let mut eng = world(2);
+        post_recv(&mut eng, 1, 7);
+        let payload: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let id = send(&mut eng, 0, 1, 7, payload.clone(), None);
+        eng.run();
+        assert_eq!(eng.state.eps[0].stats.rdv_sends, 1);
+        assert_eq!(eng.state.eps[0].stats.eager_sends, 0);
+        assert!(events_of(&eng, 0).contains(&&Event::SendDone(id)));
+        assert!(events_of(&eng, 1).contains(&&Event::Recv {
+            src: 0,
+            tag: 7,
+            len: 100_000
+        }));
+        assert_eq!(eng.state.payloads[0], payload);
+        // The landing buffer was freed.
+        assert_eq!(eng.state.cluster.mem(1).live_blocks(), 0);
+    }
+
+    #[test]
+    fn rendezvous_pays_handshake_at_threshold_boundary() {
+        let time_for = |len: usize| {
+            let mut eng = world(2);
+            post_recv(&mut eng, 1, 1);
+            send(&mut eng, 0, 1, 1, vec![0u8; len], None);
+            eng.run();
+            eng.state
+                .events
+                .iter()
+                .find(|(_, l, e)| *l == 1 && matches!(e, Event::Recv { .. }))
+                .map(|(t, _, _)| *t)
+                .unwrap()
+        };
+        let thr = PhotonConfig::default().eager_threshold as usize;
+        let eager = time_for(thr);
+        let rdv = time_for(thr + 1);
+        // One byte more crosses into rendezvous: two extra control latencies.
+        assert!(rdv > eager + Time::from_ns(150), "eager={eager} rdv={rdv}");
+    }
+
+    #[test]
+    fn eager_credit_stall_and_drain() {
+        let pcfg = PhotonConfig {
+            ledger_slots: 2,
+            ..PhotonConfig::default()
+        };
+        let mut eng = Engine::new(World::new(2, pcfg), 5);
+        for i in 0..5 {
+            send(&mut eng, 0, 1, i, vec![i as u8; 16], None);
+        }
+        eng.run();
+        assert_eq!(eng.state.eps[0].stats.stalled_sends, 3);
+        assert_eq!(eng.state.eps[0].stats.eager_sends, 2);
+        // Receiver now posts all five; credits recycle and drain the backlog.
+        for _ in 0..5 {
+            post_recv(&mut eng, 1, ANY_TAG);
+        }
+        eng.run();
+        let recvs = events_of(&eng, 1)
+            .iter()
+            .filter(|e| matches!(e, Event::Recv { .. }))
+            .count();
+        assert_eq!(recvs, 5);
+        assert_eq!(eng.state.eps[0].stats.eager_sends, 5);
+    }
+
+    #[test]
+    fn registration_cache_amortizes_rendezvous_pins() {
+        let run = |rcache_enabled: bool| {
+            let pcfg = PhotonConfig {
+                rcache_enabled,
+                ..PhotonConfig::default()
+            };
+            let mut eng = Engine::new(World::new(2, pcfg), 5);
+            let src_buf = eng.state.cluster.mem_mut(0).alloc_block(20).unwrap();
+            // Two rendezvous sends from the same (registered) buffer.
+            for round in 0..2u64 {
+                post_recv(&mut eng, 1, round);
+                send(
+                    &mut eng,
+                    0,
+                    1,
+                    round,
+                    vec![0u8; 500_000],
+                    Some((src_buf, 500_000)),
+                );
+                eng.run();
+            }
+            let now = eng.now();
+            (now, eng.state.eps[0].rcache_stats())
+        };
+        let (t_cached, (hits, _)) = run(true);
+        let (t_uncached, (hits_off, _)) = run(false);
+        assert!(hits > 0);
+        assert_eq!(hits_off, 0);
+        assert!(t_cached < t_uncached, "{t_cached} !< {t_uncached}");
+    }
+
+    #[test]
+    fn local_send_loops_back() {
+        let mut eng = world(1);
+        post_recv(&mut eng, 0, 3);
+        send(&mut eng, 0, 0, 3, vec![5u8; 8], None);
+        eng.run();
+        assert!(events_of(&eng, 0).contains(&&Event::Recv {
+            src: 0,
+            tag: 3,
+            len: 8
+        }));
+    }
+
+    #[test]
+    fn many_interleaved_sends_all_arrive_in_order() {
+        let mut eng = world(2);
+        for _ in 0..50 {
+            post_recv(&mut eng, 1, ANY_TAG);
+        }
+        for i in 0..50u64 {
+            send(&mut eng, 0, 1, i, vec![(i & 0xFF) as u8; 32], None);
+        }
+        eng.run();
+        let tags: Vec<u64> = eng
+            .state
+            .events
+            .iter()
+            .filter_map(|(_, l, e)| match e {
+                Event::Recv { tag, .. } if *l == 1 => Some(*tag),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(tags, (0..50).collect::<Vec<_>>());
+    }
+}
+
+#[cfg(test)]
+mod ledger_tests {
+    use super::*;
+    use netsim::{Cluster, Envelope, NetConfig, RdmaTarget, XlateEntry};
+
+    struct W {
+        cluster: Cluster,
+        eps: Vec<PhotonEndpoint>,
+    }
+
+    impl Protocol for W {
+        type Msg = PhotonMsg;
+        fn cluster(&mut self) -> &mut Cluster {
+            &mut self.cluster
+        }
+        fn cluster_ref(&self) -> &Cluster {
+            &self.cluster
+        }
+        fn deliver(eng: &mut Engine<Self>, env: Envelope<PhotonMsg>) {
+            match env.packet {
+                Packet::User(p) => handle_msg(eng, env.src, env.dst, p),
+                other => handle_completion(eng, env.src, env.dst, other),
+            }
+        }
+    }
+
+    impl PhotonWorld for W {
+        fn endpoint(&mut self, loc: LocalityId) -> &mut PhotonEndpoint {
+            &mut self.eps[loc as usize]
+        }
+        fn wrap(msg: PhotonMsg) -> PhotonMsg {
+            msg
+        }
+        fn pwc_complete(_: &mut Engine<Self>, _: LocalityId, _: u64) {}
+        fn pwc_remote(_: &mut Engine<Self>, _: LocalityId, _: u64, _: u32) {}
+        fn pwc_failed(
+            _: &mut Engine<Self>,
+            _: LocalityId,
+            _: u64,
+            _: OpKind,
+            _: NackReason,
+            _: u64,
+        ) {
+        }
+        fn recv_complete(_: &mut Engine<Self>, _: LocalityId, _: LocalityId, _: u64, _: Vec<u8>) {}
+        fn send_complete(_: &mut Engine<Self>, _: LocalityId, _: u64) {}
+    }
+
+    use netsim::Engine;
+
+    #[test]
+    fn remote_ledger_accumulates_and_drains() {
+        let mut eng = Engine::new(
+            W {
+                cluster: Cluster::new(2, NetConfig::ideal(), 1 << 20),
+                eps: (0..2).map(|_| PhotonEndpoint::new(PhotonConfig::default())).collect(),
+            },
+            3,
+        );
+        let base = eng.state.cluster.mem_mut(1).alloc_block(12).unwrap();
+        eng.state.cluster.install_xlate(
+            1,
+            5,
+            XlateEntry {
+                base,
+                len: 4096,
+                generation: 1,
+            },
+        );
+        for tag in 0..4u64 {
+            pwc_put(
+                &mut eng,
+                0,
+                1,
+                RdmaTarget::Virt {
+                    block: 5,
+                    offset: tag * 64,
+                },
+                vec![1u8; 16],
+                tag,
+                Some(100 + tag),
+                None,
+            );
+        }
+        eng.run();
+        assert_eq!(eng.state.eps[1].ledger_depth(), 4);
+        assert_eq!(eng.state.eps[1].probe_ledger(), Some((100, 16)));
+        assert_eq!(eng.state.eps[1].probe_ledger(), Some((101, 16)));
+        assert_eq!(eng.state.eps[1].ledger_depth(), 2);
+        assert_eq!(eng.state.eps[0].ledger_depth(), 0);
+    }
+
+    #[test]
+    fn remote_ledger_is_capacity_bounded() {
+        let mut eng = Engine::new(
+            W {
+                cluster: Cluster::new(2, NetConfig::ideal(), 1 << 24),
+                eps: (0..2)
+                    .map(|_| PhotonEndpoint::new(PhotonConfig::default()))
+                    .collect(),
+            },
+            3,
+        );
+        let base = eng.state.cluster.mem_mut(1).alloc_block(12).unwrap();
+        eng.state.cluster.install_xlate(
+            1,
+            5,
+            XlateEntry {
+                base,
+                len: 4096,
+                generation: 1,
+            },
+        );
+        // Overflow the 4096-entry ring: oldest entries must be dropped,
+        // never unbounded growth.
+        for tag in 0..4200u64 {
+            pwc_put(
+                &mut eng,
+                0,
+                1,
+                RdmaTarget::Virt { block: 5, offset: 0 },
+                vec![1u8; 8],
+                tag,
+                Some(tag),
+                None,
+            );
+        }
+        eng.run();
+        assert_eq!(eng.state.eps[1].ledger_depth(), 4096);
+        // The oldest surviving entry is 4200 - 4096 = 104.
+        assert_eq!(eng.state.eps[1].probe_ledger(), Some((104, 8)));
+    }
+}

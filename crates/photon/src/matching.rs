@@ -1,0 +1,201 @@
+//! Two-sided tag matching (the ISIR-style baseline transport).
+//!
+//! Classic MPI-like semantics: receives are *posted* with a tag (or the
+//! wildcard [`ANY_TAG`]); arriving messages match the oldest compatible
+//! posted receive, or join the *unexpected queue* until one is posted.
+//! Matching is FIFO on both sides, which preserves per-pair ordering.
+
+use netsim::LocalityId;
+use std::collections::VecDeque;
+
+/// Matches any message tag.
+pub const ANY_TAG: u64 = u64::MAX;
+
+/// An arrived-but-unmatched message.
+#[derive(Debug)]
+pub enum Unexpected {
+    /// An eager message carrying its payload.
+    Eager {
+        /// Sender locality.
+        src: LocalityId,
+        /// Message tag.
+        tag: u64,
+        /// Sender-side handle.
+        send_id: u64,
+        /// The payload.
+        data: Vec<u8>,
+    },
+    /// A rendezvous request-to-send (payload still at the sender).
+    Rts {
+        /// Sender locality.
+        src: LocalityId,
+        /// Message tag.
+        tag: u64,
+        /// Sender-side handle, echoed in the CTS.
+        send_id: u64,
+        /// Payload length awaiting transfer.
+        len: u32,
+    },
+}
+
+impl Unexpected {
+    fn tag(&self) -> u64 {
+        match self {
+            Unexpected::Eager { tag, .. } => *tag,
+            Unexpected::Rts { tag, .. } => *tag,
+        }
+    }
+}
+
+/// The per-locality matching engine.
+#[derive(Debug, Default)]
+pub struct MatchQueue {
+    posted: VecDeque<u64>,
+    unexpected: VecDeque<Unexpected>,
+}
+
+fn tags_match(posted: u64, msg: u64) -> bool {
+    posted == ANY_TAG || posted == msg
+}
+
+impl MatchQueue {
+    /// A fresh, empty matching engine.
+    pub fn new() -> MatchQueue {
+        MatchQueue::default()
+    }
+
+    /// Post a receive for `tag`. If an unexpected message already matches,
+    /// it is consumed and returned; otherwise the receive queues.
+    pub fn post(&mut self, tag: u64) -> Option<Unexpected> {
+        if let Some(pos) = self
+            .unexpected
+            .iter()
+            .position(|u| tags_match(tag, u.tag()))
+        {
+            return self.unexpected.remove(pos);
+        }
+        self.posted.push_back(tag);
+        None
+    }
+
+    /// A message arrived. If a posted receive matches, it is consumed and
+    /// the message is returned to the caller for delivery; otherwise the
+    /// message joins the unexpected queue and `None` is returned.
+    pub fn arrive(&mut self, msg: Unexpected) -> Option<Unexpected> {
+        if let Some(pos) = self.posted.iter().position(|&t| tags_match(t, msg.tag())) {
+            self.posted.remove(pos);
+            return Some(msg);
+        }
+        self.unexpected.push_back(msg);
+        None
+    }
+
+    /// Outstanding posted receives.
+    pub fn posted_len(&self) -> usize {
+        self.posted.len()
+    }
+
+    /// Queued unexpected messages.
+    pub fn unexpected_len(&self) -> usize {
+        self.unexpected.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eager(tag: u64, send_id: u64) -> Unexpected {
+        Unexpected::Eager {
+            src: 0,
+            tag,
+            send_id,
+            data: vec![],
+        }
+    }
+
+    #[test]
+    fn post_then_arrive_matches() {
+        let mut q = MatchQueue::new();
+        assert!(q.post(5).is_none());
+        let m = q.arrive(eager(5, 1));
+        assert!(m.is_some());
+        assert_eq!(q.posted_len(), 0);
+        assert_eq!(q.unexpected_len(), 0);
+    }
+
+    #[test]
+    fn arrive_then_post_matches() {
+        let mut q = MatchQueue::new();
+        assert!(q.arrive(eager(5, 1)).is_none());
+        assert_eq!(q.unexpected_len(), 1);
+        let m = q.post(5);
+        assert!(m.is_some());
+        assert_eq!(q.unexpected_len(), 0);
+    }
+
+    #[test]
+    fn wildcard_posted_matches_any_tag() {
+        let mut q = MatchQueue::new();
+        q.post(ANY_TAG);
+        assert!(q.arrive(eager(1234, 1)).is_some());
+    }
+
+    #[test]
+    fn wildcard_post_consumes_oldest_unexpected() {
+        let mut q = MatchQueue::new();
+        q.arrive(eager(10, 1));
+        q.arrive(eager(20, 2));
+        match q.post(ANY_TAG) {
+            Some(Unexpected::Eager { send_id, .. }) => assert_eq!(send_id, 1),
+            other => panic!("expected eager, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mismatched_tags_do_not_match() {
+        let mut q = MatchQueue::new();
+        q.post(5);
+        assert!(q.arrive(eager(6, 1)).is_none());
+        assert_eq!(q.posted_len(), 1);
+        assert_eq!(q.unexpected_len(), 1);
+        // The right tag still matches the posted receive.
+        assert!(q.arrive(eager(5, 2)).is_some());
+        // And the stranded unexpected message matches a new post.
+        assert!(q.post(6).is_some());
+    }
+
+    #[test]
+    fn fifo_order_among_same_tag() {
+        let mut q = MatchQueue::new();
+        q.arrive(eager(7, 1));
+        q.arrive(eager(7, 2));
+        match q.post(7) {
+            Some(Unexpected::Eager { send_id, .. }) => assert_eq!(send_id, 1),
+            other => panic!("{other:?}"),
+        }
+        match q.post(7) {
+            Some(Unexpected::Eager { send_id, .. }) => assert_eq!(send_id, 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rts_matches_like_eager() {
+        let mut q = MatchQueue::new();
+        q.post(9);
+        let m = q.arrive(Unexpected::Rts {
+            src: 3,
+            tag: 9,
+            send_id: 11,
+            len: 1 << 20,
+        });
+        match m {
+            Some(Unexpected::Rts { send_id, len, .. }) => {
+                assert_eq!(send_id, 11);
+                assert_eq!(len, 1 << 20);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

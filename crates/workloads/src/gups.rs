@@ -1,0 +1,267 @@
+//! GUPS / RandomAccess: the paper's irregular-access stress workload.
+//!
+//! A global table of `u64`s is spread cyclically over the cluster; every
+//! locality issues a stream of updates to *uniformly random* global
+//! indices, keeping `window` in flight. Two variants:
+//!
+//! * **put variant** — each update is an 8-byte `memput` of a deterministic
+//!   value. This is the mode-differentiating variant: PGAS/AGAS-NET serve
+//!   updates with one-sided RDMA (no target CPU), AGAS-SW burns a target
+//!   core per update and collapses (experiment E5).
+//! * **action variant** — each update is a parcel whose action XORs the
+//!   cell (true HPCC-RandomAccess semantics). Used for correctness: the
+//!   final table checksum must be identical in every mode.
+
+use crate::driver::{pump_all, IssueFn};
+use agas::{Distribution, GlobalArray, Gva};
+use netsim::rng::mix64;
+use netsim::Time;
+use parcel_rt::{ArgReader, ArgWriter, Runtime};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// GUPS configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct GupsConfig {
+    /// Table cells (u64) per locality.
+    pub cells_per_loc: u64,
+    /// Updates issued per locality.
+    pub updates_per_loc: u64,
+    /// Outstanding updates per locality.
+    pub window: usize,
+    /// Block size class of table blocks.
+    pub block_class: u8,
+    /// Stream seed.
+    pub seed: u64,
+    /// `true` = action (XOR) variant, `false` = put variant.
+    pub use_actions: bool,
+}
+
+impl Default for GupsConfig {
+    fn default() -> GupsConfig {
+        GupsConfig {
+            cells_per_loc: 1 << 12,
+            updates_per_loc: 1 << 10,
+            window: 16,
+            block_class: 13, // 8 KiB blocks = 1 Ki cells
+            seed: 0x9E3779B9,
+            use_actions: false,
+        }
+    }
+}
+
+/// GUPS outcome.
+#[derive(Clone, Copy, Debug)]
+pub struct GupsResult {
+    /// Total updates applied.
+    pub updates: u64,
+    /// Simulated wall time of the update phase.
+    pub elapsed: Time,
+    /// Giga-updates per (simulated) second.
+    pub gups: f64,
+    /// Mean update latency implied by Little's law (elapsed×window/updates).
+    pub mean_latency: Time,
+}
+
+fn table_gva(table: &GlobalArray, cell: u64) -> Gva {
+    table.at_byte(cell * 8)
+}
+
+fn cell_for(seed: u64, loc: u32, seq: u64, total_cells: u64) -> u64 {
+    mix64(seed ^ (loc as u64) << 32 ^ seq) % total_cells
+}
+
+fn value_for(loc: u32, seq: u64) -> u64 {
+    mix64(((loc as u64) << 40) | seq)
+}
+
+/// Allocate the GUPS table for `rt`'s cluster.
+pub fn alloc_table(rt: &mut Runtime, cfg: &GupsConfig) -> GlobalArray {
+    let n = rt.n() as u64;
+    let total_bytes = cfg.cells_per_loc * 8 * n;
+    let n_blocks = total_bytes.div_ceil(1 << cfg.block_class);
+    rt.alloc(n_blocks, cfg.block_class, Distribution::Cyclic)
+}
+
+/// Run GUPS on a booted runtime. Returns the performance result; the table
+/// (for checksumming) is left in global memory.
+pub fn run(rt: &mut Runtime, cfg: &GupsConfig, table: &GlobalArray) -> GupsResult {
+    let n = rt.n();
+    let total_cells = cfg.cells_per_loc * n as u64;
+    let start = rt.now();
+
+    let action = cfg.use_actions.then(|| {
+        // The action table is fixed at boot; the XOR action must have been
+        // registered via `register_actions`.
+        rt.eng
+            .state
+            .registry_lookup("gups_xor")
+            .expect("gups action variant requires register_actions() before boot")
+    });
+
+    let table2 = table.clone();
+    let seed = cfg.seed;
+    let use_actions = cfg.use_actions;
+    let issue: Rc<IssueFn> = Rc::new(move |eng, loc, seq, ctx| {
+        let cell = cell_for(seed, loc, seq, total_cells);
+        let gva = table_gva(&table2, cell);
+        let val = value_for(loc, seq);
+        if use_actions {
+            let args = ArgWriter::new().u64(val).finish();
+            // Fire the pump completion when the action's continuation fires.
+            let lco = parcel_rt::new_future(eng, loc);
+            parcel_rt::attach_driver(eng, lco, move |eng, _| {
+                parcel_rt::fire_completion(eng, ctx, Vec::new());
+            });
+            parcel_rt::send_parcel(
+                eng,
+                loc,
+                parcel_rt::Parcel {
+                    target: gva,
+                    action: action.unwrap(),
+                    args,
+                    cont: Some(lco),
+                    src: loc,
+                    hops: 0,
+                },
+            );
+        } else {
+            agas::ops::memput(eng, loc, gva, val.to_le_bytes().to_vec(), ctx);
+        }
+    });
+
+    let finished = Rc::new(Cell::new(false));
+    let f2 = finished.clone();
+    pump_all(
+        &mut rt.eng,
+        n,
+        cfg.updates_per_loc,
+        cfg.window,
+        issue,
+        move |_| f2.set(true),
+    );
+    rt.run();
+    assert!(finished.get(), "GUPS did not drain");
+
+    let elapsed = rt.now() - start;
+    let updates = cfg.updates_per_loc * n as u64;
+    let gups = updates as f64 / elapsed.as_secs_f64() / 1e9;
+    let mean_latency = if updates > 0 {
+        Time::from_ps(elapsed.ps() * cfg.window as u64 * n as u64 / updates)
+    } else {
+        Time::ZERO
+    };
+    GupsResult {
+        updates,
+        elapsed,
+        gups,
+        mean_latency,
+    }
+}
+
+/// Register the GUPS XOR action (call on the builder before boot when using
+/// the action variant).
+pub fn register_actions(b: &mut parcel_rt::RuntimeBuilder) {
+    b.register("gups_xor", |eng, ctx| {
+        let mut r = ArgReader::new(&ctx.args);
+        let val = r.u64();
+        let phys = ctx.target_phys();
+        eng.state
+            .cluster
+            .mem_mut(ctx.loc)
+            .xor_u64(phys, val)
+            .expect("gups cell out of bounds");
+        parcel_rt::reply(eng, &ctx, vec![]);
+    });
+}
+
+/// XOR-checksum the whole table (driver-side, after quiescence). Mode- and
+/// schedule-independent for the action variant.
+pub fn table_checksum(rt: &Runtime, table: &GlobalArray) -> u64 {
+    let mut acc = 0u64;
+    for gva in &table.blocks {
+        let bytes = rt.read_block(*gva);
+        for cell in bytes.chunks_exact(8) {
+            acc ^= u64::from_le_bytes(cell.try_into().unwrap());
+        }
+    }
+    acc
+}
+
+/// The checksum the action variant must produce: XOR of all issued values
+/// (XOR is commutative/associative and each value hits exactly one cell).
+pub fn expected_checksum(cfg: &GupsConfig, n: u32) -> u64 {
+    let mut acc = 0u64;
+    for loc in 0..n {
+        for seq in 0..cfg.updates_per_loc {
+            acc ^= value_for(loc, seq);
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agas::GasMode;
+
+    #[test]
+    fn gups_put_runs_all_modes() {
+        for mode in GasMode::ALL {
+            let cfg = GupsConfig {
+                cells_per_loc: 512,
+                updates_per_loc: 200,
+                window: 8,
+                ..GupsConfig::default()
+            };
+            let mut rt = Runtime::builder(4, mode).boot();
+            let table = alloc_table(&mut rt, &cfg);
+            let res = run(&mut rt, &cfg, &table);
+            assert_eq!(res.updates, 800, "{mode:?}");
+            assert!(res.gups > 0.0, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn gups_action_checksum_is_mode_independent() {
+        let cfg = GupsConfig {
+            cells_per_loc: 256,
+            updates_per_loc: 150,
+            window: 4,
+            use_actions: true,
+            ..GupsConfig::default()
+        };
+        let expect = expected_checksum(&cfg, 3);
+        for mode in GasMode::ALL {
+            let mut b = Runtime::builder(3, mode);
+            register_actions(&mut b);
+            let mut rt = b.boot();
+            let table = alloc_table(&mut rt, &cfg);
+            let res = run(&mut rt, &cfg, &table);
+            assert_eq!(res.updates, 450);
+            assert_eq!(table_checksum(&rt, &table), expect, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn sw_mode_is_slowest_for_puts() {
+        let cfg = GupsConfig {
+            cells_per_loc: 512,
+            updates_per_loc: 400,
+            window: 16,
+            ..GupsConfig::default()
+        };
+        let mut times = Vec::new();
+        for mode in GasMode::ALL {
+            let mut rt = Runtime::builder(4, mode).boot();
+            let table = alloc_table(&mut rt, &cfg);
+            let res = run(&mut rt, &cfg, &table);
+            times.push((mode, res.elapsed));
+        }
+        let pgas = times[0].1;
+        let sw = times[1].1;
+        let net = times[2].1;
+        assert!(sw > net, "sw={sw} net={net}");
+        assert!(net < pgas * 2, "net={net} pgas={pgas}");
+    }
+}

@@ -1,0 +1,34 @@
+//! # workloads — benchmark applications over the nmvgas stack
+//!
+//! The workloads the reconstructed evaluation (DESIGN.md §5) runs:
+//!
+//! * [`gups`] — GUPS/RandomAccess uniform-random remote updates (E5, E6);
+//! * [`stencil`] — 2-D halo-exchange application proxy (E9);
+//! * [`chase`] — dependent pointer chase, the latency amplifier (used in
+//!   E1/E2 verification and the parcel-forwarding comparison);
+//! * [`skew`] — Zipf-skewed access with migration rebalancing (E8);
+//! * [`bfs`] — message-driven breadth-first search (irregular graph class);
+//! * [`driver`] — the windowed asynchronous-operation pumps all of them
+//!   are built on.
+//!
+//! Every workload runs unmodified under all three [`agas::GasMode`]s; the
+//! benchmark harness (`crates/bench`) sweeps modes and parameters.
+
+pub mod bfs;
+pub mod chase;
+pub mod driver;
+pub mod gups;
+pub mod skew;
+pub mod sssp;
+pub mod stencil;
+pub mod stencil3d;
+pub mod transpose;
+
+pub use bfs::{BfsConfig, BfsResult, Graph};
+pub use chase::{ChaseConfig, ChaseResult};
+pub use gups::{GupsConfig, GupsResult};
+pub use skew::{SkewConfig, SkewResult};
+pub use sssp::{SsspConfig, SsspResult, WeightedGraph};
+pub use transpose::{TransposeConfig, TransposeResult};
+pub use stencil::{StencilConfig, StencilResult};
+pub use stencil3d::{Stencil3dConfig, Stencil3dResult};

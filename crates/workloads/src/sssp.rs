@@ -1,0 +1,330 @@
+//! Chaotic-relaxation single-source shortest paths — the distributed-graph
+//! problem this research group studied across runtimes (Firoz et al.,
+//! ICPADS'15/PASC'16), here in its purest message-driven form.
+//!
+//! Like [`crate::bfs`] but with weighted edges and *no ordering at all*
+//! (no Δ-stepping, no priority): every improvement propagates immediately
+//! as parcels. Wasteful in relaxations, maximally asynchronous, and exactly
+//! the workload whose "runtime considerations" those papers measured.
+//! Termination is network quiescence; correctness is convergence to the
+//! Dijkstra fixed point regardless of message order (including under wire
+//! jitter and block migration).
+
+use crate::bfs::Graph;
+use agas::{Distribution, GlobalArray};
+use netsim::Time;
+use parcel_rt::{ArgReader, ArgWriter, Runtime, RuntimeBuilder};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Unreached-vertex label.
+pub const INFINITY: u64 = u64::MAX;
+
+/// A weighted graph: structure plus one weight per CSR edge slot.
+#[derive(Clone, Debug)]
+pub struct WeightedGraph {
+    /// The structure.
+    pub graph: Graph,
+    /// Weight of edge `edges[i]`, in `1..=max_weight`.
+    pub weights: Vec<u32>,
+}
+
+impl WeightedGraph {
+    /// Weighted small-world graph with deterministic weights.
+    ///
+    /// Weights are symmetric: edge (v,w) carries the same weight in both
+    /// directions (derived from the unordered pair), so the graph is a
+    /// well-defined undirected weighted graph.
+    pub fn small_world(n: u32, chords: u32, max_weight: u32, seed: u64) -> WeightedGraph {
+        assert!(max_weight >= 1);
+        let graph = Graph::small_world(n, chords, seed);
+        let weights = (0..graph.edges.len())
+            .map(|i| {
+                // Derive from the unordered endpoint pair for symmetry.
+                let v = graph
+                    .offsets
+                    .partition_point(|&o| o as usize <= i) as u32
+                    - 1;
+                let w = graph.edges[i];
+                let (a, b) = if v < w { (v, w) } else { (w, v) };
+                (netsim::rng::mix64(((a as u64) << 32 | b as u64) ^ seed) % max_weight as u64) as u32
+                    + 1
+            })
+            .collect();
+        WeightedGraph { graph, weights }
+    }
+
+    /// Weighted neighbors of `v`: `(neighbor, weight)`.
+    pub fn neighbors(&self, v: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let lo = self.graph.offsets[v as usize] as usize;
+        let hi = self.graph.offsets[v as usize + 1] as usize;
+        (lo..hi).map(move |i| (self.graph.edges[i], self.weights[i]))
+    }
+
+    /// Dijkstra oracle.
+    pub fn dijkstra(&self, root: u32) -> Vec<u64> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let n = self.graph.n() as usize;
+        let mut dist = vec![INFINITY; n];
+        let mut heap = BinaryHeap::new();
+        dist[root as usize] = 0;
+        heap.push(Reverse((0u64, root)));
+        while let Some(Reverse((d, v))) = heap.pop() {
+            if d > dist[v as usize] {
+                continue;
+            }
+            for (w, wt) in self.neighbors(v) {
+                let nd = d + wt as u64;
+                if nd < dist[w as usize] {
+                    dist[w as usize] = nd;
+                    heap.push(Reverse((nd, w)));
+                }
+            }
+        }
+        dist
+    }
+}
+
+/// SSSP configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SsspConfig {
+    /// Vertices.
+    pub vertices: u32,
+    /// Random chords per vertex.
+    pub chords: u32,
+    /// Maximum edge weight.
+    pub max_weight: u32,
+    /// Label block size class.
+    pub block_class: u8,
+    /// Source vertex.
+    pub root: u32,
+    /// Graph seed.
+    pub seed: u64,
+}
+
+impl Default for SsspConfig {
+    fn default() -> SsspConfig {
+        SsspConfig {
+            vertices: 512,
+            chords: 2,
+            max_weight: 8,
+            block_class: 12,
+            root: 0,
+            seed: 0x555,
+        }
+    }
+}
+
+/// SSSP outcome.
+#[derive(Clone, Copy, Debug)]
+pub struct SsspResult {
+    /// Simulated time to quiescence.
+    pub elapsed: Time,
+    /// Relax actions executed (label-correcting overshoot included).
+    pub relaxations: u64,
+    /// Overshoot ratio: relaxations ÷ vertices (1.0 would be optimal).
+    pub overshoot: f64,
+}
+
+/// Shared state for the relax action.
+pub struct SsspState {
+    /// The replicated weighted graph.
+    pub graph: WeightedGraph,
+    /// Distributed labels.
+    pub labels: GlobalArray,
+    /// Relaxation counter.
+    pub relaxations: std::cell::Cell<u64>,
+}
+
+/// Register the SSSP relax action (before boot).
+pub fn register_actions(b: &mut RuntimeBuilder, slot: Rc<RefCell<Option<SsspState>>>) {
+    b.register("sssp_relax", move |eng, ctx| {
+        let mut r = ArgReader::new(&ctx.args);
+        let vertex = r.u32();
+        let dist = r.u64();
+        let (neighbors, labels): (Vec<(u32, u32)>, GlobalArray) = {
+            let st = slot.borrow();
+            let st = st.as_ref().expect("SSSP state not installed");
+            st.relaxations.set(st.relaxations.get() + 1);
+            (st.graph.neighbors(vertex).collect(), st.labels.clone())
+        };
+        let phys = ctx.target_phys();
+        let mem = eng.state.cluster.mem_mut(ctx.loc);
+        let cur = u64::from_le_bytes(mem.read(phys, 8).unwrap().try_into().unwrap());
+        if dist >= cur {
+            return;
+        }
+        mem.write(phys, &dist.to_le_bytes()).unwrap();
+        let relax = eng.state.registry_lookup("sssp_relax").unwrap();
+        for (w, wt) in neighbors {
+            let target = labels.at_byte(w as u64 * 8);
+            let args = ArgWriter::new().u32(w).u64(dist + wt as u64).finish();
+            parcel_rt::send_parcel(
+                eng,
+                ctx.loc,
+                parcel_rt::Parcel {
+                    target,
+                    action: relax,
+                    args,
+                    cont: None,
+                    src: ctx.loc,
+                    hops: 0,
+                },
+            );
+        }
+    });
+}
+
+/// Allocate labels and install shared state.
+pub fn install(rt: &mut Runtime, cfg: &SsspConfig, slot: &Rc<RefCell<Option<SsspState>>>) {
+    let graph = WeightedGraph::small_world(cfg.vertices, cfg.chords, cfg.max_weight, cfg.seed);
+    let bytes = cfg.vertices as u64 * 8;
+    let n_blocks = bytes.div_ceil(1 << cfg.block_class);
+    let labels = rt.alloc(n_blocks, cfg.block_class, Distribution::Cyclic);
+    for v in 0..cfg.vertices as u64 {
+        let gva = labels.at_byte(v * 8);
+        rt.write_block(gva.block_base(), gva.offset(), &INFINITY.to_le_bytes());
+    }
+    *slot.borrow_mut() = Some(SsspState {
+        graph,
+        labels,
+        relaxations: std::cell::Cell::new(0),
+    });
+}
+
+/// Run SSSP from the configured root.
+pub fn run(rt: &mut Runtime, cfg: &SsspConfig, slot: &Rc<RefCell<Option<SsspState>>>) -> SsspResult {
+    let relax = rt
+        .eng
+        .state
+        .registry_lookup("sssp_relax")
+        .expect("SSSP requires register_actions() before boot");
+    let target = slot
+        .borrow()
+        .as_ref()
+        .unwrap()
+        .labels
+        .at_byte(cfg.root as u64 * 8);
+    let t0 = rt.now();
+    rt.spawn(
+        0,
+        target,
+        relax,
+        ArgWriter::new().u32(cfg.root).u64(0).finish(),
+        None,
+    );
+    rt.run();
+    let elapsed = rt.now() - t0;
+    let relaxations = slot.borrow().as_ref().unwrap().relaxations.get();
+    SsspResult {
+        elapsed,
+        relaxations,
+        overshoot: relaxations as f64 / cfg.vertices as f64,
+    }
+}
+
+/// Read the converged labels (driver-side).
+pub fn read_labels(rt: &Runtime, slot: &Rc<RefCell<Option<SsspState>>>) -> Vec<u64> {
+    let st = slot.borrow();
+    let st = st.as_ref().unwrap();
+    let n = st.graph.graph.n() as u64;
+    (0..n)
+        .map(|v| {
+            let gva = st.labels.at_byte(v * 8);
+            let block = rt.read_block(gva.block_base());
+            let off = gva.offset() as usize;
+            u64::from_le_bytes(block[off..off + 8].try_into().unwrap())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agas::GasMode;
+
+    fn small() -> SsspConfig {
+        SsspConfig {
+            vertices: 128,
+            chords: 2,
+            max_weight: 6,
+            block_class: 9,
+            root: 3,
+            seed: 17,
+        }
+    }
+
+    #[test]
+    fn weights_are_symmetric_and_bounded() {
+        let g = WeightedGraph::small_world(80, 2, 9, 5);
+        for v in 0..80u32 {
+            for (w, wt) in g.neighbors(v) {
+                assert!((1..=9).contains(&wt));
+                let back = g.neighbors(w).find(|&(x, _)| x == v).unwrap();
+                assert_eq!(back.1, wt, "asymmetric weight on ({v},{w})");
+            }
+        }
+    }
+
+    #[test]
+    fn sssp_converges_to_dijkstra_all_modes() {
+        for mode in GasMode::ALL {
+            let cfg = small();
+            let slot = Rc::new(RefCell::new(None));
+            let mut b = Runtime::builder(4, mode);
+            register_actions(&mut b, slot.clone());
+            let mut rt = b.boot();
+            install(&mut rt, &cfg, &slot);
+            let res = run(&mut rt, &cfg, &slot);
+            let got = read_labels(&rt, &slot);
+            let expect = slot.borrow().as_ref().unwrap().graph.dijkstra(cfg.root);
+            assert_eq!(got, expect, "{mode:?}");
+            assert!(res.overshoot >= 1.0, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn sssp_converges_under_jitter_and_migration() {
+        let cfg = small();
+        let slot = Rc::new(RefCell::new(None));
+        let mut b = Runtime::builder(4, GasMode::AgasNetwork);
+        register_actions(&mut b, slot.clone());
+        let mut rt = b
+            .net(netsim::NetConfig {
+                jitter_ns: 800,
+                ..netsim::NetConfig::ib_fdr()
+            })
+            .boot();
+        install(&mut rt, &cfg, &slot);
+        let relax = rt.eng.state.registry_lookup("sssp_relax").unwrap();
+        let target = slot.borrow().as_ref().unwrap().labels.at_byte(cfg.root as u64 * 8);
+        rt.spawn(0, target, relax, ArgWriter::new().u32(cfg.root).u64(0).finish(), None);
+        let blocks = slot.borrow().as_ref().unwrap().labels.blocks.clone();
+        for (i, gva) in blocks.iter().enumerate() {
+            rt.migrate(0, *gva, ((i as u32) * 3 + 1) % 4);
+            rt.eng.run_steps(100);
+        }
+        rt.run();
+        let got = read_labels(&rt, &slot);
+        let expect = slot.borrow().as_ref().unwrap().graph.dijkstra(cfg.root);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn chaotic_relaxation_overshoots_but_converges() {
+        // With weights, unordered relaxation does extra work (the ICPADS'15
+        // observation); the answer is still exact.
+        let cfg = SsspConfig { max_weight: 16, ..small() };
+        let slot = Rc::new(RefCell::new(None));
+        let mut b = Runtime::builder(4, GasMode::Pgas);
+        register_actions(&mut b, slot.clone());
+        let mut rt = b.boot();
+        install(&mut rt, &cfg, &slot);
+        let res = run(&mut rt, &cfg, &slot);
+        assert!(res.overshoot > 1.0);
+        let got = read_labels(&rt, &slot);
+        let expect = slot.borrow().as_ref().unwrap().graph.dijkstra(cfg.root);
+        assert_eq!(got, expect);
+    }
+}

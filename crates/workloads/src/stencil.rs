@@ -1,0 +1,364 @@
+//! A 2-D halo-exchange stencil — the LULESH-class application proxy
+//! (experiment E9).
+//!
+//! A `px × py` grid of tiles (one GAS block each, distributed cyclically)
+//! iterates: every tile writes its four edges into its neighbors' ghost
+//! slots with `memput` (periodic boundaries), a cluster-wide and-gate fires,
+//! every tile runs a compute action (charging `flop_time` of CPU per tile),
+//! and the next iteration begins. Surface-to-volume neighbor traffic +
+//! bulk-synchronous steps: the communication pattern the paper's intro
+//! class of applications (shock hydro, AMR) generates.
+//!
+//! Tile block layout (`u64` cells): `T×T` interior, then four ghost rows of
+//! `T` cells each (N, S, W, E).
+
+use agas::{Distribution, GasMode, GlobalArray, Gva};
+use netsim::Time;
+use parcel_rt::{ArgReader, Runtime, RuntimeBuilder};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Stencil configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct StencilConfig {
+    /// Tile-grid width (tiles).
+    pub px: u32,
+    /// Tile-grid height (tiles).
+    pub py: u32,
+    /// Tile edge length, in cells.
+    pub tile: u32,
+    /// Iterations to run.
+    pub iters: u32,
+    /// CPU time of one tile's compute step.
+    pub flop_time: Time,
+}
+
+impl Default for StencilConfig {
+    fn default() -> StencilConfig {
+        StencilConfig {
+            px: 4,
+            py: 4,
+            tile: 32,
+            iters: 4,
+            flop_time: Time::from_us(20),
+        }
+    }
+}
+
+/// Stencil outcome.
+#[derive(Clone, Copy, Debug)]
+pub struct StencilResult {
+    /// Iterations completed.
+    pub iters: u32,
+    /// Total simulated time.
+    pub elapsed: Time,
+    /// Mean time per iteration.
+    pub per_iter: Time,
+    /// Halo bytes moved per iteration (4 edges × tiles × T × 8).
+    pub halo_bytes_per_iter: u64,
+}
+
+impl StencilConfig {
+    /// Tiles in the grid.
+    pub fn tiles(&self) -> u64 {
+        self.px as u64 * self.py as u64
+    }
+
+    /// Cells per tile block (interior + 4 ghost edges).
+    pub fn cells_per_block(&self) -> u64 {
+        let t = self.tile as u64;
+        t * t + 4 * t
+    }
+
+    /// Block size class for a tile.
+    pub fn block_class(&self) -> u8 {
+        let bytes = self.cells_per_block() * 8;
+        (64 - (bytes - 1).leading_zeros()) as u8
+    }
+
+    fn ghost_offset(&self, edge: usize) -> u64 {
+        let t = self.tile as u64;
+        (t * t + edge as u64 * t) * 8
+    }
+
+    fn edge_cells_offset(&self, edge: usize) -> (u64, u64) {
+        // Returns (start cell, stride) of the interior edge row/col.
+        let t = self.tile as u64;
+        match edge {
+            0 => (0, 1),               // north row
+            1 => ((t - 1) * t, 1),     // south row
+            2 => (0, t),               // west column
+            _ => (t - 1, t),           // east column
+        }
+    }
+}
+
+/// Register the stencil compute action (before boot).
+pub fn register_actions(b: &mut RuntimeBuilder) {
+    b.register("stencil_compute", |eng, ctx| {
+        // Charge the tile's compute time to this locality's workers, then
+        // bump every interior cell (so iterations are observable) and reply.
+        let mut r = ArgReader::new(&ctx.args);
+        let flops = Time::from_ps(r.u64());
+        let tile = r.u32() as u64;
+        let now = eng.now();
+        let (_, finish) = eng.state.cpus[ctx.loc as usize].admit(now, flops);
+        eng.state.cluster.loc_mut(ctx.loc).counters.cpu_busy += flops;
+        let base = ctx.base;
+        let loc = ctx.loc;
+        let ctx_cont = ctx.cont;
+        eng.schedule_at(finish, move |eng| {
+            let mem = eng.state.cluster.mem_mut(loc);
+            for cell in 0..tile * tile {
+                mem.xor_u64(base + cell * 8, 1).expect("tile cell OOB");
+            }
+            if let Some(cont) = ctx_cont {
+                parcel_rt::lco_set(eng, loc, cont, vec![]);
+            }
+        });
+    });
+}
+
+/// Allocate the tile array.
+pub fn alloc_tiles(rt: &mut Runtime, cfg: &StencilConfig) -> GlobalArray {
+    rt.alloc(cfg.tiles(), cfg.block_class(), Distribution::Cyclic)
+}
+
+struct LoopState {
+    cfg: StencilConfig,
+    tiles: GlobalArray,
+    compute: parcel_rt::ActionId,
+    iter: u32,
+    start: Time,
+    result: Rc<RefCell<Option<StencilResult>>>,
+}
+
+/// Run the stencil to completion; returns the measured result.
+pub fn run(rt: &mut Runtime, cfg: &StencilConfig, tiles: &GlobalArray) -> StencilResult {
+    let compute = rt
+        .eng
+        .state
+        .registry_lookup("stencil_compute")
+        .expect("stencil requires register_actions() before boot");
+    let result = Rc::new(RefCell::new(None));
+    let st = Rc::new(RefCell::new(LoopState {
+        cfg: *cfg,
+        tiles: tiles.clone(),
+        compute,
+        iter: 0,
+        start: rt.now(),
+        result: result.clone(),
+    }));
+    exchange_phase(&mut rt.eng, st);
+    rt.run();
+    let out = result.borrow_mut().take();
+    out.expect("stencil did not complete")
+}
+
+fn tile_owner(eng: &netsim::Engine<parcel_rt::World>, gva: Gva) -> u32 {
+    let key = gva.block_key();
+    let w = &eng.state;
+    match w.mode {
+        GasMode::Pgas => gva.home(),
+        _ => (0..w.cluster.len() as u32)
+            .find(|&l| w.gas[l as usize].btt.is_resident(key))
+            .expect("tile has no resident owner"),
+    }
+}
+
+fn read_tile_edge(
+    eng: &netsim::Engine<parcel_rt::World>,
+    cfg: &StencilConfig,
+    gva: Gva,
+    edge: usize,
+) -> Vec<u8> {
+    let owner = tile_owner(eng, gva);
+    let key = gva.block_key();
+    let w = &eng.state;
+    let base = match w.mode {
+        GasMode::Pgas => *w.pgas_map.get(&key).unwrap(),
+        _ => w.gas[owner as usize].btt.lookup(key).unwrap().base,
+    };
+    let (start, stride) = cfg.edge_cells_offset(edge);
+    let t = cfg.tile as u64;
+    let mem = w.cluster.mem(owner);
+    let mut out = Vec::with_capacity(t as usize * 8);
+    for i in 0..t {
+        let cell = start + i * stride;
+        out.extend_from_slice(mem.read(base + cell * 8, 8).unwrap());
+    }
+    out
+}
+
+/// One exchange phase: every tile memputs its 4 edges into its neighbors'
+/// ghost slots; an and-gate over all puts gates the compute phase.
+fn exchange_phase(eng: &mut netsim::Engine<parcel_rt::World>, st: Rc<RefCell<LoopState>>) {
+    let (cfg, tiles) = {
+        let s = st.borrow();
+        (s.cfg, s.tiles.clone())
+    };
+    let (px, py) = (cfg.px as i64, cfg.py as i64);
+    let n_puts = cfg.tiles() * 4;
+    let gate = parcel_rt::new_and(eng, 0, n_puts);
+    for ty in 0..py {
+        for tx in 0..px {
+            let tile_idx = (ty * px + tx) as u64;
+            let gva = tiles.block(tile_idx);
+            let owner = tile_owner(eng, gva);
+            // (neighbor dx, dy, my edge, their ghost slot)
+            // My north edge lands in my north neighbor's *south* ghost.
+            let routes = [
+                (0i64, -1i64, 0usize, 1usize),
+                (0, 1, 1, 0),
+                (-1, 0, 2, 3),
+                (1, 0, 3, 2),
+            ];
+            for (dx, dy, my_edge, their_ghost) in routes {
+                let nx = (tx + dx).rem_euclid(px);
+                let ny = (ty + dy).rem_euclid(py);
+                let neighbor = tiles.block((ny * px + nx) as u64);
+                let edge_bytes = read_tile_edge(eng, &cfg, gva, my_edge);
+                let dst = neighbor.with_offset(cfg.ghost_offset(their_ghost));
+                let ctx = eng
+                    .state
+                    .new_completion(parcel_rt::Completion::Lco(gate));
+                agas::ops::memput(eng, owner, dst, edge_bytes, ctx);
+            }
+        }
+    }
+    let st2 = st.clone();
+    parcel_rt::attach_driver(eng, gate, move |eng, _| compute_phase(eng, st2));
+}
+
+fn compute_phase(eng: &mut netsim::Engine<parcel_rt::World>, st: Rc<RefCell<LoopState>>) {
+    let (cfg, tiles, compute) = {
+        let s = st.borrow();
+        (s.cfg, s.tiles.clone(), s.compute)
+    };
+    let gate = parcel_rt::new_and(eng, 0, cfg.tiles());
+    for i in 0..cfg.tiles() {
+        let gva = tiles.block(i);
+        let owner = tile_owner(eng, gva);
+        let args = parcel_rt::ArgWriter::new()
+            .u64(cfg.flop_time.ps())
+            .u32(cfg.tile)
+            .finish();
+        parcel_rt::send_parcel(
+            eng,
+            owner,
+            parcel_rt::Parcel {
+                target: gva,
+                action: compute,
+                args,
+                cont: Some(gate),
+                src: owner,
+                hops: 0,
+            },
+        );
+    }
+    let st2 = st.clone();
+    parcel_rt::attach_driver(eng, gate, move |eng, _| iteration_done(eng, st2));
+}
+
+fn iteration_done(eng: &mut netsim::Engine<parcel_rt::World>, st: Rc<RefCell<LoopState>>) {
+    let finished = {
+        let mut s = st.borrow_mut();
+        s.iter += 1;
+        s.iter >= s.cfg.iters
+    };
+    if finished {
+        let s = st.borrow();
+        let elapsed = eng.now() - s.start;
+        let per_iter = elapsed / s.cfg.iters as u64;
+        let halo = s.cfg.tiles() * 4 * s.cfg.tile as u64 * 8;
+        *s.result.borrow_mut() = Some(StencilResult {
+            iters: s.cfg.iters,
+            elapsed,
+            per_iter,
+            halo_bytes_per_iter: halo,
+        });
+    } else {
+        exchange_phase(eng, st);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> StencilConfig {
+        StencilConfig {
+            px: 3,
+            py: 2,
+            tile: 8,
+            iters: 3,
+            flop_time: Time::from_us(5),
+        }
+    }
+
+    #[test]
+    fn stencil_completes_all_modes() {
+        for mode in GasMode::ALL {
+            let cfg = small();
+            let mut b = Runtime::builder(3, mode);
+            register_actions(&mut b);
+            let mut rt = b.boot();
+            let tiles = alloc_tiles(&mut rt, &cfg);
+            let res = run(&mut rt, &cfg, &tiles);
+            assert_eq!(res.iters, 3, "{mode:?}");
+            assert!(res.per_iter > Time::ZERO, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn compute_step_bumps_cells() {
+        let cfg = small();
+        let mut b = Runtime::builder(2, GasMode::AgasNetwork);
+        register_actions(&mut b);
+        let mut rt = b.boot();
+        let tiles = alloc_tiles(&mut rt, &cfg);
+        let _ = run(&mut rt, &cfg, &tiles);
+        // 3 iterations of xor(1): every interior cell ends at 1 (3 flips).
+        let block = rt.read_block(tiles.block(0));
+        let cell0 = u64::from_le_bytes(block[0..8].try_into().unwrap());
+        assert_eq!(cell0, 1);
+    }
+
+    #[test]
+    fn ghosts_hold_neighbor_edges() {
+        let cfg = StencilConfig { iters: 1, ..small() };
+        let mut b = Runtime::builder(2, GasMode::AgasSoftware);
+        register_actions(&mut b);
+        let mut rt = b.boot();
+        let tiles = alloc_tiles(&mut rt, &cfg);
+        // Make tiles distinguishable: write tile index into every cell of
+        // each tile's interior before running.
+        for i in 0..cfg.tiles() {
+            for c in 0..(cfg.tile as u64 * cfg.tile as u64) {
+                rt.write_block(tiles.block(i), c * 8, &(i + 100).to_le_bytes());
+            }
+        }
+        let _ = run(&mut rt, &cfg, &tiles);
+        // Tile 0's north neighbor (periodic) is tile at (0, py-1) = index 3.
+        // Tile 0's north ghost (edge slot 0) was written by that neighbor's
+        // south edge — all cells held (3+100) before compute.
+        let t0 = rt.read_block(tiles.block(0));
+        let ghost_n = cfg.ghost_offset(0) as usize;
+        let v = u64::from_le_bytes(t0[ghost_n..ghost_n + 8].try_into().unwrap());
+        let north_neighbor = ((cfg.py as u64 - 1) * cfg.px as u64) as u64;
+        assert_eq!(v, north_neighbor + 100);
+    }
+
+    #[test]
+    fn per_iteration_time_is_stable() {
+        let cfg = StencilConfig { iters: 6, ..small() };
+        let mut b = Runtime::builder(3, GasMode::Pgas);
+        register_actions(&mut b);
+        let mut rt = b.boot();
+        let tiles = alloc_tiles(&mut rt, &cfg);
+        let res = run(&mut rt, &cfg, &tiles);
+        // Compute dominates: per-iter should be within 3x of flop_time.
+        assert!(res.per_iter >= cfg.flop_time);
+        assert!(res.per_iter < cfg.flop_time * 10, "{}", res.per_iter);
+    }
+}

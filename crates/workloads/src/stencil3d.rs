@@ -1,0 +1,459 @@
+//! A 3-D face-exchange stencil — the LULESH-class proxy in its native
+//! dimensionality (the 2-D variant in [`crate::stencil`] keeps tests
+//! cheap; this one reproduces the 3-D surface-to-volume ratios of the
+//! shock-hydro codes the paper's group ran).
+//!
+//! A `px × py × pz` grid of cubic tiles; each iteration every tile writes
+//! its six faces (`T×T` cells each) into its neighbors' ghost slots with
+//! one-sided memputs (periodic boundaries), a cluster-wide and-gate fires,
+//! every tile runs a compute action, and the next iteration begins.
+//!
+//! Tile block layout (`u64` cells): `T³` interior, then six ghost faces of
+//! `T²` cells (−x, +x, −y, +y, −z, +z).
+
+use agas::{Distribution, GlobalArray};
+use netsim::Time;
+use parcel_rt::{ArgReader, Runtime, RuntimeBuilder};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// 3-D stencil configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Stencil3dConfig {
+    /// Tile-grid extent in x (tiles).
+    pub px: u32,
+    /// Tile-grid extent in y.
+    pub py: u32,
+    /// Tile-grid extent in z.
+    pub pz: u32,
+    /// Tile edge length, in cells.
+    pub tile: u32,
+    /// Iterations.
+    pub iters: u32,
+    /// CPU time of one tile's compute step.
+    pub flop_time: Time,
+}
+
+impl Default for Stencil3dConfig {
+    fn default() -> Stencil3dConfig {
+        Stencil3dConfig {
+            px: 2,
+            py: 2,
+            pz: 2,
+            tile: 16,
+            iters: 3,
+            flop_time: Time::from_us(60),
+        }
+    }
+}
+
+/// 3-D stencil outcome.
+#[derive(Clone, Copy, Debug)]
+pub struct Stencil3dResult {
+    /// Iterations completed.
+    pub iters: u32,
+    /// Total simulated time.
+    pub elapsed: Time,
+    /// Mean time per iteration.
+    pub per_iter: Time,
+    /// Halo bytes per iteration (6 faces × tiles × T² × 8).
+    pub halo_bytes_per_iter: u64,
+}
+
+impl Stencil3dConfig {
+    /// Tiles in the grid.
+    pub fn tiles(&self) -> u64 {
+        self.px as u64 * self.py as u64 * self.pz as u64
+    }
+
+    /// Cells per tile block (interior + six ghost faces).
+    pub fn cells_per_block(&self) -> u64 {
+        let t = self.tile as u64;
+        t * t * t + 6 * t * t
+    }
+
+    /// Block size class for a tile.
+    pub fn block_class(&self) -> u8 {
+        let bytes = self.cells_per_block() * 8;
+        (64 - (bytes - 1).leading_zeros()) as u8
+    }
+
+    /// Byte offset of ghost face `f` (0..6: −x,+x,−y,+y,−z,+z).
+    pub fn ghost_offset(&self, f: usize) -> u64 {
+        let t = self.tile as u64;
+        (t * t * t + f as u64 * t * t) * 8
+    }
+
+    fn tile_index(&self, x: i64, y: i64, z: i64) -> u64 {
+        let x = x.rem_euclid(self.px as i64) as u64;
+        let y = y.rem_euclid(self.py as i64) as u64;
+        let z = z.rem_euclid(self.pz as i64) as u64;
+        (z * self.py as u64 + y) * self.px as u64 + x
+    }
+}
+
+/// Register the 3-D compute action (before boot).
+pub fn register_actions(b: &mut RuntimeBuilder) {
+    b.register("stencil3d_compute", |eng, ctx| {
+        let mut r = ArgReader::new(&ctx.args);
+        let flops = Time::from_ps(r.u64());
+        let now = eng.now();
+        let (_, finish) = eng.state.cpus[ctx.loc as usize].admit(now, flops);
+        eng.state.cluster.loc_mut(ctx.loc).counters.cpu_busy += flops;
+        let loc = ctx.loc;
+        let cont = ctx.cont;
+        eng.schedule_at(finish, move |eng| {
+            if let Some(c) = cont {
+                parcel_rt::lco_set(eng, loc, c, vec![]);
+            }
+        });
+    });
+}
+
+/// Allocate the tile array (cyclic over localities).
+pub fn alloc_tiles(rt: &mut Runtime, cfg: &Stencil3dConfig) -> GlobalArray {
+    rt.alloc(cfg.tiles(), cfg.block_class(), Distribution::Cyclic)
+}
+
+/// Extract face `f` of tile `idx` as bytes (driver-side read, the memput
+/// models the traffic).
+fn face_bytes(rt: &Runtime, cfg: &Stencil3dConfig, tiles: &GlobalArray, idx: u64, f: usize) -> Vec<u8> {
+    let t = cfg.tile as u64;
+    let block = rt.read_block(tiles.block(idx));
+    let cell = |x: u64, y: u64, z: u64| {
+        let c = ((z * t + y) * t + x) as usize * 8;
+        &block[c..c + 8]
+    };
+    let mut out = Vec::with_capacity((t * t) as usize * 8);
+    for a in 0..t {
+        for b in 0..t {
+            let bytes = match f {
+                0 => cell(0, a, b),         // −x face
+                1 => cell(t - 1, a, b),     // +x face
+                2 => cell(a, 0, b),         // −y face
+                3 => cell(a, t - 1, b),     // +y face
+                4 => cell(a, b, 0),         // −z face
+                _ => cell(a, b, t - 1),     // +z face
+            };
+            out.extend_from_slice(bytes);
+        }
+    }
+    out
+}
+
+struct Loop3d {
+    cfg: Stencil3dConfig,
+    tiles: GlobalArray,
+    compute: parcel_rt::ActionId,
+    iter: u32,
+    start: Time,
+    result: Rc<RefCell<Option<Stencil3dResult>>>,
+}
+
+/// Run the 3-D stencil to completion.
+pub fn run(rt: &mut Runtime, cfg: &Stencil3dConfig, tiles: &GlobalArray) -> Stencil3dResult {
+    let compute = rt
+        .eng
+        .state
+        .registry_lookup("stencil3d_compute")
+        .expect("stencil3d requires register_actions() before boot");
+    let result = Rc::new(RefCell::new(None));
+    let st = Rc::new(RefCell::new(Loop3d {
+        cfg: *cfg,
+        tiles: tiles.clone(),
+        compute,
+        iter: 0,
+        start: rt.now(),
+        result: result.clone(),
+    }));
+    exchange(rt, st);
+    rt.run();
+    let out = result.borrow_mut().take();
+    out.expect("stencil3d did not complete")
+}
+
+fn exchange(rt: &mut Runtime, st: Rc<RefCell<Loop3d>>) {
+    let (cfg, tiles) = {
+        let s = st.borrow();
+        (s.cfg, s.tiles.clone())
+    };
+    let n_puts = cfg.tiles() * 6;
+    let gate = parcel_rt::new_and(&mut rt.eng, 0, n_puts);
+    // (dx,dy,dz, my face, their ghost slot): my −x face lands in my −x
+    // neighbor's +x ghost, and so on.
+    let routes: [(i64, i64, i64, usize, usize); 6] = [
+        (-1, 0, 0, 0, 1),
+        (1, 0, 0, 1, 0),
+        (0, -1, 0, 2, 3),
+        (0, 1, 0, 3, 2),
+        (0, 0, -1, 4, 5),
+        (0, 0, 1, 5, 4),
+    ];
+    for z in 0..cfg.pz as i64 {
+        for y in 0..cfg.py as i64 {
+            for x in 0..cfg.px as i64 {
+                let idx = cfg.tile_index(x, y, z);
+                let gva = tiles.block(idx);
+                let owner = gva.home(); // cyclic allocation, never migrated here
+                for (dx, dy, dz, face, ghost) in routes {
+                    let nidx = cfg.tile_index(x + dx, y + dy, z + dz);
+                    let data = face_bytes(rt, &cfg, &tiles, idx, face);
+                    let dst = tiles.block(nidx).with_offset(cfg.ghost_offset(ghost));
+                    let ctx = rt.eng.state.new_completion(parcel_rt::Completion::Lco(gate));
+                    agas::ops::memput(&mut rt.eng, owner, dst, data, ctx);
+                }
+            }
+        }
+    }
+    // Compute phase after the gate, then recurse or finish. Driven from a
+    // driver callback so the Runtime borrow is released in between.
+    let st2 = st.clone();
+    parcel_rt::attach_driver(&mut rt.eng, gate, move |eng, _| {
+        let (cfg, tiles, compute) = {
+            let s = st2.borrow();
+            (s.cfg, s.tiles.clone(), s.compute)
+        };
+        let cgate = parcel_rt::new_and(eng, 0, cfg.tiles());
+        for i in 0..cfg.tiles() {
+            let gva = tiles.block(i);
+            let owner = gva.home();
+            let args = parcel_rt::ArgWriter::new().u64(cfg.flop_time.ps()).finish();
+            parcel_rt::send_parcel(
+                eng,
+                owner,
+                parcel_rt::Parcel {
+                    target: gva,
+                    action: compute,
+                    args,
+                    cont: Some(cgate),
+                    src: owner,
+                    hops: 0,
+                },
+            );
+        }
+        let st3 = st2.clone();
+        parcel_rt::attach_driver(eng, cgate, move |eng, _| {
+            let finished = {
+                let mut s = st3.borrow_mut();
+                s.iter += 1;
+                s.iter >= s.cfg.iters
+            };
+            if finished {
+                let s = st3.borrow();
+                let elapsed = eng.now() - s.start;
+                let t = s.cfg.tile as u64;
+                *s.result.borrow_mut() = Some(Stencil3dResult {
+                    iters: s.cfg.iters,
+                    elapsed,
+                    per_iter: elapsed / s.cfg.iters as u64,
+                    halo_bytes_per_iter: s.cfg.tiles() * 6 * t * t * 8,
+                });
+            } else {
+                // Next iteration's exchange, inline (no Runtime handle in
+                // driver callbacks): replicate `exchange` on the engine.
+                exchange_on_engine(eng, st3.clone());
+            }
+        });
+    });
+}
+
+/// `exchange` for continuation contexts (driver callbacks hold the engine,
+/// not the `Runtime`).
+fn exchange_on_engine(eng: &mut netsim::Engine<parcel_rt::World>, st: Rc<RefCell<Loop3d>>) {
+    // Reading tiles requires only `&World`; build a shim mirroring the
+    // Runtime-based path.
+    let (cfg, tiles) = {
+        let s = st.borrow();
+        (s.cfg, s.tiles.clone())
+    };
+    let n_puts = cfg.tiles() * 6;
+    let gate = parcel_rt::new_and(eng, 0, n_puts);
+    let routes: [(i64, i64, i64, usize, usize); 6] = [
+        (-1, 0, 0, 0, 1),
+        (1, 0, 0, 1, 0),
+        (0, -1, 0, 2, 3),
+        (0, 1, 0, 3, 2),
+        (0, 0, -1, 4, 5),
+        (0, 0, 1, 5, 4),
+    ];
+    let t = cfg.tile as u64;
+    for z in 0..cfg.pz as i64 {
+        for y in 0..cfg.py as i64 {
+            for x in 0..cfg.px as i64 {
+                let idx = cfg.tile_index(x, y, z);
+                let gva = tiles.block(idx);
+                let owner = gva.home();
+                // Read the block straight from its (PGAS or resident) home.
+                let key = gva.block_key();
+                let base = match eng.state.mode {
+                    agas::GasMode::Pgas => *eng.state.pgas_map.get(&key).unwrap(),
+                    _ => eng.state.gas[owner as usize].btt.lookup(key).unwrap().base,
+                };
+                let block = eng
+                    .state
+                    .cluster
+                    .mem(owner)
+                    .read(base, (cfg.cells_per_block() * 8) as usize)
+                    .unwrap()
+                    .to_vec();
+                let cell = |cx: u64, cy: u64, cz: u64| {
+                    let c = ((cz * t + cy) * t + cx) as usize * 8;
+                    block[c..c + 8].to_vec()
+                };
+                for (dx, dy, dz, face, ghost) in routes {
+                    let nidx = cfg.tile_index(x + dx, y + dy, z + dz);
+                    let mut data = Vec::with_capacity((t * t) as usize * 8);
+                    for a in 0..t {
+                        for b in 0..t {
+                            let bytes = match face {
+                                0 => cell(0, a, b),
+                                1 => cell(t - 1, a, b),
+                                2 => cell(a, 0, b),
+                                3 => cell(a, t - 1, b),
+                                4 => cell(a, b, 0),
+                                _ => cell(a, b, t - 1),
+                            };
+                            data.extend_from_slice(&bytes);
+                        }
+                    }
+                    let dst = tiles.block(nidx).with_offset(cfg.ghost_offset(ghost));
+                    let ctx = eng.state.new_completion(parcel_rt::Completion::Lco(gate));
+                    agas::ops::memput(eng, owner, dst, data, ctx);
+                }
+            }
+        }
+    }
+    let st2 = st.clone();
+    parcel_rt::attach_driver(eng, gate, move |eng, _| {
+        let (cfg, tiles, compute) = {
+            let s = st2.borrow();
+            (s.cfg, s.tiles.clone(), s.compute)
+        };
+        let cgate = parcel_rt::new_and(eng, 0, cfg.tiles());
+        for i in 0..cfg.tiles() {
+            let gva = tiles.block(i);
+            let owner = gva.home();
+            let args = parcel_rt::ArgWriter::new().u64(cfg.flop_time.ps()).finish();
+            parcel_rt::send_parcel(
+                eng,
+                owner,
+                parcel_rt::Parcel {
+                    target: gva,
+                    action: compute,
+                    args,
+                    cont: Some(cgate),
+                    src: owner,
+                    hops: 0,
+                },
+            );
+        }
+        let st3 = st2.clone();
+        parcel_rt::attach_driver(eng, cgate, move |eng, _| {
+            let finished = {
+                let mut s = st3.borrow_mut();
+                s.iter += 1;
+                s.iter >= s.cfg.iters
+            };
+            if finished {
+                let s = st3.borrow();
+                let elapsed = eng.now() - s.start;
+                let t = s.cfg.tile as u64;
+                *s.result.borrow_mut() = Some(Stencil3dResult {
+                    iters: s.cfg.iters,
+                    elapsed,
+                    per_iter: elapsed / s.cfg.iters as u64,
+                    halo_bytes_per_iter: s.cfg.tiles() * 6 * t * t * 8,
+                });
+            } else {
+                exchange_on_engine(eng, st3.clone());
+            }
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agas::GasMode;
+
+    fn small() -> Stencil3dConfig {
+        Stencil3dConfig {
+            px: 2,
+            py: 2,
+            pz: 2,
+            tile: 4,
+            iters: 2,
+            flop_time: Time::from_us(5),
+        }
+    }
+
+    #[test]
+    fn stencil3d_completes_all_modes() {
+        for mode in GasMode::ALL {
+            let cfg = small();
+            let mut b = Runtime::builder(4, mode);
+            register_actions(&mut b);
+            let mut rt = b.boot();
+            let tiles = alloc_tiles(&mut rt, &cfg);
+            let res = run(&mut rt, &cfg, &tiles);
+            assert_eq!(res.iters, 2, "{mode:?}");
+            assert!(res.per_iter > Time::ZERO);
+            rt.assert_quiescent();
+        }
+    }
+
+    #[test]
+    fn ghost_faces_carry_neighbor_cells() {
+        let cfg = Stencil3dConfig { iters: 1, ..small() };
+        let mut b = Runtime::builder(2, GasMode::AgasNetwork);
+        register_actions(&mut b);
+        let mut rt = b.boot();
+        let tiles = alloc_tiles(&mut rt, &cfg);
+        // Fill each tile's interior with its index.
+        for i in 0..cfg.tiles() {
+            for c in 0..(cfg.tile as u64).pow(3) {
+                rt.write_block(tiles.block(i), c * 8, &(i + 7).to_le_bytes());
+            }
+        }
+        let _ = run(&mut rt, &cfg, &tiles);
+        // Tile 0's −x neighbor (periodic, px=2) is tile 1; its +x ghost of
+        // ...wait: tile 0's −x face went into neighbor's +x ghost. Check
+        // tile 0's own −x ghost (slot 0) holds its +x-neighbor's (tile 1)
+        // cells instead: neighbor (x-1) = tile 1 writes its +x face into
+        // tile 0's −x ghost? Routes: tile 1's +x face (face 1) lands in
+        // tile (x+1)=0's −x ghost (slot 0). So tile 0 ghost 0 = 1+7 = 8.
+        let t0 = rt.read_block(tiles.block(0));
+        let off = cfg.ghost_offset(0) as usize;
+        let v = u64::from_le_bytes(t0[off..off + 8].try_into().unwrap());
+        assert_eq!(v, 8);
+    }
+
+    #[test]
+    fn surface_to_volume_is_3d() {
+        let cfg = small();
+        // 6 faces of T² vs 4 edges of T: the 3-D proxy moves T× more halo
+        // per tile than the 2-D one at equal edge length.
+        assert_eq!(cfg.tiles() * 6 * (cfg.tile as u64).pow(2) * 8, 8 * 6 * 16 * 8);
+    }
+
+    #[test]
+    fn iterations_scale_time() {
+        let cfg1 = Stencil3dConfig { iters: 1, ..small() };
+        let cfg3 = Stencil3dConfig { iters: 3, ..small() };
+        let t1 = {
+            let mut b = Runtime::builder(4, GasMode::Pgas);
+            register_actions(&mut b);
+            let mut rt = b.boot();
+            let tiles = alloc_tiles(&mut rt, &cfg1);
+            run(&mut rt, &cfg1, &tiles).elapsed
+        };
+        let t3 = {
+            let mut b = Runtime::builder(4, GasMode::Pgas);
+            register_actions(&mut b);
+            let mut rt = b.boot();
+            let tiles = alloc_tiles(&mut rt, &cfg3);
+            run(&mut rt, &cfg3, &tiles).elapsed
+        };
+        assert!(t3 > t1 * 2, "{t1} vs {t3}");
+    }
+}

@@ -1,0 +1,207 @@
+//! Distributed block transpose — the all-to-all exchange at the heart of
+//! distributed FFTs and matrix redistribution.
+//!
+//! Every locality owns one row of an `n × n` tile matrix (Blocked
+//! distribution) and writes tile `(i, j)` into the column-owner's receive
+//! slot `(j, i)` with one-sided memputs. All `n(n−1)` remote transfers are
+//! in flight at once: the workload that actually stresses *bisection*
+//! bandwidth (experiment E12's application-level companion) rather than
+//! any single link.
+
+use agas::{Distribution, GlobalArray};
+use netsim::rng::mix64;
+use netsim::Time;
+use parcel_rt::{Completion, Runtime};
+
+/// Transpose configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TransposeConfig {
+    /// Tile size class (tile = `1 << class` bytes).
+    pub block_class: u8,
+    /// Exchange rounds.
+    pub rounds: u32,
+}
+
+impl Default for TransposeConfig {
+    fn default() -> TransposeConfig {
+        TransposeConfig {
+            block_class: 14, // 16 KiB tiles
+            rounds: 1,
+        }
+    }
+}
+
+/// Transpose outcome.
+#[derive(Clone, Copy, Debug)]
+pub struct TransposeResult {
+    /// Simulated time for all rounds.
+    pub elapsed: Time,
+    /// Bytes moved across the fabric (remote tiles only).
+    pub bytes_moved: u64,
+    /// Aggregate achieved bandwidth, GB/s.
+    pub aggregate_gbps: f64,
+}
+
+/// The send/recv tile matrices (row `i` of each homed at locality `i`).
+pub struct TransposeArrays {
+    /// Source tiles, row-major.
+    pub send: GlobalArray,
+    /// Destination tiles, row-major.
+    pub recv: GlobalArray,
+    /// Localities (the matrix is n × n).
+    pub n: u32,
+}
+
+fn tile_fill(i: u32, j: u32, len: usize) -> Vec<u8> {
+    let seed = mix64(((i as u64) << 32) | j as u64);
+    (0..len).map(|k| (seed.wrapping_add(k as u64) & 0xFF) as u8).collect()
+}
+
+/// Allocate and initialize the tile matrices.
+pub fn setup(rt: &mut Runtime, cfg: &TransposeConfig) -> TransposeArrays {
+    let n = rt.n();
+    let total = n as u64 * n as u64;
+    let send = rt.alloc(total, cfg.block_class, Distribution::Blocked);
+    let recv = rt.alloc(total, cfg.block_class, Distribution::Blocked);
+    let len = 1usize << cfg.block_class;
+    for i in 0..n {
+        for j in 0..n {
+            let idx = i as u64 * n as u64 + j as u64;
+            rt.write_block(send.block(idx), 0, &tile_fill(i, j, len));
+        }
+    }
+    TransposeArrays { send, recv, n }
+}
+
+/// Run the exchange; tiles land transposed in `recv`.
+pub fn run(rt: &mut Runtime, cfg: &TransposeConfig, arrays: &TransposeArrays) -> TransposeResult {
+    let n = arrays.n;
+    let tile = 1u64 << cfg.block_class;
+    let remote_tiles = n as u64 * (n as u64 - 1);
+    let t0 = rt.now();
+    for _round in 0..cfg.rounds {
+        let gate = parcel_rt::new_and(&mut rt.eng, 0, n as u64 * n as u64);
+        for i in 0..n {
+            for j in 0..n {
+                // Tile (i,j), owned by locality i, lands in recv (j,i),
+                // owned by locality j.
+                let src_idx = i as u64 * n as u64 + j as u64;
+                let dst_idx = j as u64 * n as u64 + i as u64;
+                let data = rt.read_block(arrays.send.block(src_idx));
+                let ctx = rt.eng.state.new_completion(Completion::Lco(gate));
+                agas::ops::memput(&mut rt.eng, i, arrays.recv.block(dst_idx), data, ctx);
+            }
+        }
+        rt.run();
+    }
+    let elapsed = rt.now() - t0;
+    let bytes_moved = remote_tiles * tile * cfg.rounds as u64;
+    TransposeResult {
+        elapsed,
+        bytes_moved,
+        aggregate_gbps: bytes_moved as f64 / elapsed.as_secs_f64() / 1e9,
+    }
+}
+
+/// Check every received tile against the transposed fill pattern.
+pub fn verify(rt: &Runtime, cfg: &TransposeConfig, arrays: &TransposeArrays) {
+    let n = arrays.n;
+    let len = 1usize << cfg.block_class;
+    for i in 0..n {
+        for j in 0..n {
+            let idx = i as u64 * n as u64 + j as u64;
+            let got = rt.read_block(arrays.recv.block(idx));
+            // recv (i,j) must hold send (j,i)'s pattern.
+            assert_eq!(got, tile_fill(j, i, len), "tile ({i},{j}) wrong");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agas::GasMode;
+
+    fn small() -> TransposeConfig {
+        TransposeConfig {
+            block_class: 10,
+            rounds: 1,
+        }
+    }
+
+    #[test]
+    fn transpose_is_correct_all_modes() {
+        for mode in GasMode::ALL {
+            let cfg = small();
+            let mut rt = Runtime::builder(4, mode).boot();
+            let arrays = setup(&mut rt, &cfg);
+            let res = run(&mut rt, &cfg, &arrays);
+            verify(&rt, &cfg, &arrays);
+            assert!(res.aggregate_gbps > 0.0, "{mode:?}");
+            rt.assert_quiescent();
+        }
+    }
+
+    #[test]
+    fn multiple_rounds_accumulate_time() {
+        let one = {
+            let mut rt = Runtime::builder(3, GasMode::Pgas).boot();
+            let cfg = small();
+            let a = setup(&mut rt, &cfg);
+            run(&mut rt, &cfg, &a).elapsed
+        };
+        let three = {
+            let mut rt = Runtime::builder(3, GasMode::Pgas).boot();
+            let cfg = TransposeConfig { rounds: 3, ..small() };
+            let a = setup(&mut rt, &cfg);
+            run(&mut rt, &cfg, &a).elapsed
+        };
+        assert!(three > one * 2, "{one} vs {three}");
+    }
+
+    #[test]
+    fn oversubscription_slows_the_exchange() {
+        let bw = |factor: u64| {
+            let net = netsim::NetConfig {
+                oversubscription: factor,
+                ..netsim::NetConfig::ib_fdr()
+            };
+            let mut rt = Runtime::builder(8, GasMode::Pgas).net(net).boot();
+            let cfg = TransposeConfig {
+                block_class: 14,
+                rounds: 1,
+            };
+            let a = setup(&mut rt, &cfg);
+            run(&mut rt, &cfg, &a).aggregate_gbps
+        };
+        let full = bw(1);
+        let quarter = bw(4);
+        assert!(full > quarter * 1.5, "full={full} quarter={quarter}");
+    }
+
+    #[test]
+    fn transpose_survives_concurrent_migration() {
+        // Migrate recv tiles while the exchange is in flight (AGAS-NET).
+        let cfg = small();
+        let mut rt = Runtime::builder(4, GasMode::AgasNetwork).boot();
+        let arrays = setup(&mut rt, &cfg);
+        let n = arrays.n;
+        let gate = parcel_rt::new_and(&mut rt.eng, 0, n as u64 * n as u64);
+        for i in 0..n {
+            for j in 0..n {
+                let src_idx = i as u64 * n as u64 + j as u64;
+                let dst_idx = j as u64 * n as u64 + i as u64;
+                let data = rt.read_block(arrays.send.block(src_idx));
+                let ctx = rt.eng.state.new_completion(Completion::Lco(gate));
+                agas::ops::memput(&mut rt.eng, i, arrays.recv.block(dst_idx), data, ctx);
+            }
+        }
+        // Churn a few recv tiles mid-flight.
+        for k in 0..4u64 {
+            rt.migrate(0, arrays.recv.block(k * 3 % 16), (k % 4) as u32);
+            rt.eng.run_steps(30);
+        }
+        rt.run();
+        verify(&rt, &cfg, &arrays);
+    }
+}

@@ -1,0 +1,68 @@
+//! GUPS / RandomAccess across the three GAS modes — the paper's irregular
+//! workload, as a runnable comparison.
+//!
+//! ```sh
+//! cargo run --release --example gups [localities] [updates_per_loc]
+//! ```
+
+use nmvgas::workloads::gups::{self, GupsConfig};
+use nmvgas::{GasMode, Runtime};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
+    let updates: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2_000);
+
+    let cfg = GupsConfig {
+        cells_per_loc: 1 << 14,
+        updates_per_loc: updates,
+        window: 16,
+        ..GupsConfig::default()
+    };
+
+    println!(
+        "GUPS: {n} localities, {} cells/locality, {} updates/locality, window {}",
+        cfg.cells_per_loc, cfg.updates_per_loc, cfg.window
+    );
+    println!(
+        "{:<10} {:>12} {:>14} {:>12} {:>14} {:>12}",
+        "mode", "time", "MUPS", "mean lat", "target-CPU", "retries"
+    );
+
+    for mode in GasMode::ALL {
+        let mut rt = Runtime::builder(n, mode).boot();
+        let table = gups::alloc_table(&mut rt, &cfg);
+        let res = gups::run(&mut rt, &cfg, &table);
+        let counters = rt.counters();
+        let gas = rt.eng.state.total_gas_stats();
+        println!(
+            "{:<10} {:>12} {:>14.2} {:>12} {:>14} {:>12}",
+            mode.label(),
+            format!("{}", res.elapsed),
+            res.gups * 1e3,
+            format!("{}", res.mean_latency),
+            format!("{}", counters.cpu_busy),
+            gas.retries,
+        );
+    }
+
+    println!();
+    println!("Correctness cross-check (action variant, XOR semantics):");
+    let vcfg = GupsConfig {
+        cells_per_loc: 1 << 10,
+        updates_per_loc: 500,
+        use_actions: true,
+        ..cfg
+    };
+    let expect = gups::expected_checksum(&vcfg, 4);
+    for mode in GasMode::ALL {
+        let mut b = Runtime::builder(4, mode);
+        gups::register_actions(&mut b);
+        let mut rt = b.boot();
+        let table = gups::alloc_table(&mut rt, &vcfg);
+        gups::run(&mut rt, &vcfg, &table);
+        let sum = gups::table_checksum(&rt, &table);
+        assert_eq!(sum, expect, "{mode:?} checksum mismatch");
+        println!("  {:<10} checksum {:#018x} ✓", mode.label(), sum);
+    }
+}

@@ -1,0 +1,36 @@
+//! Protocol-timeline tracing: watch one remote memput travel the stack
+//! under each GAS mode, and one stale access chase a migrated block.
+//!
+//! ```sh
+//! cargo run --release --example trace_timeline
+//! ```
+
+use nmvgas::{Distribution, GasMode, Runtime};
+
+fn main() {
+    println!("One remote 64 B memput (locality 0 → block homed at 1):\n");
+    for mode in GasMode::ALL {
+        let mut rt = Runtime::builder(2, mode).boot();
+        let arr = rt.alloc(2, 12, Distribution::Cyclic);
+        rt.eng.state.cluster.tracer.enable(64);
+        rt.memput(0, arr.block(1), vec![7u8; 64]);
+        rt.run();
+        println!("--- {} ---", mode.label());
+        print!("{}", rt.eng.state.cluster.tracer.render());
+        println!();
+    }
+
+    println!("A stale one-sided access after migration (NIC forwarding):\n");
+    let mut rt = Runtime::builder(4, GasMode::AgasNetwork).boot();
+    let arr = rt.alloc(2, 12, Distribution::Cyclic);
+    // Warm locality 0's hint, migrate behind its back, then access again.
+    rt.memput(0, arr.block(1), vec![1u8; 8]);
+    rt.run();
+    rt.migrate(1, arr.block(1), 3);
+    rt.run();
+    rt.eng.state.cluster.tracer.enable(64);
+    rt.memput(0, arr.block(1).with_offset(64), vec![2u8; 8]);
+    rt.run();
+    print!("{}", rt.eng.state.cluster.tracer.render());
+    println!("\n(the NIC at locality 1 held a forwarding tombstone: one extra hop, no NACK)");
+}

@@ -1,0 +1,115 @@
+//! Workspace-level property tests: random mixed schedules through the
+//! complete stack.
+
+use nmvgas::{Distribution, GasMode, Runtime};
+use parcel_rt::ArgWriter;
+use proptest::prelude::*;
+use std::cell::Cell;
+use std::rc::Rc;
+
+#[derive(Debug, Clone)]
+enum Cmd {
+    Put { from: u8, block: u8, slot: u8 },
+    Get { from: u8, block: u8 },
+    Spawn { from: u8, block: u8, val: u8 },
+    Migrate { block: u8, to: u8 },
+}
+
+fn cmd() -> impl Strategy<Value = Cmd> {
+    prop_oneof![
+        3 => (0u8..4, 0u8..8, 0u8..8).prop_map(|(from, block, slot)| Cmd::Put { from, block, slot }),
+        2 => (0u8..4, 0u8..8).prop_map(|(from, block)| Cmd::Get { from, block }),
+        2 => (0u8..4, 0u8..8, 1u8..=255).prop_map(|(from, block, val)| Cmd::Spawn { from, block, val }),
+        1 => (0u8..8, 0u8..4).prop_map(|(block, to)| Cmd::Migrate { block, to }),
+    ]
+}
+
+fn run_schedule(mode: GasMode, cmds: &[Cmd], seed: u64) -> (u64, u64, u64) {
+    let mut b = Runtime::builder(4, mode);
+    let hits = Rc::new(Cell::new(0u64));
+    let h2 = hits.clone();
+    let bump = b.register("bump", move |eng, ctx| {
+        h2.set(h2.get() + 1);
+        let mut r = parcel_rt::ArgReader::new(&ctx.args);
+        let v = r.u64();
+        let phys = ctx.target_phys();
+        eng.state.cluster.mem_mut(ctx.loc).xor_u64(phys, v).unwrap();
+        parcel_rt::reply(eng, &ctx, vec![]);
+    });
+    let mut rt = b.seed(seed).boot();
+    let arr = rt.alloc(8, 12, Distribution::Cyclic);
+    let completions = Rc::new(Cell::new(0u64));
+    for c in cmds {
+        match *c {
+            Cmd::Put { from, block, slot } => {
+                let done = completions.clone();
+                rt.memput_cb(
+                    from as u32,
+                    arr.block(block as u64).with_offset(64 + slot as u64 * 8),
+                    vec![slot; 8],
+                    move |_, _| done.set(done.get() + 1),
+                );
+            }
+            Cmd::Get { from, block } => {
+                let done = completions.clone();
+                rt.memget_cb(from as u32, arr.block(block as u64), 8, move |_, _| {
+                    done.set(done.get() + 1)
+                });
+            }
+            Cmd::Spawn { from, block, val } => {
+                let done = completions.clone();
+                let fut = rt.new_future(from as u32);
+                rt.wait_lco(fut, move |_, _| done.set(done.get() + 1));
+                rt.spawn(
+                    from as u32,
+                    arr.block(block as u64),
+                    bump,
+                    ArgWriter::new().u64(val as u64).finish(),
+                    Some(fut),
+                );
+            }
+            Cmd::Migrate { block, to } => {
+                if mode.supports_migration() {
+                    rt.migrate(0, arr.block(block as u64), to as u32);
+                }
+            }
+        }
+        rt.eng.run_steps(4);
+    }
+    rt.run();
+    (completions.get(), hits.get(), rt.eng.trace_hash())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every async operation in a random mixed schedule completes, every
+    /// spawned action runs exactly once, in every mode.
+    #[test]
+    fn random_schedules_drain_completely(
+        cmds in proptest::collection::vec(cmd(), 1..50),
+        seed in 0u64..500,
+    ) {
+        let expected_completions = cmds
+            .iter()
+            .filter(|c| !matches!(c, Cmd::Migrate { .. }))
+            .count() as u64;
+        let expected_hits = cmds.iter().filter(|c| matches!(c, Cmd::Spawn { .. })).count() as u64;
+        for mode in GasMode::ALL {
+            let (completions, hits, _) = run_schedule(mode, &cmds, seed);
+            prop_assert_eq!(completions, expected_completions, "{:?}", mode);
+            prop_assert_eq!(hits, expected_hits, "{:?}", mode);
+        }
+    }
+
+    /// The full stack is deterministic under random mixed schedules.
+    #[test]
+    fn random_schedules_are_deterministic(
+        cmds in proptest::collection::vec(cmd(), 1..30),
+        seed in 0u64..500,
+    ) {
+        let a = run_schedule(GasMode::AgasNetwork, &cmds, seed);
+        let b = run_schedule(GasMode::AgasNetwork, &cmds, seed);
+        prop_assert_eq!(a, b);
+    }
+}
