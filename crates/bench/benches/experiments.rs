@@ -16,13 +16,9 @@ fn bench_e1_latency(c: &mut Criterion) {
     let mut g = c.benchmark_group("e1_put_latency");
     for mode in GasMode::ALL {
         for size in [8u32, 4096, 262144] {
-            g.bench_with_input(
-                BenchmarkId::new(mode.label(), size),
-                &size,
-                |b, &size| {
-                    b.iter(|| black_box(put_latency(mode, size, NetConfig::ib_fdr())));
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(mode.label(), size), &size, |b, &size| {
+                b.iter(|| black_box(put_latency(mode, size, NetConfig::ib_fdr())));
+            });
         }
     }
     g.finish();
@@ -75,7 +71,11 @@ fn bench_e6_capacity(c: &mut Criterion) {
     let mut g = c.benchmark_group("e6_table_capacity");
     g.sample_size(10);
     for cap in [usize::MAX, 256, 16] {
-        let label = if cap == usize::MAX { "unbounded".into() } else { cap.to_string() };
+        let label = if cap == usize::MAX {
+            "unbounded".into()
+        } else {
+            cap.to_string()
+        };
         g.bench_function(label, |b| {
             b.iter(|| black_box(table_capacity(cap)));
         });
@@ -135,27 +135,39 @@ fn bench_e10_footprint(c: &mut Criterion) {
 fn bench_ablations(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablations");
     g.sample_size(10);
-    g.bench_function("a1_rcache_on", |b| b.iter(|| black_box(rcache_ablation(true))));
-    g.bench_function("a1_rcache_off", |b| b.iter(|| black_box(rcache_ablation(false))));
+    g.bench_function("a1_rcache_on", |b| {
+        b.iter(|| black_box(rcache_ablation(true)))
+    });
+    g.bench_function("a1_rcache_off", |b| {
+        b.iter(|| black_box(rcache_ablation(false)))
+    });
     g.bench_function("a2_eager_4096_at_8k", |b| {
         b.iter(|| black_box(eager_threshold_latency(4096, 8192)))
     });
-    g.bench_function("a3_forwarding", |b| b.iter(|| black_box(migration_race(true))));
-    g.bench_function("a3_nack_only", |b| b.iter(|| black_box(migration_race(false))));
+    g.bench_function("a3_forwarding", |b| {
+        b.iter(|| black_box(migration_race(true)))
+    });
+    g.bench_function("a3_nack_only", |b| {
+        b.iter(|| black_box(migration_race(false)))
+    });
     g.finish();
 }
 
 fn bench_extensions(c: &mut Criterion) {
     let mut g = c.benchmark_group("extensions");
     g.sample_size(10);
-    g.bench_function("e4b_ports_4", |b| b.iter(|| black_box(message_rate_ports(4))));
+    g.bench_function("e4b_ports_4", |b| {
+        b.iter(|| black_box(message_rate_ports(4)))
+    });
     g.bench_function("e11_parcel_pwc", |b| {
         b.iter(|| black_box(parcel_latency(parcel_rt::Transport::Pwc, 64)))
     });
     g.bench_function("e11_parcel_isir", |b| {
         b.iter(|| black_box(parcel_latency(parcel_rt::Transport::Isir, 64)))
     });
-    g.bench_function("e12_bisection_4x", |b| b.iter(|| black_box(bisection_bandwidth(4))));
+    g.bench_function("e12_bisection_4x", |b| {
+        b.iter(|| black_box(bisection_bandwidth(4)))
+    });
     g.bench_function("e13_bfs_8", |b| {
         b.iter(|| black_box(bfs_teps(8, parcel_rt::Transport::Pwc)))
     });

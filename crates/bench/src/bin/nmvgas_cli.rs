@@ -50,7 +50,10 @@ impl Args {
     }
 
     fn str(&self, name: &str, default: &str) -> String {
-        self.flags.get(name).cloned().unwrap_or_else(|| default.to_string())
+        self.flags
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     fn bool(&self, name: &str) -> bool {
@@ -148,7 +151,11 @@ fn main() {
         mode.label(),
         args.str("fabric", "ib"),
         rtcfg.transport,
-        if rtcfg.coalesce.is_some() { " +coalescing" } else { "" }
+        if rtcfg.coalesce.is_some() {
+            " +coalescing"
+        } else {
+            ""
+        }
     );
 
     match workload.as_str() {
@@ -166,7 +173,11 @@ fn main() {
             let table = workloads::gups::alloc_table(&mut rt, &cfg);
             let t0 = rt.now();
             let res = workloads::gups::run(&mut rt, &cfg, &table);
-            println!("updates        : {}  ({:.2} MUPS)", res.updates, res.gups * 1e3);
+            println!(
+                "updates        : {}  ({:.2} MUPS)",
+                res.updates,
+                res.gups * 1e3
+            );
             finish(&rt, &args, t0);
         }
         "stencil" => {
@@ -202,7 +213,11 @@ fn main() {
             let got = workloads::bfs::read_labels(&rt, &slot);
             let expect = slot.borrow().as_ref().unwrap().graph.bfs_oracle(cfg.root);
             assert_eq!(got, expect, "BFS verification failed");
-            println!("relaxations    : {}  ({:.2} MTEPS, verified)", res.relaxations, res.teps / 1e6);
+            println!(
+                "relaxations    : {}  ({:.2} MTEPS, verified)",
+                res.relaxations,
+                res.teps / 1e6
+            );
             finish(&rt, &args, t0);
         }
         "sssp" => {
@@ -236,7 +251,10 @@ fn main() {
                 rebalance_every: args.get("rebalance-every", 512u64),
                 ..workloads::skew::SkewConfig::default()
             };
-            let mut rt = Runtime::builder(locs, mode).net(net).rt_config(rtcfg).boot();
+            let mut rt = Runtime::builder(locs, mode)
+                .net(net)
+                .rt_config(rtcfg)
+                .boot();
             let data = workloads::skew::alloc_blocks(&mut rt, &cfg);
             let t0 = rt.now();
             let res = workloads::skew::run(&mut rt, &cfg, &data);
@@ -251,7 +269,10 @@ fn main() {
                 block_class: args.get("class", 14u8),
                 rounds: args.get("rounds", 1u32),
             };
-            let mut rt = Runtime::builder(locs, mode).net(net).rt_config(rtcfg).boot();
+            let mut rt = Runtime::builder(locs, mode)
+                .net(net)
+                .rt_config(rtcfg)
+                .boot();
             let arrays = workloads::transpose::setup(&mut rt, &cfg);
             let t0 = rt.now();
             let res = workloads::transpose::run(&mut rt, &cfg, &arrays);

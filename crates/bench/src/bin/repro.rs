@@ -4,16 +4,26 @@
 //! ```sh
 //! cargo run --release -p bench --bin repro -- all     # everything
 //! cargo run --release -p bench --bin repro -- e1      # one experiment
+//! cargo run --release -p bench --bin repro -- perf    # engine throughput
+//! cargo run --release -p bench --bin repro -- --json all
 //! ```
 //!
 //! All numbers are **simulated time** on the deterministic model: rerunning
 //! any experiment reproduces it bit-for-bit. Parameter sweeps run their
 //! (independent) simulations in parallel with rayon.
+//!
+//! With `--json`, every experiment additionally emits one machine-readable
+//! summary row per run as a JSON line (the only stdout lines starting with
+//! `{`): experiment id, series, simulated time swept, wall-clock seconds,
+//! events executed, and events/second. `perf` measures the engine's
+//! wall-clock event throughput on hot-path workloads and reports the same
+//! rows.
 
 use agas::GasMode;
 use bench::*;
-use netsim::NetConfig;
+use netsim::{telemetry, NetConfig, Time};
 use rayon::prelude::*;
+use std::time::Instant;
 
 fn header(id: &str, title: &str) {
     println!();
@@ -148,7 +158,10 @@ fn e4() {
 }
 
 fn e4b() {
-    header("E4b", "message-rate ceiling vs NIC queue pairs (AGAS-NET, window 128)");
+    header(
+        "E4b",
+        "message-rate ceiling vs NIC queue pairs (AGAS-NET, window 128)",
+    );
     println!("{:>7} {:>12}", "ports", "Mop/s");
     let rows: Vec<_> = [1usize, 2, 4, 8]
         .par_iter()
@@ -202,7 +215,10 @@ fn e6() {
         );
     }
     let sw = gups_scaling(GasMode::AgasSoftware, 8, NetConfig::ib_fdr());
-    println!("{:>11} {:>10.2}   (software-AGAS floor)", "AGAS-SW", sw.mups);
+    println!(
+        "{:>11} {:>10.2}   (software-AGAS floor)",
+        "AGAS-SW", sw.mups
+    );
 }
 
 fn e7() {
@@ -339,11 +355,17 @@ fn e10() {
 }
 
 fn a1() {
-    header("A1", "ablation: registration cache (8 × 1 MiB rendezvous sends)");
+    header(
+        "A1",
+        "ablation: registration cache (8 × 1 MiB rendezvous sends)",
+    );
     let on = rcache_ablation(true);
     let off = rcache_ablation(false);
     println!("rcache on : {on}");
-    println!("rcache off: {off}  ({:.2}x slower)", off.ps() as f64 / on.ps() as f64);
+    println!(
+        "rcache off: {off}  ({:.2}x slower)",
+        off.ps() as f64 / on.ps() as f64
+    );
 }
 
 fn a2() {
@@ -376,7 +398,10 @@ fn a2() {
 }
 
 fn a3() {
-    header("A3", "ablation: stale access after migration — NIC forwarding vs NACK-only");
+    header(
+        "A3",
+        "ablation: stale access after migration — NIC forwarding vs NACK-only",
+    );
     println!(
         "{:<14} {:>12} {:>12} {:>9} {:>7} {:>9}",
         "policy", "stale put", "fresh put", "forwards", "nacks", "retries"
@@ -397,7 +422,10 @@ fn a3() {
 
 fn e10b() {
     header("E10b", "protocol footprint of one migration (Tab.)");
-    println!("{:<10} {:>9} {:>9} {:>7}", "mode", "messages", "dir ops", "moves");
+    println!(
+        "{:<10} {:>9} {:>9} {:>7}",
+        "mode", "messages", "dir ops", "moves"
+    );
     for mode in [GasMode::AgasSoftware, GasMode::AgasNetwork] {
         let f = migration_footprint(mode);
         println!(
@@ -427,7 +455,12 @@ fn e11() {
         })
         .collect();
     for (p, pwc, isir) in rows {
-        println!("{:>9} {:>12} {:>12}", p, format!("{pwc}"), format!("{isir}"));
+        println!(
+            "{:>9} {:>12} {:>12}",
+            p,
+            format!("{pwc}"),
+            format!("{isir}")
+        );
     }
     let rp = parcel_rate(parcel_rt::Transport::Pwc);
     let ri = parcel_rate(parcel_rt::Transport::Isir);
@@ -435,7 +468,10 @@ fn e11() {
 }
 
 fn e12() {
-    header("E12", "fabric oversubscription: aggregate bandwidth of 4 disjoint streams");
+    header(
+        "E12",
+        "fabric oversubscription: aggregate bandwidth of 4 disjoint streams",
+    );
     println!("{:>8} {:>16}", "factor", "aggregate GB/s");
     let rows: Vec<_> = [1u64, 2, 4, 8]
         .par_iter()
@@ -473,8 +509,14 @@ fn e14() {
     let rows: Vec<(&str, CoalesceRow)> = vec![
         ("BFS/ib, no coal.", bfs_coalescing(false)),
         ("BFS/ib, coalesced", bfs_coalescing(true)),
-        ("GUPS/ib, no coal.", gups_coalescing_on(false, NetConfig::ib_fdr())),
-        ("GUPS/ib, coalesced", gups_coalescing_on(true, NetConfig::ib_fdr())),
+        (
+            "GUPS/ib, no coal.",
+            gups_coalescing_on(false, NetConfig::ib_fdr()),
+        ),
+        (
+            "GUPS/ib, coalesced",
+            gups_coalescing_on(true, NetConfig::ib_fdr()),
+        ),
         ("flood 2k, no coal.", parcel_flood(false, 2048)),
         ("flood 2k, coalesced", parcel_flood(true, 2048)),
     ];
@@ -511,8 +553,126 @@ fn e15() {
     }
 }
 
+/// One machine-readable measurement row (`--json`).
+struct PerfRow {
+    id: String,
+    series: String,
+    sim: Time,
+    wall_secs: f64,
+    events: u64,
+}
+
+impl PerfRow {
+    fn events_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.events as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"id\":\"{}\",\"series\":\"{}\",\"sim_time_ps\":{},",
+                "\"wall_seconds\":{:.6},\"events\":{},\"events_per_sec\":{:.0}}}"
+            ),
+            self.id,
+            self.series,
+            self.sim.ps(),
+            self.wall_secs,
+            self.events,
+            self.events_per_sec()
+        )
+    }
+}
+
+/// Run `f`, measuring wall clock and the engine-telemetry delta it causes.
+fn measure(id: &str, series: &str, f: impl FnOnce()) -> PerfRow {
+    let before = telemetry::snapshot();
+    let t = Instant::now();
+    f();
+    let wall_secs = t.elapsed().as_secs_f64();
+    let d = telemetry::snapshot().since(before);
+    PerfRow {
+        id: id.into(),
+        series: series.into(),
+        sim: Time::from_ps(d.sim_ps),
+        wall_secs,
+        events: d.events,
+    }
+}
+
+/// Engine throughput on hot-path workloads (wall-clock events/sec).
+fn perf(json: bool) {
+    header(
+        "perf",
+        "engine wall-clock throughput (real time, not simulated)",
+    );
+
+    // Random-delay schedule/dispatch: the substrate microbench pattern,
+    // repeated until the measurement is comfortably long.
+    let dispatch = measure("perf", "dispatch_random", || {
+        for rep in 0..40u64 {
+            let mut eng = netsim::Engine::new(0u64, rep);
+            for i in 0..10_000u64 {
+                let d = netsim::rng::mix64(rep * 10_000 + i) % 1_000_000;
+                eng.schedule(Time::from_ps(d), move |e| e.state = e.state.wrapping_add(i));
+            }
+            eng.run();
+        }
+    });
+
+    // A self-rescheduling event chain: queue stays near-empty, measures
+    // per-event fixed cost.
+    let chain = measure("perf", "event_chain", || {
+        let mut eng = netsim::Engine::new(0u64, 1);
+        fn tick(e: &mut netsim::Engine<u64>) {
+            e.state += 1;
+            if e.state < 400_000 {
+                e.schedule(Time::from_ns(1), tick);
+            }
+        }
+        eng.schedule(Time::ZERO, tick);
+        eng.run();
+    });
+
+    // A full runtime workload: parcel dispatch through the simulated NIC.
+    let parcels = measure("perf", "parcel_rate_pwc", || {
+        std::hint::black_box(parcel_rate(parcel_rt::Transport::Pwc));
+    });
+
+    let rows = [dispatch, chain, parcels];
+    if json {
+        for r in &rows {
+            println!("{}", r.json());
+        }
+    } else {
+        println!(
+            "{:<18} {:>12} {:>10} {:>14} {:>14}",
+            "series", "events", "wall s", "events/sec", "sim time"
+        );
+        for r in &rows {
+            println!(
+                "{:<18} {:>12} {:>10.3} {:>14.0} {:>14}",
+                r.series,
+                r.events,
+                r.wall_secs,
+                r.events_per_sec(),
+                format!("{}", r.sim)
+            );
+        }
+    }
+}
+
 fn main() {
-    let what = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with('-'))
+        .cloned()
+        .unwrap_or_else(|| "all".into());
     let experiments: Vec<(&str, fn())> = vec![
         ("e1", e1),
         ("e1b", e1b),
@@ -541,17 +701,25 @@ fn main() {
         "nmvgas reconstructed evaluation — deterministic simulation results \
          (simulated time; see DESIGN.md §5 and EXPERIMENTS.md)"
     );
+    let run_one = |name: &str, f: &fn()| {
+        let row = measure(name, "experiment", f);
+        if json {
+            println!("{}", row.json());
+        }
+    };
     match what.as_str() {
+        "perf" => perf(json),
         "all" => {
-            for (_, f) in &experiments {
-                f();
+            for (name, f) in &experiments {
+                run_one(name, f);
             }
+            perf(json);
         }
         id => match experiments.iter().find(|(name, _)| *name == id) {
-            Some((_, f)) => f(),
+            Some((name, f)) => run_one(name, f),
             None => {
                 eprintln!(
-                    "unknown experiment {id:?}; use one of: all {}",
+                    "unknown experiment {id:?}; use one of: all perf {}",
                     experiments
                         .iter()
                         .map(|(n, _)| *n)

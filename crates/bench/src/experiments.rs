@@ -57,7 +57,13 @@ pub fn put_bandwidth(mode: GasMode, size: u32, net: NetConfig) -> f64 {
     let blocks = arr.blocks.clone();
     let t0 = rt.now();
     let issue: Rc<IssueFn> = Rc::new(move |eng, loc, seq, ctx| {
-        agas::ops::memput(eng, loc, blocks[seq as usize], vec![0u8; size as usize], ctx);
+        agas::ops::memput(
+            eng,
+            loc,
+            blocks[seq as usize],
+            vec![0u8; size as usize],
+            ctx,
+        );
     });
     workloads::driver::pump(&mut rt.eng, 0, count, window, issue, |_| {});
     rt.run();
@@ -334,7 +340,9 @@ pub fn rcache_ablation(enabled: bool) -> Time {
         rcache_enabled: enabled,
         ..PhotonConfig::default()
     };
-    let mut rt = Runtime::builder(2, GasMode::AgasNetwork).photon(pcfg).boot();
+    let mut rt = Runtime::builder(2, GasMode::AgasNetwork)
+        .photon(pcfg)
+        .boot();
     // A 2 MiB registered source buffer in locality 0's arena.
     let src = rt.eng.state.cluster.mem_mut(0).alloc_block(21).unwrap();
     let t0 = rt.now();
@@ -360,7 +368,9 @@ pub fn eager_threshold_latency(threshold: u32, size: u32) -> Time {
         eager_threshold: threshold,
         ..PhotonConfig::default()
     };
-    let mut rt = Runtime::builder(2, GasMode::AgasNetwork).photon(pcfg).boot();
+    let mut rt = Runtime::builder(2, GasMode::AgasNetwork)
+        .photon(pcfg)
+        .boot();
     photon::post_recv(&mut rt.eng, 1, 9);
     let t0 = rt.now();
     photon::send(&mut rt.eng, 0, 1, 9, vec![0u8; size as usize], None);

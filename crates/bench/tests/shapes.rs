@@ -15,7 +15,10 @@ fn e1_shape_net_tracks_pgas_sw_trails() {
         let s = put_latency(GasMode::AgasSoftware, size, net);
         let n = put_latency(GasMode::AgasNetwork, size, net);
         assert!(n >= p, "size {size}");
-        assert!(n - p <= Time::from_ns(100), "size {size}: NIC adder too big");
+        assert!(
+            n - p <= Time::from_ns(100),
+            "size {size}: NIC adder too big"
+        );
         assert!(s > n, "size {size}: SW must trail NET");
     }
 }
@@ -49,7 +52,10 @@ fn e4_sw_flatlines_before_one_sided_modes() {
     let net_128 = message_rate(GasMode::AgasNetwork, 128, net);
     // SW stops scaling (CPU ceiling); NET keeps going well past it.
     assert!(sw_128 < sw_32 * 1.2, "SW kept scaling: {sw_32} -> {sw_128}");
-    assert!(net_128 > sw_128 * 1.5, "NET ceiling not above SW: {net_128} vs {sw_128}");
+    assert!(
+        net_128 > sw_128 * 1.5,
+        "NET ceiling not above SW: {net_128} vs {sw_128}"
+    );
 }
 
 #[test]
@@ -106,9 +112,15 @@ fn e8_mobility_beats_static_placement() {
 #[test]
 fn e10_footprints_are_structural() {
     let p = protocol_footprint(GasMode::Pgas, true);
-    assert_eq!((p.rdma_ops, p.messages, p.cpu_handlers, p.nic_xlates), (1, 0, 0, 0));
+    assert_eq!(
+        (p.rdma_ops, p.messages, p.cpu_handlers, p.nic_xlates),
+        (1, 0, 0, 0)
+    );
     let n = protocol_footprint(GasMode::AgasNetwork, true);
-    assert_eq!((n.rdma_ops, n.messages, n.cpu_handlers, n.nic_xlates), (1, 0, 0, 1));
+    assert_eq!(
+        (n.rdma_ops, n.messages, n.cpu_handlers, n.nic_xlates),
+        (1, 0, 0, 1)
+    );
     let s = protocol_footprint(GasMode::AgasSoftware, true);
     assert_eq!(s.rdma_ops, 0);
     assert_eq!(s.cpu_handlers, 1);
@@ -123,7 +135,10 @@ fn e11_pwc_beats_isir() {
     // Above the eager threshold the gap includes a rendezvous handshake.
     let pwc_big = parcel_latency(parcel_rt::Transport::Pwc, 8192);
     let isir_big = parcel_latency(parcel_rt::Transport::Isir, 8192);
-    assert!(isir_big > pwc_big + Time::from_us(1), "{isir_big} vs {pwc_big}");
+    assert!(
+        isir_big > pwc_big + Time::from_us(1),
+        "{isir_big} vs {pwc_big}"
+    );
 }
 
 #[test]

@@ -160,7 +160,9 @@ mod tests {
         GlobalArray {
             class,
             dist: Distribution::Cyclic,
-            blocks: (0..n).map(|i| Gva::new((i % 4) as u32, class, i / 4, 0)).collect(),
+            blocks: (0..n)
+                .map(|i| Gva::new((i % 4) as u32, class, i / 4, 0))
+                .collect(),
         }
     }
 

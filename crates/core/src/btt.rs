@@ -65,7 +65,7 @@ impl Btt {
     pub fn remove(&mut self, block_key: u64) -> Option<BttEntry> {
         let e = self.entries.remove(&block_key);
         debug_assert!(
-            e.map_or(true, |e| e.pins == 0),
+            e.is_none_or(|e| e.pins == 0),
             "removed a pinned block {block_key:#x}"
         );
         e

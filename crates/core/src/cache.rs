@@ -89,25 +89,61 @@ mod tests {
     fn miss_then_hit() {
         let mut c = OwnerCache::new(8);
         assert_eq!(c.lookup(1), None);
-        c.update(1, OwnerHint { owner: 3, generation: 1 });
-        assert_eq!(c.lookup(1), Some(OwnerHint { owner: 3, generation: 1 }));
+        c.update(
+            1,
+            OwnerHint {
+                owner: 3,
+                generation: 1,
+            },
+        );
+        assert_eq!(
+            c.lookup(1),
+            Some(OwnerHint {
+                owner: 3,
+                generation: 1
+            })
+        );
         assert_eq!(c.stats(), (1, 1));
     }
 
     #[test]
     fn newer_generation_wins() {
         let mut c = OwnerCache::new(8);
-        c.update(1, OwnerHint { owner: 3, generation: 5 });
-        c.update(1, OwnerHint { owner: 4, generation: 2 }); // stale: ignored
+        c.update(
+            1,
+            OwnerHint {
+                owner: 3,
+                generation: 5,
+            },
+        );
+        c.update(
+            1,
+            OwnerHint {
+                owner: 4,
+                generation: 2,
+            },
+        ); // stale: ignored
         assert_eq!(c.lookup(1).unwrap().owner, 3);
-        c.update(1, OwnerHint { owner: 7, generation: 6 });
+        c.update(
+            1,
+            OwnerHint {
+                owner: 7,
+                generation: 6,
+            },
+        );
         assert_eq!(c.lookup(1).unwrap().owner, 7);
     }
 
     #[test]
     fn invalidate_removes() {
         let mut c = OwnerCache::new(8);
-        c.update(1, OwnerHint { owner: 3, generation: 1 });
+        c.update(
+            1,
+            OwnerHint {
+                owner: 3,
+                generation: 1,
+            },
+        );
         c.invalidate(1);
         assert_eq!(c.lookup(1), None);
         assert!(c.is_empty());
@@ -117,7 +153,13 @@ mod tests {
     fn capacity_bounds_entries() {
         let mut c = OwnerCache::new(2);
         for k in 0..5u64 {
-            c.update(k, OwnerHint { owner: k as u32, generation: 1 });
+            c.update(
+                k,
+                OwnerHint {
+                    owner: k as u32,
+                    generation: 1,
+                },
+            );
         }
         assert_eq!(c.len(), 2);
         assert!(c.lookup(0).is_none());

@@ -80,7 +80,11 @@ pub fn check_blocks<S: GasWorld>(world: &S, blocks: &[Gva]) -> Vec<Violation> {
                 Some(_) => {}
             }
             if mode == GasMode::AgasNetwork {
-                let btt = *world.gas_ref(owner).btt.lookup(key).expect("checked resident");
+                let btt = *world
+                    .gas_ref(owner)
+                    .btt
+                    .lookup(key)
+                    .expect("checked resident");
                 match world.cluster_ref().loc(owner).nic.xlate.peek(key) {
                     None => out.push(Violation::NicMismatch {
                         gva,
@@ -90,12 +94,10 @@ pub fn check_blocks<S: GasWorld>(world: &S, blocks: &[Gva]) -> Vec<Violation> {
                         gva,
                         detail: "NIC base differs from BTT",
                     }),
-                    Some(e) if e.generation != btt.generation => {
-                        out.push(Violation::NicMismatch {
-                            gva,
-                            detail: "NIC generation differs from BTT",
-                        })
-                    }
+                    Some(e) if e.generation != btt.generation => out.push(Violation::NicMismatch {
+                        gva,
+                        detail: "NIC generation differs from BTT",
+                    }),
                     Some(_) => {}
                 }
             }

@@ -105,7 +105,13 @@ mod tests {
     fn register_and_lookup() {
         let mut d = Directory::new();
         d.register(5, 2);
-        assert_eq!(d.lookup(5), OwnerRec { owner: 2, generation: 1 });
+        assert_eq!(
+            d.lookup(5),
+            OwnerRec {
+                owner: 2,
+                generation: 1
+            }
+        );
         assert_eq!(d.stats(), (1, 0));
     }
 
@@ -113,12 +119,36 @@ mod tests {
     fn update_applies_newer_only() {
         let mut d = Directory::new();
         d.register(5, 2);
-        assert!(d.update(5, OwnerRec { owner: 3, generation: 2 }));
+        assert!(d.update(
+            5,
+            OwnerRec {
+                owner: 3,
+                generation: 2
+            }
+        ));
         // A stale (reordered) update must not regress ownership.
-        assert!(!d.update(5, OwnerRec { owner: 9, generation: 2 }));
-        assert!(!d.update(5, OwnerRec { owner: 9, generation: 1 }));
+        assert!(!d.update(
+            5,
+            OwnerRec {
+                owner: 9,
+                generation: 2
+            }
+        ));
+        assert!(!d.update(
+            5,
+            OwnerRec {
+                owner: 9,
+                generation: 1
+            }
+        ));
         assert_eq!(d.lookup(5).owner, 3);
-        assert!(d.update(5, OwnerRec { owner: 4, generation: 3 }));
+        assert!(d.update(
+            5,
+            OwnerRec {
+                owner: 4,
+                generation: 3
+            }
+        ));
         assert_eq!(d.lookup(5).owner, 4);
     }
 

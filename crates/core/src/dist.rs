@@ -66,9 +66,9 @@ impl Distribution {
                     0
                 }
             }
-            Distribution::Explicit(_) => {
-                (0..total).filter(|&i| self.home(i, total, n) == loc).count() as u64
-            }
+            Distribution::Explicit(_) => (0..total)
+                .filter(|&i| self.home(i, total, n) == loc)
+                .count() as u64,
         }
     }
 }
@@ -125,7 +125,9 @@ mod tests {
             for total in [1u64, 7, 8, 9, 100] {
                 let n = 4;
                 for loc in 0..n {
-                    let counted = (0..total).filter(|&i| dist.home(i, total, n) == loc).count() as u64;
+                    let counted = (0..total)
+                        .filter(|&i| dist.home(i, total, n) == loc)
+                        .count() as u64;
                     assert_eq!(
                         counted,
                         dist.blocks_at(loc, total, n),

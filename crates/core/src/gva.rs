@@ -63,8 +63,14 @@ impl Gva {
             "class {class} out of range"
         );
         let seq_bits = REST_BITS - class as u32;
-        assert!(seq < (1u64 << seq_bits), "seq {seq} too large for class {class}");
-        assert!(offset < (1u64 << class), "offset {offset} exceeds block size");
+        assert!(
+            seq < (1u64 << seq_bits),
+            "seq {seq} too large for class {class}"
+        );
+        assert!(
+            offset < (1u64 << class),
+            "offset {offset} exceeds block size"
+        );
         let rest = (seq << class) | offset;
         Gva(((home as u64) << (CLASS_BITS + REST_BITS)) | ((class as u64) << REST_BITS) | rest)
     }
@@ -135,6 +141,8 @@ impl Gva {
     /// Add `delta` bytes *within this block*. Panics in debug builds if the
     /// result would leave the block — cross-block arithmetic needs the
     /// allocation's distribution and lives in [`crate::alloc::GlobalArray`].
+    // Not `impl Add`: the operand is a byte delta, not another `Gva`.
+    #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn add(self, delta: u64) -> Gva {
         let off = self.offset() + delta;

@@ -22,8 +22,8 @@
 
 pub mod alloc;
 pub mod btt;
-pub mod check;
 pub mod cache;
+pub mod check;
 pub mod config;
 pub mod directory;
 pub mod dist;
@@ -33,8 +33,8 @@ pub mod ops;
 
 pub use alloc::{alloc_array, free_array, GlobalArray, PgasMap};
 pub use btt::{BlockState, Btt, BttEntry};
-pub use check::{assert_consistent, check_blocks, Violation};
 pub use cache::{OwnerCache, OwnerHint};
+pub use check::{assert_consistent, check_blocks, Violation};
 pub use config::{GasConfig, GasMode};
 pub use directory::{Directory, OwnerRec};
 pub use dist::Distribution;

@@ -120,7 +120,11 @@ pub(crate) fn on_mig_request<S: GasWorld>(
         eng.schedule_at(finish, move |eng| {
             let owner = eng.state.gas(at).dir.lookup(block).owner;
             let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
-            let next = if owner == at { Gva(block).home() } else { owner };
+            let next = if owner == at {
+                Gva(block).home()
+            } else {
+                owner
+            };
             send_user(
                 eng,
                 at,
@@ -143,6 +147,7 @@ pub(crate) fn on_mig_request<S: GasWorld>(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn resend_request_via_home<S: GasWorld>(
     eng: &mut Engine<S>,
     at: LocalityId,
@@ -335,10 +340,7 @@ pub(crate) fn on_dir_update_ack<S: GasWorld>(eng: &mut Engine<S>, at: LocalityId
         at,
         pi.reply_to,
         ctrl,
-        S::wrap_gas(GasMsg::MigDone {
-            ctx: pi.ctx,
-            block,
-        }),
+        S::wrap_gas(GasMsg::MigDone { ctx: pi.ctx, block }),
     );
 }
 
@@ -397,7 +399,10 @@ pub(crate) fn on_free_request<S: GasWorld>(
     let g = eng.state.gas(at);
     if let Some(entry) = g.btt.lookup(block) {
         if entry.pins > 0 {
-            g.deferred_frees.entry(block).or_default().push((ctx, reply_to));
+            g.deferred_frees
+                .entry(block)
+                .or_default()
+                .push((ctx, reply_to));
             return;
         }
         if g.moving.contains_key(&block) {

@@ -28,12 +28,7 @@ fn copy_time(per_byte_ps: u64, len: usize) -> Time {
 }
 
 /// Record an operation's completion latency (nanosecond samples).
-fn record_latency<S: GasWorld>(
-    eng: &mut Engine<S>,
-    loc: LocalityId,
-    p: &PendingOp,
-    done: Time,
-) {
+fn record_latency<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, p: &PendingOp, done: Time) {
     let ns = done.saturating_sub(p.issued).as_ns();
     let g = eng.state.gas(loc);
     match p.payload {
@@ -50,7 +45,13 @@ fn scratch_class(len: u32) -> u8 {
 /// Write `data` to the global address `gva`. Completion arrives via
 /// [`GasWorld::gas_put_done`] with `ctx`. The write must stay within one
 /// block (use [`crate::GlobalArray::chunks`] to split larger ranges).
-pub fn memput<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, gva: Gva, data: Vec<u8>, ctx: u64) {
+pub fn memput<S: GasWorld>(
+    eng: &mut Engine<S>,
+    loc: LocalityId,
+    gva: Gva,
+    data: Vec<u8>,
+    ctx: u64,
+) {
     assert!(
         gva.offset() + data.len() as u64 <= gva.block_size(),
         "memput crosses a block boundary"
@@ -283,7 +284,11 @@ fn commit_local<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, op: u64) {
     };
     let block = gva.block_key();
     let base = match mode {
-        GasMode::Pgas => *eng.state.pgas().get(&block).expect("PGAS local op on unknown block"),
+        GasMode::Pgas => *eng
+            .state
+            .pgas()
+            .get(&block)
+            .expect("PGAS local op on unknown block"),
         _ => {
             eng.state
                 .gas(loc)
@@ -542,13 +547,10 @@ pub fn handle_msg<S: GasWorld>(eng: &mut Engine<S>, from: LocalityId, at: Locali
                 l.counters.dir_lookups += 1;
             }
             eng.schedule_at(finish, move |eng| {
-                eng.state.gas(at).dir.update(
-                    block,
-                    crate::OwnerRec {
-                        owner,
-                        generation,
-                    },
-                );
+                eng.state
+                    .gas(at)
+                    .dir
+                    .update(block, crate::OwnerRec { owner, generation });
                 let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
                 send_user(
                     eng,
@@ -575,7 +577,9 @@ pub fn handle_msg<S: GasWorld>(eng: &mut Engine<S>, from: LocalityId, at: Locali
             src,
             ctx,
             reply_to,
-        } => crate::migrate::on_mig_data(eng, at, block, class, generation, data, src, ctx, reply_to),
+        } => {
+            crate::migrate::on_mig_data(eng, at, block, class, generation, data, src, ctx, reply_to)
+        }
         GasMsg::MigAck { block } => crate::migrate::on_mig_ack(eng, at, block),
         GasMsg::MigDone { ctx, block } => {
             eng.state.gas(at).stats.migrations_done += 1;
@@ -662,7 +666,13 @@ fn run_sw_access<S: GasWorld>(eng: &mut Engine<S>, at: LocalityId, msg: GasMsg) 
                     .write(e.base + offset, &data)
                     .expect("BTT entry points outside arena");
                 eng.state.gas(at).stats.sw_puts_handled += 1;
-                send_user(eng, at, reply_to, ctrl, S::wrap_gas(GasMsg::SwPutAck { ctx }));
+                send_user(
+                    eng,
+                    at,
+                    reply_to,
+                    ctrl,
+                    S::wrap_gas(GasMsg::SwPutAck { ctx }),
+                );
             }
             None => {
                 send_user(
@@ -742,7 +752,10 @@ pub fn route<S: GasWorld>(world: &mut S, loc: LocalityId, gva: Gva) -> Route {
     match world.gas_mode() {
         GasMode::Pgas => {
             if home == loc {
-                let base = *world.pgas().get(&block).expect("route on unallocated block");
+                let base = *world
+                    .pgas()
+                    .get(&block)
+                    .expect("route on unallocated block");
                 Route::Local {
                     base,
                     class: gva.class(),

@@ -15,6 +15,7 @@ pub enum Msg {
 }
 
 #[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::enum_variant_names)]
 pub enum Ev {
     PutDone(u64),
     GetDone(u64, Vec<u8>),
@@ -36,8 +37,12 @@ impl World {
     pub fn new(n: usize, mode: GasMode, net: NetConfig) -> World {
         World {
             cluster: Cluster::new(n, net, 1 << 28),
-            eps: (0..n).map(|_| PhotonEndpoint::new(PhotonConfig::default())).collect(),
-            gas: (0..n).map(|_| GasLocal::new(GasConfig::default())).collect(),
+            eps: (0..n)
+                .map(|_| PhotonEndpoint::new(PhotonConfig::default()))
+                .collect(),
+            gas: (0..n)
+                .map(|_| GasLocal::new(GasConfig::default()))
+                .collect(),
             cpus: (0..n).map(|_| ServerPool::new(2)).collect(),
             pgas: PgasMap::new(),
             mode,

@@ -27,10 +27,23 @@ fn free_releases_storage_and_records() {
         eng.run();
         assert!(free_done(&eng, 2), "{mode:?}");
         assert_eq!(eng.state.cluster.mem(1).live_blocks(), live_before - 1);
-        assert!(!eng.state.gas[1].btt.is_resident(gva.block_key()), "{mode:?}");
-        assert!(eng.state.gas[1].dir.peek(gva.block_key()).is_none(), "{mode:?}");
+        assert!(
+            !eng.state.gas[1].btt.is_resident(gva.block_key()),
+            "{mode:?}"
+        );
+        assert!(
+            eng.state.gas[1].dir.peek(gva.block_key()).is_none(),
+            "{mode:?}"
+        );
         if mode == GasMode::AgasNetwork {
-            assert!(eng.state.cluster.loc(1).nic.xlate.peek(gva.block_key()).is_none());
+            assert!(eng
+                .state
+                .cluster
+                .loc(1)
+                .nic
+                .xlate
+                .peek(gva.block_key())
+                .is_none());
         }
     }
 }

@@ -60,7 +60,11 @@ fn local_fast_path_all_modes() {
         assert_eq!(g.stats.remote_ops, 0, "{mode:?}");
         // No network operations at all.
         let total = eng.state.cluster.total_counters();
-        assert_eq!(total.rdma_puts + total.rdma_gets + total.msgs_sent, 0, "{mode:?}");
+        assert_eq!(
+            total.rdma_puts + total.rdma_gets + total.msgs_sent,
+            0,
+            "{mode:?}"
+        );
     }
 }
 

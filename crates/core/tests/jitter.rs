@@ -25,7 +25,13 @@ fn ops_complete_under_heavy_jitter() {
         let arr = alloc_array(&mut eng, 8, 12, Distribution::Cyclic);
         for i in 0..100u64 {
             let gva = arr.block(i % 8).with_offset((i / 8) * 32);
-            memput(&mut eng, ((i + 1) % 4) as u32, gva, vec![(i + 1) as u8; 32], i);
+            memput(
+                &mut eng,
+                ((i + 1) % 4) as u32,
+                gva,
+                vec![(i + 1) as u8; 32],
+                i,
+            );
         }
         eng.run();
         let done = eng
@@ -66,7 +72,13 @@ fn migrations_survive_jitter() {
                     vec![(round * 4 + b + 1) as u8; 16],
                     round * 4 + b,
                 );
-                migrate_block(&mut eng, 0, arr.block(b), ((round + b) % 4) as u32, 9000 + round * 4 + b);
+                migrate_block(
+                    &mut eng,
+                    0,
+                    arr.block(b),
+                    ((round + b) % 4) as u32,
+                    9000 + round * 4 + b,
+                );
             }
             eng.run_steps(40);
         }
@@ -82,7 +94,13 @@ fn migrations_survive_jitter() {
         // All writes present.
         for round in 0..6u64 {
             for b in 0..4u64 {
-                memget(&mut eng, 1, arr.block(b).with_offset(round * 16), 16, 5000 + round * 4 + b);
+                memget(
+                    &mut eng,
+                    1,
+                    arr.block(b).with_offset(round * 16),
+                    16,
+                    5000 + round * 4 + b,
+                );
             }
         }
         eng.run();
@@ -158,10 +176,7 @@ proptest! {
 /// every operation still completes with correct data.
 #[test]
 fn nic_table_flush_mid_run_recovers() {
-    let mut eng = Engine::new(
-        World::new(4, GasMode::AgasNetwork, NetConfig::ideal()),
-        23,
-    );
+    let mut eng = Engine::new(World::new(4, GasMode::AgasNetwork, NetConfig::ideal()), 23);
     let arr = alloc_array(&mut eng, 8, 12, Distribution::Cyclic);
     for i in 0..60u64 {
         // (i+1)%4 ≠ home((i%8)) for every i: all ops are remote.

@@ -35,8 +35,14 @@ fn migration_preserves_data_and_consistency() {
         eng.run();
         assert!(mig_done(&eng, 2), "{mode:?}");
         // New owner is 3; directory agrees; data intact.
-        assert!(eng.state.gas[3].btt.is_resident(gva.block_key()), "{mode:?}");
-        assert!(!eng.state.gas[1].btt.is_resident(gva.block_key()), "{mode:?}");
+        assert!(
+            eng.state.gas[3].btt.is_resident(gva.block_key()),
+            "{mode:?}"
+        );
+        assert!(
+            !eng.state.gas[1].btt.is_resident(gva.block_key()),
+            "{mode:?}"
+        );
         assert_consistent(&eng, &arr.blocks);
         memget(&mut eng, 2, gva, 4096, 3);
         eng.run();
@@ -80,11 +86,23 @@ fn puts_racing_migration_are_applied_exactly_once() {
         let gva = arr.block(1);
         // Launch 64 puts to distinct offsets and a migration mid-stream.
         for i in 0..32u64 {
-            memput(&mut eng, 0, gva.with_offset(i * 64), vec![(i + 1) as u8; 64], i);
+            memput(
+                &mut eng,
+                0,
+                gva.with_offset(i * 64),
+                vec![(i + 1) as u8; 64],
+                i,
+            );
         }
         migrate_block(&mut eng, 2, gva, 3, 1000);
         for i in 32..64u64 {
-            memput(&mut eng, 0, gva.with_offset(i * 64), vec![(i + 1) as u8; 64], i);
+            memput(
+                &mut eng,
+                0,
+                gva.with_offset(i * 64),
+                vec![(i + 1) as u8; 64],
+                i,
+            );
         }
         eng.run();
         assert!(mig_done(&eng, 1000), "{mode:?}");
@@ -119,7 +137,13 @@ fn nic_forwarding_rescues_in_flight_puts() {
     migrate_block(&mut eng, 1, gva, 2, 1);
     // While MigData is in flight, hit the old owner.
     for i in 0..8u64 {
-        memput(&mut eng, 0, gva.with_offset(i * 8), vec![i as u8 + 1; 8], 10 + i);
+        memput(
+            &mut eng,
+            0,
+            gva.with_offset(i * 8),
+            vec![i as u8 + 1; 8],
+            10 + i,
+        );
     }
     eng.run();
     assert!(mig_done(&eng, 1));
@@ -147,7 +171,13 @@ fn forwarding_disabled_still_converges_via_home() {
     let gva = arr.block(1);
     migrate_block(&mut eng, 1, gva, 2, 1);
     for i in 0..8u64 {
-        memput(&mut eng, 0, gva.with_offset(i * 8), vec![i as u8 + 1; 8], 10 + i);
+        memput(
+            &mut eng,
+            0,
+            gva.with_offset(i * 8),
+            vec![i as u8 + 1; 8],
+            10 + i,
+        );
     }
     eng.run();
     assert!(mig_done(&eng, 1));
@@ -202,7 +232,7 @@ fn migration_counters_track_moves() {
     let mut eng = engine(3, GasMode::AgasSoftware);
     let arr = alloc_array(&mut eng, 6, 10, Distribution::Cyclic);
     for (i, gva) in arr.blocks.iter().enumerate() {
-        migrate_block(&mut eng, 0, *gva, ((gva.home() + 1) % 3) as u32, i as u64);
+        migrate_block(&mut eng, 0, *gva, (gva.home() + 1) % 3, i as u64);
     }
     eng.run();
     let total = eng.state.cluster.total_counters();

@@ -13,8 +13,17 @@ use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Put { from: u32, block: u64, slot: u64, val: u8 },
-    Migrate { from: u32, block: u64, to: u32 },
+    Put {
+        from: u32,
+        block: u64,
+        slot: u64,
+        val: u8,
+    },
+    Migrate {
+        from: u32,
+        block: u64,
+        to: u32,
+    },
 }
 
 fn op_strategy(nloc: u32, nblocks: u64) -> impl Strategy<Value = Op> {
@@ -37,10 +46,15 @@ fn run_schedule(mode: GasMode, ops: &[Op], seed: u64) -> (Engine<World>, Vec<aga
     let nloc = 4;
     let mut eng = Engine::new(World::new(nloc, mode, NetConfig::ideal()), seed);
     let arr = alloc_array(&mut eng, 8, 12, Distribution::Cyclic);
-    let mut ctx = 0u64;
-    for op in ops {
+    for (ctx, op) in ops.iter().enumerate() {
+        let ctx = ctx as u64;
         match *op {
-            Op::Put { from, block, slot, val } => {
+            Op::Put {
+                from,
+                block,
+                slot,
+                val,
+            } => {
                 let gva = arr.block(block).with_offset(slot * 256);
                 memput(&mut eng, from, gva, vec![val; 256], ctx);
             }
@@ -50,7 +64,6 @@ fn run_schedule(mode: GasMode, ops: &[Op], seed: u64) -> (Engine<World>, Vec<aga
                 }
             }
         }
-        ctx += 1;
         // Interleave: advance the world a little between submissions.
         eng.run_steps(3);
     }

@@ -1,45 +1,118 @@
 //! The discrete-event engine: a virtual clock and an event queue.
 //!
 //! Every behaviour in the simulator — wire transits, NIC DMA completions,
-//! scheduler dispatches — is an *event*: a boxed `FnOnce(&mut Engine<S>)`
+//! scheduler dispatches — is an *event*: an `FnOnce(&mut Engine<S>)`
 //! executed at a scheduled instant of virtual time. The engine guarantees:
 //!
 //! * **causality** — events run in nondecreasing time order; scheduling in
 //!   the past is a bug and panics in debug builds (clamped in release);
 //! * **determinism** — ties at the same instant break by schedule order
 //!   (a monotone sequence number), so a given seed and program produce an
-//!   identical execution on every run and platform. A running FNV-1a hash of
+//!   identical execution on every run and platform. A running hash of
 //!   `(time, seq)` pairs ([`Engine::trace_hash`]) lets tests assert this.
+//!
+//! # Hot-path layout
+//!
+//! The engine executes hundreds of millions of events per experiment, so the
+//! schedule→execute path is allocation-free for typical events:
+//!
+//! * closures whose captures fit three machine words are stored *inline* in
+//!   the queue entry ([`EventSlot`]); only oversized captures fall back to a
+//!   heap box, transparently;
+//! * the pending set lives in a two-level calendar queue
+//!   ([`TimeWheel`](crate::timewheel::TimeWheel)) — O(1) insertion into
+//!   near-future buckets instead of an O(log n) global heap — with pop order
+//!   bit-for-bit identical to the old `BinaryHeap` (proved by the
+//!   shadow-model proptest in `tests/timewheel_shadow.rs`);
+//! * the trace hash advances by a single 64×64→128-bit multiply per word
+//!   ([`trace_mix`]) rather than a byte-at-a-time FNV loop.
 
 use crate::rng::Xoshiro256;
 use crate::time::Time;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use crate::timewheel::TimeWheel;
+use std::mem::{ManuallyDrop, MaybeUninit};
 
-type EventFn<S> = Box<dyn FnOnce(&mut Engine<S>)>;
+/// Words of inline closure storage per event. Three words cover the common
+/// captures (an id, a size, a small struct, an `Rc` handle plus a word) —
+/// larger closures spill to a box.
+const INLINE_WORDS: usize = 3;
 
-struct Scheduled<S> {
-    time: Time,
-    seq: u64,
-    run: EventFn<S>,
+type Payload = MaybeUninit<[u64; INLINE_WORDS]>;
+
+/// A type-erased `FnOnce(&mut Engine<S>)` with small-closure optimization.
+///
+/// The closure's captures are written directly into `payload` when they fit
+/// (size ≤ 3 words, align ≤ word); otherwise `payload` holds a thin pointer
+/// to a heap box. One fn pointer serves both fates a slot can meet —
+/// `call(p, Some(engine))` consumes the payload and runs the closure;
+/// `call(p, None)` destroys it without running (engine dropped while events
+/// were still pending). Exactly one of the two happens per slot, keeping
+/// each queue entry at four words of metadata.
+struct EventSlot<S> {
+    payload: Payload,
+    call: unsafe fn(*mut u8, Option<&mut Engine<S>>),
 }
 
-// Order by (time, seq) only; the closure takes no part in ordering.
-impl<S> PartialEq for Scheduled<S> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+impl<S> EventSlot<S> {
+    fn new<F>(f: F) -> EventSlot<S>
+    where
+        F: FnOnce(&mut Engine<S>) + 'static,
+    {
+        // SAFETY contracts: each thunk below is only ever paired with the
+        // payload representation its `new` arm wrote, and runs exactly once.
+        unsafe fn call_inline<S, F: FnOnce(&mut Engine<S>)>(
+            p: *mut u8,
+            eng: Option<&mut Engine<S>>,
+        ) {
+            match eng {
+                Some(eng) => ((p as *mut F).read())(eng),
+                None => std::ptr::drop_in_place(p as *mut F),
+            }
+        }
+        unsafe fn call_boxed<S, F: FnOnce(&mut Engine<S>)>(
+            p: *mut u8,
+            eng: Option<&mut Engine<S>>,
+        ) {
+            let f = Box::from_raw((p as *mut *mut F).read());
+            if let Some(eng) = eng {
+                f(eng);
+            }
+        }
+
+        let mut payload: Payload = MaybeUninit::uninit();
+        if size_of::<F>() <= size_of::<Payload>() && align_of::<F>() <= align_of::<Payload>() {
+            // SAFETY: F fits the payload in size and alignment; the payload
+            // is uninitialized and owned by this slot.
+            unsafe { (payload.as_mut_ptr() as *mut F).write(f) };
+            EventSlot {
+                payload,
+                call: call_inline::<S, F>,
+            }
+        } else {
+            // SAFETY: a thin `*mut F` (one word, word-aligned) always fits.
+            unsafe { (payload.as_mut_ptr() as *mut *mut F).write(Box::into_raw(Box::new(f))) };
+            EventSlot {
+                payload,
+                call: call_boxed::<S, F>,
+            }
+        }
+    }
+
+    /// Consume the slot, running its closure.
+    fn run(self, eng: &mut Engine<S>) {
+        let mut this = ManuallyDrop::new(self);
+        // SAFETY: `self` is wrapped in ManuallyDrop, so this call is the
+        // payload's only consumer — `Drop::drop` will not also run.
+        unsafe { (this.call)(this.payload.as_mut_ptr() as *mut u8, Some(eng)) }
     }
 }
-impl<S> Eq for Scheduled<S> {}
-impl<S> PartialOrd for Scheduled<S> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<S> Ord for Scheduled<S> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
+
+impl<S> Drop for EventSlot<S> {
+    fn drop(&mut self) {
+        // Only reached for slots never passed to `run` (pending events
+        // discarded with the engine).
+        // SAFETY: the payload is still initialized and consumed exactly once.
+        unsafe { (self.call)(self.payload.as_mut_ptr() as *mut u8, None) }
     }
 }
 
@@ -67,14 +140,30 @@ pub struct Engine<S> {
     pub state: S,
     now: Time,
     seq: u64,
-    queue: BinaryHeap<Scheduled<S>>,
+    queue: TimeWheel<EventSlot<S>>,
     rng: Xoshiro256,
     executed: u64,
     trace_hash: u64,
 }
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+/// Initial trace-hash value (the FNV-1a offset basis, kept from the original
+/// byte-loop hash; any nonzero constant would do).
+const TRACE_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// One step of the engine's execution-trace hash: fold `value` into `hash`
+/// with a single 64×64→128-bit multiply (a mum-style mix).
+///
+/// This replaced a byte-at-a-time FNV-1a loop (16 multiplies per event); it
+/// keeps the properties the determinism tests rely on — a pure function of
+/// the `(hash, value)` pair with fixed constants, so identical executions
+/// hash identically on every platform, and order sensitivity, so reordered
+/// executions diverge.
+#[inline]
+pub fn trace_mix(hash: u64, value: u64) -> u64 {
+    const K: u64 = 0x9e37_79b9_7f4a_7c15; // 2^64 / phi, odd
+    let m = u128::from(hash ^ value) * u128::from(K);
+    (m as u64) ^ ((m >> 64) as u64) ^ hash.rotate_left(32)
+}
 
 impl<S> Engine<S> {
     /// Create an engine over `state`, seeding the deterministic PRNG.
@@ -83,10 +172,10 @@ impl<S> Engine<S> {
             state,
             now: Time::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: TimeWheel::new(),
             rng: Xoshiro256::seed_from_u64(seed),
             executed: 0,
-            trace_hash: FNV_OFFSET,
+            trace_hash: TRACE_SEED,
         }
     }
 
@@ -108,7 +197,8 @@ impl<S> Engine<S> {
         self.queue.len()
     }
 
-    /// Running FNV-1a hash over the `(time, seq)` pairs of executed events.
+    /// Running [`trace_mix`] hash over the `(time, seq)` pairs of executed
+    /// events.
     ///
     /// Two runs of the same program with the same seed must produce the same
     /// hash; the determinism property tests rely on this.
@@ -140,74 +230,70 @@ impl<S> Engine<S> {
     where
         F: FnOnce(&mut Engine<S>) + 'static,
     {
-        debug_assert!(at >= self.now, "event scheduled in the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "event scheduled in the past: {at} < {}",
+            self.now
+        );
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Scheduled {
-            time: at,
-            seq,
-            run: Box::new(event),
-        });
+        self.queue.push(at, seq, EventSlot::new(event));
     }
 
     /// Execute the next pending event, if any. Returns `false` when idle.
     pub fn step(&mut self) -> bool {
-        let Some(ev) = self.queue.pop() else {
+        let Some((time, seq, ev)) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(ev.time >= self.now, "causality violated");
-        self.now = ev.time;
+        debug_assert!(time >= self.now, "causality violated");
+        self.now = time;
         self.executed += 1;
-        self.trace_hash = fnv_step(self.trace_hash, ev.time.ps());
-        self.trace_hash = fnv_step(self.trace_hash, ev.seq);
-        (ev.run)(self);
+        self.trace_hash = trace_mix(self.trace_hash, time.ps());
+        self.trace_hash = trace_mix(self.trace_hash, seq);
+        ev.run(self);
         true
     }
 
     /// Run until the event queue drains (quiescence). Returns events executed.
     pub fn run(&mut self) -> u64 {
         let start = self.executed;
+        let t0 = self.now;
         while self.step() {}
-        self.executed - start
+        let ran = self.executed - start;
+        crate::telemetry::record_run(ran, (self.now - t0).ps());
+        ran
     }
 
     /// Run until the queue drains or the clock would pass `deadline`.
     ///
-    /// Events scheduled strictly after `deadline` remain pending; the clock
-    /// is advanced to `deadline` if the simulation outlived it.
+    /// Events scheduled strictly after `deadline` remain pending and the
+    /// clock is advanced to `deadline`; if instead the queue quiesces first,
+    /// the clock stays at the last executed event.
     pub fn run_until(&mut self, deadline: Time) -> u64 {
         let start = self.executed;
-        while let Some(head) = self.queue.peek() {
-            if head.time > deadline {
+        let t0 = self.now;
+        while let Some(next) = self.queue.next_time() {
+            if next > deadline {
                 self.now = deadline;
                 break;
             }
             self.step();
         }
-        if self.queue.is_empty() && self.now < deadline {
-            // Quiesced early: the clock stays at the last event.
-        }
-        self.executed - start
+        let ran = self.executed - start;
+        crate::telemetry::record_run(ran, (self.now - t0).ps());
+        ran
     }
 
     /// Run at most `n` further events.
     pub fn run_steps(&mut self, n: u64) -> u64 {
-        let mut done = 0;
-        while done < n && self.step() {
-            done += 1;
-        }
-        done
+        let start = self.executed;
+        let t0 = self.now;
+        while self.executed - start < n && self.step() {}
+        let ran = self.executed - start;
+        crate::telemetry::record_run(ran, (self.now - t0).ps());
+        ran
     }
-}
-
-#[inline]
-fn fnv_step(mut hash: u64, value: u64) -> u64 {
-    for byte in value.to_le_bytes() {
-        hash ^= byte as u64;
-        hash = hash.wrapping_mul(FNV_PRIME);
-    }
-    hash
 }
 
 #[cfg(test)]
@@ -265,6 +351,22 @@ mod tests {
         assert_eq!(eng.events_pending(), 6);
         eng.run();
         assert_eq!(eng.state.len(), 10);
+    }
+
+    #[test]
+    fn run_until_early_quiescence_keeps_clock_at_last_event() {
+        // The queue drains long before the deadline: the clock must stay at
+        // the last executed event, not jump forward to the deadline.
+        let mut eng = Engine::new(0u32, 0);
+        eng.schedule(Time::from_ns(10), |e| e.state += 1);
+        eng.schedule(Time::from_ns(25), |e| e.state += 1);
+        let ran = eng.run_until(Time::from_us(1));
+        assert_eq!(ran, 2);
+        assert_eq!(eng.now(), Time::from_ns(25));
+        assert_eq!(eng.events_pending(), 0);
+        // An idle engine stays put too.
+        assert_eq!(eng.run_until(Time::from_us(2)), 0);
+        assert_eq!(eng.now(), Time::from_ns(25));
     }
 
     #[test]
@@ -333,6 +435,36 @@ mod tests {
         }
         eng.run();
         assert_eq!(*log.borrow(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn large_captures_fall_back_to_heap_and_still_run() {
+        // 96 bytes of captures: exceeds the 24-byte inline payload, takes
+        // the boxed path.
+        let big = [7u64; 12];
+        let mut eng = Engine::new(Vec::<u64>::new(), 0);
+        eng.schedule(Time::from_ns(1), move |e| e.state.extend_from_slice(&big));
+        eng.run();
+        assert_eq!(eng.state, vec![7u64; 12]);
+    }
+
+    #[test]
+    fn unexecuted_events_drop_their_captures() {
+        // Dropping an engine with pending events must drop their captures —
+        // both inline (an Rc alone) and boxed (Rc + bulky array).
+        let token = Rc::new(());
+        let mut eng = Engine::new((), 0);
+        let t1 = Rc::clone(&token);
+        eng.schedule(Time::from_ns(1), move |_| drop(t1));
+        let t2 = Rc::clone(&token);
+        let bulk = [0u64; 16];
+        eng.schedule(Time::from_ns(2), move |_| {
+            let _ = bulk;
+            drop(t2);
+        });
+        assert_eq!(Rc::strong_count(&token), 3);
+        drop(eng);
+        assert_eq!(Rc::strong_count(&token), 1);
     }
 
     #[test]

@@ -30,7 +30,9 @@ pub mod nic;
 pub mod queue;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
+pub mod timewheel;
 pub mod trace;
 
 pub use config::NetConfig;
@@ -44,4 +46,5 @@ pub use nic::{LocalityId, Nic, Xlate, XlateEntry, XlateTable};
 pub use queue::ServerPool;
 pub use stats::{Counters, LogHistogram, TimeWeighted};
 pub use time::Time;
+pub use timewheel::TimeWheel;
 pub use trace::{TraceEvent, TraceKind, Tracer};

@@ -217,7 +217,10 @@ impl<'a, K: Eq + Hash + Clone, V> Iterator for LruIter<'a, K, V> {
         }
         let node = &self.lru.slab[self.cursor as usize];
         self.cursor = node.next;
-        Some((&node.key, node.value.as_ref().expect("live node without value")))
+        Some((
+            &node.key,
+            node.value.as_ref().expect("live node without value"),
+        ))
     }
 }
 

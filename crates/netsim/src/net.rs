@@ -182,9 +182,8 @@ impl Cluster {
         if self.core_ps_per_byte == 0 {
             return earliest;
         }
-        let dur = Time::from_ps(
-            (bytes as u64 + self.config.header_bytes as u64) * self.core_ps_per_byte,
-        );
+        let dur =
+            Time::from_ps((bytes as u64 + self.config.header_bytes as u64) * self.core_ps_per_byte);
         let start = earliest.max(self.switch_free);
         self.switch_free = start + dur;
         self.switch_free
@@ -329,7 +328,14 @@ pub fn send_user<S: Protocol>(
     let cfg = eng.state.cluster().config;
     {
         let c = eng.state.cluster();
-        c.tracer.record(now, TraceKind::MsgInject { src, dst, bytes: wire_bytes });
+        c.tracer.record(
+            now,
+            TraceKind::MsgInject {
+                src,
+                dst,
+                bytes: wire_bytes,
+            },
+        );
         let l = c.loc_mut(src);
         l.counters.msgs_sent += 1;
         l.counters.bytes_sent += wire_bytes as u64;
@@ -496,7 +502,11 @@ fn put_commit<S: Protocol>(
                         l.counters.xlate_forwards += 1;
                         eng.state.cluster().tracer.record(
                             now,
-                            TraceKind::XlateForward { at: target, next, block },
+                            TraceKind::XlateForward {
+                                at: target,
+                                next,
+                                block,
+                            },
                         );
                         let dur = cfg.serialize(req.data.len() as u32);
                         let tx_done = eng.state.cluster().tx(target, now, dur);
@@ -532,13 +542,28 @@ fn put_commit<S: Protocol>(
                 .write(addr, &req.data)
                 .is_ok();
             if !write_ok {
-                nack(eng, target, initiator, req.op, OpKind::Put, NackReason::Bounds, block, local);
+                nack(
+                    eng,
+                    target,
+                    initiator,
+                    req.op,
+                    OpKind::Put,
+                    NackReason::Bounds,
+                    block,
+                    local,
+                );
                 return;
             }
             let visible = now + cfg.dma(req.data.len() as u32);
             if let Some(tag) = req.remote_tag {
                 let len = req.data.len() as u32;
-                deliver_at(eng, visible, target, target, Packet::RemoteNote { tag, len });
+                deliver_at(
+                    eng,
+                    visible,
+                    target,
+                    target,
+                    Packet::RemoteNote { tag, len },
+                );
             }
             let op = req.op;
             if local {
@@ -552,7 +577,16 @@ fn put_commit<S: Protocol>(
                 deliver_at(eng, at, target, initiator, Packet::PutDone { op });
             }
         }
-        Err(reason) => nack(eng, target, initiator, req.op, OpKind::Put, reason, block, local),
+        Err(reason) => nack(
+            eng,
+            target,
+            initiator,
+            req.op,
+            OpKind::Put,
+            reason,
+            block,
+            local,
+        ),
     }
 }
 
@@ -648,11 +682,19 @@ fn get_commit<S: Protocol>(
     };
     match resolved {
         Ok(addr) => {
-            let data: Vec<u8> = match eng.state.cluster().mem(target).read(addr, req.len as usize)
-            {
+            let data: Vec<u8> = match eng.state.cluster().mem(target).read(addr, req.len as usize) {
                 Ok(slice) => slice.to_vec(),
                 Err(_) => {
-                    nack(eng, target, initiator, req.op, OpKind::Get, NackReason::Bounds, block, local);
+                    nack(
+                        eng,
+                        target,
+                        initiator,
+                        req.op,
+                        OpKind::Get,
+                        NackReason::Bounds,
+                        block,
+                        local,
+                    );
                     return;
                 }
             };
@@ -709,7 +751,16 @@ fn get_commit<S: Protocol>(
                 });
             });
         }
-        Err(reason) => nack(eng, target, initiator, req.op, OpKind::Get, reason, block, local),
+        Err(reason) => nack(
+            eng,
+            target,
+            initiator,
+            req.op,
+            OpKind::Get,
+            reason,
+            block,
+            local,
+        ),
     }
 }
 
@@ -738,7 +789,13 @@ fn nack<S: Protocol>(
     eng.schedule_at(at, move |eng| {
         let now = eng.now();
         let c = eng.state.cluster();
-        c.tracer.record(now, TraceKind::Nack { from: target, to: initiator });
+        c.tracer.record(
+            now,
+            TraceKind::Nack {
+                from: target,
+                to: initiator,
+            },
+        );
         c.loc_mut(initiator).counters.nacks_recv += 1;
         S::deliver(
             eng,
@@ -856,7 +913,10 @@ mod tests {
             },
         );
         eng.run();
-        assert_eq!(eng.state.cluster.mem(1).read(addr, 16).unwrap(), &[7u8; 16][..]);
+        assert_eq!(
+            eng.state.cluster.mem(1).read(addr, 16).unwrap(),
+            &[7u8; 16][..]
+        );
         assert_eq!(eng.state.log.len(), 1);
         assert_eq!(eng.state.log[0].1, 0); // completion at initiator
         assert!(eng.state.log[0].2.starts_with("putdone"));
@@ -892,7 +952,10 @@ mod tests {
             },
         );
         eng.run();
-        assert_eq!(eng.state.cluster.mem(1).read(base + 64, 8).unwrap(), &[9u8; 8][..]);
+        assert_eq!(
+            eng.state.cluster.mem(1).read(base + 64, 8).unwrap(),
+            &[9u8; 8][..]
+        );
         let kinds: Vec<&str> = eng.state.log.iter().map(|(_, _, d)| d.as_str()).collect();
         assert!(kinds.contains(&"note:77:8"), "{kinds:?}");
         assert!(kinds.iter().any(|k| k.starts_with("putdone")), "{kinds:?}");
@@ -923,7 +986,10 @@ mod tests {
         // target and a NACK back to the initiator.
         let kinds: Vec<&str> = eng.state.log.iter().map(|(_, _, d)| d.as_str()).collect();
         assert!(kinds.contains(&"xmiss:57005"), "{kinds:?}"); // 0xDEAD
-        assert!(kinds.contains(&format!("nack:{}:Miss", op.0).as_str()), "{kinds:?}");
+        assert!(
+            kinds.contains(&format!("nack:{}:Miss", op.0).as_str()),
+            "{kinds:?}"
+        );
         assert_eq!(eng.state.cluster.loc(1).counters.xlate_misses, 1);
         assert_eq!(eng.state.cluster.loc(1).counters.nacks_sent, 1);
         assert_eq!(eng.state.cluster.loc(0).counters.nacks_recv, 1);
@@ -999,11 +1065,23 @@ mod tests {
             },
         );
         eng.run();
-        assert_eq!(eng.state.cluster.mem(2).read(base, 4).unwrap(), &[3u8; 4][..]);
+        assert_eq!(
+            eng.state.cluster.mem(2).read(base, 4).unwrap(),
+            &[3u8; 4][..]
+        );
         assert_eq!(eng.state.cluster.loc(1).counters.xlate_forwards, 1);
-        assert!(eng.state.log.iter().any(|(_, _, d)| d.starts_with("putdone")));
+        assert!(eng
+            .state
+            .log
+            .iter()
+            .any(|(_, _, d)| d.starts_with("putdone")));
         // The ack comes from the *final* owner.
-        let done = eng.state.log.iter().find(|(_, _, d)| d.starts_with("putdone")).unwrap();
+        let done = eng
+            .state
+            .log
+            .iter()
+            .find(|(_, _, d)| d.starts_with("putdone"))
+            .unwrap();
         assert_eq!(done.1, 0);
     }
 
@@ -1074,10 +1152,7 @@ mod tests {
             },
         );
         eng.run();
-        assert_eq!(
-            eng.state.log[0].2,
-            format!("nack:{}:TtlExceeded", op.0)
-        );
+        assert_eq!(eng.state.log[0].2, format!("nack:{}:TtlExceeded", op.0));
         let total = eng.state.cluster.total_counters();
         assert_eq!(total.xlate_forwards, 2);
     }
@@ -1118,8 +1193,15 @@ mod tests {
             },
         );
         eng.run();
-        assert_eq!(eng.state.cluster.mem(0).read(local, 32).unwrap(), &[5u8; 32][..]);
-        assert!(eng.state.log.iter().any(|(_, l, d)| *l == 0 && d.starts_with("getdone")));
+        assert_eq!(
+            eng.state.cluster.mem(0).read(local, 32).unwrap(),
+            &[5u8; 32][..]
+        );
+        assert!(eng
+            .state
+            .log
+            .iter()
+            .any(|(_, l, d)| *l == 0 && d.starts_with("getdone")));
     }
 
     #[test]
@@ -1169,7 +1251,10 @@ mod tests {
             0,
             PutReq {
                 target: 0,
-                dst: RdmaTarget::Virt { block: 1, offset: 8 },
+                dst: RdmaTarget::Virt {
+                    block: 1,
+                    offset: 8,
+                },
                 data: vec![0xEE; 4],
                 op,
                 remote_tag: Some(1),
@@ -1177,8 +1262,15 @@ mod tests {
             },
         );
         eng.run();
-        assert_eq!(eng.state.cluster.mem(0).read(base + 8, 4).unwrap(), &[0xEE; 4][..]);
-        assert!(eng.state.log.iter().any(|(_, _, d)| d.starts_with("putdone")));
+        assert_eq!(
+            eng.state.cluster.mem(0).read(base + 8, 4).unwrap(),
+            &[0xEE; 4][..]
+        );
+        assert!(eng
+            .state
+            .log
+            .iter()
+            .any(|(_, _, d)| d.starts_with("putdone")));
         assert!(eng.state.log.iter().any(|(_, _, d)| d == "note:1:4"));
     }
 

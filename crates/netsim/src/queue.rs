@@ -9,6 +9,8 @@
 //! bounded resource.
 
 use crate::time::Time;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// A pool of `k` serial servers in virtual time.
 ///
@@ -25,7 +27,12 @@ use crate::time::Time;
 /// ```
 #[derive(Clone, Debug)]
 pub struct ServerPool {
-    free_at: Vec<Time>,
+    /// Min-heap of `(free-at, server index)`: `admit` pops its root instead
+    /// of scanning all `k` servers. The index in the key reproduces the
+    /// original linear scan's lowest-index tie-break exactly, keeping
+    /// server choice — and thus every trace hash — deterministic.
+    free: BinaryHeap<Reverse<(Time, u32)>>,
+    all_idle: Time,
     busy_total: Time,
     jobs: u64,
 }
@@ -34,8 +41,10 @@ impl ServerPool {
     /// Create a pool of `k ≥ 1` servers, all idle at time zero.
     pub fn new(k: usize) -> ServerPool {
         assert!(k >= 1, "ServerPool needs at least one server");
+        assert!(k <= u32::MAX as usize, "ServerPool index space is u32");
         ServerPool {
-            free_at: vec![Time::ZERO; k],
+            free: (0..k as u32).map(|i| Reverse((Time::ZERO, i))).collect(),
+            all_idle: Time::ZERO,
             busy_total: Time::ZERO,
             jobs: 0,
         }
@@ -43,22 +52,18 @@ impl ServerPool {
 
     /// Number of servers.
     pub fn servers(&self) -> usize {
-        self.free_at.len()
+        self.free.len()
     }
 
     /// Admit a job arriving at `arrival` needing `service` time.
     /// Returns `(start, finish)` on the chosen server.
     pub fn admit(&mut self, arrival: Time, service: Time) -> (Time, Time) {
         // Earliest-free server; ties broken by lowest index for determinism.
-        let (idx, &free) = self
-            .free_at
-            .iter()
-            .enumerate()
-            .min_by_key(|&(i, &t)| (t, i))
-            .expect("non-empty pool");
+        let Reverse((free, idx)) = self.free.pop().expect("non-empty pool");
         let start = arrival.max(free);
         let finish = start + service;
-        self.free_at[idx] = finish;
+        self.free.push(Reverse((finish, idx)));
+        self.all_idle = self.all_idle.max(finish);
         self.busy_total += service;
         self.jobs += 1;
         (start, finish)
@@ -66,12 +71,15 @@ impl ServerPool {
 
     /// The earliest instant any server is free.
     pub fn earliest_free(&self) -> Time {
-        self.free_at.iter().copied().min().unwrap_or(Time::ZERO)
+        self.free
+            .peek()
+            .map(|&Reverse((t, _))| t)
+            .unwrap_or(Time::ZERO)
     }
 
     /// The instant all admitted work drains.
     pub fn all_idle_at(&self) -> Time {
-        self.free_at.iter().copied().max().unwrap_or(Time::ZERO)
+        self.all_idle
     }
 
     /// Total service time admitted so far.

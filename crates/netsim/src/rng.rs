@@ -68,10 +68,7 @@ impl Xoshiro256 {
     /// Next 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -164,7 +161,9 @@ impl Zipf {
     pub fn sample(&self, rng: &mut Xoshiro256) -> usize {
         let u = rng.next_f64();
         // partition_point: first index whose cdf value exceeds u.
-        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
     }
 }
 
@@ -258,7 +257,10 @@ mod tests {
             counts[z.sample(&mut rng)] += 1;
         }
         for &c in &counts {
-            assert!((8_000..12_000).contains(&c), "counts not uniform: {counts:?}");
+            assert!(
+                (8_000..12_000).contains(&c),
+                "counts not uniform: {counts:?}"
+            );
         }
     }
 

@@ -205,10 +205,7 @@ mod tests {
         let mut tr = Tracer::new();
         tr.enable(16);
         tr.record(Time::from_ns(1), TraceKind::Completion { at: 0 });
-        tr.record(
-            Time::from_ns(2),
-            TraceKind::Nack { from: 1, to: 0 },
-        );
+        tr.record(Time::from_ns(2), TraceKind::Nack { from: 1, to: 0 });
         assert_eq!(tr.events().len(), 2);
         assert_eq!(tr.events()[0].t, Time::from_ns(1));
         let text = tr.render();
@@ -230,18 +227,37 @@ mod tests {
     #[test]
     fn display_formats_every_kind() {
         let kinds = [
-            TraceKind::MsgInject { src: 0, dst: 1, bytes: 8 },
+            TraceKind::MsgInject {
+                src: 0,
+                dst: 1,
+                bytes: 8,
+            },
             TraceKind::MsgDeliver { src: 0, dst: 1 },
-            TraceKind::PutInject { src: 0, dst: 1, bytes: 64 },
-            TraceKind::GetInject { src: 0, dst: 1, bytes: 64 },
+            TraceKind::PutInject {
+                src: 0,
+                dst: 1,
+                bytes: 64,
+            },
+            TraceKind::GetInject {
+                src: 0,
+                dst: 1,
+                bytes: 64,
+            },
             TraceKind::XlateHit { at: 1, block: 0x40 },
             TraceKind::XlateMiss { at: 1, block: 0x40 },
-            TraceKind::XlateForward { at: 1, next: 2, block: 0x40 },
+            TraceKind::XlateForward {
+                at: 1,
+                next: 2,
+                block: 0x40,
+            },
             TraceKind::Nack { from: 1, to: 0 },
             TraceKind::Completion { at: 0 },
         ];
         for k in kinds {
-            let e = TraceEvent { t: Time::from_ns(5), kind: k };
+            let e = TraceEvent {
+                t: Time::from_ns(5),
+                kind: k,
+            };
             assert!(!format!("{e}").is_empty());
         }
     }

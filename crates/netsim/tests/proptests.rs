@@ -2,9 +2,7 @@
 
 use netsim::engine::Engine;
 use netsim::lru::LruMap;
-use netsim::net::{
-    rdma_put, send_user, Cluster, Envelope, Packet, Protocol, PutReq, RdmaTarget,
-};
+use netsim::net::{rdma_put, send_user, Cluster, Envelope, Packet, Protocol, PutReq, RdmaTarget};
 use netsim::nic::XlateEntry;
 use netsim::queue::ServerPool;
 use netsim::time::Time;
@@ -182,8 +180,8 @@ proptest! {
             World { cluster: Cluster::new(2, NetConfig::ideal(), 1 << 20), delivered: Vec::new() },
             3,
         );
-        for i in 0..count {
-            send_user(&mut eng, 0, 1, sizes[i], i as u64);
+        for (i, &size) in sizes.iter().enumerate().take(count) {
+            send_user(&mut eng, 0, 1, size, i as u64);
         }
         eng.run();
         let tags: Vec<u64> = eng.state.delivered.iter().map(|&(_, _, t)| t).collect();

@@ -1,0 +1,151 @@
+//! Shadow-model equivalence: the two-level [`TimeWheel`] must pop in
+//! exactly the order the seed engine's single `BinaryHeap` did, for *any*
+//! schedule — that is what keeps every trace hash in the repository stable
+//! across the queue swap.
+//!
+//! Two models are checked:
+//!
+//! * the raw queue against a `BinaryHeap<Reverse<(time, seq)>>`, under
+//!   arbitrary interleavings of pushes (zero-delay ties, in-horizon,
+//!   horizon-crossing) and pops;
+//! * a full [`Engine`] run against an abstract replay of the same schedule
+//!   on a reference heap, comparing executed-event counts and the running
+//!   [`trace_mix`] hash — including events that re-schedule themselves at
+//!   the *same instant* (zero delay) and across the wheel horizon.
+
+use netsim::engine::trace_mix;
+use netsim::{Engine, Time, TimeWheel};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Push at `now + delay_ps`, where `now` is the last popped time.
+    Push(u64),
+    Pop,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        // Within the wheel horizon (grain 8.2 ns × 1024 slots ≈ 8.4 µs).
+        4 => (0u64..6_000_000).prop_map(Op::Push),
+        // Beyond the horizon: exercises the overflow heap and its merge.
+        1 => (6_000_000u64..60_000_000).prop_map(Op::Push),
+        // Same-instant ties: seq must break them.
+        1 => Just(Op::Push(0)),
+        4 => Just(Op::Pop),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn wheel_pops_in_heap_order(ops in vec(op_strategy(), 1..200)) {
+        let mut wheel: TimeWheel<()> = TimeWheel::new();
+        let mut shadow: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        let mut wheel_hash = 0x1234_5678_9abc_def0u64;
+        let mut shadow_hash = wheel_hash;
+
+        let mut pop_both = |wheel: &mut TimeWheel<()>,
+                            shadow: &mut BinaryHeap<Reverse<(u64, u64)>>,
+                            now: &mut u64| {
+            let got = wheel.pop().map(|(t, s, ())| (t.ps(), s));
+            let want = shadow.pop().map(|Reverse(pair)| pair);
+            prop_assert_eq!(got, want);
+            if let Some((t, s)) = got {
+                *now = t;
+                wheel_hash = trace_mix(trace_mix(wheel_hash, t), s);
+            }
+            if let Some((t, s)) = want {
+                shadow_hash = trace_mix(trace_mix(shadow_hash, t), s);
+            }
+        };
+
+        for op in ops {
+            match op {
+                Op::Push(delay) => {
+                    let at = now + delay;
+                    prop_assert_eq!(wheel.next_time().is_none(), shadow.is_empty());
+                    wheel.push(Time::from_ps(at), seq, ());
+                    shadow.push(Reverse((at, seq)));
+                    seq += 1;
+                }
+                Op::Pop => pop_both(&mut wheel, &mut shadow, &mut now),
+            }
+        }
+        // Drain: every remaining entry must agree too.
+        while !wheel.is_empty() || !shadow.is_empty() {
+            pop_both(&mut wheel, &mut shadow, &mut now);
+        }
+        prop_assert_eq!(wheel_hash, shadow_hash);
+    }
+}
+
+/// Reschedule step for a chain event: a pure function of the remaining
+/// chain length so the engine closures and the abstract model agree.
+/// Covers a same-instant (zero-delay) reschedule, an in-horizon hop, and a
+/// horizon-crossing hop.
+fn step_of(chain: u8) -> u64 {
+    match chain % 3 {
+        0 => 0,
+        1 => 977_000,
+        _ => 12_345_678,
+    }
+}
+
+fn run_chain(e: &mut Engine<u64>, chain: u8) {
+    e.state += 1;
+    if chain > 0 {
+        e.schedule(Time::from_ps(step_of(chain)), move |e| {
+            run_chain(e, chain - 1);
+        });
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A full engine run hashes identically to a reference replay of the
+    /// same schedule on a plain `BinaryHeap` — seq-for-seq, tick-for-tick.
+    #[test]
+    fn engine_trace_matches_heap_replay(
+        entries in vec((0u64..20_000_000u64, 0u8..6u8), 1..40),
+    ) {
+        // Real engine: each entry seeds a self-rescheduling chain.
+        let mut eng = Engine::new(0u64, 7);
+        let mut model_hash = eng.trace_hash();
+        for &(delay, chain) in &entries {
+            eng.schedule(Time::from_ps(delay), move |e| run_chain(e, chain));
+        }
+        let executed = eng.run();
+
+        // Reference model: a max-heap over Reverse<(time, seq)> replaying
+        // the exact scheduling logic in the abstract.
+        let mut heap: BinaryHeap<Reverse<(u64, u64, u8)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        for &(delay, chain) in &entries {
+            heap.push(Reverse((delay, seq, chain)));
+            seq += 1;
+        }
+        let mut model_count = 0u64;
+        let mut model_state = 0u64;
+        while let Some(Reverse((t, s, chain))) = heap.pop() {
+            model_hash = trace_mix(trace_mix(model_hash, t), s);
+            model_count += 1;
+            model_state += 1;
+            if chain > 0 {
+                heap.push(Reverse((t + step_of(chain), seq, chain - 1)));
+                seq += 1;
+            }
+        }
+
+        prop_assert_eq!(executed, model_count);
+        prop_assert_eq!(eng.state, model_state);
+        prop_assert_eq!(eng.trace_hash(), model_hash);
+    }
+}

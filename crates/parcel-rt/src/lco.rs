@@ -13,7 +13,7 @@
 //! their home locality and never migrate, so routing is pure address
 //! arithmetic in every GAS mode.
 
-use crate::parcel::{Parcel, ActionId, ACTION_LCO_SET};
+use crate::parcel::{ActionId, Parcel, ACTION_LCO_SET};
 use crate::sched;
 use crate::world::World;
 use agas::{GasWorld, Gva};
@@ -57,9 +57,18 @@ impl ReduceOp {
 
 enum LcoKind {
     Future,
-    And { remaining: u64 },
-    Reduce { remaining: u64, op: ReduceOp, acc: u64 },
-    Gather { remaining: u64, parts: Vec<(u32, Vec<u8>)> },
+    And {
+        remaining: u64,
+    },
+    Reduce {
+        remaining: u64,
+        op: ReduceOp,
+        acc: u64,
+    },
+    Gather {
+        remaining: u64,
+        parts: Vec<(u32, Vec<u8>)>,
+    },
 }
 
 enum Waiter {

@@ -48,8 +48,14 @@ pub mod world;
 pub use balancer::{BalancerConfig, BalancerStats};
 pub use codec::{ArgReader, ArgWriter};
 pub use collective::{barrier, gather_ranks};
-pub use lco::{attach_driver, attach_parcel, decode_gather, lco_set, new_and, new_future, new_gather, new_reduce, set_gather, ReduceOp};
+pub use lco::{
+    attach_driver, attach_parcel, decode_gather, lco_set, new_and, new_future, new_gather,
+    new_reduce, set_gather, ReduceOp,
+};
 pub use parcel::{ActionCtx, ActionFn, ActionId, ActionRegistry, Parcel};
 pub use rt::{Runtime, RuntimeBuilder};
 pub use sched::{reply, send_parcel};
-pub use world::{fire_completion, CoalesceConfig, Completion, Msg, RtConfig, RtLocal, RtStats, Transport, World, NO_COMPLETION, PARCEL_TAG};
+pub use world::{
+    fire_completion, CoalesceConfig, Completion, Msg, RtConfig, RtLocal, RtStats, Transport, World,
+    NO_COMPLETION, PARCEL_TAG,
+};

@@ -198,7 +198,10 @@ impl Runtime {
         data: Vec<u8>,
         cb: impl FnOnce(&mut Engine<World>, Vec<u8>) + 'static,
     ) {
-        let ctx = self.eng.state.new_completion(Completion::Driver(Box::new(cb)));
+        let ctx = self
+            .eng
+            .state
+            .new_completion(Completion::Driver(Box::new(cb)));
         agas::ops::memput(&mut self.eng, loc, gva, data, ctx);
     }
 
@@ -221,7 +224,10 @@ impl Runtime {
         len: u32,
         cb: impl FnOnce(&mut Engine<World>, Vec<u8>) + 'static,
     ) {
-        let ctx = self.eng.state.new_completion(Completion::Driver(Box::new(cb)));
+        let ctx = self
+            .eng
+            .state
+            .new_completion(Completion::Driver(Box::new(cb)));
         agas::ops::memget(&mut self.eng, loc, gva, len, ctx);
     }
 
@@ -233,7 +239,10 @@ impl Runtime {
         dst: LocalityId,
         cb: impl FnOnce(&mut Engine<World>, Vec<u8>) + 'static,
     ) {
-        let ctx = self.eng.state.new_completion(Completion::Driver(Box::new(cb)));
+        let ctx = self
+            .eng
+            .state
+            .new_completion(Completion::Driver(Box::new(cb)));
         agas::migrate::migrate_block(&mut self.eng, from, gva, dst, ctx);
     }
 
@@ -256,7 +265,10 @@ impl Runtime {
         gva: Gva,
         cb: impl FnOnce(&mut Engine<World>, Vec<u8>) + 'static,
     ) {
-        let ctx = self.eng.state.new_completion(Completion::Driver(Box::new(cb)));
+        let ctx = self
+            .eng
+            .state
+            .new_completion(Completion::Driver(Box::new(cb)));
         agas::migrate::free_block(&mut self.eng, from, gva, ctx);
     }
 
@@ -298,8 +310,9 @@ impl Runtime {
         let n = chunks.len();
         let parts: Rc<RefCell<Vec<Option<Vec<u8>>>>> = Rc::new(RefCell::new(vec![None; n]));
         let remaining = Rc::new(std::cell::Cell::new(n));
-        let cb = Rc::new(RefCell::new(Some(Box::new(cb)
-            as Box<dyn FnOnce(&mut Engine<World>, Vec<u8>)>)));
+        let cb = Rc::new(RefCell::new(Some(
+            Box::new(cb) as Box<dyn FnOnce(&mut Engine<World>, Vec<u8>)>
+        )));
         for (i, (gva, clen)) in chunks.into_iter().enumerate() {
             let parts = parts.clone();
             let remaining = remaining.clone();
@@ -331,13 +344,16 @@ impl Runtime {
         len: u32,
         cb: impl FnOnce(&mut Engine<World>, Vec<u8>) + 'static,
     ) {
-        let put_ctx = self.eng.state.new_completion(Completion::Driver(Box::new(cb)));
-        let get_ctx = self
+        let put_ctx = self
             .eng
             .state
-            .new_completion(Completion::Driver(Box::new(move |eng, data| {
-                agas::ops::memput(eng, loc, dst, data, put_ctx);
-            })));
+            .new_completion(Completion::Driver(Box::new(cb)));
+        let get_ctx =
+            self.eng
+                .state
+                .new_completion(Completion::Driver(Box::new(move |eng, data| {
+                    agas::ops::memput(eng, loc, dst, data, put_ctx);
+                })));
         agas::ops::memget(&mut self.eng, loc, src, len, get_ctx);
     }
 

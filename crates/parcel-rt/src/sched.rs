@@ -31,7 +31,12 @@ pub fn send_parcel(eng: &mut Engine<World>, from: LocalityId, parcel: Parcel) {
 }
 
 /// Put a parcel on the wire toward `next` using the configured transport.
-pub(crate) fn transmit(eng: &mut Engine<World>, from: LocalityId, next: LocalityId, parcel: Parcel) {
+pub(crate) fn transmit(
+    eng: &mut Engine<World>,
+    from: LocalityId,
+    next: LocalityId,
+    parcel: Parcel,
+) {
     match eng.state.rtcfg.transport {
         Transport::Pwc => {
             if let Some(ccfg) = eng.state.rtcfg.coalesce {

@@ -143,12 +143,15 @@ pub enum Msg {
     ParcelBatch(Vec<Parcel>),
 }
 
+/// A driver callback invoked with an operation's result bytes.
+pub type DriverCb = Box<dyn FnOnce(&mut Engine<World>, Vec<u8>)>;
+
 /// What to do when a GAS operation completes.
 pub enum Completion {
     /// Set this LCO with the operation's result.
     Lco(agas::Gva),
     /// Invoke a driver callback with the result.
-    Driver(Box<dyn FnOnce(&mut Engine<World>, Vec<u8>)>),
+    Driver(DriverCb),
 }
 
 /// The complete simulated world.
@@ -175,7 +178,7 @@ pub struct World {
     pub balancer_stats: crate::balancer::BalancerStats,
     pub(crate) completions: HashMap<u64, Completion>,
     pub(crate) next_completion: u64,
-    pub(crate) driver_cbs: HashMap<u64, Box<dyn FnOnce(&mut Engine<World>, Vec<u8>)>>,
+    pub(crate) driver_cbs: HashMap<u64, DriverCb>,
     pub(crate) next_driver_cb: u64,
 }
 

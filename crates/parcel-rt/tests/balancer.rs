@@ -35,7 +35,10 @@ fn balancer_spreads_hot_blocks() {
         rt.assert_quiescent();
         let stats = rt.eng.state.balancer_stats;
         assert!(stats.rounds >= 2, "{mode:?}: balancer never ran");
-        assert!(stats.migrations >= 2, "{mode:?}: balancer never moved anything");
+        assert!(
+            stats.migrations >= 2,
+            "{mode:?}: balancer never moved anything"
+        );
         // The 4 hot blocks must no longer share one locality.
         let owners: std::collections::HashSet<u32> = (0..4u64)
             .map(|i| {
@@ -45,7 +48,10 @@ fn balancer_spreads_hot_blocks() {
                     .unwrap()
             })
             .collect();
-        assert!(owners.len() >= 2, "{mode:?}: hot set still colocated: {owners:?}");
+        assert!(
+            owners.len() >= 2,
+            "{mode:?}: hot set still colocated: {owners:?}"
+        );
     }
 }
 
@@ -60,7 +66,10 @@ fn balancer_stops_when_idle() {
     });
     // No traffic at all: the service must terminate so the engine quiesces.
     rt.run();
-    assert!(rt.now() < Time::from_ms(1), "balancer kept the engine alive");
+    assert!(
+        rt.now() < Time::from_ms(1),
+        "balancer kept the engine alive"
+    );
     assert_eq!(rt.eng.state.balancer_stats.migrations, 0);
 }
 

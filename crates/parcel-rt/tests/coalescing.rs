@@ -17,7 +17,13 @@ fn coalesced(max_parcels: usize, flush_after: Time) -> RtConfig {
     }
 }
 
-fn spawn_burst(rt: &mut Runtime, arr: &agas::GlobalArray, bump: parcel_rt::ActionId, n: u64, gate: agas::Gva) {
+fn spawn_burst(
+    rt: &mut Runtime,
+    arr: &agas::GlobalArray,
+    bump: parcel_rt::ActionId,
+    n: u64,
+    gate: agas::Gva,
+) {
     for _ in 0..n {
         rt.spawn(0, arr.block(1), bump, vec![0u8; 16], Some(gate));
     }

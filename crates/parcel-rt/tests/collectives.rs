@@ -6,6 +6,9 @@ use parcel_rt::{barrier, gather_ranks, Runtime};
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
+/// Gathered (rank, payload) pairs, shared with driver callbacks.
+type Gathered = Rc<RefCell<Vec<(u32, Vec<u8>)>>>;
+
 #[test]
 fn barrier_completes_on_all_sizes() {
     for n in [1usize, 2, 3, 8, 16] {
@@ -22,7 +25,7 @@ fn barrier_completes_on_all_sizes() {
 fn gather_collects_every_rank_in_order() {
     for n in [1usize, 2, 5, 9] {
         let mut rt = Runtime::builder(n, GasMode::AgasSoftware).boot();
-        let got: Rc<RefCell<Vec<(u32, Vec<u8>)>>> = Rc::new(RefCell::new(Vec::new()));
+        let got: Gathered = Rc::new(RefCell::new(Vec::new()));
         let g = got.clone();
         gather_ranks(&mut rt, move |_, parts| *g.borrow_mut() = parts);
         rt.run();
@@ -43,7 +46,7 @@ fn gather_lco_sorts_out_of_order_contributions() {
     parcel_rt::set_gather(&mut rt.eng, 2, lco, 9, b"nine");
     parcel_rt::set_gather(&mut rt.eng, 1, lco, 3, b"three");
     parcel_rt::set_gather(&mut rt.eng, 3, lco, 5, b"five");
-    let got: Rc<RefCell<Vec<(u32, Vec<u8>)>>> = Rc::new(RefCell::new(Vec::new()));
+    let got: Gathered = Rc::new(RefCell::new(Vec::new()));
     let g = got.clone();
     parcel_rt::attach_driver(&mut rt.eng, lco, move |_, bytes| {
         *g.borrow_mut() = parcel_rt::decode_gather(&bytes);

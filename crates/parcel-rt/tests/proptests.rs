@@ -7,6 +7,9 @@ use proptest::prelude::*;
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
+/// Gathered (rank, payload) pairs, shared with driver callbacks.
+type Gathered = Rc<RefCell<Vec<(u32, Vec<u8>)>>>;
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -59,7 +62,7 @@ proptest! {
         for (i, (rank, bytes)) in entries.iter().enumerate().rev() {
             parcel_rt::set_gather(&mut rt.eng, (i % 3) as u32, lco, *rank, bytes);
         }
-        let got: Rc<RefCell<Vec<(u32, Vec<u8>)>>> = Rc::new(RefCell::new(Vec::new()));
+        let got: Gathered = Rc::new(RefCell::new(Vec::new()));
         let g = got.clone();
         parcel_rt::attach_driver(&mut rt.eng, lco, move |_, bytes| {
             *g.borrow_mut() = parcel_rt::decode_gather(&bytes);

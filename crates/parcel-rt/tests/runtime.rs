@@ -35,10 +35,20 @@ fn action_mutates_target_block() {
         });
         let mut rt = b.boot();
         let arr = rt.alloc(2, 12, Distribution::Cyclic);
-        rt.spawn(0, arr.block(1).with_offset(16), add, ArgWriter::new().u64(0xFF).finish(), None);
+        rt.spawn(
+            0,
+            arr.block(1).with_offset(16),
+            add,
+            ArgWriter::new().u64(0xFF).finish(),
+            None,
+        );
         rt.run();
         let block = rt.read_block(arr.block(1));
-        assert_eq!(u64::from_le_bytes(block[16..24].try_into().unwrap()), 0xFF, "{mode:?}");
+        assert_eq!(
+            u64::from_le_bytes(block[16..24].try_into().unwrap()),
+            0xFF,
+            "{mode:?}"
+        );
     }
 }
 
@@ -133,7 +143,11 @@ fn broadcast_reaches_every_locality() {
         rt.wait_lco(done, move |_, _| f.set(true));
         rt.run();
         assert!(fired.get(), "n={n}");
-        assert!(hits.borrow().iter().all(|&c| c == 1), "n={n}: {:?}", hits.borrow());
+        assert!(
+            hits.borrow().iter().all(|&c| c == 1),
+            "n={n}: {:?}",
+            hits.borrow()
+        );
     }
 }
 
@@ -156,7 +170,13 @@ fn parcels_chase_migrating_blocks() {
         // Interleave parcels and migrations.
         for round in 0..4u32 {
             for _ in 0..10 {
-                rt.spawn(0, gva.with_offset(8 * (round as u64 % 4)), bump, vec![], Some(done));
+                rt.spawn(
+                    0,
+                    gva.with_offset(8 * (round as u64 % 4)),
+                    bump,
+                    vec![],
+                    Some(done),
+                );
             }
             rt.migrate(2, gva, round % 4);
         }
@@ -185,7 +205,10 @@ fn sw_mode_consumes_target_cpu_but_net_mode_does_not() {
     let sw = run(GasMode::AgasSoftware);
     let net = run(GasMode::AgasNetwork);
     assert_eq!(net.ps(), 0, "NET mode must not touch the target CPU");
-    assert!(sw > netsim::Time::from_us(10), "SW mode must burn target CPU: {sw}");
+    assert!(
+        sw > netsim::Time::from_us(10),
+        "SW mode must burn target CPU: {sw}"
+    );
 }
 
 #[test]
@@ -210,7 +233,9 @@ fn memget_cb_returns_data() {
     rt.run();
     let got = Rc::new(RefCell::new(Vec::new()));
     let g = got.clone();
-    rt.memget_cb(0, arr.block(1).with_offset(4), 8, move |_, d| *g.borrow_mut() = d);
+    rt.memget_cb(0, arr.block(1).with_offset(4), 8, move |_, d| {
+        *g.borrow_mut() = d
+    });
     rt.run();
     assert_eq!(&*got.borrow(), &vec![0xEE; 8]);
 }
@@ -299,7 +324,9 @@ fn runtime_free_block_releases() {
     rt.free_block_cb(0, arr.block(2), move |_, _| f.set(true));
     rt.run();
     assert!(fired.get());
-    assert!(!rt.eng.state.gas[2].btt.is_resident(arr.block(2).block_key()));
+    assert!(!rt.eng.state.gas[2]
+        .btt
+        .is_resident(arr.block(2).block_key()));
 }
 
 #[test]
@@ -307,7 +334,7 @@ fn range_ops_span_blocks() {
     for mode in GasMode::ALL {
         let mut rt = Runtime::builder(4, mode).boot();
         let arr = rt.alloc(8, 10, Distribution::Cyclic); // 1 KiB blocks
-        // 3000-byte pattern crossing three block boundaries.
+                                                         // 3000-byte pattern crossing three block boundaries.
         let data: Vec<u8> = (0..3000u32).map(|i| (i % 251) as u8).collect();
         let fired = Rc::new(Cell::new(false));
         let f = fired.clone();
@@ -419,7 +446,9 @@ fn cray_fabric_is_faster_for_small_puts() {
         let arr = rt.alloc(2, 12, Distribution::Cyclic);
         let t = Rc::new(Cell::new(netsim::Time::ZERO));
         let t2 = t.clone();
-        rt.memput_cb(0, arr.block(1), vec![1u8; 8], move |eng, _| t2.set(eng.now()));
+        rt.memput_cb(0, arr.block(1), vec![1u8; 8], move |eng, _| {
+            t2.set(eng.now())
+        });
         rt.run();
         t.get()
     };

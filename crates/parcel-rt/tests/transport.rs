@@ -89,7 +89,13 @@ fn isir_large_parcels_take_rendezvous() {
     let arr = rt.alloc(2, 12, Distribution::Cyclic);
     let payload = vec![7u8; 100_000];
     let fut = rt.new_future(0);
-    rt.spawn(0, arr.block(1), sink, ArgWriter::new().bytes(&payload).finish(), Some(fut));
+    rt.spawn(
+        0,
+        arr.block(1),
+        sink,
+        ArgWriter::new().bytes(&payload).finish(),
+        Some(fut),
+    );
     let fired = Rc::new(Cell::new(false));
     let f = fired.clone();
     rt.wait_lco(fut, move |_, _| f.set(true));

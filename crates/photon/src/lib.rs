@@ -712,7 +712,9 @@ mod tests {
         }
         fn pwc_remote(eng: &mut Engine<Self>, loc: LocalityId, tag: u64, len: u32) {
             let now = eng.now();
-            eng.state.events.push((now, loc, Event::PwcRemote(tag, len)));
+            eng.state
+                .events
+                .push((now, loc, Event::PwcRemote(tag, len)));
         }
         fn pwc_failed(
             eng: &mut Engine<Self>,
@@ -749,7 +751,7 @@ mod tests {
         Engine::new(World::new(n, PhotonConfig::default()), 5)
     }
 
-    fn events_of<'a>(eng: &'a Engine<World>, loc: LocalityId) -> Vec<&'a Event> {
+    fn events_of(eng: &Engine<World>, loc: LocalityId) -> Vec<&Event> {
         eng.state
             .events
             .iter()
@@ -775,7 +777,10 @@ mod tests {
             &mut eng,
             0,
             1,
-            RdmaTarget::Virt { block: 77, offset: 128 },
+            RdmaTarget::Virt {
+                block: 77,
+                offset: 128,
+            },
             vec![0xAA; 64],
             /*ctx*/ 9,
             Some(500),
@@ -814,7 +819,10 @@ mod tests {
             &mut eng,
             0,
             1,
-            RdmaTarget::Virt { block: 88, offset: 0 },
+            RdmaTarget::Virt {
+                block: 88,
+                offset: 0,
+            },
             256,
             local,
             4,
@@ -835,7 +843,10 @@ mod tests {
             &mut eng,
             0,
             1,
-            RdmaTarget::Virt { block: 0xBAD, offset: 0 },
+            RdmaTarget::Virt {
+                block: 0xBAD,
+                offset: 0,
+            },
             vec![1; 8],
             7,
             None,
@@ -1087,7 +1098,9 @@ mod ledger_tests {
         let mut eng = Engine::new(
             W {
                 cluster: Cluster::new(2, NetConfig::ideal(), 1 << 20),
-                eps: (0..2).map(|_| PhotonEndpoint::new(PhotonConfig::default())).collect(),
+                eps: (0..2)
+                    .map(|_| PhotonEndpoint::new(PhotonConfig::default()))
+                    .collect(),
             },
             3,
         );
@@ -1152,7 +1165,10 @@ mod ledger_tests {
                 &mut eng,
                 0,
                 1,
-                RdmaTarget::Virt { block: 5, offset: 0 },
+                RdmaTarget::Virt {
+                    block: 5,
+                    offset: 0,
+                },
                 vec![1u8; 8],
                 tag,
                 Some(tag),

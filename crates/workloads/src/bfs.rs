@@ -306,8 +306,19 @@ mod tests {
         install(&mut rt, &cfg, &slot);
         // Launch the traversal, then immediately churn every label block.
         let relax = rt.eng.state.registry_lookup("bfs_relax").unwrap();
-        let target = slot.borrow().as_ref().unwrap().labels.at_byte(cfg.root as u64 * 8);
-        rt.spawn(0, target, relax, ArgWriter::new().u32(cfg.root).u64(0).finish(), None);
+        let target = slot
+            .borrow()
+            .as_ref()
+            .unwrap()
+            .labels
+            .at_byte(cfg.root as u64 * 8);
+        rt.spawn(
+            0,
+            target,
+            relax,
+            ArgWriter::new().u32(cfg.root).u64(0).finish(),
+            None,
+        );
         let blocks = slot.borrow().as_ref().unwrap().labels.blocks.clone();
         for (i, gva) in blocks.iter().enumerate() {
             rt.migrate(0, *gva, ((i as u32) + 1) % 4);

@@ -261,17 +261,28 @@ mod tests {
     #[test]
     fn dependent_chain_costs_scale_with_hops() {
         let mut rt = Runtime::builder(4, GasMode::AgasNetwork).boot();
-        let cfg_short = ChaseConfig { hops: 10, ..small() };
+        let cfg_short = ChaseConfig {
+            hops: 10,
+            ..small()
+        };
         let ring = build_ring(&mut rt, &cfg_short);
         let short = run_memget(&mut rt, &cfg_short, &ring);
 
         let mut rt2 = Runtime::builder(4, GasMode::AgasNetwork).boot();
-        let cfg_long = ChaseConfig { hops: 40, ..small() };
+        let cfg_long = ChaseConfig {
+            hops: 40,
+            ..small()
+        };
         let ring2 = build_ring(&mut rt2, &cfg_long);
         let long = run_memget(&mut rt2, &cfg_long, &ring2);
         // 4x the hops: at least ~3x the time (local/remote hop mix varies
         // along the walk, so leave slack).
-        assert!(long.elapsed > short.elapsed * 2, "{} vs {}", long.elapsed, short.elapsed);
+        assert!(
+            long.elapsed > short.elapsed * 2,
+            "{} vs {}",
+            long.elapsed,
+            short.elapsed
+        );
     }
 
     #[test]

@@ -15,13 +15,16 @@ use std::rc::Rc;
 /// eventually fire (pass it as the GAS op ctx, or fire it manually).
 pub type IssueFn = dyn Fn(&mut Engine<World>, LocalityId, u64, u64);
 
+/// Runs once after the pump's final completion.
+type DoneFn = Box<dyn FnOnce(&mut Engine<World>)>;
+
 struct PumpState {
     loc: LocalityId,
     next: u64,
     total: u64,
     outstanding: usize,
     issue: Rc<IssueFn>,
-    on_done: Option<Box<dyn FnOnce(&mut Engine<World>)>>,
+    on_done: Option<DoneFn>,
 }
 
 /// Run `total` operations from `loc`, keeping up to `window` in flight.
@@ -64,9 +67,11 @@ fn issue_one(eng: &mut Engine<World>, st: Rc<RefCell<PumpState>>) {
         (s.loc, seq, s.issue.clone())
     };
     let st2 = st.clone();
-    let ctx = eng.state.new_completion(Completion::Driver(Box::new(move |eng, _| {
-        advance(eng, st2);
-    })));
+    let ctx = eng
+        .state
+        .new_completion(Completion::Driver(Box::new(move |eng, _| {
+            advance(eng, st2);
+        })));
     issue(eng, loc, seq, ctx);
 }
 
@@ -76,7 +81,10 @@ fn advance(eng: &mut Engine<World>, st: Rc<RefCell<PumpState>>) {
         s.outstanding -= 1;
         let more = s.next < s.total;
         let finished = !more && s.outstanding == 0;
-        (more, finished.then(|| s.on_done.take().expect("pump finished twice")))
+        (
+            more,
+            finished.then(|| s.on_done.take().expect("pump finished twice")),
+        )
     };
     if more {
         issue_one(eng, st);
@@ -97,7 +105,9 @@ pub fn pump_all(
     all_done: impl FnOnce(&mut Engine<World>) + 'static,
 ) {
     let remaining = Rc::new(RefCell::new(n_locs));
-    let all_done = Rc::new(RefCell::new(Some(Box::new(all_done) as Box<dyn FnOnce(&mut Engine<World>)>)));
+    let all_done = Rc::new(RefCell::new(Some(
+        Box::new(all_done) as Box<dyn FnOnce(&mut Engine<World>)>
+    )));
     for loc in 0..n_locs {
         let remaining = remaining.clone();
         let all_done = all_done.clone();

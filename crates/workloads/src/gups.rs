@@ -146,11 +146,9 @@ pub fn run(rt: &mut Runtime, cfg: &GupsConfig, table: &GlobalArray) -> GupsResul
     let elapsed = rt.now() - start;
     let updates = cfg.updates_per_loc * n as u64;
     let gups = updates as f64 / elapsed.as_secs_f64() / 1e9;
-    let mean_latency = if updates > 0 {
-        Time::from_ps(elapsed.ps() * cfg.window as u64 * n as u64 / updates)
-    } else {
-        Time::ZERO
-    };
+    let mean_latency = (elapsed.ps() * cfg.window as u64 * n as u64)
+        .checked_div(updates)
+        .map_or(Time::ZERO, Time::from_ps);
     GupsResult {
         updates,
         elapsed,

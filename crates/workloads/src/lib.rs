@@ -29,6 +29,6 @@ pub use chase::{ChaseConfig, ChaseResult};
 pub use gups::{GupsConfig, GupsResult};
 pub use skew::{SkewConfig, SkewResult};
 pub use sssp::{SsspConfig, SsspResult, WeightedGraph};
-pub use transpose::{TransposeConfig, TransposeResult};
 pub use stencil::{StencilConfig, StencilResult};
 pub use stencil3d::{Stencil3dConfig, Stencil3dResult};
+pub use transpose::{TransposeConfig, TransposeResult};

@@ -124,7 +124,7 @@ pub fn run(rt: &mut Runtime, cfg: &SkewConfig, data: &GlobalArray) -> SkewResult
             b.completed += 1;
             let due = cfgc.rebalance_every > 0
                 && mode.supports_migration()
-                && b.completed % cfgc.rebalance_every == 0;
+                && b.completed.is_multiple_of(cfgc.rebalance_every);
             if due {
                 rebalance(eng, &mut b, &data2, &cfgc, loc);
             }
@@ -135,9 +135,14 @@ pub fn run(rt: &mut Runtime, cfg: &SkewConfig, data: &GlobalArray) -> SkewResult
 
     let finished = Rc::new(Cell::new(false));
     let f2 = finished.clone();
-    pump_all(&mut rt.eng, n, cfg.ops_per_loc, cfg.window, issue, move |_| {
-        f2.set(true)
-    });
+    pump_all(
+        &mut rt.eng,
+        n,
+        cfg.ops_per_loc,
+        cfg.window,
+        issue,
+        move |_| f2.set(true),
+    );
     rt.run();
     assert!(finished.get(), "skew workload did not drain");
 

@@ -41,13 +41,11 @@ impl WeightedGraph {
         let weights = (0..graph.edges.len())
             .map(|i| {
                 // Derive from the unordered endpoint pair for symmetry.
-                let v = graph
-                    .offsets
-                    .partition_point(|&o| o as usize <= i) as u32
-                    - 1;
+                let v = graph.offsets.partition_point(|&o| o as usize <= i) as u32 - 1;
                 let w = graph.edges[i];
                 let (a, b) = if v < w { (v, w) } else { (w, v) };
-                (netsim::rng::mix64(((a as u64) << 32 | b as u64) ^ seed) % max_weight as u64) as u32
+                (netsim::rng::mix64(((a as u64) << 32 | b as u64) ^ seed) % max_weight as u64)
+                    as u32
                     + 1
             })
             .collect();
@@ -194,7 +192,11 @@ pub fn install(rt: &mut Runtime, cfg: &SsspConfig, slot: &Rc<RefCell<Option<Sssp
 }
 
 /// Run SSSP from the configured root.
-pub fn run(rt: &mut Runtime, cfg: &SsspConfig, slot: &Rc<RefCell<Option<SsspState>>>) -> SsspResult {
+pub fn run(
+    rt: &mut Runtime,
+    cfg: &SsspConfig,
+    slot: &Rc<RefCell<Option<SsspState>>>,
+) -> SsspResult {
     let relax = rt
         .eng
         .state
@@ -298,8 +300,19 @@ mod tests {
             .boot();
         install(&mut rt, &cfg, &slot);
         let relax = rt.eng.state.registry_lookup("sssp_relax").unwrap();
-        let target = slot.borrow().as_ref().unwrap().labels.at_byte(cfg.root as u64 * 8);
-        rt.spawn(0, target, relax, ArgWriter::new().u32(cfg.root).u64(0).finish(), None);
+        let target = slot
+            .borrow()
+            .as_ref()
+            .unwrap()
+            .labels
+            .at_byte(cfg.root as u64 * 8);
+        rt.spawn(
+            0,
+            target,
+            relax,
+            ArgWriter::new().u32(cfg.root).u64(0).finish(),
+            None,
+        );
         let blocks = slot.borrow().as_ref().unwrap().labels.blocks.clone();
         for (i, gva) in blocks.iter().enumerate() {
             rt.migrate(0, *gva, ((i as u32) * 3 + 1) % 4);
@@ -315,7 +328,10 @@ mod tests {
     fn chaotic_relaxation_overshoots_but_converges() {
         // With weights, unordered relaxation does extra work (the ICPADS'15
         // observation); the answer is still exact.
-        let cfg = SsspConfig { max_weight: 16, ..small() };
+        let cfg = SsspConfig {
+            max_weight: 16,
+            ..small()
+        };
         let slot = Rc::new(RefCell::new(None));
         let mut b = Runtime::builder(4, GasMode::Pgas);
         register_actions(&mut b, slot.clone());

@@ -85,10 +85,10 @@ impl StencilConfig {
         // Returns (start cell, stride) of the interior edge row/col.
         let t = self.tile as u64;
         match edge {
-            0 => (0, 1),               // north row
-            1 => ((t - 1) * t, 1),     // south row
-            2 => (0, t),               // west column
-            _ => (t - 1, t),           // east column
+            0 => (0, 1),           // north row
+            1 => ((t - 1) * t, 1), // south row
+            2 => (0, t),           // west column
+            _ => (t - 1, t),       // east column
         }
     }
 }
@@ -219,9 +219,7 @@ fn exchange_phase(eng: &mut netsim::Engine<parcel_rt::World>, st: Rc<RefCell<Loo
                 let neighbor = tiles.block((ny * px + nx) as u64);
                 let edge_bytes = read_tile_edge(eng, &cfg, gva, my_edge);
                 let dst = neighbor.with_offset(cfg.ghost_offset(their_ghost));
-                let ctx = eng
-                    .state
-                    .new_completion(parcel_rt::Completion::Lco(gate));
+                let ctx = eng.state.new_completion(parcel_rt::Completion::Lco(gate));
                 agas::ops::memput(eng, owner, dst, edge_bytes, ctx);
             }
         }
@@ -326,7 +324,10 @@ mod tests {
 
     #[test]
     fn ghosts_hold_neighbor_edges() {
-        let cfg = StencilConfig { iters: 1, ..small() };
+        let cfg = StencilConfig {
+            iters: 1,
+            ..small()
+        };
         let mut b = Runtime::builder(2, GasMode::AgasSoftware);
         register_actions(&mut b);
         let mut rt = b.boot();
@@ -345,13 +346,16 @@ mod tests {
         let t0 = rt.read_block(tiles.block(0));
         let ghost_n = cfg.ghost_offset(0) as usize;
         let v = u64::from_le_bytes(t0[ghost_n..ghost_n + 8].try_into().unwrap());
-        let north_neighbor = ((cfg.py as u64 - 1) * cfg.px as u64) as u64;
+        let north_neighbor = (cfg.py as u64 - 1) * cfg.px as u64;
         assert_eq!(v, north_neighbor + 100);
     }
 
     #[test]
     fn per_iteration_time_is_stable() {
-        let cfg = StencilConfig { iters: 6, ..small() };
+        let cfg = StencilConfig {
+            iters: 6,
+            ..small()
+        };
         let mut b = Runtime::builder(3, GasMode::Pgas);
         register_actions(&mut b);
         let mut rt = b.boot();

@@ -117,7 +117,13 @@ pub fn alloc_tiles(rt: &mut Runtime, cfg: &Stencil3dConfig) -> GlobalArray {
 
 /// Extract face `f` of tile `idx` as bytes (driver-side read, the memput
 /// models the traffic).
-fn face_bytes(rt: &Runtime, cfg: &Stencil3dConfig, tiles: &GlobalArray, idx: u64, f: usize) -> Vec<u8> {
+fn face_bytes(
+    rt: &Runtime,
+    cfg: &Stencil3dConfig,
+    tiles: &GlobalArray,
+    idx: u64,
+    f: usize,
+) -> Vec<u8> {
     let t = cfg.tile as u64;
     let block = rt.read_block(tiles.block(idx));
     let cell = |x: u64, y: u64, z: u64| {
@@ -128,12 +134,12 @@ fn face_bytes(rt: &Runtime, cfg: &Stencil3dConfig, tiles: &GlobalArray, idx: u64
     for a in 0..t {
         for b in 0..t {
             let bytes = match f {
-                0 => cell(0, a, b),         // −x face
-                1 => cell(t - 1, a, b),     // +x face
-                2 => cell(a, 0, b),         // −y face
-                3 => cell(a, t - 1, b),     // +y face
-                4 => cell(a, b, 0),         // −z face
-                _ => cell(a, b, t - 1),     // +z face
+                0 => cell(0, a, b),     // −x face
+                1 => cell(t - 1, a, b), // +x face
+                2 => cell(a, 0, b),     // −y face
+                3 => cell(a, t - 1, b), // +y face
+                4 => cell(a, b, 0),     // −z face
+                _ => cell(a, b, t - 1), // +z face
             };
             out.extend_from_slice(bytes);
         }
@@ -199,7 +205,10 @@ fn exchange(rt: &mut Runtime, st: Rc<RefCell<Loop3d>>) {
                     let nidx = cfg.tile_index(x + dx, y + dy, z + dz);
                     let data = face_bytes(rt, &cfg, &tiles, idx, face);
                     let dst = tiles.block(nidx).with_offset(cfg.ghost_offset(ghost));
-                    let ctx = rt.eng.state.new_completion(parcel_rt::Completion::Lco(gate));
+                    let ctx = rt
+                        .eng
+                        .state
+                        .new_completion(parcel_rt::Completion::Lco(gate));
                     agas::ops::memput(&mut rt.eng, owner, dst, data, ctx);
                 }
             }
@@ -404,7 +413,10 @@ mod tests {
 
     #[test]
     fn ghost_faces_carry_neighbor_cells() {
-        let cfg = Stencil3dConfig { iters: 1, ..small() };
+        let cfg = Stencil3dConfig {
+            iters: 1,
+            ..small()
+        };
         let mut b = Runtime::builder(2, GasMode::AgasNetwork);
         register_actions(&mut b);
         let mut rt = b.boot();
@@ -433,13 +445,22 @@ mod tests {
         let cfg = small();
         // 6 faces of T² vs 4 edges of T: the 3-D proxy moves T× more halo
         // per tile than the 2-D one at equal edge length.
-        assert_eq!(cfg.tiles() * 6 * (cfg.tile as u64).pow(2) * 8, 8 * 6 * 16 * 8);
+        assert_eq!(
+            cfg.tiles() * 6 * (cfg.tile as u64).pow(2) * 8,
+            8 * 6 * 16 * 8
+        );
     }
 
     #[test]
     fn iterations_scale_time() {
-        let cfg1 = Stencil3dConfig { iters: 1, ..small() };
-        let cfg3 = Stencil3dConfig { iters: 3, ..small() };
+        let cfg1 = Stencil3dConfig {
+            iters: 1,
+            ..small()
+        };
+        let cfg3 = Stencil3dConfig {
+            iters: 3,
+            ..small()
+        };
         let t1 = {
             let mut b = Runtime::builder(4, GasMode::Pgas);
             register_actions(&mut b);

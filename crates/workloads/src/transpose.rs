@@ -54,7 +54,9 @@ pub struct TransposeArrays {
 
 fn tile_fill(i: u32, j: u32, len: usize) -> Vec<u8> {
     let seed = mix64(((i as u64) << 32) | j as u64);
-    (0..len).map(|k| (seed.wrapping_add(k as u64) & 0xFF) as u8).collect()
+    (0..len)
+        .map(|k| (seed.wrapping_add(k as u64) & 0xFF) as u8)
+        .collect()
 }
 
 /// Allocate and initialize the tile matrices.
@@ -152,7 +154,10 @@ mod tests {
         };
         let three = {
             let mut rt = Runtime::builder(3, GasMode::Pgas).boot();
-            let cfg = TransposeConfig { rounds: 3, ..small() };
+            let cfg = TransposeConfig {
+                rounds: 3,
+                ..small()
+            };
             let a = setup(&mut rt, &cfg);
             run(&mut rt, &cfg, &a).elapsed
         };

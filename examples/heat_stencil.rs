@@ -24,15 +24,16 @@ fn main() {
     };
     let n = 16usize.min((px * py) as usize).max(2);
 
-    println!(
-        "2-D stencil: {px}×{py} tiles of {tile}×{tile} cells, {iters} iters, {n} localities"
-    );
+    println!("2-D stencil: {px}×{py} tiles of {tile}×{tile} cells, {iters} iters, {n} localities");
     println!(
         "halo traffic per iteration: {:.1} KiB",
         (cfg.tiles() * 4 * tile as u64 * 8) as f64 / 1024.0
     );
 
-    for (fabric, net) in [("ib-fdr", NetConfig::ib_fdr()), ("10GbE", NetConfig::ethernet_10g())] {
+    for (fabric, net) in [
+        ("ib-fdr", NetConfig::ib_fdr()),
+        ("10GbE", NetConfig::ethernet_10g()),
+    ] {
         println!("\nfabric: {fabric}");
         println!("{:<10} {:>14} {:>14}", "mode", "total", "per-iter");
         for mode in GasMode::ALL {

@@ -45,7 +45,13 @@ fn main() {
     // 4. Ship work *to the data*: a parcel runs `scale` at block 5's owner
     //    and its reply lands in a future LCO.
     let fut = rt.new_future(0);
-    rt.spawn(0, array.block(5), scale, ArgWriter::new().u64(6).finish(), Some(fut));
+    rt.spawn(
+        0,
+        array.block(5),
+        scale,
+        ArgWriter::new().u64(6).finish(),
+        Some(fut),
+    );
     let result = Rc::new(RefCell::new(0u64));
     let r2 = result.clone();
     rt.wait_lco(fut, move |_, v| {
@@ -73,12 +79,11 @@ fn main() {
     println!(
         "cluster totals: {} RDMA puts, {} RDMA gets, {} NIC translations, \
          {} messages, {} migrations",
-        c.rdma_puts,
-        c.rdma_gets,
-        c.xlate_hits,
-        c.msgs_sent,
-        c.migrations_in
+        c.rdma_puts, c.rdma_gets, c.xlate_hits, c.msgs_sent, c.migrations_in
     );
-    assert_eq!(u64::from_le_bytes(got.borrow().as_slice().try_into().unwrap()), 42);
+    assert_eq!(
+        u64::from_le_bytes(got.borrow().as_slice().try_into().unwrap()),
+        42
+    );
     println!("quickstart OK");
 }

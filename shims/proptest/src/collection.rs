@@ -1,0 +1,53 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::runner::TestRng;
+use crate::strategy::Strategy;
+use std::ops::{Range, RangeInclusive};
+
+/// Anything usable as a `vec` length specification: an exact length, an
+/// exclusive range, or an inclusive range.
+pub trait IntoSizeRange {
+    /// Inclusive `(min, max)` length bounds.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty vec size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl IntoSizeRange for RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end())
+    }
+}
+
+/// A strategy for vectors whose elements come from `element` and whose
+/// length is drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+    let (min, max) = size.bounds();
+    VecStrategy { element, min, max }
+}
+
+/// The strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.min + rng.below((self.max - self.min + 1) as u64) as usize;
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}

@@ -1,0 +1,82 @@
+//! Deterministic case runner and RNG.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// How many cases a `proptest!` block runs (no other knobs are modeled).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// The deterministic generator handed to strategies (splitmix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift range reduction: unbiased enough for test input
+        // generation, and branch-free.
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+    }
+}
+
+fn fnv(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `body` against `config.cases` deterministically seeded inputs.
+/// A panicking case is reported with its index (replayable: seeds are a
+/// pure function of the test name and case number), then re-raised.
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng),
+{
+    let base = fnv(name);
+    for case in 0..config.cases {
+        let mut rng = TestRng::new(base ^ (u64::from(case)).wrapping_mul(0xA076_1D64_78BD_642F));
+        let result = catch_unwind(AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(payload) = result {
+            eprintln!("proptest {name}: failed at case {case}/{}", config.cases);
+            resume_unwind(payload);
+        }
+    }
+}

@@ -153,7 +153,11 @@ fn skew_rebalancing_end_to_end() {
         // Every block still has exactly one owner and a consistent home.
         for gva in &data.blocks {
             let owners: Vec<u32> = (0..6)
-                .filter(|&l| rt.eng.state.gas[l as usize].btt.is_resident(gva.block_key()))
+                .filter(|&l| {
+                    rt.eng.state.gas[l as usize]
+                        .btt
+                        .is_resident(gva.block_key())
+                })
                 .collect();
             assert_eq!(owners.len(), 1, "{mode:?} {gva:?}");
             let home = gva.home() as usize;
@@ -204,7 +208,11 @@ fn headline_latency_ordering_end_to_end() {
     let net = lat(GasMode::AgasNetwork);
     let sw = lat(GasMode::AgasSoftware);
     assert!(net >= pgas);
-    assert!(net - pgas <= Time::from_ns(100), "NIC adder too large: {}", net - pgas);
+    assert!(
+        net - pgas <= Time::from_ns(100),
+        "NIC adder too large: {}",
+        net - pgas
+    );
     assert!(
         sw >= net + Time::from_ns(400),
         "software path not visibly slower: sw={sw} net={net}"
@@ -216,13 +224,17 @@ fn headline_latency_ordering_end_to_end() {
 #[test]
 fn alloc_free_cycles_are_clean() {
     let mut rt = Runtime::builder(3, GasMode::AgasNetwork).boot();
-    let baseline: u64 = (0..3).map(|l| rt.eng.state.cluster.mem(l).live_blocks()).sum();
+    let baseline: u64 = (0..3)
+        .map(|l| rt.eng.state.cluster.mem(l).live_blocks())
+        .sum();
     for round in 0..5 {
         let arr = rt.alloc(9, 10, Distribution::Cyclic);
         rt.memput(0, arr.block(4), vec![round as u8; 16]);
         rt.run();
         agas::free_array(&mut rt.eng, &arr);
-        let live: u64 = (0..3).map(|l| rt.eng.state.cluster.mem(l).live_blocks()).sum();
+        let live: u64 = (0..3)
+            .map(|l| rt.eng.state.cluster.mem(l).live_blocks())
+            .sum();
         assert_eq!(live, baseline, "round {round} leaked blocks");
     }
 }

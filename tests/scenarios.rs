@@ -192,7 +192,13 @@ fn multiport_flood_with_coalescing() {
     let mut rt = b.net(net).rt_config(rtcfg(Transport::Pwc, true)).boot();
     let arr = rt.alloc(8, 12, Distribution::Cyclic);
     for i in 0..800u64 {
-        rt.spawn((i % 4) as u32, arr.block((i * 3 + 1) % 8), sink, vec![0u8; 16], None);
+        rt.spawn(
+            (i % 4) as u32,
+            arr.block((i * 3 + 1) % 8),
+            sink,
+            vec![0u8; 16],
+            None,
+        );
     }
     rt.run();
     rt.assert_quiescent();
