@@ -603,6 +603,78 @@ fn measure(id: &str, series: &str, f: impl FnOnce()) -> PerfRow {
     }
 }
 
+/// `ops` — freeze a mixed put/get/migration workload mid-flight and dump
+/// the unified op table (DESIGN.md §3.2), then run to quiescence and
+/// report the per-op outcome counters.
+fn ops_dump(json: bool) {
+    use agas::Distribution;
+
+    header("ops", "in-flight op-table snapshot + outcome counters");
+    let net = NetConfig {
+        jitter_ns: 300,
+        ..NetConfig::ib_fdr()
+    };
+    let mut rt = parcel_rt::Runtime::builder(4, GasMode::AgasNetwork)
+        .net(net)
+        .boot();
+    let arr = rt.alloc(8, 13, Distribution::Cyclic);
+    for i in 0..24u64 {
+        let gva = arr.block(i % 8).with_offset((i / 8) * 128);
+        rt.memput(((i + 1) % 4) as u32, gva, vec![i as u8 + 1; 128]);
+        if i % 3 == 0 {
+            rt.memget_cb(((i + 2) % 4) as u32, gva, 128, |_, _| {});
+        }
+    }
+    rt.migrate(0, arr.block(2), 3);
+    rt.migrate(1, arr.block(5), 0);
+
+    // Freeze the simulation a few hundred events in: plenty of ops are
+    // between issue and outcome, exactly what the dump is for.
+    rt.eng.run_steps(220);
+    let now = rt.now();
+    let snaps: Vec<(u32, Vec<agas::OpSnapshot>)> = (0..rt.n())
+        .map(|l| (l, rt.eng.state.gas[l as usize].op_snapshots()))
+        .collect();
+    let in_flight: usize = snaps.iter().map(|(_, s)| s.len()).sum();
+    if !json {
+        println!("-- frozen at {now} with {in_flight} op(s) in flight:");
+        for (l, s) in &snaps {
+            for snap in s {
+                println!("  locality {l}: {}", snap.render(now));
+            }
+        }
+    }
+
+    rt.run();
+    let outcomes = rt.eng.state.total_outcomes();
+    let stats = rt.eng.state.total_gas_stats();
+    if json {
+        println!(
+            concat!(
+                "{{\"id\":\"ops\",\"in_flight_at_freeze\":{},",
+                "\"completed\":{},\"nacked\":{},\"retried\":{},",
+                "\"deadline_exceeded\":{},\"protocol_violations\":{},",
+                "\"stale_completions\":{},\"ops_failed\":{}}}"
+            ),
+            in_flight,
+            outcomes.completed,
+            outcomes.nacked,
+            outcomes.retried,
+            outcomes.deadline_exceeded,
+            outcomes.protocol_violations,
+            stats.stale_completions,
+            stats.ops_failed,
+        );
+    } else {
+        println!("-- after quiescence:");
+        println!("  outcomes: {outcomes}");
+        println!(
+            "  stale completions {} | ops failed {}",
+            stats.stale_completions, stats.ops_failed
+        );
+    }
+}
+
 /// Engine throughput on hot-path workloads (wall-clock events/sec).
 fn perf(json: bool) {
     header(
@@ -709,6 +781,7 @@ fn main() {
     };
     match what.as_str() {
         "perf" => perf(json),
+        "ops" => ops_dump(json),
         "all" => {
             for (name, f) in &experiments {
                 run_one(name, f);
@@ -719,7 +792,7 @@ fn main() {
             Some((name, f)) => run_one(name, f),
             None => {
                 eprintln!(
-                    "unknown experiment {id:?}; use one of: all perf {}",
+                    "unknown experiment {id:?}; use one of: all perf ops {}",
                     experiments
                         .iter()
                         .map(|(n, _)| *n)

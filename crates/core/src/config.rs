@@ -57,9 +57,16 @@ pub struct GasConfig {
     pub cache_capacity: usize,
     /// Abort an operation after this many bounce/retry cycles.
     pub max_attempts: u32,
-    /// Base back-off before re-issuing a bounced operation (scaled by the
-    /// attempt count to guarantee progress past in-flight migrations).
+    /// Base back-off before re-issuing a bounced operation (doubled per
+    /// attempt, capped, to guarantee progress past in-flight migrations).
     pub retry_backoff: Time,
+    /// If set, an in-flight op older than this is reclaimed by the
+    /// per-locality sweep and fails with `DeadlineExceeded` instead of
+    /// hanging forever on a lost completion. `None` (the default) disables
+    /// the sweep entirely and perturbs no schedule.
+    pub op_deadline: Option<Time>,
+    /// How often the deadline sweep wakes while ops are in flight.
+    pub sweep_interval: Time,
 }
 
 impl Default for GasConfig {
@@ -72,6 +79,8 @@ impl Default for GasConfig {
             cache_capacity: 1 << 16,
             max_attempts: 64,
             retry_backoff: Time::from_ns(400),
+            op_deadline: None,
+            sweep_interval: Time::from_ns(2_000),
         }
     }
 }

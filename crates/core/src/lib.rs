@@ -40,9 +40,12 @@ pub use directory::{Directory, OwnerRec};
 pub use dist::Distribution;
 pub use gva::Gva;
 
-use netsim::{Engine, LocalityId, PhysAddr, ServerPool, Time};
+use netsim::{
+    Engine, LocalityId, OpError, OpId, OpTable, OutcomeCounters, PhysAddr, ServerPool, Time,
+};
 use photon::PhotonWorld;
 use std::collections::HashMap;
+use std::fmt;
 
 /// GAS wire-protocol messages, embedded into the world's message enum via
 /// [`GasWorld::wrap_gas`].
@@ -56,15 +59,15 @@ pub enum GasMsg {
         offset: u64,
         /// Payload.
         data: Vec<u8>,
-        /// Initiator's operation id.
-        ctx: u64,
+        /// Initiator's operation handle.
+        ctx: OpId,
         /// Where the ack goes.
         reply_to: LocalityId,
     },
     /// Ack of a software write.
     SwPutAck {
-        /// Initiator's operation id.
-        ctx: u64,
+        /// Initiator's operation handle.
+        ctx: OpId,
     },
     /// Software-AGAS remote read.
     SwGet {
@@ -74,23 +77,23 @@ pub enum GasMsg {
         offset: u64,
         /// Bytes requested.
         len: u32,
-        /// Initiator's operation id.
-        ctx: u64,
+        /// Initiator's operation handle.
+        ctx: OpId,
         /// Where the reply goes.
         reply_to: LocalityId,
     },
     /// Data reply of a software read.
     SwGetReply {
-        /// Initiator's operation id.
-        ctx: u64,
+        /// Initiator's operation handle.
+        ctx: OpId,
         /// The data.
         data: Vec<u8>,
     },
     /// The believed owner no longer holds the block: initiator must
     /// re-resolve through the home directory.
     SwRetry {
-        /// Initiator's operation id.
-        ctx: u64,
+        /// Initiator's operation handle.
+        ctx: OpId,
         /// The block that bounced.
         block: u64,
     },
@@ -98,8 +101,8 @@ pub enum GasMsg {
     DirQuery {
         /// Block key.
         block: u64,
-        /// Initiator's operation id (0 = none).
-        ctx: u64,
+        /// Initiator's operation handle.
+        ctx: OpId,
         /// Where the reply goes.
         reply_to: LocalityId,
     },
@@ -111,8 +114,8 @@ pub enum GasMsg {
         owner: LocalityId,
         /// Current generation.
         generation: u32,
-        /// Echoed operation id.
-        ctx: u64,
+        /// Echoed operation handle.
+        ctx: OpId,
     },
     /// Commit a migration at the home directory.
     DirUpdate {
@@ -137,8 +140,8 @@ pub enum GasMsg {
         block: u64,
         /// Destination locality.
         dst: LocalityId,
-        /// Requester's context for the completion callback.
-        ctx: u64,
+        /// Requester's op handle for the completion callback.
+        ctx: OpId,
         /// The requester.
         reply_to: LocalityId,
         /// Routing hops consumed (guards against pathological chases).
@@ -156,8 +159,8 @@ pub enum GasMsg {
         data: Vec<u8>,
         /// The old owner.
         src: LocalityId,
-        /// Requester context, forwarded for the completion callback.
-        ctx: u64,
+        /// Requester op handle, forwarded for the completion callback.
+        ctx: OpId,
         /// The original requester.
         reply_to: LocalityId,
     },
@@ -168,8 +171,8 @@ pub enum GasMsg {
     },
     /// Migration fully committed (home updated); completion callback.
     MigDone {
-        /// Requester context.
-        ctx: u64,
+        /// Requester op handle.
+        ctx: OpId,
         /// The migrated block.
         block: u64,
     },
@@ -177,8 +180,8 @@ pub enum GasMsg {
     FreeRequest {
         /// Block key.
         block: u64,
-        /// Requester context.
-        ctx: u64,
+        /// Requester op handle.
+        ctx: OpId,
         /// The requester.
         reply_to: LocalityId,
         /// Routing hops consumed.
@@ -188,15 +191,15 @@ pub enum GasMsg {
     DirUnregister {
         /// Block key.
         block: u64,
-        /// Requester context, forwarded.
-        ctx: u64,
+        /// Requester op handle, forwarded.
+        ctx: OpId,
         /// Who receives the final FreeDone.
         reply_to: LocalityId,
     },
     /// A runtime free fully committed.
     FreeDone {
-        /// Requester context.
-        ctx: u64,
+        /// Requester op handle.
+        ctx: OpId,
         /// The freed block.
         block: u64,
     },
@@ -228,6 +231,79 @@ pub struct GasStats {
     pub migrations_started: u64,
     /// Migration completions observed by this requester.
     pub migrations_done: u64,
+    /// Completions/replies naming an unknown or stale op handle, dropped.
+    pub stale_completions: u64,
+    /// Protocol-state-machine violations observed and dropped (late acks,
+    /// duplicate installs, frees of non-resident blocks).
+    pub protocol_violations: u64,
+    /// Ops reclaimed by the deadline sweep.
+    pub deadline_exceeded: u64,
+    /// Ops delivered to the initiator as failed (deadline or retry budget).
+    pub ops_failed: u64,
+}
+
+/// Where an in-flight op last was in its lifecycle (diagnostics: stuck-op
+/// reports, `repro ops`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpPhase {
+    /// Submitted; routing decision not yet taken.
+    Issued,
+    /// One-sided RDMA in flight (PGAS or network-managed path).
+    Rdma,
+    /// Two-sided software request in flight.
+    Sw,
+    /// Bounced; waiting on the home directory's answer.
+    DirRecovery,
+    /// Directory answered; waiting out the exponential backoff.
+    Backoff,
+}
+
+impl fmt::Display for OpPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpPhase::Issued => "issued",
+            OpPhase::Rdma => "rdma-in-flight",
+            OpPhase::Sw => "sw-in-flight",
+            OpPhase::DirRecovery => "dir-recovery",
+            OpPhase::Backoff => "backoff",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A diagnostic snapshot of one in-flight op (for stuck-op reports and the
+/// `repro ops` dump).
+#[derive(Clone, Copy, Debug)]
+pub struct OpSnapshot {
+    /// The op handle.
+    pub id: OpId,
+    /// `"put"` or `"get"`.
+    pub kind: &'static str,
+    /// The global address the op targets.
+    pub gva: Gva,
+    /// Bounce/retry cycles consumed so far.
+    pub attempts: u32,
+    /// When the op was submitted.
+    pub issued: Time,
+    /// Absolute deadline, if one was configured.
+    pub deadline: Option<Time>,
+    /// Last lifecycle state.
+    pub phase: OpPhase,
+}
+
+impl OpSnapshot {
+    /// Render the snapshot with `now` for the age computation.
+    pub fn render(&self, now: Time) -> String {
+        format!(
+            "{} {} gva={} age={} attempts={} state={}",
+            self.kind,
+            self.id,
+            self.gva,
+            now - self.issued,
+            self.attempts,
+            self.phase
+        )
+    }
 }
 
 pub(crate) enum OpPayload {
@@ -243,10 +319,16 @@ pub(crate) enum OpPayload {
 pub(crate) struct PendingOp {
     pub payload: OpPayload,
     pub gva: Gva,
-    pub ctx: u64,
+    pub ctx: OpId,
     pub attempts: u32,
-    /// When the operation was submitted (for the latency histograms).
+    /// When the operation was submitted (for the latency histograms and
+    /// the stuck-op age report).
     pub issued: Time,
+    /// Absolute instant after which the deadline sweep reclaims the op
+    /// (`None` when [`GasConfig::op_deadline`] is off).
+    pub deadline: Option<Time>,
+    /// Last lifecycle state, for diagnostics.
+    pub phase: OpPhase,
     /// Set after repeated NIC-table misses: degrade this operation to the
     /// software (two-sided) path, as real network-managed tables do under
     /// capacity thrash.
@@ -259,7 +341,7 @@ pub(crate) struct MovingState {
 }
 
 pub(crate) struct PendingInstall {
-    pub ctx: u64,
+    pub ctx: OpId,
     pub reply_to: LocalityId,
     pub old_owner: LocalityId,
 }
@@ -283,13 +365,16 @@ pub struct GasLocal {
     pub get_latency: netsim::LogHistogram,
     /// Statistics.
     pub stats: GasStats,
-    pub(crate) pending: HashMap<u64, PendingOp>,
-    pub(crate) next_op: u64,
+    /// Terminal-event rollup for the ops issued here.
+    pub outcomes: OutcomeCounters,
+    pub(crate) pending: OpTable<PendingOp>,
     pub(crate) next_seq: HashMap<u8, u64>,
     pub(crate) moving: HashMap<u64, MovingState>,
     pub(crate) pending_installs: HashMap<u64, PendingInstall>,
-    pub(crate) deferred_migs: HashMap<u64, Vec<(LocalityId, u64, LocalityId)>>,
-    pub(crate) deferred_frees: HashMap<u64, Vec<(u64, LocalityId)>>,
+    pub(crate) deferred_migs: HashMap<u64, Vec<(LocalityId, OpId, LocalityId)>>,
+    pub(crate) deferred_frees: HashMap<u64, Vec<(OpId, LocalityId)>>,
+    /// Is the deadline sweep scheduled for this locality?
+    pub(crate) sweep_armed: bool,
 }
 
 impl GasLocal {
@@ -304,20 +389,15 @@ impl GasLocal {
             put_latency: netsim::LogHistogram::new(),
             get_latency: netsim::LogHistogram::new(),
             stats: GasStats::default(),
-            pending: HashMap::new(),
-            next_op: 0,
+            outcomes: OutcomeCounters::default(),
+            pending: OpTable::new(),
             next_seq: HashMap::new(),
             moving: HashMap::new(),
             pending_installs: HashMap::new(),
             deferred_migs: HashMap::new(),
             deferred_frees: HashMap::new(),
+            sweep_armed: false,
         }
-    }
-
-    pub(crate) fn alloc_op(&mut self) -> u64 {
-        let op = self.next_op;
-        self.next_op += 1;
-        op
     }
 
     pub(crate) fn alloc_seq(&mut self, class: u8) -> u64 {
@@ -330,6 +410,32 @@ impl GasLocal {
     /// Outstanding initiator-side operations.
     pub fn outstanding_ops(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Whether the deadline sweep currently has a tick scheduled. Always
+    /// `false` when [`GasConfig::op_deadline`] is `None`.
+    pub fn sweep_armed(&self) -> bool {
+        self.sweep_armed
+    }
+
+    /// Diagnostic snapshots of every in-flight op issued here, in slot
+    /// order (deterministic).
+    pub fn op_snapshots(&self) -> Vec<OpSnapshot> {
+        self.pending
+            .iter()
+            .map(|(id, p)| OpSnapshot {
+                id,
+                kind: match p.payload {
+                    OpPayload::Put { .. } => "put",
+                    OpPayload::Get { .. } => "get",
+                },
+                gva: p.gva,
+                attempts: p.attempts,
+                issued: p.issued,
+                deadline: p.deadline,
+                phase: p.phase,
+            })
+            .collect()
     }
 }
 
@@ -356,11 +462,15 @@ pub trait GasWorld: PhotonWorld {
     fn wrap_gas(msg: GasMsg) -> Self::Msg;
 
     /// A memput completed.
-    fn gas_put_done(eng: &mut Engine<Self>, loc: LocalityId, ctx: u64);
+    fn gas_put_done(eng: &mut Engine<Self>, loc: LocalityId, ctx: OpId);
     /// A memget completed with its data.
-    fn gas_get_done(eng: &mut Engine<Self>, loc: LocalityId, ctx: u64, data: Vec<u8>);
-    /// A migration requested with context `ctx` fully committed.
-    fn gas_migrate_done(eng: &mut Engine<Self>, loc: LocalityId, ctx: u64, block: u64);
-    /// A runtime free requested with context `ctx` fully committed.
-    fn gas_free_done(eng: &mut Engine<Self>, loc: LocalityId, ctx: u64, block: u64);
+    fn gas_get_done(eng: &mut Engine<Self>, loc: LocalityId, ctx: OpId, data: Vec<u8>);
+    /// A migration requested with handle `ctx` fully committed.
+    fn gas_migrate_done(eng: &mut Engine<Self>, loc: LocalityId, ctx: OpId, block: u64);
+    /// A runtime free requested with handle `ctx` fully committed.
+    fn gas_free_done(eng: &mut Engine<Self>, loc: LocalityId, ctx: OpId, block: u64);
+    /// An operation failed terminally: its deadline passed (the sweep
+    /// reclaimed it) or its retry budget ran out. The typed error reaches
+    /// the initiator here instead of a panic or a silent hang.
+    fn gas_op_failed(eng: &mut Engine<Self>, loc: LocalityId, ctx: OpId, gva: Gva, err: OpError);
 }

@@ -27,7 +27,7 @@
 
 use crate::gva::Gva;
 use crate::{GasMode, GasMsg, GasWorld, MovingState, PendingInstall};
-use netsim::{send_user, Engine, LocalityId, Time, XlateEntry};
+use netsim::{send_user, Engine, LocalityId, OpId, Time, XlateEntry};
 
 const MAX_ROUTE_HOPS: u8 = 64;
 
@@ -39,7 +39,7 @@ pub fn migrate_block<S: GasWorld>(
     loc: LocalityId,
     gva: Gva,
     dst: LocalityId,
-    ctx: u64,
+    ctx: OpId,
 ) {
     assert!(
         eng.state.gas_mode().supports_migration(),
@@ -70,11 +70,16 @@ pub(crate) fn on_mig_request<S: GasWorld>(
     at: LocalityId,
     block: u64,
     dst: LocalityId,
-    ctx: u64,
+    ctx: OpId,
     reply_to: LocalityId,
     hops: u8,
 ) {
-    assert!(hops < MAX_ROUTE_HOPS, "migration request chased too long");
+    if hops >= MAX_ROUTE_HOPS {
+        // A request that chased this long is stale or forged: drop it and
+        // count the violation (the requester's deadline sweep reclaims it).
+        eng.state.gas(at).stats.protocol_violations += 1;
+        return;
+    }
     let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
     let g = eng.state.gas(at);
     if let Some(entry) = g.btt.lookup(block) {
@@ -153,7 +158,7 @@ fn resend_request_via_home<S: GasWorld>(
     at: LocalityId,
     block: u64,
     dst: LocalityId,
-    ctx: u64,
+    ctx: OpId,
     reply_to: LocalityId,
     hops: u8,
     delay: Time,
@@ -183,13 +188,17 @@ fn start_handoff<S: GasWorld>(
     at: LocalityId,
     block: u64,
     dst: LocalityId,
-    ctx: u64,
+    ctx: OpId,
     reply_to: LocalityId,
 ) {
     let mode = eng.state.gas_mode();
     let g = eng.state.gas(at);
+    let Some(entry) = g.btt.lookup(block).copied() else {
+        // The block left between routing and hand-off: a stale request.
+        g.stats.protocol_violations += 1;
+        return;
+    };
     g.stats.migrations_started += 1;
-    let entry = *g.btt.lookup(block).expect("handoff without residency");
     g.btt.set_moving(block);
     g.moving.insert(
         block,
@@ -248,7 +257,7 @@ pub(crate) fn on_mig_data<S: GasWorld>(
     generation: u32,
     data: Vec<u8>,
     src: LocalityId,
-    ctx: u64,
+    ctx: OpId,
     reply_to: LocalityId,
 ) {
     // Installation is software work (allocate, copy, table updates).
@@ -321,12 +330,11 @@ pub(crate) fn on_mig_data<S: GasWorld>(
 /// The home committed the new ownership: notify the old owner (drain its
 /// queue) and the requester.
 pub(crate) fn on_dir_update_ack<S: GasWorld>(eng: &mut Engine<S>, at: LocalityId, block: u64) {
-    let pi = eng
-        .state
-        .gas(at)
-        .pending_installs
-        .remove(&block)
-        .expect("DirUpdateAck without a pending install");
+    let Some(pi) = eng.state.gas(at).pending_installs.remove(&block) else {
+        // Duplicate or forged ack: nothing is waiting on it.
+        eng.state.gas(at).stats.protocol_violations += 1;
+        return;
+    };
     let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
     send_user(
         eng,
@@ -347,12 +355,11 @@ pub(crate) fn on_dir_update_ack<S: GasWorld>(eng: &mut Engine<S>, at: LocalityId
 /// The new owner is installed: the old owner retires its Moving entry and
 /// re-sends every access that queued during the window.
 pub(crate) fn on_mig_ack<S: GasWorld>(eng: &mut Engine<S>, at: LocalityId, block: u64) {
-    let ms = eng
-        .state
-        .gas(at)
-        .moving
-        .remove(&block)
-        .expect("MigAck without a moving block");
+    let Some(ms) = eng.state.gas(at).moving.remove(&block) else {
+        // Duplicate or forged ack: the hand-off already retired.
+        eng.state.gas(at).stats.protocol_violations += 1;
+        return;
+    };
     eng.state.gas(at).btt.remove(block);
     for msg in ms.queued {
         let wire = match &msg {
@@ -368,7 +375,7 @@ pub(crate) fn on_mig_ack<S: GasWorld>(eng: &mut Engine<S>, at: LocalityId, block
 /// [`GasWorld::gas_free_done`] with `ctx`. The caller must guarantee no
 /// operations are in flight against the block (freeing live data is the
 /// distributed use-after-free; the simulator panics when it detects it).
-pub fn free_block<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, gva: Gva, ctx: u64) {
+pub fn free_block<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, gva: Gva, ctx: OpId) {
     let block = gva.block_key();
     let home = gva.home();
     let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
@@ -391,11 +398,14 @@ pub(crate) fn on_free_request<S: GasWorld>(
     eng: &mut Engine<S>,
     at: LocalityId,
     block: u64,
-    ctx: u64,
+    ctx: OpId,
     reply_to: LocalityId,
     hops: u8,
 ) {
-    assert!(hops < MAX_ROUTE_HOPS, "free request chased too long");
+    if hops >= MAX_ROUTE_HOPS {
+        eng.state.gas(at).stats.protocol_violations += 1;
+        return;
+    }
     let g = eng.state.gas(at);
     if let Some(entry) = g.btt.lookup(block) {
         if entry.pins > 0 {
@@ -479,15 +489,14 @@ fn commit_free<S: GasWorld>(
     eng: &mut Engine<S>,
     at: LocalityId,
     block: u64,
-    ctx: u64,
+    ctx: OpId,
     reply_to: LocalityId,
 ) {
-    let entry = eng
-        .state
-        .gas(at)
-        .btt
-        .remove(block)
-        .expect("commit_free without residency");
+    let Some(entry) = eng.state.gas(at).btt.remove(block) else {
+        // The block already left (racing free/migration): stale request.
+        eng.state.gas(at).stats.protocol_violations += 1;
+        return;
+    };
     eng.state
         .cluster()
         .mem_mut(at)
@@ -517,7 +526,7 @@ pub(crate) fn on_dir_unregister<S: GasWorld>(
     eng: &mut Engine<S>,
     at: LocalityId,
     block: u64,
-    ctx: u64,
+    ctx: OpId,
     reply_to: LocalityId,
 ) {
     let service = eng.state.gas(at).cfg.dir_lookup;

@@ -17,10 +17,24 @@
 //!   the owner's **NIC** translates. The target CPU is never involved; a
 //!   stale target answers with a NACK (or NIC-forwards), and the initiator
 //!   re-resolves through the home and retries.
+//!
+//! In-flight operations live in the initiator's generational
+//! [`netsim::OpTable`]: wire messages carry the typed [`OpId`] handle, and a
+//! completion naming an unknown or stale handle is counted
+//! (`stale_completions`) and dropped instead of panicking. Each entry
+//! carries its issue time, attempt count, and optional deadline; the
+//! per-locality sweep ([`GasConfig::op_deadline`]) turns a lost completion
+//! into a deterministic [`OpError::DeadlineExceeded`] delivered through
+//! [`GasWorld::gas_op_failed`].
+//!
+//! [`GasConfig::op_deadline`]: crate::GasConfig::op_deadline
 
 use crate::gva::Gva;
-use crate::{GasMode, GasMsg, GasWorld, OpPayload, OwnerHint, PendingOp};
-use netsim::{send_user, Engine, LocalityId, NackReason, OpKind, PhysAddr, RdmaTarget, Time};
+use crate::{GasMode, GasMsg, GasWorld, OpPayload, OpPhase, OwnerHint, PendingOp};
+use netsim::{
+    send_user, Engine, LocalityId, NackReason, OpError, OpId, OpKind, OpOutcome, PhysAddr,
+    RdmaTarget, Time, TraceKind,
+};
 use photon::{pwc_get, pwc_put};
 
 fn copy_time(per_byte_ps: u64, len: usize) -> Time {
@@ -42,15 +56,65 @@ fn scratch_class(len: u32) -> u8 {
     (u32::BITS - (needed - 1).leading_zeros()) as u8
 }
 
+/// Open the op's trace span (no-op when tracing is disabled).
+fn open_span<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, op: OpId) {
+    let t = eng.now();
+    eng.state
+        .cluster()
+        .tracer
+        .record(t, TraceKind::OpSpanOpen { at: loc, op });
+}
+
+/// Close the op's trace span with its outcome.
+fn close_span<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, op: OpId, ok: bool) {
+    let t = eng.now();
+    eng.state
+        .cluster()
+        .tracer
+        .record(t, TraceKind::OpSpanClose { at: loc, op, ok });
+}
+
+/// Record a successful outcome and close the span.
+fn finish_ok<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, op: OpId) {
+    eng.state.gas(loc).outcomes.record(OpOutcome::Completed);
+    close_span(eng, loc, op, true);
+}
+
+/// Terminally fail a removed op: release its scratch, count it, close its
+/// span, and deliver the typed error to the initiator.
+fn fail_op<S: GasWorld>(
+    eng: &mut Engine<S>,
+    loc: LocalityId,
+    id: OpId,
+    p: PendingOp,
+    err: OpError,
+    outcome: OpOutcome,
+) {
+    if let OpPayload::Get {
+        scratch: Some((addr, class)),
+        ..
+    } = p.payload
+    {
+        eng.state.cluster().mem_mut(loc).free_block(addr, class);
+    }
+    let g = eng.state.gas(loc);
+    g.stats.ops_failed += 1;
+    g.outcomes.record(outcome);
+    close_span(eng, loc, id, false);
+    S::gas_op_failed(eng, loc, p.ctx, p.gva, err);
+}
+
 /// Write `data` to the global address `gva`. Completion arrives via
-/// [`GasWorld::gas_put_done`] with `ctx`. The write must stay within one
-/// block (use [`crate::GlobalArray::chunks`] to split larger ranges).
+/// [`GasWorld::gas_put_done`] with `ctx`; terminal failure (deadline,
+/// retries exhausted) via [`GasWorld::gas_op_failed`]. The write must stay
+/// within one block (use [`crate::GlobalArray::chunks`] to split larger
+/// ranges).
 pub fn memput<S: GasWorld>(
     eng: &mut Engine<S>,
     loc: LocalityId,
     gva: Gva,
     data: Vec<u8>,
-    ctx: u64,
+    ctx: OpId,
 ) {
     assert!(
         gva.offset() + data.len() as u64 <= gva.block_size(),
@@ -60,24 +124,26 @@ pub fn memput<S: GasWorld>(
     let now = eng.now();
     let g = eng.state.gas(loc);
     g.stats.puts += 1;
-    let op = g.alloc_op();
-    g.pending.insert(
-        op,
-        PendingOp {
-            payload: OpPayload::Put { data },
-            gva,
-            ctx,
-            attempts: 0,
-            issued: now,
-            force_sw: false,
-        },
-    );
+    let deadline = g.cfg.op_deadline.map(|d| now + d);
+    let op = g.pending.insert(PendingOp {
+        payload: OpPayload::Put { data },
+        gva,
+        ctx,
+        attempts: 0,
+        issued: now,
+        deadline,
+        phase: OpPhase::Issued,
+        force_sw: false,
+    });
+    open_span(eng, loc, op);
+    arm_sweep(eng, loc);
     issue(eng, loc, op);
 }
 
 /// Read `len` bytes from the global address `gva`. Completion (with the
-/// data) arrives via [`GasWorld::gas_get_done`] with `ctx`.
-pub fn memget<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, gva: Gva, len: u32, ctx: u64) {
+/// data) arrives via [`GasWorld::gas_get_done`] with `ctx`; terminal
+/// failure via [`GasWorld::gas_op_failed`].
+pub fn memget<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, gva: Gva, len: u32, ctx: OpId) {
     assert!(
         gva.offset() + len as u64 <= gva.block_size(),
         "memget crosses a block boundary"
@@ -86,28 +152,35 @@ pub fn memget<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, gva: Gva, len: 
     let now = eng.now();
     let g = eng.state.gas(loc);
     g.stats.gets += 1;
-    let op = g.alloc_op();
-    g.pending.insert(
-        op,
-        PendingOp {
-            payload: OpPayload::Get { len, scratch: None },
-            gva,
-            ctx,
-            attempts: 0,
-            issued: now,
-            force_sw: false,
-        },
-    );
+    let deadline = g.cfg.op_deadline.map(|d| now + d);
+    let op = g.pending.insert(PendingOp {
+        payload: OpPayload::Get { len, scratch: None },
+        gva,
+        ctx,
+        attempts: 0,
+        issued: now,
+        deadline,
+        phase: OpPhase::Issued,
+        force_sw: false,
+    });
+    open_span(eng, loc, op);
+    arm_sweep(eng, loc);
     issue(eng, loc, op);
 }
 
 /// (Re-)issue a pending operation along the active mode's fast path.
-fn issue<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, op: u64) {
+fn issue<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, op: OpId) {
     let mode = eng.state.gas_mode();
-    let (gva, is_put) = {
+    let (gva, is_put, force_sw) = {
         let g = eng.state.gas(loc);
-        let p = g.pending.get(&op).expect("issue of unknown op");
-        (p.gva, matches!(p.payload, OpPayload::Put { .. }))
+        let Ok(p) = g.pending.get(op) else {
+            return; // reclaimed (deadline sweep) between schedule and fire
+        };
+        (
+            p.gva,
+            matches!(p.payload, OpPayload::Put { .. }),
+            p.force_sw,
+        )
     };
     let block = gva.block_key();
     let home = gva.home();
@@ -132,7 +205,6 @@ fn issue<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, op: u64) {
                 commit_local(eng, loc, op);
             } else {
                 let target_loc = hint_owner(eng, loc, block, home);
-                let force_sw = eng.state.gas(loc).pending.get(&op).unwrap().force_sw;
                 if force_sw {
                     if target_loc == loc {
                         bounce(eng, loc, op, block);
@@ -172,14 +244,18 @@ fn issue<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, op: u64) {
 fn issue_sw<S: GasWorld>(
     eng: &mut Engine<S>,
     loc: LocalityId,
-    op: u64,
+    op: OpId,
     gva: Gva,
     target_loc: LocalityId,
 ) {
     let block = gva.block_key();
+    let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
     let (msg, wire) = {
         let g = eng.state.gas(loc);
-        let p = g.pending.get(&op).unwrap();
+        let Ok(p) = g.pending.get_mut(op) else {
+            return;
+        };
+        p.phase = OpPhase::Sw;
         match &p.payload {
             OpPayload::Put { data } => (
                 GasMsg::SwPut {
@@ -199,7 +275,7 @@ fn issue_sw<S: GasWorld>(
                     ctx: op,
                     reply_to: loc,
                 },
-                eng.state.cluster_ref().config.ctrl_bytes,
+                ctrl,
             ),
         }
     };
@@ -223,7 +299,7 @@ fn hint_owner<S: GasWorld>(
 fn issue_rdma<S: GasWorld>(
     eng: &mut Engine<S>,
     loc: LocalityId,
-    op: u64,
+    op: OpId,
     target_loc: LocalityId,
     target: RdmaTarget,
     is_put: bool,
@@ -231,7 +307,11 @@ fn issue_rdma<S: GasWorld>(
     if is_put {
         let data = {
             let g = eng.state.gas(loc);
-            match &g.pending.get(&op).unwrap().payload {
+            let Ok(p) = g.pending.get_mut(op) else {
+                return;
+            };
+            p.phase = OpPhase::Rdma;
+            match &p.payload {
                 OpPayload::Put { data } => data.clone(),
                 OpPayload::Get { .. } => unreachable!(),
             }
@@ -241,7 +321,11 @@ fn issue_rdma<S: GasWorld>(
         // Ensure a scratch landing buffer exists (reused across retries).
         let (len, scratch) = {
             let g = eng.state.gas(loc);
-            match &g.pending.get(&op).unwrap().payload {
+            let Ok(p) = g.pending.get_mut(op) else {
+                return;
+            };
+            p.phase = OpPhase::Rdma;
+            match &p.payload {
                 OpPayload::Get { len, scratch } => (*len, *scratch),
                 OpPayload::Put { .. } => unreachable!(),
             }
@@ -257,9 +341,10 @@ fn issue_rdma<S: GasWorld>(
                     .alloc_block(class)
                     .expect("scratch allocation failed");
                 let g = eng.state.gas(loc);
-                if let OpPayload::Get { scratch, .. } = &mut g.pending.get_mut(&op).unwrap().payload
-                {
-                    *scratch = Some((addr, class));
+                if let Ok(p) = g.pending.get_mut(op) {
+                    if let OpPayload::Get { scratch, .. } = &mut p.payload {
+                        *scratch = Some((addr, class));
+                    }
                 }
                 (addr, class)
             }
@@ -271,11 +356,13 @@ fn issue_rdma<S: GasWorld>(
 }
 
 /// Commit an operation against locally resident storage.
-fn commit_local<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, op: u64) {
+fn commit_local<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, op: OpId) {
     let mode = eng.state.gas_mode();
     let (gva, len, per_byte) = {
         let g = eng.state.gas(loc);
-        let p = g.pending.get(&op).unwrap();
+        let Ok(p) = g.pending.get(op) else {
+            return;
+        };
         let len = match &p.payload {
             OpPayload::Put { data } => data.len(),
             OpPayload::Get { len, .. } => *len as usize,
@@ -305,8 +392,11 @@ fn commit_local<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, op: u64) {
     // Perform the memory effect now (deterministic), deliver the callback
     // after the modeled local latency.
     let now = eng.now();
-    let p = eng.state.gas(loc).pending.remove(&op).unwrap();
+    let Ok(p) = eng.state.gas(loc).pending.remove(op) else {
+        return;
+    };
     record_latency(eng, loc, &p, now + delay);
+    finish_ok(eng, loc, op);
     match p.payload {
         OpPayload::Put { data } => {
             eng.state
@@ -335,29 +425,52 @@ fn commit_local<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, op: u64) {
 }
 
 /// A fast path bounced: invalidate the hint and re-resolve via the home.
-fn bounce<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, op: u64, block: u64) {
+/// When the retry budget runs out the op fails terminally with
+/// [`OpError::RetriesExhausted`] instead of asserting.
+fn bounce<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, op: OpId, block: u64) {
     let home = Gva(block).home();
-    let (max_attempts, give_up) = {
+    let (give_up, attempts) = {
         let g = eng.state.gas(loc);
-        let Some(p) = g.pending.get_mut(&op) else {
-            return; // completed concurrently; nothing to retry
+        let Ok(p) = g.pending.get_mut(op) else {
+            return; // completed (or reclaimed) concurrently; nothing to retry
         };
         p.attempts += 1;
-        g.stats.retries += 1;
-        g.cache.invalidate(block);
-        g.stats.dir_queries += 1;
-        if !p.force_sw && p.attempts >= 3 {
+        p.phase = OpPhase::DirRecovery;
+        let attempts = p.attempts;
+        let mut sw_fallback = false;
+        if !p.force_sw && attempts >= 3 {
             // Persistent NIC-table misses (capacity thrash): degrade to the
             // software path, which cannot miss at the true owner.
             p.force_sw = true;
+            sw_fallback = true;
+        }
+        g.stats.retries += 1;
+        g.cache.invalidate(block);
+        g.stats.dir_queries += 1;
+        if sw_fallback {
             g.stats.sw_fallbacks += 1;
         }
-        (g.cfg.max_attempts, p.attempts > g.cfg.max_attempts)
+        g.outcomes.record(OpOutcome::Retried { attempt: attempts });
+        (attempts > g.cfg.max_attempts, attempts)
     };
-    assert!(
-        !give_up,
-        "GAS op on block {block:#x} exceeded {max_attempts} retries (livelock?)"
-    );
+    if give_up {
+        let Ok(p) = eng.state.gas(loc).pending.remove(op) else {
+            return;
+        };
+        let now = eng.now();
+        let age = now.saturating_sub(p.issued);
+        // Counted under deadline_exceeded: the op exceeded its retry budget
+        // and was given up on.
+        fail_op(
+            eng,
+            loc,
+            op,
+            p,
+            OpError::RetriesExhausted { id: op, attempts },
+            OpOutcome::DeadlineExceeded { age, attempts },
+        );
+        return;
+    }
     let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
     send_user(
         eng,
@@ -372,22 +485,95 @@ fn bounce<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, op: u64, block: u64
     );
 }
 
-// ---------------------------------------------------------------- PWC glue
+// ------------------------------------------------------------ deadline sweep
 
-/// Route a [`photon::PhotonWorld::pwc_complete`] callback here.
-pub fn on_pwc_complete<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, ctx: u64) {
-    let p = eng
+/// Arm the per-locality deadline sweep if deadlines are configured and it is
+/// not already running. Called on every op issue; the sweep keeps
+/// re-scheduling itself while ops remain in flight and disarms when the
+/// table drains, so an idle locality schedules nothing.
+pub(crate) fn arm_sweep<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId) {
+    let g = eng.state.gas(loc);
+    if g.sweep_armed || g.cfg.op_deadline.is_none() {
+        return;
+    }
+    g.sweep_armed = true;
+    let interval = g.cfg.sweep_interval;
+    eng.schedule(interval, move |eng| sweep(eng, loc));
+}
+
+/// Reclaim every in-flight op whose deadline has passed, delivering a
+/// deterministic [`OpError::DeadlineExceeded`] to each initiator. A lost
+/// completion (dropped NACK, vanished endpoint state) thus becomes a typed
+/// failure instead of a hang.
+fn sweep<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId) {
+    let now = eng.now();
+    let expired = eng
         .state
         .gas(loc)
         .pending
-        .remove(&ctx)
-        .expect("PWC completion for unknown GAS op");
+        .drain_filter(|_, p| p.deadline.is_some_and(|d| d <= now));
+    for (id, p) in expired {
+        let age = now.saturating_sub(p.issued);
+        let attempts = p.attempts;
+        eng.state.gas(loc).stats.deadline_exceeded += 1;
+        fail_op(
+            eng,
+            loc,
+            id,
+            p,
+            OpError::DeadlineExceeded { id, age, attempts },
+            OpOutcome::DeadlineExceeded { age, attempts },
+        );
+    }
+    let g = eng.state.gas(loc);
+    if g.pending.is_empty() {
+        g.sweep_armed = false;
+    } else {
+        let interval = g.cfg.sweep_interval;
+        eng.schedule(interval, move |eng| sweep(eng, loc));
+    }
+}
+
+// ---------------------------------------------------------------- PWC glue
+
+/// Route a [`photon::PhotonWorld::pwc_complete`] callback here. A stale or
+/// unknown handle (the op was reclaimed by the deadline sweep, or the
+/// message is a duplicate) is counted and dropped.
+pub fn on_pwc_complete<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, ctx: OpId) {
+    let p = match eng.state.gas(loc).pending.remove(ctx) {
+        Ok(p) => p,
+        Err(_) => {
+            eng.state.gas(loc).stats.stale_completions += 1;
+            return;
+        }
+    };
     let now = eng.now();
     record_latency(eng, loc, &p, now);
     match p.payload {
-        OpPayload::Put { .. } => S::gas_put_done(eng, loc, p.ctx),
+        OpPayload::Put { .. } => {
+            finish_ok(eng, loc, ctx);
+            S::gas_put_done(eng, loc, p.ctx);
+        }
         OpPayload::Get { len, scratch } => {
-            let (addr, class) = scratch.expect("get completed without scratch");
+            let Some((addr, class)) = scratch else {
+                // Unreachable via the wire (gets allocate scratch before
+                // issue); counted as a violation rather than panicking.
+                let g = eng.state.gas(loc);
+                g.stats.protocol_violations += 1;
+                g.stats.ops_failed += 1;
+                g.outcomes.record(OpOutcome::ProtocolViolation);
+                close_span(eng, loc, ctx, false);
+                S::gas_op_failed(
+                    eng,
+                    loc,
+                    p.ctx,
+                    p.gva,
+                    OpError::ProtocolViolation {
+                        detail: "get completed without a scratch buffer",
+                    },
+                );
+                return;
+            };
             let data = eng
                 .state
                 .cluster()
@@ -396,6 +582,7 @@ pub fn on_pwc_complete<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, ctx: u
                 .expect("scratch vanished")
                 .to_vec();
             eng.state.cluster().mem_mut(loc).free_block(addr, class);
+            finish_ok(eng, loc, ctx);
             S::gas_get_done(eng, loc, p.ctx, data);
         }
     }
@@ -442,15 +629,17 @@ pub fn on_xlate_miss<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, block: u
 pub fn on_pwc_failed<S: GasWorld>(
     eng: &mut Engine<S>,
     loc: LocalityId,
-    ctx: u64,
+    ctx: OpId,
     _kind: OpKind,
     reason: NackReason,
     block: u64,
 ) {
-    debug_assert!(
-        matches!(reason, NackReason::Miss | NackReason::TtlExceeded),
-        "unexpected GAS NACK reason {reason:?}"
-    );
+    let g = eng.state.gas(loc);
+    if !g.pending.contains(ctx) {
+        g.stats.stale_completions += 1;
+        return;
+    }
+    g.outcomes.record(OpOutcome::Nacked { reason });
     bounce(eng, loc, ctx, block);
 }
 
@@ -462,28 +651,47 @@ pub fn handle_msg<S: GasWorld>(eng: &mut Engine<S>, from: LocalityId, at: Locali
     match msg {
         GasMsg::SwPut { .. } | GasMsg::SwGet { .. } => handle_sw_access(eng, at, msg),
         GasMsg::SwPutAck { ctx } => {
-            let p = eng
-                .state
-                .gas(at)
-                .pending
-                .remove(&ctx)
-                .expect("SwPutAck for unknown op");
+            let p = match eng.state.gas(at).pending.remove(ctx) {
+                Ok(p) => p,
+                Err(_) => {
+                    eng.state.gas(at).stats.stale_completions += 1;
+                    return;
+                }
+            };
             let now = eng.now();
             record_latency(eng, at, &p, now);
+            finish_ok(eng, at, ctx);
             S::gas_put_done(eng, at, p.ctx);
         }
         GasMsg::SwGetReply { ctx, data } => {
-            let p = eng
-                .state
-                .gas(at)
-                .pending
-                .remove(&ctx)
-                .expect("SwGetReply for unknown op");
+            let p = match eng.state.gas(at).pending.remove(ctx) {
+                Ok(p) => p,
+                Err(_) => {
+                    eng.state.gas(at).stats.stale_completions += 1;
+                    return;
+                }
+            };
             let now = eng.now();
             record_latency(eng, at, &p, now);
+            if let OpPayload::Get {
+                scratch: Some((addr, class)),
+                ..
+            } = p.payload
+            {
+                // A retry raced: the sw path answered an op that had a
+                // scratch buffer from an earlier RDMA attempt.
+                eng.state.cluster().mem_mut(at).free_block(addr, class);
+            }
+            finish_ok(eng, at, ctx);
             S::gas_get_done(eng, at, p.ctx, data);
         }
-        GasMsg::SwRetry { ctx, block } => bounce(eng, at, ctx, block),
+        GasMsg::SwRetry { ctx, block } => {
+            if !eng.state.gas(at).pending.contains(ctx) {
+                eng.state.gas(at).stats.stale_completions += 1;
+                return;
+            }
+            bounce(eng, at, ctx, block);
+        }
         GasMsg::DirQuery {
             block,
             ctx,
@@ -523,10 +731,19 @@ pub fn handle_msg<S: GasWorld>(eng: &mut Engine<S>, from: LocalityId, at: Locali
         } => {
             let g = eng.state.gas(at);
             g.cache.update(block, OwnerHint { owner, generation });
-            if let Some(p) = g.pending.get(&ctx) {
-                let backoff = g.cfg.retry_backoff * p.attempts as u64;
+            let backoff = match g.pending.get_mut(ctx) {
+                Ok(p) => {
+                    p.phase = OpPhase::Backoff;
+                    // Exponential back-off (capped): doubles per attempt so
+                    // a contended block cannot livelock its initiators.
+                    let shift = p.attempts.saturating_sub(1).min(12);
+                    Some(g.cfg.retry_backoff * (1u64 << shift))
+                }
+                Err(_) => None,
+            };
+            if let Some(backoff) = backoff {
                 eng.schedule(backoff, move |eng| {
-                    if eng.state.gas(at).pending.contains_key(&ctx) {
+                    if eng.state.gas(at).pending.contains(ctx) {
                         issue(eng, at, ctx);
                     }
                 });
@@ -656,10 +873,12 @@ fn run_sw_access<S: GasWorld>(eng: &mut Engine<S>, at: LocalityId, msg: GasMsg) 
             ..
         } => match entry {
             Some(e) => {
-                assert!(
-                    offset + data.len() as u64 <= 1u64 << e.class,
-                    "software put out of block bounds"
-                );
+                if offset + data.len() as u64 > 1u64 << e.class {
+                    // Out-of-bounds software put: reject it as a protocol
+                    // violation rather than corrupting the arena.
+                    eng.state.gas(at).stats.protocol_violations += 1;
+                    return;
+                }
                 eng.state
                     .cluster()
                     .mem_mut(at)
@@ -692,10 +911,10 @@ fn run_sw_access<S: GasWorld>(eng: &mut Engine<S>, at: LocalityId, msg: GasMsg) 
             ..
         } => match entry {
             Some(e) => {
-                assert!(
-                    offset + len as u64 <= 1u64 << e.class,
-                    "software get out of block bounds"
-                );
+                if offset + len as u64 > 1u64 << e.class {
+                    eng.state.gas(at).stats.protocol_violations += 1;
+                    return;
+                }
                 let data = eng
                     .state
                     .cluster()

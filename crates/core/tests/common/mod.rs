@@ -3,8 +3,8 @@
 
 use agas::{GasConfig, GasLocal, GasMode, GasMsg, GasWorld, PgasMap};
 use netsim::{
-    Cluster, Engine, Envelope, LocalityId, NackReason, NetConfig, OpKind, Packet, Protocol,
-    ServerPool, Time,
+    Cluster, Engine, Envelope, LocalityId, NackReason, NetConfig, OpError, OpId, OpKind, Packet,
+    Protocol, ServerPool, Time,
 };
 use photon::{PhotonConfig, PhotonEndpoint, PhotonMsg, PhotonWorld};
 
@@ -21,6 +21,8 @@ pub enum Ev {
     GetDone(u64, Vec<u8>),
     MigDone(u64, u64),
     FreeDone(u64, u64),
+    /// A terminal op failure: `(ctx bits, rendered OpError)`.
+    OpFailed(u64, String),
 }
 
 pub struct World {
@@ -75,14 +77,14 @@ impl PhotonWorld for World {
     fn wrap(msg: PhotonMsg) -> Msg {
         Msg::Photon(msg)
     }
-    fn pwc_complete(eng: &mut Engine<Self>, loc: LocalityId, ctx: u64) {
+    fn pwc_complete(eng: &mut Engine<Self>, loc: LocalityId, ctx: OpId) {
         agas::ops::on_pwc_complete(eng, loc, ctx);
     }
     fn pwc_remote(_eng: &mut Engine<Self>, _loc: LocalityId, _tag: u64, _len: u32) {}
     fn pwc_failed(
         eng: &mut Engine<Self>,
         loc: LocalityId,
-        ctx: u64,
+        ctx: OpId,
         kind: OpKind,
         reason: NackReason,
         block: u64,
@@ -122,21 +124,39 @@ impl GasWorld for World {
     fn wrap_gas(msg: GasMsg) -> Msg {
         Msg::Gas(msg)
     }
-    fn gas_put_done(eng: &mut Engine<Self>, loc: LocalityId, ctx: u64) {
+    fn gas_put_done(eng: &mut Engine<Self>, loc: LocalityId, ctx: OpId) {
         let now = eng.now();
-        eng.state.events.push((now, loc, Ev::PutDone(ctx)));
+        eng.state.events.push((now, loc, Ev::PutDone(ctx.raw())));
     }
-    fn gas_get_done(eng: &mut Engine<Self>, loc: LocalityId, ctx: u64, data: Vec<u8>) {
+    fn gas_get_done(eng: &mut Engine<Self>, loc: LocalityId, ctx: OpId, data: Vec<u8>) {
         let now = eng.now();
-        eng.state.events.push((now, loc, Ev::GetDone(ctx, data)));
+        eng.state
+            .events
+            .push((now, loc, Ev::GetDone(ctx.raw(), data)));
     }
-    fn gas_migrate_done(eng: &mut Engine<Self>, loc: LocalityId, ctx: u64, block: u64) {
+    fn gas_migrate_done(eng: &mut Engine<Self>, loc: LocalityId, ctx: OpId, block: u64) {
         let now = eng.now();
-        eng.state.events.push((now, loc, Ev::MigDone(ctx, block)));
+        eng.state
+            .events
+            .push((now, loc, Ev::MigDone(ctx.raw(), block)));
     }
-    fn gas_free_done(eng: &mut Engine<Self>, loc: LocalityId, ctx: u64, block: u64) {
+    fn gas_free_done(eng: &mut Engine<Self>, loc: LocalityId, ctx: OpId, block: u64) {
         let now = eng.now();
-        eng.state.events.push((now, loc, Ev::FreeDone(ctx, block)));
+        eng.state
+            .events
+            .push((now, loc, Ev::FreeDone(ctx.raw(), block)));
+    }
+    fn gas_op_failed(
+        eng: &mut Engine<Self>,
+        loc: LocalityId,
+        ctx: OpId,
+        _gva: agas::Gva,
+        err: OpError,
+    ) {
+        let now = eng.now();
+        eng.state
+            .events
+            .push((now, loc, Ev::OpFailed(ctx.raw(), err.to_string())));
     }
 }
 

@@ -6,6 +6,7 @@ use agas::migrate::{free_block, migrate_block};
 use agas::ops::{memput, pin, unpin};
 use agas::{alloc_array, Distribution, GasMode};
 use common::{engine, Ev};
+use netsim::OpId;
 
 fn free_done(eng: &netsim::Engine<common::World>, ctx: u64) -> bool {
     eng.state
@@ -20,10 +21,10 @@ fn free_releases_storage_and_records() {
         let mut eng = engine(3, mode);
         let arr = alloc_array(&mut eng, 3, 12, Distribution::Cyclic);
         let gva = arr.block(1);
-        memput(&mut eng, 0, gva, vec![1; 64], 1);
+        memput(&mut eng, 0, gva, vec![1; 64], OpId::from_raw(1));
         eng.run();
         let live_before = eng.state.cluster.mem(1).live_blocks();
-        free_block(&mut eng, 0, gva, 2);
+        free_block(&mut eng, 0, gva, OpId::from_raw(2));
         eng.run();
         assert!(free_done(&eng, 2), "{mode:?}");
         assert_eq!(eng.state.cluster.mem(1).live_blocks(), live_before - 1);
@@ -53,11 +54,11 @@ fn free_chases_migrated_block() {
     let mut eng = engine(4, GasMode::AgasNetwork);
     let arr = alloc_array(&mut eng, 4, 12, Distribution::Cyclic);
     let gva = arr.block(1);
-    migrate_block(&mut eng, 0, gva, 3, 1);
+    migrate_block(&mut eng, 0, gva, 3, OpId::from_raw(1));
     eng.run();
     // The requester's cache still says locality 1; the free routes through
     // the home to the true owner (3).
-    free_block(&mut eng, 0, gva, 2);
+    free_block(&mut eng, 0, gva, OpId::from_raw(2));
     eng.run();
     assert!(free_done(&eng, 2));
     assert!(!eng.state.gas[3].btt.is_resident(gva.block_key()));
@@ -70,7 +71,7 @@ fn free_waits_for_pins() {
     let arr = alloc_array(&mut eng, 3, 12, Distribution::Cyclic);
     let gva = arr.block(1);
     assert!(pin(&mut eng.state, 1, gva).is_some());
-    free_block(&mut eng, 0, gva, 9);
+    free_block(&mut eng, 0, gva, OpId::from_raw(9));
     eng.run();
     assert!(!free_done(&eng, 9), "free must wait for the pin");
     assert!(eng.state.gas[1].btt.is_resident(gva.block_key()));
@@ -85,9 +86,9 @@ fn free_racing_migration_converges() {
     let mut eng = engine(4, GasMode::AgasSoftware);
     let arr = alloc_array(&mut eng, 2, 16, Distribution::Cyclic);
     let gva = arr.block(1);
-    migrate_block(&mut eng, 0, gva, 2, 1);
+    migrate_block(&mut eng, 0, gva, 2, OpId::from_raw(1));
     // Issue the free while the hand-off is still in flight.
-    free_block(&mut eng, 3, gva, 2);
+    free_block(&mut eng, 3, gva, OpId::from_raw(2));
     eng.run();
     assert!(free_done(&eng, 2));
     for l in 0..4 {
@@ -99,12 +100,12 @@ fn free_racing_migration_converges() {
 fn arena_storage_is_reusable_after_free() {
     let mut eng = engine(2, GasMode::AgasNetwork);
     let arr = alloc_array(&mut eng, 2, 12, Distribution::Cyclic);
-    free_block(&mut eng, 0, arr.block(1), 1);
+    free_block(&mut eng, 0, arr.block(1), OpId::from_raw(1));
     eng.run();
     assert!(free_done(&eng, 1));
     // A fresh allocation at the same locality reuses the slot.
     let arr2 = alloc_array(&mut eng, 2, 12, Distribution::Cyclic);
-    memput(&mut eng, 0, arr2.block(1), vec![7; 16], 2);
+    memput(&mut eng, 0, arr2.block(1), vec![7; 16], OpId::from_raw(2));
     eng.run();
     assert!(eng
         .state

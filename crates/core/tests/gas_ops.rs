@@ -5,6 +5,7 @@ mod common;
 use agas::ops::{memget, memput};
 use agas::{alloc_array, free_array, Distribution, GasMode};
 use common::{assert_consistent, engine, Ev};
+use netsim::OpId;
 use netsim::Time;
 
 fn find_put_done(eng: &netsim::Engine<common::World>, ctx: u64) -> Option<Time> {
@@ -29,10 +30,10 @@ fn remote_put_get_round_trip_all_modes() {
         let arr = alloc_array(&mut eng, 8, 12, Distribution::Cyclic);
         // Block 1 is homed at locality 1; write from locality 0.
         let gva = arr.block(1).with_offset(100);
-        memput(&mut eng, 0, gva, vec![0xCD; 256], 1);
+        memput(&mut eng, 0, gva, vec![0xCD; 256], OpId::from_raw(1));
         eng.run();
         assert!(find_put_done(&eng, 1).is_some(), "{mode:?}: put incomplete");
-        memget(&mut eng, 0, gva, 256, 2);
+        memget(&mut eng, 0, gva, 256, OpId::from_raw(2));
         eng.run();
         assert_eq!(
             find_get_data(&eng, 2).unwrap(),
@@ -50,9 +51,9 @@ fn local_fast_path_all_modes() {
         let arr = alloc_array(&mut eng, 8, 12, Distribution::Cyclic);
         // Block 0 is homed at locality 0; operate from locality 0.
         let gva = arr.block(0).with_offset(8);
-        memput(&mut eng, 0, gva, vec![7; 16], 1);
+        memput(&mut eng, 0, gva, vec![7; 16], OpId::from_raw(1));
         eng.run();
-        memget(&mut eng, 0, gva, 16, 2);
+        memget(&mut eng, 0, gva, 16, OpId::from_raw(2));
         eng.run();
         assert_eq!(find_get_data(&eng, 2).unwrap(), vec![7; 16], "{mode:?}");
         let g = &eng.state.gas[0];
@@ -74,7 +75,7 @@ fn protocol_structure_differs_by_mode() {
     let run = |mode| {
         let mut eng = engine(2, mode);
         let arr = alloc_array(&mut eng, 2, 12, Distribution::Cyclic);
-        memput(&mut eng, 0, arr.block(1), vec![1; 64], 1);
+        memput(&mut eng, 0, arr.block(1), vec![1; 64], OpId::from_raw(1));
         eng.run();
         eng.state.cluster.total_counters()
     };
@@ -102,7 +103,7 @@ fn remote_put_latency_ordering() {
         let mut eng = engine(2, mode);
         let arr = alloc_array(&mut eng, 2, 12, Distribution::Cyclic);
         let t0 = eng.now();
-        memput(&mut eng, 0, arr.block(1), vec![1; 8], 1);
+        memput(&mut eng, 0, arr.block(1), vec![1; 8], OpId::from_raw(1));
         eng.run();
         find_put_done(&eng, 1).unwrap() - t0
     };
@@ -129,11 +130,11 @@ fn stale_cache_recovers_via_directory() {
                 generation: 1,
             },
         );
-        memput(&mut eng, 0, gva, vec![9; 32], 7);
+        memput(&mut eng, 0, gva, vec![9; 32], OpId::from_raw(7));
         eng.run();
         assert!(find_put_done(&eng, 7).is_some(), "{mode:?}");
         assert!(eng.state.gas[0].stats.retries >= 1, "{mode:?}: no bounce?");
-        memget(&mut eng, 0, gva, 32, 8);
+        memget(&mut eng, 0, gva, 32, OpId::from_raw(8));
         eng.run();
         assert_eq!(find_get_data(&eng, 8).unwrap(), vec![9; 32], "{mode:?}");
     }
@@ -181,7 +182,13 @@ fn many_concurrent_puts_all_complete() {
         for i in 0..n_ops {
             let block = arr.block(i % 16);
             let gva = block.with_offset((i / 16) * 16);
-            memput(&mut eng, (i % 4) as u32, gva, vec![i as u8; 16], i);
+            memput(
+                &mut eng,
+                (i % 4) as u32,
+                gva,
+                vec![i as u8; 16],
+                OpId::from_raw(i),
+            );
         }
         eng.run();
         let done = eng
@@ -209,11 +216,23 @@ fn blocked_distribution_keeps_neighbors_local() {
 fn gets_return_independent_data() {
     let mut eng = engine(2, GasMode::AgasNetwork);
     let arr = alloc_array(&mut eng, 2, 12, Distribution::Cyclic);
-    memput(&mut eng, 0, arr.block(1), vec![1; 8], 1);
-    memput(&mut eng, 0, arr.block(1).with_offset(8), vec![2; 8], 2);
+    memput(&mut eng, 0, arr.block(1), vec![1; 8], OpId::from_raw(1));
+    memput(
+        &mut eng,
+        0,
+        arr.block(1).with_offset(8),
+        vec![2; 8],
+        OpId::from_raw(2),
+    );
     eng.run();
-    memget(&mut eng, 0, arr.block(1), 8, 3);
-    memget(&mut eng, 0, arr.block(1).with_offset(8), 8, 4);
+    memget(&mut eng, 0, arr.block(1), 8, OpId::from_raw(3));
+    memget(
+        &mut eng,
+        0,
+        arr.block(1).with_offset(8),
+        8,
+        OpId::from_raw(4),
+    );
     eng.run();
     assert_eq!(find_get_data(&eng, 3).unwrap(), vec![1; 8]);
     assert_eq!(find_get_data(&eng, 4).unwrap(), vec![2; 8]);
@@ -236,11 +255,17 @@ fn nic_table_capacity_pressure_still_correct() {
     );
     let arr = alloc_array(&mut eng, 8, 12, Distribution::Single(1));
     for i in 0..8 {
-        memput(&mut eng, 0, arr.block(i), vec![i as u8 + 1; 16], i);
+        memput(
+            &mut eng,
+            0,
+            arr.block(i),
+            vec![i as u8 + 1; 16],
+            OpId::from_raw(i),
+        );
     }
     eng.run();
     for i in 0..8 {
-        memget(&mut eng, 0, arr.block(i), 16, 100 + i);
+        memget(&mut eng, 0, arr.block(i), 16, OpId::from_raw(100 + i));
         eng.run();
         assert_eq!(find_get_data(&eng, 100 + i).unwrap(), vec![i as u8 + 1; 16]);
     }

@@ -8,6 +8,7 @@ use agas::migrate::migrate_block;
 use agas::ops::{memget, memput};
 use agas::{alloc_array, Distribution, GasMode};
 use common::{assert_consistent, Ev, World};
+use netsim::OpId;
 use netsim::{Engine, NetConfig};
 use proptest::prelude::*;
 
@@ -30,7 +31,7 @@ fn ops_complete_under_heavy_jitter() {
                 ((i + 1) % 4) as u32,
                 gva,
                 vec![(i + 1) as u8; 32],
-                i,
+                OpId::from_raw(i),
             );
         }
         eng.run();
@@ -45,7 +46,13 @@ fn ops_complete_under_heavy_jitter() {
         // Read everything back.
         for i in 0..100u64 {
             let gva = arr.block(i % 8).with_offset((i / 8) * 32);
-            memget(&mut eng, ((i + 2) % 4) as u32, gva, 32, 1000 + i);
+            memget(
+                &mut eng,
+                ((i + 2) % 4) as u32,
+                gva,
+                32,
+                OpId::from_raw(1000 + i),
+            );
         }
         eng.run();
         for i in 0..100u64 {
@@ -70,14 +77,14 @@ fn migrations_survive_jitter() {
                     (b % 4) as u32,
                     arr.block(b).with_offset(round * 16),
                     vec![(round * 4 + b + 1) as u8; 16],
-                    round * 4 + b,
+                    OpId::from_raw(round * 4 + b),
                 );
                 migrate_block(
                     &mut eng,
                     0,
                     arr.block(b),
                     ((round + b) % 4) as u32,
-                    9000 + round * 4 + b,
+                    OpId::from_raw(9000 + round * 4 + b),
                 );
             }
             eng.run_steps(40);
@@ -99,7 +106,7 @@ fn migrations_survive_jitter() {
                     1,
                     arr.block(b).with_offset(round * 16),
                     16,
-                    5000 + round * 4 + b,
+                    OpId::from_raw(5000 + round * 4 + b),
                 );
             }
         }
@@ -135,10 +142,10 @@ proptest! {
             for (i, &(from, block, kind)) in ops.iter().enumerate() {
                 match kind {
                     0 | 1 => {
-                        memput(&mut eng, from, arr.block(block), vec![i as u8 + 1; 16], i as u64);
+                        memput(&mut eng, from, arr.block(block), vec![i as u8 + 1; 16], OpId::from_raw(i as u64));
                         puts += 1;
                     }
-                    _ => migrate_block(&mut eng, from, arr.block(block), (block % 4) as u32, 7000 + i as u64),
+                    _ => migrate_block(&mut eng, from, arr.block(block), (block % 4) as u32, OpId::from_raw(7000 + i as u64)),
                 }
                 eng.run_steps(5);
             }
@@ -162,7 +169,7 @@ proptest! {
             let mut eng = Engine::new(World::new(3, GasMode::AgasNetwork, jittery()), seed);
             let arr = alloc_array(&mut eng, 4, 12, Distribution::Cyclic);
             for i in 0..30u64 {
-                memput(&mut eng, (i % 3) as u32, arr.block(i % 4), vec![1; 8], i);
+                memput(&mut eng, (i % 3) as u32, arr.block(i % 4), vec![1; 8], OpId::from_raw(i));
             }
             eng.run();
             (eng.trace_hash(), eng.now())
@@ -185,7 +192,7 @@ fn nic_table_flush_mid_run_recovers() {
             ((i + 1) % 4) as u32,
             arr.block(i % 8).with_offset((i / 8) * 64),
             vec![(i + 1) as u8; 64],
-            i,
+            OpId::from_raw(i),
         );
         if i == 30 {
             // Reset every NIC's table while half the traffic is in flight.
@@ -212,7 +219,7 @@ fn nic_table_flush_mid_run_recovers() {
             1,
             arr.block(i % 8).with_offset((i / 8) * 64),
             64,
-            1000 + i,
+            OpId::from_raw(1000 + i),
         );
     }
     eng.run();

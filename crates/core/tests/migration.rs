@@ -7,6 +7,7 @@ use agas::migrate::migrate_block;
 use agas::ops::{memget, memput, pin, unpin};
 use agas::{alloc_array, Distribution, GasMode};
 use common::{assert_consistent, engine, Ev, World};
+use netsim::OpId;
 use netsim::{Engine, NetConfig};
 
 fn mig_done(eng: &Engine<World>, ctx: u64) -> bool {
@@ -29,9 +30,9 @@ fn migration_preserves_data_and_consistency() {
         let mut eng = engine(4, mode);
         let arr = alloc_array(&mut eng, 4, 12, Distribution::Cyclic);
         let gva = arr.block(1); // homed/owned at 1
-        memput(&mut eng, 0, gva, vec![0xAB; 4096], 1);
+        memput(&mut eng, 0, gva, vec![0xAB; 4096], OpId::from_raw(1));
         eng.run();
-        migrate_block(&mut eng, 0, gva, 3, 2);
+        migrate_block(&mut eng, 0, gva, 3, OpId::from_raw(2));
         eng.run();
         assert!(mig_done(&eng, 2), "{mode:?}");
         // New owner is 3; directory agrees; data intact.
@@ -44,7 +45,7 @@ fn migration_preserves_data_and_consistency() {
             "{mode:?}"
         );
         assert_consistent(&eng, &arr.blocks);
-        memget(&mut eng, 2, gva, 4096, 3);
+        memget(&mut eng, 2, gva, 4096, OpId::from_raw(3));
         eng.run();
         assert_eq!(get_data(&eng, 3).unwrap(), vec![0xAB; 4096], "{mode:?}");
     }
@@ -55,11 +56,11 @@ fn migration_bumps_generation() {
     let mut eng = engine(3, GasMode::AgasNetwork);
     let arr = alloc_array(&mut eng, 3, 10, Distribution::Cyclic);
     let gva = arr.block(0);
-    migrate_block(&mut eng, 0, gva, 1, 1);
+    migrate_block(&mut eng, 0, gva, 1, OpId::from_raw(1));
     eng.run();
-    migrate_block(&mut eng, 0, gva, 2, 2);
+    migrate_block(&mut eng, 0, gva, 2, OpId::from_raw(2));
     eng.run();
-    migrate_block(&mut eng, 0, gva, 0, 3);
+    migrate_block(&mut eng, 0, gva, 0, OpId::from_raw(3));
     eng.run();
     assert!(mig_done(&eng, 1) && mig_done(&eng, 2) && mig_done(&eng, 3));
     let e = eng.state.gas[0].btt.lookup(gva.block_key()).unwrap();
@@ -71,7 +72,7 @@ fn migration_bumps_generation() {
 fn migrate_to_current_owner_is_trivial() {
     let mut eng = engine(3, GasMode::AgasNetwork);
     let arr = alloc_array(&mut eng, 3, 10, Distribution::Cyclic);
-    migrate_block(&mut eng, 0, arr.block(1), 1, 9);
+    migrate_block(&mut eng, 0, arr.block(1), 1, OpId::from_raw(9));
     eng.run();
     assert!(mig_done(&eng, 9));
     assert!(eng.state.gas[1].btt.is_resident(arr.block(1).block_key()));
@@ -91,17 +92,17 @@ fn puts_racing_migration_are_applied_exactly_once() {
                 0,
                 gva.with_offset(i * 64),
                 vec![(i + 1) as u8; 64],
-                i,
+                OpId::from_raw(i),
             );
         }
-        migrate_block(&mut eng, 2, gva, 3, 1000);
+        migrate_block(&mut eng, 2, gva, 3, OpId::from_raw(1000));
         for i in 32..64u64 {
             memput(
                 &mut eng,
                 0,
                 gva.with_offset(i * 64),
                 vec![(i + 1) as u8; 64],
-                i,
+                OpId::from_raw(i),
             );
         }
         eng.run();
@@ -115,7 +116,13 @@ fn puts_racing_migration_are_applied_exactly_once() {
         assert_eq!(puts_done, 64, "{mode:?}: lost put completions");
         // Every offset readable with its value at the new owner.
         for i in 0..64u64 {
-            memget(&mut eng, 1, gva.with_offset(i * 64), 64, 2000 + i);
+            memget(
+                &mut eng,
+                1,
+                gva.with_offset(i * 64),
+                64,
+                OpId::from_raw(2000 + i),
+            );
             eng.run();
             assert_eq!(
                 get_data(&eng, 2000 + i).unwrap(),
@@ -134,7 +141,7 @@ fn nic_forwarding_rescues_in_flight_puts() {
     let mut eng = engine(4, GasMode::AgasNetwork);
     let arr = alloc_array(&mut eng, 2, 20, Distribution::Cyclic); // 1 MiB block: long handoff
     let gva = arr.block(1);
-    migrate_block(&mut eng, 1, gva, 2, 1);
+    migrate_block(&mut eng, 1, gva, 2, OpId::from_raw(1));
     // While MigData is in flight, hit the old owner.
     for i in 0..8u64 {
         memput(
@@ -142,7 +149,7 @@ fn nic_forwarding_rescues_in_flight_puts() {
             0,
             gva.with_offset(i * 8),
             vec![i as u8 + 1; 8],
-            10 + i,
+            OpId::from_raw(10 + i),
         );
     }
     eng.run();
@@ -153,7 +160,13 @@ fn nic_forwarding_rescues_in_flight_puts() {
         "migration window never exercised"
     );
     for i in 0..8u64 {
-        memget(&mut eng, 3, gva.with_offset(i * 8), 8, 100 + i);
+        memget(
+            &mut eng,
+            3,
+            gva.with_offset(i * 8),
+            8,
+            OpId::from_raw(100 + i),
+        );
         eng.run();
         assert_eq!(get_data(&eng, 100 + i).unwrap(), vec![i as u8 + 1; 8]);
     }
@@ -169,14 +182,14 @@ fn forwarding_disabled_still_converges_via_home() {
     let mut eng = Engine::new(World::new(4, GasMode::AgasNetwork, net), 42);
     let arr = alloc_array(&mut eng, 2, 20, Distribution::Cyclic);
     let gva = arr.block(1);
-    migrate_block(&mut eng, 1, gva, 2, 1);
+    migrate_block(&mut eng, 1, gva, 2, OpId::from_raw(1));
     for i in 0..8u64 {
         memput(
             &mut eng,
             0,
             gva.with_offset(i * 8),
             vec![i as u8 + 1; 8],
-            10 + i,
+            OpId::from_raw(10 + i),
         );
     }
     eng.run();
@@ -184,7 +197,13 @@ fn forwarding_disabled_still_converges_via_home() {
     let total = eng.state.cluster.total_counters();
     assert_eq!(total.xlate_forwards, 0);
     for i in 0..8u64 {
-        memget(&mut eng, 3, gva.with_offset(i * 8), 8, 100 + i);
+        memget(
+            &mut eng,
+            3,
+            gva.with_offset(i * 8),
+            8,
+            OpId::from_raw(100 + i),
+        );
         eng.run();
         assert_eq!(get_data(&eng, 100 + i).unwrap(), vec![i as u8 + 1; 8]);
     }
@@ -197,7 +216,7 @@ fn pinned_block_defers_migration_until_unpin() {
     let gva = arr.block(1);
     // Pin at the owner (as an executing handler would).
     assert!(pin(&mut eng.state, 1, gva).is_some());
-    migrate_block(&mut eng, 0, gva, 2, 7);
+    migrate_block(&mut eng, 0, gva, 2, OpId::from_raw(7));
     eng.run();
     assert!(!mig_done(&eng, 7), "migration must wait for the pin");
     assert!(eng.state.gas[1].btt.is_resident(gva.block_key()));
@@ -214,13 +233,13 @@ fn stale_readers_after_migration_recover() {
         let mut eng = engine(4, mode);
         let arr = alloc_array(&mut eng, 4, 12, Distribution::Cyclic);
         let gva = arr.block(2);
-        memput(&mut eng, 0, gva, vec![0x5A; 128], 1);
+        memput(&mut eng, 0, gva, vec![0x5A; 128], OpId::from_raw(1));
         eng.run();
         // Locality 0 now caches owner=2. Migrate to 3 behind its back.
-        migrate_block(&mut eng, 1, gva, 3, 2);
+        migrate_block(&mut eng, 1, gva, 3, OpId::from_raw(2));
         eng.run();
         // The stale cache entry forces a bounce + directory re-resolve.
-        memget(&mut eng, 0, gva, 128, 3);
+        memget(&mut eng, 0, gva, 128, OpId::from_raw(3));
         eng.run();
         assert_eq!(get_data(&eng, 3).unwrap(), vec![0x5A; 128], "{mode:?}");
         assert_consistent(&eng, &arr.blocks);
@@ -232,7 +251,13 @@ fn migration_counters_track_moves() {
     let mut eng = engine(3, GasMode::AgasSoftware);
     let arr = alloc_array(&mut eng, 6, 10, Distribution::Cyclic);
     for (i, gva) in arr.blocks.iter().enumerate() {
-        migrate_block(&mut eng, 0, *gva, (gva.home() + 1) % 3, i as u64);
+        migrate_block(
+            &mut eng,
+            0,
+            *gva,
+            (gva.home() + 1) % 3,
+            OpId::from_raw(i as u64),
+        );
     }
     eng.run();
     let total = eng.state.cluster.total_counters();
@@ -246,9 +271,9 @@ fn concurrent_migrations_of_same_block_serialize() {
     let mut eng = engine(4, GasMode::AgasNetwork);
     let arr = alloc_array(&mut eng, 2, 12, Distribution::Cyclic);
     let gva = arr.block(1);
-    migrate_block(&mut eng, 0, gva, 2, 1);
-    migrate_block(&mut eng, 0, gva, 3, 2);
-    migrate_block(&mut eng, 2, gva, 0, 3);
+    migrate_block(&mut eng, 0, gva, 2, OpId::from_raw(1));
+    migrate_block(&mut eng, 0, gva, 3, OpId::from_raw(2));
+    migrate_block(&mut eng, 2, gva, 0, OpId::from_raw(3));
     eng.run();
     assert!(mig_done(&eng, 1) && mig_done(&eng, 2) && mig_done(&eng, 3));
     assert_consistent(&eng, &arr.blocks);

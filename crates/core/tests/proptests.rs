@@ -8,6 +8,7 @@ use agas::migrate::migrate_block;
 use agas::ops::{memget, memput};
 use agas::{alloc_array, Distribution, GasMode};
 use common::{assert_consistent, Ev, World};
+use netsim::OpId;
 use netsim::{Engine, NetConfig};
 use proptest::prelude::*;
 
@@ -56,11 +57,11 @@ fn run_schedule(mode: GasMode, ops: &[Op], seed: u64) -> (Engine<World>, Vec<aga
                 val,
             } => {
                 let gva = arr.block(block).with_offset(slot * 256);
-                memput(&mut eng, from, gva, vec![val; 256], ctx);
+                memput(&mut eng, from, gva, vec![val; 256], OpId::from_raw(ctx));
             }
             Op::Migrate { from, block, to } => {
                 if mode.supports_migration() {
-                    migrate_block(&mut eng, from, arr.block(block), to, ctx);
+                    migrate_block(&mut eng, from, arr.block(block), to, OpId::from_raw(ctx));
                 }
             }
         }
@@ -135,11 +136,11 @@ proptest! {
             let mut ctx = 0;
             let mut mig_iter = migs.iter();
             for (i, &(block, slot, val)) in writes.iter().enumerate() {
-                memput(&mut eng, (i % 4) as u32, arr.block(block).with_offset(slot * 256), vec![val; 256], ctx);
+                memput(&mut eng, (i % 4) as u32, arr.block(block).with_offset(slot * 256), vec![val; 256], OpId::from_raw(ctx));
                 ctx += 1;
                 if mode.supports_migration() && i % 3 == 1 {
                     if let Some(&(mblock, mto)) = mig_iter.next() {
-                        migrate_block(&mut eng, 0, arr.block(mblock), mto, ctx);
+                        migrate_block(&mut eng, 0, arr.block(mblock), mto, OpId::from_raw(ctx));
                         ctx += 1;
                     }
                 }
@@ -148,7 +149,7 @@ proptest! {
             eng.run();
             // Read everything back.
             for (i, &(block, slot, _)) in writes.iter().enumerate() {
-                memget(&mut eng, ((i + 1) % 4) as u32, arr.block(block).with_offset(slot * 256), 256, 10_000 + i as u64);
+                memget(&mut eng, ((i + 1) % 4) as u32, arr.block(block).with_offset(slot * 256), 256, OpId::from_raw(10_000 + i as u64));
             }
             eng.run();
             for (i, &(_, _, val)) in writes.iter().enumerate() {

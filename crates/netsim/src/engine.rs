@@ -17,10 +17,10 @@
 //! schedule→execute path is allocation-free for typical events:
 //!
 //! * closures whose captures fit three machine words are stored *inline* in
-//!   the queue entry ([`EventSlot`]); only oversized captures fall back to a
+//!   the queue entry (`EventSlot`); only oversized captures fall back to a
 //!   heap box, transparently;
 //! * the pending set lives in a two-level calendar queue
-//!   ([`TimeWheel`](crate::timewheel::TimeWheel)) — O(1) insertion into
+//!   ([`TimeWheel`]) — O(1) insertion into
 //!   near-future buckets instead of an O(log n) global heap — with pop order
 //!   bit-for-bit identical to the old `BinaryHeap` (proved by the
 //!   shadow-model proptest in `tests/timewheel_shadow.rs`);

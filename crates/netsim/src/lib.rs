@@ -27,6 +27,7 @@ pub mod lru;
 pub mod memory;
 pub mod net;
 pub mod nic;
+pub mod optable;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -39,10 +40,11 @@ pub use config::NetConfig;
 pub use engine::Engine;
 pub use memory::{MemError, Memory, PhysAddr};
 pub use net::{
-    rdma_get, rdma_put, send_user, Cluster, Envelope, GetReq, Locality, NackReason, OpId, OpKind,
-    Packet, Protocol, PutReq, RdmaTarget,
+    rdma_get, rdma_put, send_user, Cluster, Envelope, GetReq, Locality, NackReason, OpKind, Packet,
+    Protocol, PutReq, RdmaTarget,
 };
 pub use nic::{LocalityId, Nic, Xlate, XlateEntry, XlateTable};
+pub use optable::{OpError, OpId, OpOutcome, OpTable, OutcomeCounters};
 pub use queue::ServerPool;
 pub use stats::{Counters, LogHistogram, TimeWeighted};
 pub use time::Time;

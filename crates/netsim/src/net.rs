@@ -23,15 +23,10 @@ use crate::config::NetConfig;
 use crate::engine::Engine;
 use crate::memory::{Memory, PhysAddr};
 use crate::nic::{LocalityId, Nic, Xlate, XlateEntry};
+use crate::optable::OpId;
 use crate::stats::Counters;
 use crate::time::Time;
 use crate::trace::{TraceKind, Tracer};
-
-/// A token correlating an RDMA operation with its completion or NACK.
-/// Allocated by [`Cluster::alloc_op`]; the initiating layer keeps a table
-/// from `OpId` to its continuation state.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct OpId(pub u64);
 
 /// Which RDMA verb an `OpId` belongs to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -219,9 +214,12 @@ impl Cluster {
         &mut self.locs[id as usize].mem
     }
 
-    /// Allocate a fresh operation token.
+    /// Allocate a fresh *untracked* operation token (generation 0, indices
+    /// counting up). Substrate-level tests and layers without their own
+    /// [`OpTable`](crate::optable::OpTable) use this; the protocol stack
+    /// above mints tracked handles from its per-endpoint tables instead.
     pub fn alloc_op(&mut self) -> OpId {
-        let op = OpId(self.next_op);
+        let op = OpId::from_parts(self.next_op as u32, 0);
         self.next_op += 1;
         op
     }
@@ -844,11 +842,11 @@ mod tests {
         fn deliver(eng: &mut Engine<Self>, env: Envelope<String>) {
             let desc = match env.packet {
                 Packet::User(s) => format!("user:{s}"),
-                Packet::PutDone { op } => format!("putdone:{}", op.0),
-                Packet::GetDone { op } => format!("getdone:{}", op.0),
+                Packet::PutDone { op } => format!("putdone:{op}"),
+                Packet::GetDone { op } => format!("getdone:{op}"),
                 Packet::RemoteNote { tag, len } => format!("note:{tag}:{len}"),
                 Packet::XlateMiss { block } => format!("xmiss:{block}"),
-                Packet::Nack { op, reason, .. } => format!("nack:{}:{reason:?}", op.0),
+                Packet::Nack { op, reason, .. } => format!("nack:{op}:{reason:?}"),
             };
             let now = eng.now();
             eng.state.log.push((now, env.dst, desc));
@@ -987,7 +985,7 @@ mod tests {
         let kinds: Vec<&str> = eng.state.log.iter().map(|(_, _, d)| d.as_str()).collect();
         assert!(kinds.contains(&"xmiss:57005"), "{kinds:?}"); // 0xDEAD
         assert!(
-            kinds.contains(&format!("nack:{}:Miss", op.0).as_str()),
+            kinds.contains(&format!("nack:{op}:Miss").as_str()),
             "{kinds:?}"
         );
         assert_eq!(eng.state.cluster.loc(1).counters.xlate_misses, 1);
@@ -1025,7 +1023,7 @@ mod tests {
             },
         );
         eng.run();
-        assert_eq!(eng.state.log[0].2, format!("nack:{}:Bounds", op.0));
+        assert_eq!(eng.state.log[0].2, format!("nack:{op}:Bounds"));
     }
 
     #[test]
@@ -1115,7 +1113,7 @@ mod tests {
             },
         );
         eng.run();
-        assert_eq!(eng.state.log[0].2, format!("nack:{}:Miss", op.0));
+        assert_eq!(eng.state.log[0].2, format!("nack:{op}:Miss"));
         assert_eq!(eng.state.cluster.loc(1).counters.xlate_forwards, 0);
     }
 
@@ -1152,7 +1150,7 @@ mod tests {
             },
         );
         eng.run();
-        assert_eq!(eng.state.log[0].2, format!("nack:{}:TtlExceeded", op.0));
+        assert_eq!(eng.state.log[0].2, format!("nack:{op}:TtlExceeded"));
         let total = eng.state.cluster.total_counters();
         assert_eq!(total.xlate_forwards, 2);
     }
@@ -1227,7 +1225,7 @@ mod tests {
         eng.run();
         let kinds: Vec<&str> = eng.state.log.iter().map(|(_, _, d)| d.as_str()).collect();
         assert!(
-            kinds.contains(&format!("nack:{}:Miss", op.0).as_str()),
+            kinds.contains(&format!("nack:{op}:Miss").as_str()),
             "{kinds:?}"
         );
     }

@@ -7,7 +7,7 @@
 //! queue exploits that:
 //!
 //! * **level 0 — the wheel**: virtual time is quantized into `2^GRAIN_LOG2`
-//!   picosecond buckets; the next [`SLOTS`] quanta each own an unsorted
+//!   picosecond buckets; the next `SLOTS` quanta each own an unsorted
 //!   `Vec`. A push inside that horizon is an O(1) `Vec::push`; an occupancy
 //!   bitmap finds the next nonempty bucket in a few word scans.
 //! * **level 1 — the current quantum**: when the wheel advances to a

@@ -9,6 +9,7 @@
 //! Tracing is off by default and costs one branch per potential event.
 
 use crate::nic::LocalityId;
+use crate::optable::OpId;
 use crate::time::Time;
 use std::fmt;
 
@@ -84,6 +85,23 @@ pub enum TraceKind {
         /// The initiator.
         at: LocalityId,
     },
+    /// A tracked GAS operation was issued: its trace span opens.
+    OpSpanOpen {
+        /// The initiating locality.
+        at: LocalityId,
+        /// The op-table handle.
+        op: OpId,
+    },
+    /// A tracked GAS operation reached its outcome: its trace span closes.
+    OpSpanClose {
+        /// The initiating locality.
+        at: LocalityId,
+        /// The op-table handle.
+        op: OpId,
+        /// Completed normally (`true`) or failed — deadline exceeded,
+        /// retries exhausted (`false`).
+        ok: bool,
+    },
 }
 
 /// A timestamped trace record.
@@ -120,6 +138,14 @@ impl fmt::Display for TraceEvent {
             }
             TraceKind::Nack { from, to } => write!(f, "nack  {from} → {to}"),
             TraceKind::Completion { at } => write!(f, "done  @{at}"),
+            TraceKind::OpSpanOpen { at, op } => write!(f, "span+ @{at}  op {op}"),
+            TraceKind::OpSpanClose { at, op, ok } => {
+                write!(
+                    f,
+                    "span- @{at}  op {op}  {}",
+                    if ok { "ok" } else { "FAIL" }
+                )
+            }
         }
     }
 }
@@ -252,6 +278,15 @@ mod tests {
             },
             TraceKind::Nack { from: 1, to: 0 },
             TraceKind::Completion { at: 0 },
+            TraceKind::OpSpanOpen {
+                at: 0,
+                op: OpId::from_parts(3, 1),
+            },
+            TraceKind::OpSpanClose {
+                at: 0,
+                op: OpId::from_parts(3, 1),
+                ok: false,
+            },
         ];
         for k in kinds {
             let e = TraceEvent {

@@ -160,11 +160,11 @@ impl Protocol for World {
     fn deliver(eng: &mut Engine<Self>, env: Envelope<u64>) {
         let tag = match env.packet {
             Packet::User(v) => v,
-            Packet::PutDone { op } => 1_000_000 + op.0,
-            Packet::GetDone { op } => 2_000_000 + op.0,
+            Packet::PutDone { op } => 1_000_000 + op.raw(),
+            Packet::GetDone { op } => 2_000_000 + op.raw(),
             Packet::RemoteNote { tag, .. } => 3_000_000 + tag,
             Packet::XlateMiss { block } => 5_000_000 + block,
-            Packet::Nack { op, .. } => 4_000_000 + op.0,
+            Packet::Nack { op, .. } => 4_000_000 + op.raw(),
         };
         let now = eng.now();
         eng.state.delivered.push((now, env.dst, tag));
@@ -203,11 +203,11 @@ proptest! {
         let mut ops = Vec::new();
         for (slot, len) in &writes {
             let op = eng.state.cluster.alloc_op();
-            ops.push(op.0);
+            ops.push(op.raw());
             rdma_put(&mut eng, 0, PutReq {
                 target: 2,
                 dst: RdmaTarget::Virt { block: 9, offset: slot * 1024 },
-                data: vec![(op.0 & 0xFF) as u8; *len],
+                data: vec![(op.raw() & 0xFF) as u8; *len],
                 op,
                 remote_tag: None,
                 ttl: 2,
@@ -296,5 +296,62 @@ proptest! {
         let base = Time::from_ns(258);
         prop_assert!(t >= base, "{t} < {base}");
         prop_assert!(t <= base + Time::from_ns(jitter), "{t} exceeds jitter bound");
+    }
+}
+
+// ---------------------------------------------------------------- optable
+
+proptest! {
+    /// Slab churn never resurrects a stale handle: once an `OpId` is
+    /// removed, every later lookup with it fails even after its slot is
+    /// reused arbitrarily many times, and live handles always return
+    /// exactly their value.
+    #[test]
+    fn optable_churn_never_resurrects_stale_ids(
+        ops in proptest::collection::vec(0u8..8, 1..400),
+        seed in any::<u64>(),
+    ) {
+        use netsim::{OpError, OpTable};
+        let mut table: OpTable<u64> = OpTable::new();
+        let mut live: Vec<(netsim::OpId, u64)> = Vec::new();
+        let mut retired: Vec<netsim::OpId> = Vec::new();
+        let mut next_val = seed;
+        for op in ops {
+            match op {
+                // Bias toward churn: insert on 0-2, remove on 3-5.
+                0..=2 => {
+                    next_val = next_val.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let id = table.insert(next_val);
+                    prop_assert!(!id.is_none());
+                    live.push((id, next_val));
+                }
+                3..=5 => {
+                    if !live.is_empty() {
+                        let pick = (next_val as usize) % live.len();
+                        let (id, v) = live.swap_remove(pick);
+                        prop_assert_eq!(table.remove(id).unwrap(), v);
+                        retired.push(id);
+                    }
+                }
+                _ => {
+                    // Probe every retired handle: none may resolve.
+                    for &id in &retired {
+                        prop_assert!(matches!(
+                            table.get(id),
+                            Err(OpError::StaleOp { .. }) | Err(OpError::UnknownOp { .. })
+                        ));
+                        prop_assert!(table.remove(id).is_err());
+                    }
+                }
+            }
+        }
+        // Final audit: live handles resolve to their values, retired never.
+        prop_assert_eq!(table.len(), live.len());
+        for (id, v) in live {
+            prop_assert_eq!(*table.get(id).unwrap(), v);
+        }
+        for id in retired {
+            prop_assert!(table.get(id).is_err());
+        }
     }
 }

@@ -449,15 +449,25 @@ impl Runtime {
     /// Assert the cluster is truly quiescent: no pending GAS operations,
     /// no outstanding PWC ops, no undelivered completions, no buffered
     /// coalesced parcels. Call after `run()` in tests/drivers to catch
-    /// protocol leaks early.
+    /// protocol leaks early. On failure the message lists every stuck op —
+    /// kind, GVA, locality, age, attempts, and last protocol state — from
+    /// the op-table snapshots.
     pub fn assert_quiescent(&self) {
         let w = &self.eng.state;
+        let now = self.eng.now();
+        let mut stuck = Vec::new();
         for l in 0..w.cluster.len() as u32 {
-            assert_eq!(
-                w.gas[l as usize].outstanding_ops(),
-                0,
-                "locality {l}: pending GAS ops"
-            );
+            for s in w.gas[l as usize].op_snapshots() {
+                stuck.push(format!("  locality {l}: {}", s.render(now)));
+            }
+        }
+        assert!(
+            stuck.is_empty(),
+            "{} GAS op(s) still in flight after run():\n{}",
+            stuck.len(),
+            stuck.join("\n")
+        );
+        for l in 0..w.cluster.len() as u32 {
             assert_eq!(
                 w.eps[l as usize].outstanding_ops(),
                 0,

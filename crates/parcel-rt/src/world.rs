@@ -6,15 +6,15 @@ use crate::parcel::{ActionRegistry, Parcel};
 use crate::sched;
 use agas::{GasConfig, GasLocal, GasMode, GasMsg, GasWorld, PgasMap};
 use netsim::{
-    Cluster, Engine, Envelope, LocalityId, NackReason, NetConfig, OpKind, Packet, Protocol,
-    ServerPool, Time,
+    Cluster, Engine, Envelope, LocalityId, NackReason, NetConfig, OpError, OpId, OpKind, OpTable,
+    Packet, Protocol, ServerPool, Time,
 };
 use photon::{PhotonConfig, PhotonEndpoint, PhotonMsg, PhotonWorld};
 use std::collections::HashMap;
 use std::rc::Rc;
 
 /// Marker for GAS operations that need no completion notification.
-pub const NO_COMPLETION: u64 = u64::MAX;
+pub const NO_COMPLETION: OpId = OpId::NONE;
 
 /// The Photon tag class parcels travel under on the ISIR transport.
 pub const PARCEL_TAG: u64 = 0x5041_5243; // "PARC"
@@ -176,8 +176,13 @@ pub struct World {
     pub registry: Rc<ActionRegistry>,
     /// Load-balancer service statistics.
     pub balancer_stats: crate::balancer::BalancerStats,
-    pub(crate) completions: HashMap<u64, Completion>,
-    pub(crate) next_completion: u64,
+    /// GAS operations that failed terminally (deadline exceeded, retries
+    /// exhausted): `(completion handle, target GVA, error)`. Drivers and
+    /// tests inspect this to distinguish recovery from silent loss.
+    pub op_failures: Vec<(OpId, agas::Gva, OpError)>,
+    /// Completions/failures naming an unknown or already-fired handle.
+    pub stale_completions: u64,
+    pub(crate) completions: OpTable<Completion>,
     pub(crate) driver_cbs: HashMap<u64, DriverCb>,
     pub(crate) next_driver_cb: u64,
 }
@@ -206,19 +211,19 @@ impl World {
             rtcfg,
             registry: Rc::new(registry),
             balancer_stats: crate::balancer::BalancerStats::default(),
-            completions: HashMap::new(),
-            next_completion: 0,
+            op_failures: Vec::new(),
+            stale_completions: 0,
+            completions: OpTable::new(),
             driver_cbs: HashMap::new(),
             next_driver_cb: 0,
         }
     }
 
-    /// Register a completion, returning the ctx to pass to a GAS op.
-    pub fn new_completion(&mut self, c: Completion) -> u64 {
-        let id = self.next_completion;
-        self.next_completion += 1;
-        self.completions.insert(id, c);
-        id
+    /// Register a completion, returning the typed handle to pass to a GAS
+    /// op. The handle is generational: a stale or duplicate firing is
+    /// counted and dropped rather than corrupting a reused slot.
+    pub fn new_completion(&mut self, c: Completion) -> OpId {
+        self.completions.insert(c)
     }
 
     /// Number of localities.
@@ -287,6 +292,19 @@ impl World {
             total.sw_fallbacks += s.sw_fallbacks;
             total.migrations_started += s.migrations_started;
             total.migrations_done += s.migrations_done;
+            total.stale_completions += s.stale_completions;
+            total.protocol_violations += s.protocol_violations;
+            total.deadline_exceeded += s.deadline_exceeded;
+            total.ops_failed += s.ops_failed;
+        }
+        total
+    }
+
+    /// Aggregate op-outcome counters across localities.
+    pub fn total_outcomes(&self) -> netsim::OutcomeCounters {
+        let mut total = netsim::OutcomeCounters::default();
+        for g in &self.gas {
+            total.merge(&g.outcomes);
         }
         total
     }
@@ -294,22 +312,24 @@ impl World {
 
 /// Fire a registered completion by hand (driver utilities that bridge
 /// LCO waits into completion ctxs use this).
-pub fn fire_completion(eng: &mut Engine<World>, ctx: u64, data: Vec<u8>) {
+pub fn fire_completion(eng: &mut Engine<World>, ctx: OpId, data: Vec<u8>) {
     complete(eng, ctx, data);
 }
 
-fn complete(eng: &mut Engine<World>, ctx: u64, data: Vec<u8>) {
-    if ctx == NO_COMPLETION {
+fn complete(eng: &mut Engine<World>, ctx: OpId, data: Vec<u8>) {
+    if ctx.is_none() {
         return;
     }
-    match eng.state.completions.remove(&ctx) {
-        Some(Completion::Lco(lco)) => {
+    match eng.state.completions.remove(ctx) {
+        Ok(Completion::Lco(lco)) => {
             // Completion fires at the LCO's home directly; the op's network
             // round trip already paid the latency.
             crate::lco::lco_set(eng, lco.home(), lco, data);
         }
-        Some(Completion::Driver(cb)) => cb(eng, data),
-        None => panic!("completion {ctx} fired twice or never registered"),
+        Ok(Completion::Driver(cb)) => cb(eng, data),
+        // Fired twice, or after a terminal failure reclaimed the handle:
+        // the generation check catches it; count and drop.
+        Err(_) => eng.state.stale_completions += 1,
     }
 }
 
@@ -343,14 +363,14 @@ impl PhotonWorld for World {
     fn wrap(msg: PhotonMsg) -> Msg {
         Msg::Photon(msg)
     }
-    fn pwc_complete(eng: &mut Engine<Self>, loc: LocalityId, ctx: u64) {
+    fn pwc_complete(eng: &mut Engine<Self>, loc: LocalityId, ctx: OpId) {
         agas::ops::on_pwc_complete(eng, loc, ctx);
     }
     fn pwc_remote(_eng: &mut Engine<Self>, _loc: LocalityId, _tag: u64, _len: u32) {}
     fn pwc_failed(
         eng: &mut Engine<Self>,
         loc: LocalityId,
-        ctx: u64,
+        ctx: OpId,
         kind: OpKind,
         reason: NackReason,
         block: u64,
@@ -399,16 +419,31 @@ impl GasWorld for World {
     fn wrap_gas(msg: GasMsg) -> Msg {
         Msg::Gas(msg)
     }
-    fn gas_put_done(eng: &mut Engine<Self>, _loc: LocalityId, ctx: u64) {
+    fn gas_put_done(eng: &mut Engine<Self>, _loc: LocalityId, ctx: OpId) {
         complete(eng, ctx, Vec::new());
     }
-    fn gas_get_done(eng: &mut Engine<Self>, _loc: LocalityId, ctx: u64, data: Vec<u8>) {
+    fn gas_get_done(eng: &mut Engine<Self>, _loc: LocalityId, ctx: OpId, data: Vec<u8>) {
         complete(eng, ctx, data);
     }
-    fn gas_migrate_done(eng: &mut Engine<Self>, _loc: LocalityId, ctx: u64, block: u64) {
+    fn gas_migrate_done(eng: &mut Engine<Self>, _loc: LocalityId, ctx: OpId, block: u64) {
         complete(eng, ctx, block.to_le_bytes().to_vec());
     }
-    fn gas_free_done(eng: &mut Engine<Self>, _loc: LocalityId, ctx: u64, block: u64) {
+    fn gas_free_done(eng: &mut Engine<Self>, _loc: LocalityId, ctx: OpId, block: u64) {
         complete(eng, ctx, block.to_le_bytes().to_vec());
+    }
+    fn gas_op_failed(
+        eng: &mut Engine<Self>,
+        _loc: LocalityId,
+        ctx: OpId,
+        gva: agas::Gva,
+        err: OpError,
+    ) {
+        // The operation will never produce data: retire its completion so
+        // quiescence does not report a phantom leak, and record the typed
+        // failure for the driver.
+        if !ctx.is_none() {
+            let _ = eng.state.completions.remove(ctx);
+        }
+        eng.state.op_failures.push((ctx, gva, err));
     }
 }

@@ -32,8 +32,8 @@ pub use matching::{MatchQueue, Unexpected, ANY_TAG};
 pub use rcache::RegCache;
 
 use netsim::{
-    rdma_get, rdma_put, send_user, Engine, GetReq, LocalityId, NackReason, OpKind, Packet,
-    PhysAddr, Protocol, PutReq, RdmaTarget, Time,
+    rdma_get, rdma_put, send_user, Engine, GetReq, LocalityId, NackReason, OpId, OpKind, OpTable,
+    Packet, PhysAddr, Protocol, PutReq, RdmaTarget, Time,
 };
 use std::collections::{HashMap, VecDeque};
 
@@ -90,10 +90,15 @@ pub struct PhotonStats {
     pub pwc_gets: u64,
     /// Credits returned to peers.
     pub credits_returned: u64,
+    /// Completions/NACKs naming an unknown or stale [`OpId`], dropped.
+    pub stale_completions: u64,
+    /// Control messages that violated the protocol state machine (e.g. a
+    /// CTS for an unknown rendezvous send), dropped.
+    pub protocol_violations: u64,
 }
 
 enum Pending {
-    Pwc { ctx: u64 },
+    Pwc { ctx: OpId },
     RdvData { send_id: u64 },
 }
 
@@ -117,7 +122,7 @@ pub struct PhotonEndpoint {
     pub cfg: PhotonConfig,
     /// Endpoint statistics.
     pub stats: PhotonStats,
-    ops: HashMap<u64, Pending>,
+    ops: OpTable<Pending>,
     rcache: RegCache,
     matching: MatchQueue,
     credits: HashMap<LocalityId, usize>,
@@ -135,7 +140,7 @@ impl PhotonEndpoint {
             rcache: RegCache::new(&cfg),
             cfg,
             stats: PhotonStats::default(),
-            ops: HashMap::new(),
+            ops: OpTable::new(),
             matching: MatchQueue::new(),
             credits: HashMap::new(),
             backlog: HashMap::new(),
@@ -167,6 +172,15 @@ impl PhotonEndpoint {
     /// Outstanding one-sided operations.
     pub fn outstanding_ops(&self) -> usize {
         self.ops.len()
+    }
+
+    /// Fault injection: forget every in-flight one-sided op *without*
+    /// delivering its completion, as if the NIC lost the control messages.
+    /// Returns how many ops were dropped. The layers above only recover
+    /// via their deadline sweep — exactly what the dropped-completion
+    /// tests exercise.
+    pub fn drop_pending_ops(&mut self) -> usize {
+        self.ops.drain_filter(|_, _| true).len()
     }
 
     /// The matching engine (exposed for tests and diagnostics).
@@ -203,8 +217,9 @@ pub trait PhotonWorld: Protocol {
     /// Embed a Photon control message into the world's wire enum.
     fn wrap(msg: PhotonMsg) -> Self::Msg;
 
-    /// An initiated PWC operation completed; `ctx` is the caller's context.
-    fn pwc_complete(eng: &mut Engine<Self>, loc: LocalityId, ctx: u64);
+    /// An initiated PWC operation completed; `ctx` is the caller's typed
+    /// op handle.
+    fn pwc_complete(eng: &mut Engine<Self>, loc: LocalityId, ctx: OpId);
     /// A PWC put addressed *to this locality* became visible, carrying the
     /// initiator's `remote_tag` (Photon's remote completion ledger).
     fn pwc_remote(eng: &mut Engine<Self>, loc: LocalityId, tag: u64, len: u32);
@@ -212,7 +227,7 @@ pub trait PhotonWorld: Protocol {
     fn pwc_failed(
         eng: &mut Engine<Self>,
         loc: LocalityId,
-        ctx: u64,
+        ctx: OpId,
         kind: OpKind,
         reason: NackReason,
         block: u64,
@@ -260,7 +275,7 @@ pub fn pwc_put<S: PhotonWorld>(
     dst: LocalityId,
     target: RdmaTarget,
     data: Vec<u8>,
-    ctx: u64,
+    ctx: OpId,
     remote_tag: Option<u64>,
     local_src: Option<(PhysAddr, u64)>,
 ) {
@@ -275,11 +290,9 @@ pub fn pwc_put<S: PhotonWorld>(
         None => Time::ZERO,
     };
     let ttl = eng.state.cluster_ref().config.forward_ttl;
-    let op = eng.state.cluster().alloc_op();
-    eng.state
-        .endpoint(src)
-        .ops
-        .insert(op.0, Pending::Pwc { ctx });
+    // The wire token *is* the endpoint-table handle: the completion or
+    // NACK echoes it back, and a stale echo fails the generation check.
+    let op = eng.state.endpoint(src).ops.insert(Pending::Pwc { ctx });
     eng.schedule(reg_delay, move |eng| {
         rdma_put(
             eng,
@@ -308,7 +321,7 @@ pub fn pwc_get<S: PhotonWorld>(
     target: RdmaTarget,
     len: u32,
     local: PhysAddr,
-    ctx: u64,
+    ctx: OpId,
     local_src: Option<(PhysAddr, u64)>,
 ) {
     let ep = eng.state.endpoint(src);
@@ -319,11 +332,7 @@ pub fn pwc_get<S: PhotonWorld>(
         None => Time::ZERO,
     };
     let ttl = eng.state.cluster_ref().config.forward_ttl;
-    let op = eng.state.cluster().alloc_op();
-    eng.state
-        .endpoint(src)
-        .ops
-        .insert(op.0, Pending::Pwc { ctx });
+    let op = eng.state.endpoint(src).ops.insert(Pending::Pwc { ctx });
     eng.schedule(reg_delay, move |eng| {
         rdma_get(
             eng,
@@ -535,20 +544,21 @@ pub fn handle_msg<S: PhotonWorld>(
         PhotonMsg::Cts { send_id, dst } => {
             let ep = eng.state.endpoint(at);
             let cfg = ep.cfg;
-            let rdv = ep
-                .rdv_sends
-                .remove(&send_id)
-                .expect("CTS for unknown rendezvous send");
+            let Some(rdv) = ep.rdv_sends.remove(&send_id) else {
+                // A duplicate or forged CTS: count and drop.
+                ep.stats.protocol_violations += 1;
+                return;
+            };
             debug_assert_eq!(rdv.dst, from);
             let reg_delay = match rdv.local_src {
                 Some((addr, len)) => eng.state.endpoint(at).rcache.register(&cfg, addr, len),
                 None => Time::ZERO,
             };
-            let op = eng.state.cluster().alloc_op();
-            eng.state
+            let op = eng
+                .state
                 .endpoint(at)
                 .ops
-                .insert(op.0, Pending::RdvData { send_id });
+                .insert(Pending::RdvData { send_id });
             let data = rdv.data;
             let ttl = eng.state.cluster_ref().config.forward_ttl;
             eng.schedule(reg_delay, move |eng| {
@@ -592,21 +602,21 @@ pub fn handle_completion<S: PhotonWorld>(
 ) {
     match packet {
         Packet::PutDone { op } | Packet::GetDone { op } => {
-            match eng.state.endpoint(at).ops.remove(&op.0) {
-                Some(Pending::Pwc { ctx }) => S::pwc_complete(eng, at, ctx),
-                Some(Pending::RdvData { send_id }) => S::send_complete(eng, at, send_id),
-                None => panic!("completion for unknown op {}", op.0),
+            match eng.state.endpoint(at).ops.remove(op) {
+                Ok(Pending::Pwc { ctx }) => S::pwc_complete(eng, at, ctx),
+                Ok(Pending::RdvData { send_id }) => S::send_complete(eng, at, send_id),
+                // Stale or unknown handle (slot already retired): a late
+                // duplicate, or the op was dropped by fault injection.
+                Err(_) => eng.state.endpoint(at).stats.stale_completions += 1,
             }
         }
         Packet::RemoteNote { tag, len } => {
             if tag & RDV_NOTE_BIT != 0 {
                 let send_id = tag & !RDV_NOTE_BIT;
-                let rr = eng
-                    .state
-                    .endpoint(at)
-                    .rdv_recvs
-                    .remove(&send_id)
-                    .expect("rendezvous note for unknown recv");
+                let Some(rr) = eng.state.endpoint(at).rdv_recvs.remove(&send_id) else {
+                    eng.state.endpoint(at).stats.protocol_violations += 1;
+                    return;
+                };
                 let data = eng
                     .state
                     .cluster()
@@ -634,12 +644,14 @@ pub fn handle_completion<S: PhotonWorld>(
             kind,
             reason,
             block,
-        } => match eng.state.endpoint(at).ops.remove(&op.0) {
-            Some(Pending::Pwc { ctx }) => S::pwc_failed(eng, at, ctx, kind, reason, block),
-            Some(Pending::RdvData { .. }) => {
-                panic!("rendezvous data put NACKed ({reason:?}): physical targets cannot miss")
+        } => match eng.state.endpoint(at).ops.remove(op) {
+            Ok(Pending::Pwc { ctx }) => S::pwc_failed(eng, at, ctx, kind, reason, block),
+            Ok(Pending::RdvData { .. }) => {
+                // Rendezvous data rides on a physical target, which cannot
+                // legitimately NACK — a protocol violation, not a crash.
+                eng.state.endpoint(at).stats.protocol_violations += 1;
             }
-            None => panic!("NACK for unknown op {}", op.0),
+            Err(_) => eng.state.endpoint(at).stats.stale_completions += 1,
         },
         Packet::User(_) => {
             panic!("handle_completion received a User packet; route it via handle_msg")
@@ -706,9 +718,9 @@ mod tests {
         fn wrap(msg: PhotonMsg) -> Msg {
             Msg::P(msg)
         }
-        fn pwc_complete(eng: &mut Engine<Self>, loc: LocalityId, ctx: u64) {
+        fn pwc_complete(eng: &mut Engine<Self>, loc: LocalityId, ctx: OpId) {
             let now = eng.now();
-            eng.state.events.push((now, loc, Event::PwcDone(ctx)));
+            eng.state.events.push((now, loc, Event::PwcDone(ctx.raw())));
         }
         fn pwc_remote(eng: &mut Engine<Self>, loc: LocalityId, tag: u64, len: u32) {
             let now = eng.now();
@@ -719,13 +731,13 @@ mod tests {
         fn pwc_failed(
             eng: &mut Engine<Self>,
             loc: LocalityId,
-            ctx: u64,
+            ctx: OpId,
             _kind: OpKind,
             _reason: NackReason,
             _block: u64,
         ) {
             let now = eng.now();
-            eng.state.events.push((now, loc, Event::PwcFail(ctx)));
+            eng.state.events.push((now, loc, Event::PwcFail(ctx.raw())));
         }
         fn recv_complete(
             eng: &mut Engine<Self>,
@@ -782,7 +794,7 @@ mod tests {
                 offset: 128,
             },
             vec![0xAA; 64],
-            /*ctx*/ 9,
+            OpId::from_raw(9),
             Some(500),
             None,
         );
@@ -825,7 +837,7 @@ mod tests {
             },
             256,
             local,
-            4,
+            OpId::from_raw(4),
             Some((local, 256)),
         );
         eng.run();
@@ -848,7 +860,7 @@ mod tests {
                 offset: 0,
             },
             vec![1; 8],
-            7,
+            OpId::from_raw(7),
             None,
             None,
         );
@@ -1076,12 +1088,12 @@ mod ledger_tests {
         fn wrap(msg: PhotonMsg) -> PhotonMsg {
             msg
         }
-        fn pwc_complete(_: &mut Engine<Self>, _: LocalityId, _: u64) {}
+        fn pwc_complete(_: &mut Engine<Self>, _: LocalityId, _: OpId) {}
         fn pwc_remote(_: &mut Engine<Self>, _: LocalityId, _: u64, _: u32) {}
         fn pwc_failed(
             _: &mut Engine<Self>,
             _: LocalityId,
-            _: u64,
+            _: OpId,
             _: OpKind,
             _: NackReason,
             _: u64,
@@ -1124,7 +1136,7 @@ mod ledger_tests {
                     offset: tag * 64,
                 },
                 vec![1u8; 16],
-                tag,
+                OpId::from_raw(tag),
                 Some(100 + tag),
                 None,
             );
@@ -1170,7 +1182,7 @@ mod ledger_tests {
                     offset: 0,
                 },
                 vec![1u8; 8],
-                tag,
+                OpId::from_raw(tag),
                 Some(tag),
                 None,
             );

@@ -5,7 +5,7 @@
 //! the standard way message-driven benchmarks (GUPS, message-rate tests)
 //! are written, and it is what saturates NICs and CPUs in the simulator.
 
-use netsim::{Engine, LocalityId};
+use netsim::{Engine, LocalityId, OpId};
 use parcel_rt::{Completion, World};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -13,7 +13,7 @@ use std::rc::Rc;
 /// Issues one operation: receives the engine, the issuing locality, the
 /// operation's sequence number, and the completion `ctx` the operation must
 /// eventually fire (pass it as the GAS op ctx, or fire it manually).
-pub type IssueFn = dyn Fn(&mut Engine<World>, LocalityId, u64, u64);
+pub type IssueFn = dyn Fn(&mut Engine<World>, LocalityId, u64, OpId);
 
 /// Runs once after the pump's final completion.
 type DoneFn = Box<dyn FnOnce(&mut Engine<World>)>;
