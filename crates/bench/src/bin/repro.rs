@@ -15,9 +15,12 @@
 //! With `--json`, every experiment additionally emits one machine-readable
 //! summary row per run as a JSON line (the only stdout lines starting with
 //! `{`): experiment id, series, simulated time swept, wall-clock seconds,
-//! events executed, and events/second. `perf` measures the engine's
-//! wall-clock event throughput on hot-path workloads and reports the same
-//! rows.
+//! events executed, events/second, and the translation fast-path counters
+//! (`xlate_lookups`, `xlate_probes`, `memo_hits` — see EXPERIMENTS.md).
+//! `perf` measures the engine's wall-clock event throughput on hot-path
+//! workloads and reports the same rows; its `gups_agas_net` series drives
+//! the NIC translation table and owner caches hard enough that the
+//! translation counters are meaningfully nonzero.
 
 use agas::GasMode;
 use bench::*;
@@ -560,6 +563,9 @@ struct PerfRow {
     sim: Time,
     wall_secs: f64,
     events: u64,
+    xlate_lookups: u64,
+    xlate_probes: u64,
+    memo_hits: u64,
 }
 
 impl PerfRow {
@@ -571,18 +577,32 @@ impl PerfRow {
         }
     }
 
+    /// Mean slots examined per translation lookup (1.0 = every lookup hit
+    /// its home slot).
+    fn probes_per_lookup(&self) -> f64 {
+        if self.xlate_lookups > 0 {
+            self.xlate_probes as f64 / self.xlate_lookups as f64
+        } else {
+            0.0
+        }
+    }
+
     fn json(&self) -> String {
         format!(
             concat!(
                 "{{\"id\":\"{}\",\"series\":\"{}\",\"sim_time_ps\":{},",
-                "\"wall_seconds\":{:.6},\"events\":{},\"events_per_sec\":{:.0}}}"
+                "\"wall_seconds\":{:.6},\"events\":{},\"events_per_sec\":{:.0},",
+                "\"xlate_lookups\":{},\"xlate_probes\":{},\"memo_hits\":{}}}"
             ),
             self.id,
             self.series,
             self.sim.ps(),
             self.wall_secs,
             self.events,
-            self.events_per_sec()
+            self.events_per_sec(),
+            self.xlate_lookups,
+            self.xlate_probes,
+            self.memo_hits
         )
     }
 }
@@ -600,6 +620,9 @@ fn measure(id: &str, series: &str, f: impl FnOnce()) -> PerfRow {
         sim: Time::from_ps(d.sim_ps),
         wall_secs,
         events: d.events,
+        xlate_lookups: d.xlate_lookups,
+        xlate_probes: d.xlate_probes,
+        memo_hits: d.memo_hits,
     }
 }
 
@@ -714,24 +737,72 @@ fn perf(json: bool) {
         std::hint::black_box(parcel_rate(parcel_rt::Transport::Pwc));
     });
 
-    let rows = [dispatch, chain, parcels];
+    // The translation fast path under fire: GUPS over the network-managed
+    // mode drives every update through the NIC translation table and the
+    // initiator owner caches, so the xlate_* and memo counters are hot.
+    // (The runtime drops inside the closure, flushing batched counters
+    // before the after-snapshot.)
+    let gups = measure("perf", "gups_agas_net", || {
+        std::hint::black_box(gups_scaling(GasMode::AgasNetwork, 8, NetConfig::ib_fdr()));
+    });
+
+    // Migration churn: the balancer moves hot blocks while every locality
+    // hammers its own favourite, so initiators bounce, query the
+    // directory, and then re-translate the same block back to back — the
+    // owner-cache one-entry memo's target shape.
+    let churn = measure("perf", "migration_churn", || {
+        use std::rc::Rc;
+        let mut rt = parcel_rt::Runtime::builder(4, GasMode::AgasNetwork)
+            .seed(17)
+            .boot();
+        let data = rt.alloc(16, 13, agas::Distribution::Blocked);
+        rt.start_balancer(parcel_rt::BalancerConfig {
+            period: Time::from_us(100),
+            moves_per_round: 2,
+            min_heat: 4,
+            ..parcel_rt::BalancerConfig::default()
+        });
+        let blocks = data.blocks.clone();
+        let issue: Rc<workloads::driver::IssueFn> = Rc::new(move |eng, loc, _seq, ctx| {
+            // Each locality chases one hot block (all start on loc 0):
+            // repeated translations of the same key, bounced by the
+            // balancer's migrations.
+            let gva = blocks[(loc % 4) as usize];
+            agas::ops::memget(eng, loc, gva, 512, ctx);
+        });
+        let n = rt.n();
+        workloads::driver::pump_all(&mut rt.eng, n, 800, 8, issue, |_| {});
+        rt.run();
+    });
+
+    let rows = [dispatch, chain, parcels, gups, churn];
     if json {
         for r in &rows {
             println!("{}", r.json());
         }
     } else {
         println!(
-            "{:<18} {:>12} {:>10} {:>14} {:>14}",
-            "series", "events", "wall s", "events/sec", "sim time"
+            "{:<18} {:>12} {:>10} {:>14} {:>14} {:>12} {:>8} {:>10}",
+            "series",
+            "events",
+            "wall s",
+            "events/sec",
+            "sim time",
+            "xl lookups",
+            "pr/lk",
+            "memo hits"
         );
         for r in &rows {
             println!(
-                "{:<18} {:>12} {:>10.3} {:>14.0} {:>14}",
+                "{:<18} {:>12} {:>10.3} {:>14.0} {:>14} {:>12} {:>8.2} {:>10}",
                 r.series,
                 r.events,
                 r.wall_secs,
                 r.events_per_sec(),
-                format!("{}", r.sim)
+                format!("{}", r.sim),
+                r.xlate_lookups,
+                r.probes_per_lookup(),
+                r.memo_hits
             );
         }
     }

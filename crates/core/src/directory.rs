@@ -5,12 +5,16 @@
 //! stale owner query the home; migrations commit by updating the home.
 //! Entries carry generation numbers so late-arriving updates never regress
 //! ownership.
+//!
+//! Backed by [`netsim::flatmap::FlatTable`] so directory queries share the
+//! single-probe fast path (and its telemetry) with the other translation
+//! structures.
 
+use netsim::flatmap::FlatTable;
 use netsim::LocalityId;
-use std::collections::HashMap;
 
 /// An authoritative ownership record.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct OwnerRec {
     /// Current owner of the block.
     pub owner: LocalityId,
@@ -18,18 +22,30 @@ pub struct OwnerRec {
     pub generation: u32,
 }
 
+/// Seed for the directory's flat table (fixed: deterministic runs).
+const DIR_SEED: u64 = 0xd12_5eed;
+
 /// The directory shard held by one home locality.
-#[derive(Default)]
 pub struct Directory {
-    map: HashMap<u64, OwnerRec>,
+    map: FlatTable<OwnerRec>,
     lookups: u64,
     updates: u64,
+}
+
+impl Default for Directory {
+    fn default() -> Directory {
+        Directory::new()
+    }
 }
 
 impl Directory {
     /// An empty shard.
     pub fn new() -> Directory {
-        Directory::default()
+        Directory {
+            map: FlatTable::with_seed(DIR_SEED),
+            lookups: 0,
+            updates: 0,
+        }
     }
 
     /// Register a freshly allocated block owned by `owner` at generation 1.
@@ -50,7 +66,7 @@ impl Directory {
         self.lookups += 1;
         *self
             .map
-            .get(&block_key)
+            .get(block_key)
             .unwrap_or_else(|| panic!("directory lookup of unknown block {block_key:#x}"))
     }
 
@@ -61,7 +77,7 @@ impl Directory {
         self.updates += 1;
         let e = self
             .map
-            .get_mut(&block_key)
+            .get_mut(block_key)
             .unwrap_or_else(|| panic!("directory update of unknown block {block_key:#x}"));
         if rec.generation > e.generation {
             *e = rec;
@@ -73,12 +89,12 @@ impl Directory {
 
     /// Non-counting read of an ownership record (diagnostics/tests).
     pub fn peek(&self, block_key: u64) -> Option<OwnerRec> {
-        self.map.get(&block_key).copied()
+        self.map.peek(block_key).copied()
     }
 
     /// Forget a freed block.
     pub fn unregister(&mut self, block_key: u64) -> Option<OwnerRec> {
-        self.map.remove(&block_key)
+        self.map.remove(block_key)
     }
 
     /// Blocks registered at this shard.

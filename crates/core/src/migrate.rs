@@ -193,13 +193,17 @@ fn start_handoff<S: GasWorld>(
 ) {
     let mode = eng.state.gas_mode();
     let g = eng.state.gas(at);
-    let Some(entry) = g.btt.lookup(block).copied() else {
+    // One BTT probe: snapshot the entry and flip it to Moving in place
+    // (the old lookup + set_moving pair probed twice).
+    let Some(e) = g.btt.lookup_mut(block) else {
         // The block left between routing and hand-off: a stale request.
         g.stats.protocol_violations += 1;
         return;
     };
+    assert_eq!(e.pins, 0, "cannot move a pinned block");
+    let entry = *e;
+    e.state = crate::BlockState::Moving;
     g.stats.migrations_started += 1;
-    g.btt.set_moving(block);
     g.moving.insert(
         block,
         MovingState {

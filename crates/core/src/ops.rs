@@ -188,7 +188,7 @@ fn issue<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, op: OpId) {
     match mode {
         GasMode::Pgas => {
             if home == loc {
-                commit_local(eng, loc, op);
+                commit_local(eng, loc, op, None);
             } else {
                 let base = *eng
                     .state
@@ -201,8 +201,10 @@ fn issue<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, op: OpId) {
             }
         }
         GasMode::AgasNetwork => {
-            if eng.state.gas(loc).btt.is_resident(block) {
-                commit_local(eng, loc, op);
+            // One BTT probe decides residency AND yields the base for the
+            // local commit (no second probe inside `commit_local`).
+            if let Some(base) = resident_base(eng, loc, block) {
+                commit_local(eng, loc, op, Some(base));
             } else {
                 let target_loc = hint_owner(eng, loc, block, home);
                 if force_sw {
@@ -223,8 +225,8 @@ fn issue<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, op: OpId) {
             }
         }
         GasMode::AgasSoftware => {
-            if eng.state.gas(loc).btt.is_resident(block) {
-                commit_local(eng, loc, op);
+            if let Some(base) = resident_base(eng, loc, block) {
+                commit_local(eng, loc, op, Some(base));
             } else {
                 let target_loc = hint_owner(eng, loc, block, home);
                 if target_loc == loc {
@@ -280,6 +282,17 @@ fn issue_sw<S: GasWorld>(
         }
     };
     send_user(eng, loc, target_loc, wire, S::wrap_gas(msg));
+}
+
+/// One BTT probe answering "resident here?" and, when yes, at what base —
+/// so the issue path's residency check and the local commit share a single
+/// probe sequence.
+fn resident_base<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, block: u64) -> Option<u64> {
+    eng.state
+        .gas(loc)
+        .btt
+        .lookup(block)
+        .and_then(|e| (e.state == crate::BlockState::Resident).then_some(e.base))
 }
 
 fn hint_owner<S: GasWorld>(
@@ -356,7 +369,14 @@ fn issue_rdma<S: GasWorld>(
 }
 
 /// Commit an operation against locally resident storage.
-fn commit_local<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, op: OpId) {
+/// `base_hint` carries the physical base from the caller's own BTT probe
+/// (see [`resident_base`]) so the commit doesn't re-translate.
+fn commit_local<S: GasWorld>(
+    eng: &mut Engine<S>,
+    loc: LocalityId,
+    op: OpId,
+    base_hint: Option<netsim::PhysAddr>,
+) {
     let mode = eng.state.gas_mode();
     let (gva, len, per_byte) = {
         let g = eng.state.gas(loc);
@@ -376,14 +396,14 @@ fn commit_local<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, op: OpId) {
             .pgas()
             .get(&block)
             .expect("PGAS local op on unknown block"),
-        _ => {
+        _ => base_hint.unwrap_or_else(|| {
             eng.state
                 .gas(loc)
                 .btt
                 .lookup(block)
                 .expect("local commit without residency")
                 .base
-        }
+        }),
     };
     let phys = base + gva.offset();
     let g = eng.state.gas(loc);
@@ -597,10 +617,12 @@ pub fn on_xlate_miss<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, block: u
     if eng.state.gas_mode() != GasMode::AgasNetwork {
         return;
     }
+    // One probe: the copied entry answers both "owned here?" and
+    // "resident?" (mid-migration blocks defer to the forwarding tombstone).
     let Some(entry) = eng.state.gas(loc).btt.lookup(block).copied() else {
         return; // genuinely absent (migrated away / freed): nothing to do
     };
-    if !eng.state.gas(loc).btt.is_resident(block) {
+    if entry.state != crate::BlockState::Resident {
         return; // mid-migration: the forwarding tombstone is authoritative
     }
     // Reinstalling is a software interrupt: charge the CPU briefly.

@@ -1,0 +1,118 @@
+//! Shadow-model equivalence for the owner cache.
+//!
+//! The oracle is a naive MRU-first `Vec` replicating the cache's contract:
+//! LRU-bounded, newest-generation-wins on update, touch-on-lookup, plus
+//! the eviction-boundary generation guard (a racing hint older than the
+//! generation just evicted for the same key is dropped). The real cache's
+//! one-entry memo must be observationally invisible — every lookup result
+//! has to match the memo-free oracle exactly.
+
+use agas::{OwnerCache, OwnerHint};
+use proptest::prelude::*;
+
+struct ShadowCache {
+    capacity: usize,
+    entries: Vec<(u64, OwnerHint)>, // MRU-first
+    last_evicted: Option<(u64, u32)>,
+}
+
+impl ShadowCache {
+    fn new(capacity: usize) -> ShadowCache {
+        ShadowCache {
+            capacity,
+            entries: Vec::new(),
+            last_evicted: None,
+        }
+    }
+
+    fn lookup(&mut self, k: u64) -> Option<OwnerHint> {
+        let pos = self.entries.iter().position(|&(sk, _)| sk == k)?;
+        let e = self.entries.remove(pos);
+        self.entries.insert(0, e);
+        Some(e.1)
+    }
+
+    fn update(&mut self, k: u64, hint: OwnerHint) {
+        if let Some(pos) = self.entries.iter().position(|&(sk, _)| sk == k) {
+            let (_, old) = self.entries.remove(pos);
+            let kept = if old.generation <= hint.generation {
+                hint
+            } else {
+                old
+            };
+            self.entries.insert(0, (k, kept));
+            return;
+        }
+        if let Some((vk, vg)) = self.last_evicted {
+            if vk == k && hint.generation < vg {
+                return; // stale re-insert of the latest victim
+            }
+        }
+        if self.capacity == 0 {
+            return;
+        }
+        self.entries.insert(0, (k, hint));
+        if self.entries.len() > self.capacity {
+            let (ek, ev) = self.entries.pop().unwrap();
+            self.last_evicted = Some((ek, ev.generation));
+        }
+    }
+
+    fn invalidate(&mut self, k: u64) {
+        self.entries.retain(|&(sk, _)| sk != k);
+    }
+}
+
+proptest! {
+    /// Arbitrary interleavings of update / lookup / invalidate with
+    /// generation churn: the real cache (memo, flat table, victim guard)
+    /// agrees with the oracle on every observable.
+    #[test]
+    fn owner_cache_matches_shadow(
+        cap in 0usize..8,
+        ops in proptest::collection::vec((0u8..3, 0u64..12, 0u32..6, 0u32..5), 0..400),
+    ) {
+        let mut real = OwnerCache::new(cap);
+        let mut shadow = ShadowCache::new(cap);
+        for (i, (op, k, owner, generation)) in ops.into_iter().enumerate() {
+            match op {
+                0 => {
+                    let hint = OwnerHint { owner, generation };
+                    real.update(k, hint);
+                    shadow.update(k, hint);
+                }
+                1 => prop_assert_eq!(real.lookup(k), shadow.lookup(k), "lookup {} at step {}", k, i),
+                _ => {
+                    real.invalidate(k);
+                    shadow.invalidate(k);
+                }
+            }
+            prop_assert_eq!(real.len(), shadow.entries.len(), "len at step {}", i);
+        }
+        for k in 0..12u64 {
+            prop_assert_eq!(real.lookup(k), shadow.lookup(k), "final lookup {}", k);
+        }
+    }
+
+    /// Dependent-access shape (the memo's target workload): long runs of
+    /// repeated lookups on one key interleaved with churn on others.
+    #[test]
+    fn memo_is_observationally_invisible(
+        cap in 1usize..6,
+        runs in proptest::collection::vec((0u64..6, 1u8..8, 0u64..6, 0u32..5), 0..100),
+    ) {
+        let mut real = OwnerCache::new(cap);
+        let mut shadow = ShadowCache::new(cap);
+        for (hot, reps, other, generation) in runs {
+            let hint = OwnerHint { owner: other as u32, generation };
+            real.update(other, hint);
+            shadow.update(other, hint);
+            for _ in 0..reps {
+                prop_assert_eq!(real.lookup(hot), shadow.lookup(hot));
+            }
+            real.invalidate(other.wrapping_add(1) % 6);
+            shadow.invalidate(other.wrapping_add(1) % 6);
+        }
+        prop_assert!(real.memo_hits() <= real.stats().0);
+    }
+}

@@ -1,0 +1,242 @@
+//! Golden trace-hash pins.
+//!
+//! Each scenario below runs a deterministic workload and asserts the
+//! engine's final `(trace_hash, now)` against a value captured on the
+//! tier-1 suites **before** the flat translation-table rewrite. Any change
+//! to observable scheduling — eviction order, lookup outcomes, retry
+//! timing — shifts these hashes; a refactor of the translation structures
+//! must leave them bit-for-bit unchanged.
+//!
+//! If a *deliberate* protocol change moves a hash, re-capture with:
+//! `cargo test -p agas --test trace_pin -- --nocapture` (each test prints
+//! its observed pair on failure).
+
+mod common;
+
+use agas::migrate::migrate_block;
+use agas::ops::{memget, memput};
+use agas::{alloc_array, Distribution, GasMode, OwnerCache};
+use common::World;
+use netsim::{Engine, NetConfig, OpId, Time};
+
+fn jittery() -> NetConfig {
+    NetConfig {
+        jitter_ns: 400,
+        ..NetConfig::ideal()
+    }
+}
+
+fn finish(eng: &mut Engine<World>) -> (u64, u64) {
+    eng.run();
+    (eng.trace_hash(), eng.now().ps())
+}
+
+fn check(name: &str, got: (u64, u64), want: (u64, u64)) {
+    assert_eq!(
+        got, want,
+        "{name}: trace pin moved — observed (hash, ps) = ({:#018x}, {})",
+        got.0, got.1
+    );
+}
+
+/// Remote puts + read-back on a jittery fabric, one pin per GAS mode.
+fn jitter_puts(mode: GasMode, seed: u64) -> (u64, u64) {
+    let mut eng = Engine::new(World::new(3, mode, jittery()), seed);
+    let arr = alloc_array(&mut eng, 4, 12, Distribution::Cyclic);
+    for i in 0..30u64 {
+        memput(
+            &mut eng,
+            (i % 3) as u32,
+            arr.block(i % 4).with_offset((i / 4) * 16),
+            vec![(i + 1) as u8; 16],
+            OpId::from_raw(i),
+        );
+    }
+    eng.run();
+    for i in 0..30u64 {
+        memget(
+            &mut eng,
+            ((i + 1) % 3) as u32,
+            arr.block(i % 4).with_offset((i / 4) * 16),
+            16,
+            OpId::from_raw(100 + i),
+        );
+    }
+    finish(&mut eng)
+}
+
+/// Puts racing migrations under jitter (the tier-1 migration mix).
+fn migration_mix(mode: GasMode) -> (u64, u64) {
+    let mut eng = Engine::new(World::new(4, mode, jittery()), 11);
+    let arr = alloc_array(&mut eng, 4, 12, Distribution::Cyclic);
+    for round in 0..6u64 {
+        for b in 0..4u64 {
+            memput(
+                &mut eng,
+                (b % 4) as u32,
+                arr.block(b).with_offset(round * 16),
+                vec![(round * 4 + b + 1) as u8; 16],
+                OpId::from_raw(round * 4 + b),
+            );
+            migrate_block(
+                &mut eng,
+                0,
+                arr.block(b),
+                ((round + b) % 4) as u32,
+                OpId::from_raw(9000 + round * 4 + b),
+            );
+        }
+        eng.run_steps(40);
+    }
+    finish(&mut eng)
+}
+
+/// The deadline-sweep fault scenario: locality 0 forgets its in-flight
+/// wire ops and the sweep converts the silence into failures.
+fn deadline_fault(seed: u64) -> (u64, u64) {
+    let mut eng = Engine::new(World::new(4, GasMode::AgasNetwork, jittery()), seed);
+    for g in &mut eng.state.gas {
+        g.cfg.op_deadline = Some(Time::from_us(40));
+        g.cfg.sweep_interval = Time::from_us(5);
+    }
+    let arr = alloc_array(&mut eng, 4, 12, Distribution::Cyclic);
+    for i in 0..8u64 {
+        let gva = arr.block(i % 4).with_offset((i / 4) * 64);
+        memput(&mut eng, 0, gva, vec![i as u8 + 1; 64], OpId::from_raw(i));
+        memget(&mut eng, 0, gva, 64, OpId::from_raw(100 + i));
+    }
+    migrate_block(&mut eng, 1, arr.block(1), 3, OpId::from_raw(900));
+    migrate_block(&mut eng, 2, arr.block(2), 0, OpId::from_raw(901));
+    eng.schedule(Time::from_ns(150), |eng| {
+        eng.state.eps[0].drop_pending_ops();
+    });
+    finish(&mut eng)
+}
+
+/// Capacity pressure: a 4-entry NIC table and 3-entry owner caches force
+/// constant evictions, pinning the exact LRU eviction order.
+fn capacity_pressure() -> (u64, u64) {
+    let net = NetConfig {
+        xlate_capacity: 4,
+        ..NetConfig::ideal()
+    };
+    let mut eng = Engine::new(World::new(4, GasMode::AgasNetwork, net), 17);
+    for g in &mut eng.state.gas {
+        g.cache = OwnerCache::new(3);
+    }
+    let arr = alloc_array(&mut eng, 16, 12, Distribution::Cyclic);
+    for i in 0..120u64 {
+        let gva = arr.block((i * 7) % 16).with_offset((i % 4) * 32);
+        memput(
+            &mut eng,
+            ((i + 1) % 4) as u32,
+            gva,
+            vec![(i + 1) as u8; 32],
+            OpId::from_raw(i),
+        );
+        if i % 11 == 10 {
+            migrate_block(
+                &mut eng,
+                (i % 4) as u32,
+                arr.block(i % 16),
+                ((i + 2) % 4) as u32,
+                OpId::from_raw(9000 + i),
+            );
+        }
+        eng.run_steps(15);
+    }
+    for i in 0..60u64 {
+        memget(
+            &mut eng,
+            (i % 4) as u32,
+            arr.block((i * 3) % 16),
+            32,
+            OpId::from_raw(2000 + i),
+        );
+    }
+    finish(&mut eng)
+}
+
+/// A NIC firmware reset mid-run: flush + miss-driven reinstall paths.
+fn flush_recovery() -> (u64, u64) {
+    let mut eng = Engine::new(World::new(4, GasMode::AgasNetwork, NetConfig::ideal()), 23);
+    let arr = alloc_array(&mut eng, 8, 12, Distribution::Cyclic);
+    for i in 0..60u64 {
+        memput(
+            &mut eng,
+            ((i + 1) % 4) as u32,
+            arr.block(i % 8).with_offset((i / 8) * 64),
+            vec![(i + 1) as u8; 64],
+            OpId::from_raw(i),
+        );
+        if i == 30 {
+            for l in 0..4u32 {
+                eng.state.cluster.loc_mut(l).nic.xlate.flush_live();
+            }
+        }
+        eng.run_steps(10);
+    }
+    finish(&mut eng)
+}
+
+#[test]
+fn pin_jitter_puts() {
+    check(
+        "jitter_puts/pgas",
+        jitter_puts(GasMode::Pgas, 7),
+        GOLDEN_JITTER_PGAS,
+    );
+    check(
+        "jitter_puts/sw",
+        jitter_puts(GasMode::AgasSoftware, 7),
+        GOLDEN_JITTER_SW,
+    );
+    check(
+        "jitter_puts/net",
+        jitter_puts(GasMode::AgasNetwork, 7),
+        GOLDEN_JITTER_NET,
+    );
+}
+
+#[test]
+fn pin_migration_mix() {
+    check(
+        "migration_mix/sw",
+        migration_mix(GasMode::AgasSoftware),
+        GOLDEN_MIG_SW,
+    );
+    check(
+        "migration_mix/net",
+        migration_mix(GasMode::AgasNetwork),
+        GOLDEN_MIG_NET,
+    );
+}
+
+#[test]
+fn pin_deadline_fault() {
+    check("deadline_fault/11", deadline_fault(11), GOLDEN_DEADLINE_11);
+    check("deadline_fault/23", deadline_fault(23), GOLDEN_DEADLINE_23);
+}
+
+#[test]
+fn pin_capacity_pressure() {
+    check("capacity_pressure", capacity_pressure(), GOLDEN_CAPACITY);
+}
+
+#[test]
+fn pin_flush_recovery() {
+    check("flush_recovery", flush_recovery(), GOLDEN_FLUSH);
+}
+
+// Captured from the seed implementation (std HashMap / LruMap translation
+// structures) — see module docs. The flat-table rewrite must reproduce
+// these exactly.
+const GOLDEN_JITTER_PGAS: (u64, u64) = (0x3a1b_a271_08e7_3ff4, 2_155_000);
+const GOLDEN_JITTER_SW: (u64, u64) = (0x7b1b_771a_2630_7d1b, 6_591_400);
+const GOLDEN_JITTER_NET: (u64, u64) = (0x4a67_b315_e66f_9216, 2_165_000);
+const GOLDEN_MIG_SW: (u64, u64) = (0x50aa_0c4b_27e6_6b7e, 109_546_200);
+const GOLDEN_MIG_NET: (u64, u64) = (0x6829_dca1_979a_1fcd, 100_872_800);
+const GOLDEN_DEADLINE_11: (u64, u64) = (0x7d82_ca5b_de6f_587d, 40_000_000);
+const GOLDEN_DEADLINE_23: (u64, u64) = (0xe63a_b7da_7176_c2ea, 40_000_000);
+const GOLDEN_CAPACITY: (u64, u64) = (0xfe4f_3eb2_0d05_710b, 165_756_600);
+const GOLDEN_FLUSH: (u64, u64) = (0xf28f_56b0_057b_a14c, 21_260_000);

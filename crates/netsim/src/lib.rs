@@ -23,6 +23,7 @@
 
 pub mod config;
 pub mod engine;
+pub mod flatmap;
 pub mod lru;
 pub mod memory;
 pub mod net;
@@ -38,6 +39,7 @@ pub mod trace;
 
 pub use config::NetConfig;
 pub use engine::Engine;
+pub use flatmap::{FlatTable, LruInsert};
 pub use memory::{MemError, Memory, PhysAddr};
 pub use net::{
     rdma_get, rdma_put, send_user, Cluster, Envelope, GetReq, Locality, NackReason, OpKind, Packet,

@@ -15,17 +15,16 @@
 //! this is what produces the bandwidth roll-off and message-rate ceilings in
 //! experiments E3/E4.
 
-use crate::lru::LruMap;
+use crate::flatmap::FlatTable;
 use crate::memory::PhysAddr;
 use crate::time::Time;
-use std::collections::HashMap;
 
 /// Identifies a locality (a node of the simulated cluster).
 pub type LocalityId = u32;
 
 /// A live NIC translation-table entry: where a block's bytes sit in the
 /// owner's arena.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct XlateEntry {
     /// Physical base address of the block in this locality's arena.
     pub base: PhysAddr,
@@ -47,92 +46,264 @@ pub enum Xlate {
     Miss,
 }
 
-/// The NIC-resident translation table: a capacity-bounded LRU of live
-/// entries plus an unbounded side table of forwarding tombstones.
+/// What a translation-table slot currently represents.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+enum XState {
+    /// The block is resident: the slot is on the LRU recency list.
+    Live,
+    /// The block migrated away; the slot names the next hop.
+    Forward,
+    /// Neither live nor forwarding — the slot only parks an undrained hit
+    /// counter (after an eviction or an expired forward) until the next
+    /// telemetry drain. Lookups miss.
+    #[default]
+    Ghost,
+}
+
+/// One flat-table slot payload: the live entry, the forward hop, and the
+/// inline per-entry hit counter, tagged by [`XState`].
+#[derive(Clone, Copy, Debug, Default)]
+struct XSlot {
+    entry: XlateEntry,
+    next_hop: LocalityId,
+    hits: u64,
+    state: XState,
+}
+
+/// Seed for the NIC translation table's flat map (arbitrary constant;
+/// fixed so runs are deterministic).
+const XLATE_SEED: u64 = 0x91C7_AB1E;
+
+/// The NIC-resident translation table: one flat, open-addressed,
+/// generation-tagged table ([`FlatTable`]) holding live entries (an exact
+/// LRU bounded by `capacity`), forwarding tombstones (unbounded — they are
+/// 16 B in hardware terms and short-lived), and per-entry hit counters,
+/// all inline in one slot array: a translation is a single probe sequence.
 ///
-/// Forwarding tombstones are small (16 B in hardware terms) and short-lived —
-/// the GAS layer retires them once the home directory has quiesced — so they
-/// are modeled outside the LRU capacity.
+/// Hit telemetry follows the entry through its lifecycle: it survives
+/// `retire_to_forward`, eviction, and re-installation within a balancer
+/// epoch (evicted/expired entries park their counter in a ghost slot until
+/// [`XlateTable::take_hit_telemetry`] drains it). Only
+/// [`XlateTable::invalidate`] — a block free — discards it, explicitly.
 pub struct XlateTable {
-    live: LruMap<u64, XlateEntry>,
-    forwards: HashMap<u64, LocalityId>,
-    // Per-entry hit telemetry (real NICs expose per-QP/per-entry counters;
-    // load-balancing policies read and reset these).
-    hits: HashMap<u64, u64>,
+    table: FlatTable<XSlot>,
+    capacity: usize,
+    forwards: usize,
 }
 
 impl XlateTable {
     /// Create a table with space for `capacity` live entries.
     pub fn new(capacity: usize) -> XlateTable {
         XlateTable {
-            live: LruMap::new(capacity),
-            forwards: HashMap::new(),
-            hits: HashMap::new(),
+            table: FlatTable::with_seed(XLATE_SEED),
+            capacity,
+            forwards: 0,
         }
     }
 
-    /// Translate `block_key`. Touches LRU recency on hit.
+    /// Translate `block_key`. Touches LRU recency and bumps the inline hit
+    /// counter on a live hit.
+    #[inline]
     pub fn lookup(&mut self, block_key: u64) -> Xlate {
-        if let Some(entry) = self.live.get(&block_key) {
-            let e = *entry;
-            *self.hits.entry(block_key).or_insert(0) += 1;
-            return Xlate::Hit(e);
+        match self.table.lookup(block_key) {
+            Some(s) => match s.state {
+                XState::Live => {
+                    s.hits += 1;
+                    Xlate::Hit(s.entry)
+                }
+                XState::Forward => Xlate::Forward(s.next_hop),
+                XState::Ghost => Xlate::Miss,
+            },
+            None => Xlate::Miss,
         }
-        if let Some(&next) = self.forwards.get(&block_key) {
-            return Xlate::Forward(next);
+    }
+
+    /// Evict the least-recently-used live entry — zero probes, the tail's
+    /// slot index is known. An undrained hit counter outlives the entry as
+    /// a ghost slot (the balancer still learns the block was hot here this
+    /// epoch).
+    fn evict_lru(&mut self) {
+        let hits = match self.table.tail() {
+            Some((_, s)) => {
+                debug_assert_eq!(s.state, XState::Live);
+                s.hits
+            }
+            None => return,
+        };
+        if hits > 0 {
+            let (_, s) = self.table.unlist_tail().expect("tail vanished");
+            s.state = XState::Ghost;
+            s.entry = XlateEntry::default();
+        } else {
+            self.table.remove_tail();
         }
-        Xlate::Miss
     }
 
     /// Install (or refresh) a live entry. Returns `true` if an unrelated
     /// entry was evicted to make room (capacity pressure — experiment E6).
+    /// A forward tombstone or parked hit counter under the same key is
+    /// absorbed: the hit counter carries over.
     pub fn install(&mut self, block_key: u64, entry: XlateEntry) -> bool {
-        self.forwards.remove(&block_key);
-        self.live.insert(block_key, entry).is_some()
+        if self.capacity == 0 {
+            // The "no NIC table" ablation: the install is rejected, but it
+            // still clears any forward tombstone (parking its counter).
+            if let Some(s) = self.table.get_mut(block_key) {
+                if s.state == XState::Forward {
+                    self.forwards -= 1;
+                    if s.hits > 0 {
+                        s.state = XState::Ghost;
+                    } else {
+                        self.table.remove(block_key);
+                    }
+                }
+            }
+            return true;
+        }
+        // One probe sequence places or finds the slot; listing and
+        // eviction work off slot indices after that.
+        let (idx, existed) = self.table.upsert(block_key);
+        let s = self.table.value_at(idx);
+        let was_live = existed && s.state == XState::Live;
+        if existed && s.state == XState::Forward {
+            self.forwards -= 1;
+        }
+        s.state = XState::Live;
+        s.entry = entry;
+        s.next_hop = 0;
+        self.table.promote_at(idx);
+        // The promoted entry sits at the head, so the tail (the eviction
+        // victim) is the same entry the old evict-before-insert order chose.
+        let mut evicted = false;
+        if !was_live && self.table.listed_len() > self.capacity {
+            self.evict_lru();
+            evicted = true;
+        }
+        evicted
     }
 
     /// Drop the live entry for `block_key`, leaving a forwarding tombstone
-    /// pointing at `new_owner` (called on migration hand-off).
+    /// pointing at `new_owner` (called on migration hand-off). The entry's
+    /// hit counter stays with the slot.
     pub fn retire_to_forward(&mut self, block_key: u64, new_owner: LocalityId) {
-        self.live.remove(&block_key);
-        self.forwards.insert(block_key, new_owner);
+        match self.table.get_mut(block_key) {
+            Some(s) => {
+                if s.state != XState::Forward {
+                    self.forwards += 1;
+                }
+                s.state = XState::Forward;
+                s.next_hop = new_owner;
+                s.entry = XlateEntry::default();
+                self.table.unlist(block_key);
+            }
+            None => {
+                self.table.insert(
+                    block_key,
+                    XSlot {
+                        next_hop: new_owner,
+                        state: XState::Forward,
+                        ..XSlot::default()
+                    },
+                );
+                self.forwards += 1;
+            }
+        }
     }
 
-    /// Remove any state (live or forward) for `block_key` (block freed, or
-    /// forward tombstone expired).
-    pub fn invalidate(&mut self, block_key: u64) {
-        self.live.remove(&block_key);
-        self.forwards.remove(&block_key);
-        self.hits.remove(&block_key);
+    /// Remove any state (live or forward) for `block_key` — the block was
+    /// freed. This *deliberately* discards the entry's undrained hit
+    /// telemetry (a freed block can no longer be balanced); the dropped
+    /// count is returned so callers can audit the reset. A forward whose
+    /// tombstone merely expired should use [`XlateTable::expire_forward`],
+    /// which preserves the counter.
+    pub fn invalidate(&mut self, block_key: u64) -> u64 {
+        match self.table.remove(block_key) {
+            Some(s) => {
+                if s.state == XState::Forward {
+                    self.forwards -= 1;
+                }
+                s.hits
+            }
+            None => 0,
+        }
     }
 
-    /// Drain the per-entry hit telemetry (counters reset to zero).
-    /// Load-balancing policies poll this to find hot blocks.
-    pub fn take_hit_telemetry(&mut self) -> HashMap<u64, u64> {
-        std::mem::take(&mut self.hits)
+    /// Expire a forwarding tombstone without losing telemetry: the hit
+    /// counter earned while the entry was live parks in a ghost slot until
+    /// the next [`XlateTable::take_hit_telemetry`] drain, so a re-install
+    /// of the (still-live elsewhere) block within the same balancer epoch
+    /// resumes the count. Returns whether a forward existed.
+    pub fn expire_forward(&mut self, block_key: u64) -> bool {
+        let Some(s) = self.table.get_mut(block_key) else {
+            return false;
+        };
+        if s.state != XState::Forward {
+            return false;
+        }
+        self.forwards -= 1;
+        if s.hits > 0 {
+            s.state = XState::Ghost;
+            s.next_hop = 0;
+        } else {
+            self.table.remove(block_key);
+        }
+        true
     }
 
-    /// Drop every live entry (a NIC reset / firmware fault). Forwarding
-    /// tombstones survive (they live in the NIC's persistent route table in
-    /// this model). Subsequent traffic misses and software reinstalls.
+    /// Drain the per-entry hit telemetry (counters reset to zero, parked
+    /// ghost counters are released), **sorted by block key** so consumers
+    /// (the load balancer) see a deterministic order.
+    pub fn take_hit_telemetry(&mut self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut ghosts = Vec::new();
+        for (key, s, _) in self.table.iter_mut() {
+            if s.hits > 0 {
+                out.push((key, s.hits));
+                s.hits = 0;
+            }
+            if s.state == XState::Ghost {
+                ghosts.push(key);
+            }
+        }
+        for key in ghosts {
+            self.table.remove(key);
+        }
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out
+    }
+
+    /// Drop every live entry (a NIC reset / firmware fault) and all hit
+    /// telemetry. Forwarding tombstones survive (they live in the NIC's
+    /// persistent route table in this model). Subsequent traffic misses
+    /// and software reinstalls.
     pub fn flush_live(&mut self) {
-        self.live.clear();
-        self.hits.clear();
+        let mut dead = Vec::new();
+        for (key, s, _) in self.table.iter_mut() {
+            match s.state {
+                XState::Live | XState::Ghost => dead.push(key),
+                XState::Forward => s.hits = 0,
+            }
+        }
+        for key in dead {
+            self.table.remove(key);
+        }
     }
 
     /// Number of live (non-forward) entries.
     pub fn live_entries(&self) -> usize {
-        self.live.len()
+        self.table.listed_len()
     }
 
     /// Number of forwarding tombstones.
     pub fn forward_entries(&self) -> usize {
-        self.forwards.len()
+        self.forwards
     }
 
     /// Peek a live entry without touching recency.
     pub fn peek(&self, block_key: u64) -> Option<&XlateEntry> {
-        self.live.peek(&block_key)
+        match self.table.get(block_key) {
+            Some(s) if s.state == XState::Live => Some(&s.entry),
+            _ => None,
+        }
     }
 }
 
@@ -292,5 +463,97 @@ mod tests {
             Xlate::Hit(e) => assert_eq!(e.generation, 41),
             other => panic!("expected hit, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn hit_telemetry_is_sorted_by_block_key() {
+        let mut t = XlateTable::new(16);
+        // Install in a scrambled order so slot order != key order.
+        for k in [9u64, 2, 31, 14, 5] {
+            t.install(k, entry(k * 64, 64, 1));
+        }
+        for k in [31u64, 31, 2, 14, 14, 14, 9, 5, 5] {
+            t.lookup(k);
+        }
+        let drained = t.take_hit_telemetry();
+        assert_eq!(
+            drained,
+            vec![(2, 1), (5, 2), (9, 1), (14, 3), (31, 2)],
+            "telemetry must drain sorted by block key"
+        );
+        // Counters were zeroed by the drain.
+        t.lookup(9);
+        assert_eq!(t.take_hit_telemetry(), vec![(9, 1)]);
+    }
+
+    #[test]
+    fn hits_survive_retire_and_reinstall() {
+        let mut t = XlateTable::new(8);
+        t.install(7, entry(0, 64, 1));
+        t.lookup(7);
+        t.lookup(7);
+        // Retire keeps the counter on the tombstone; reinstall resumes it.
+        t.retire_to_forward(7, 3);
+        t.install(7, entry(0x40, 64, 2));
+        t.lookup(7);
+        assert_eq!(t.take_hit_telemetry(), vec![(7, 3)]);
+    }
+
+    #[test]
+    fn hits_survive_capacity_eviction() {
+        let mut t = XlateTable::new(2);
+        t.install(1, entry(0, 64, 1));
+        t.lookup(1);
+        t.install(2, entry(64, 64, 1));
+        t.install(3, entry(128, 64, 1)); // evicts key 1 with 1 hit pending
+        assert_eq!(t.lookup(1), Xlate::Miss);
+        t.install(1, entry(0, 64, 1)); // evicts key 2 (no hits)
+        t.lookup(1);
+        assert_eq!(
+            t.take_hit_telemetry(),
+            vec![(1, 2)],
+            "eviction must not lose pending hit telemetry"
+        );
+    }
+
+    #[test]
+    fn invalidate_reports_dropped_hits() {
+        let mut t = XlateTable::new(8);
+        t.install(4, entry(0, 64, 1));
+        t.lookup(4);
+        t.lookup(4);
+        t.lookup(4);
+        assert_eq!(t.invalidate(4), 3, "invalidate returns the dropped count");
+        assert_eq!(t.invalidate(4), 0);
+        assert!(
+            t.take_hit_telemetry().is_empty(),
+            "freed blocks report no telemetry"
+        );
+    }
+
+    #[test]
+    fn expire_forward_preserves_hit_telemetry() {
+        let mut t = XlateTable::new(8);
+        t.install(7, entry(0, 64, 1));
+        t.lookup(7);
+        t.retire_to_forward(7, 3);
+        assert_eq!(t.lookup(7), Xlate::Forward(3));
+        // Expiring the tombstone ends forwarding but must keep the hit
+        // counter for the balancer's next drain (the old implementation
+        // silently dropped it).
+        assert!(t.expire_forward(7));
+        assert!(!t.expire_forward(7), "already expired");
+        assert_eq!(t.lookup(7), Xlate::Miss);
+        assert_eq!(t.forward_entries(), 0);
+        assert_eq!(t.take_hit_telemetry(), vec![(7, 1)]);
+    }
+
+    #[test]
+    fn expire_forward_without_hits_frees_the_slot() {
+        let mut t = XlateTable::new(8);
+        t.retire_to_forward(9, 2); // tombstone for a never-hit block
+        assert!(t.expire_forward(9));
+        assert_eq!(t.lookup(9), Xlate::Miss);
+        assert!(t.take_hit_telemetry().is_empty());
     }
 }

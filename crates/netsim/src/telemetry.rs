@@ -12,12 +12,32 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 static EVENTS: AtomicU64 = AtomicU64::new(0);
 static SIM_PS: AtomicU64 = AtomicU64::new(0);
+static XLATE_LOOKUPS: AtomicU64 = AtomicU64::new(0);
+static XLATE_PROBES: AtomicU64 = AtomicU64::new(0);
+static XLATE_MEMO_HITS: AtomicU64 = AtomicU64::new(0);
 
 /// Fold one finished engine run into the process totals.
 pub(crate) fn record_run(events: u64, sim_advance_ps: u64) {
     if events > 0 {
         EVENTS.fetch_add(events, Ordering::Relaxed);
         SIM_PS.fetch_add(sim_advance_ps, Ordering::Relaxed);
+    }
+}
+
+/// Fold a batch of translation-path work into the process totals.
+///
+/// Called by [`crate::flatmap::FlatTable`] (lookups/probes, batched
+/// through per-table cells and flushed on a threshold and on drop) and by
+/// the GAS layer's one-entry translation memos (`memo_hits`). `probes` is
+/// the number of slots examined; `probes / lookups` is the mean probe
+/// length of the flat tables.
+pub fn record_translation(lookups: u64, probes: u64, memo_hits: u64) {
+    if lookups > 0 {
+        XLATE_LOOKUPS.fetch_add(lookups, Ordering::Relaxed);
+        XLATE_PROBES.fetch_add(probes, Ordering::Relaxed);
+    }
+    if memo_hits > 0 {
+        XLATE_MEMO_HITS.fetch_add(memo_hits, Ordering::Relaxed);
     }
 }
 
@@ -29,6 +49,15 @@ pub struct Snapshot {
     /// Virtual picoseconds swept, summed over engine runs (a volume of
     /// simulated time, not a single clock: parallel sweeps each count).
     pub sim_ps: u64,
+    /// Translation lookups served by the flat tables (BTT, owner cache,
+    /// directory, NIC table).
+    pub xlate_lookups: u64,
+    /// Slots examined serving those lookups (`xlate_probes /
+    /// xlate_lookups` = mean probe length).
+    pub xlate_probes: u64,
+    /// Translations satisfied by a one-entry last-translation memo
+    /// (dependent-access workloads: chase, sssp).
+    pub memo_hits: u64,
 }
 
 impl Snapshot {
@@ -37,6 +66,9 @@ impl Snapshot {
         Snapshot {
             events: self.events - earlier.events,
             sim_ps: self.sim_ps - earlier.sim_ps,
+            xlate_lookups: self.xlate_lookups - earlier.xlate_lookups,
+            xlate_probes: self.xlate_probes - earlier.xlate_probes,
+            memo_hits: self.memo_hits - earlier.memo_hits,
         }
     }
 }
@@ -46,6 +78,9 @@ pub fn snapshot() -> Snapshot {
     Snapshot {
         events: EVENTS.load(Ordering::Relaxed),
         sim_ps: SIM_PS.load(Ordering::Relaxed),
+        xlate_lookups: XLATE_LOOKUPS.load(Ordering::Relaxed),
+        xlate_probes: XLATE_PROBES.load(Ordering::Relaxed),
+        memo_hits: XLATE_MEMO_HITS.load(Ordering::Relaxed),
     }
 }
 

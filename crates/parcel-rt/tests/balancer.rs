@@ -113,3 +113,44 @@ fn balancer_under_traffic_is_deterministic() {
     let _ = counted;
     assert_eq!(run(), run());
 }
+
+/// Regression test for hit-telemetry ordering: the balancer's inputs come
+/// from `XlateTable::take_hit_telemetry`, which historically drained a
+/// `HashMap` in iteration order — identical runs could hand the balancer
+/// identically-valued candidates in different orders. The drain is now
+/// sorted by block key; two identical runs must produce the identical
+/// decision sequence, observed as the exact final placement of every block
+/// (not just the migration count).
+#[test]
+fn identical_runs_make_identical_balancer_decisions() {
+    let run = || {
+        let mut rt = Runtime::builder(4, GasMode::AgasNetwork).seed(9).boot();
+        let data = rt.alloc(16, 13, Distribution::Blocked);
+        rt.start_balancer(BalancerConfig {
+            period: Time::from_us(100),
+            moves_per_round: 2,
+            min_heat: 4,
+            ..BalancerConfig::default()
+        });
+        hot_traffic(&mut rt, &data, 600);
+        rt.run();
+        rt.assert_quiescent();
+        let placement: Vec<u32> = (0..16u64)
+            .map(|i| {
+                let key = data.block(i).block_key();
+                (0..4u32)
+                    .find(|&l| rt.eng.state.gas[l as usize].btt.is_resident(key))
+                    .expect("block lost")
+            })
+            .collect();
+        (
+            rt.eng.trace_hash(),
+            rt.eng.state.balancer_stats.migrations,
+            placement,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert!(a.1 > 0, "workload never exercised a balancer decision");
+    assert_eq!(a, b, "balancer decisions diverged between identical runs");
+}
