@@ -5,6 +5,7 @@
 //! cargo run --release -p bench --bin repro -- all     # everything
 //! cargo run --release -p bench --bin repro -- e1      # one experiment
 //! cargo run --release -p bench --bin repro -- perf    # engine throughput
+//! cargo run --release -p bench --bin repro -- chaos   # fault-injection matrix
 //! cargo run --release -p bench --bin repro -- --json all
 //! ```
 //!
@@ -698,6 +699,128 @@ fn ops_dump(json: bool) {
     }
 }
 
+/// `chaos [seed]` — the fault-injection matrix (DESIGN.md §3.4): every GAS
+/// mode under seeded fault mixes with migration churn, reporting
+/// injection, recovery, and the history checker's verdict. Exits nonzero
+/// if any cell fails its gate. Fully deterministic for a given seed,
+/// including `--json` output (no wall-clock fields).
+fn chaos(json: bool, seed: u64) {
+    use netsim::FaultPlan;
+    use workloads::chaos::{corrupt_mix, drop_mix, run_chaos, ChaosConfig};
+
+    header(
+        "chaos",
+        &format!("fault-injection matrix: recovery + serializability (seed {seed})"),
+    );
+    let mixes: Vec<(&str, FaultPlan)> = vec![
+        ("lossless", FaultPlan::lossless(9 ^ seed)),
+        ("drop2", drop_mix(21 ^ seed, 0.02)),
+        ("drop5", drop_mix(33 ^ seed, 0.05)),
+        ("corrupt4", corrupt_mix(41 ^ seed, 0.04)),
+    ];
+    let cells: Vec<(GasMode, &str, FaultPlan)> = GasMode::ALL
+        .iter()
+        .flat_map(|&mode| {
+            mixes
+                .iter()
+                .map(move |(label, plan)| (mode, *label, plan.clone()))
+        })
+        .collect();
+    let rows: Vec<_> = cells
+        .par_iter()
+        .map(|(mode, label, plan)| {
+            let r = run_chaos(&ChaosConfig {
+                mode: *mode,
+                plan: plan.clone(),
+                seed,
+                rounds: 20,
+                churn: 3,
+                ..ChaosConfig::default()
+            });
+            (*mode, *label, r)
+        })
+        .collect();
+    if !json {
+        println!(
+            "{:<10} {:<9} {:>7} {:>5} {:>6} {:>8} {:>8} {:>6} {:>6} {:>7} {:>5} {:>5}",
+            "mode",
+            "mix",
+            "dropped",
+            "dup",
+            "crpt",
+            "retries",
+            "dl-retry",
+            "fwds",
+            "nacks",
+            "failed",
+            "acct",
+            "viol"
+        );
+    }
+    for (mode, label, r) in &rows {
+        if json {
+            println!(
+                concat!(
+                    "{{\"id\":\"chaos\",\"series\":\"{}/{}\",\"seed\":{},",
+                    "\"sim_time_ps\":{},\"events\":{},\"trace_hash\":{},",
+                    "\"delivered\":{},\"dropped\":{},\"duplicated\":{},",
+                    "\"corrupted\":{},\"corrupt_drops\":{},",
+                    "\"retries\":{},\"deadline_retries\":{},\"sw_fallbacks\":{},",
+                    "\"xlate_forwards\":{},\"nacks_sent\":{},",
+                    "\"issued\":{},\"acked\":{},\"ops_failed\":{},",
+                    "\"data_mismatches\":{},\"violations\":{}}}"
+                ),
+                mode.label(),
+                label,
+                seed,
+                r.end.ps(),
+                r.events,
+                r.trace_hash,
+                r.faults.delivered,
+                r.faults.total_drops(),
+                r.faults.duplicated,
+                r.faults.corrupted,
+                r.faults.corrupt_drops,
+                r.gas.retries,
+                r.gas.deadline_retries,
+                r.gas.sw_fallbacks,
+                r.net.xlate_forwards,
+                r.net.nacks_sent,
+                r.issued(),
+                r.acked(),
+                r.op_failures,
+                r.data_mismatches,
+                r.violations.len(),
+            );
+        } else {
+            println!(
+                "{:<10} {:<9} {:>7} {:>5} {:>6} {:>8} {:>8} {:>6} {:>6} {:>7} {:>5} {:>5}",
+                mode.label(),
+                label,
+                r.faults.total_drops(),
+                r.faults.duplicated,
+                r.faults.corrupted + r.faults.corrupt_drops,
+                r.gas.retries,
+                r.gas.deadline_retries,
+                r.net.xlate_forwards,
+                r.net.nacks_sent,
+                r.op_failures,
+                if r.accounted() { "ok" } else { "LEAK" },
+                r.violations.len()
+            );
+        }
+    }
+    let bad: Vec<_> = rows
+        .iter()
+        .filter(|(_, _, r)| !r.passed())
+        .map(|(mode, label, _)| format!("{}/{}", mode.label(), label))
+        .collect();
+    if !bad.is_empty() {
+        eprintln!("chaos cells FAILED: {}", bad.join(", "));
+        std::process::exit(1);
+    }
+}
+
 /// Engine throughput on hot-path workloads (wall-clock events/sec).
 fn perf(json: bool) {
     header(
@@ -853,17 +976,27 @@ fn main() {
     match what.as_str() {
         "perf" => perf(json),
         "ops" => ops_dump(json),
+        "chaos" => {
+            let seed = args
+                .iter()
+                .filter(|a| !a.starts_with('-'))
+                .nth(1)
+                .and_then(|a| a.parse().ok())
+                .unwrap_or(101);
+            chaos(json, seed);
+        }
         "all" => {
             for (name, f) in &experiments {
                 run_one(name, f);
             }
             perf(json);
+            chaos(json, 101);
         }
         id => match experiments.iter().find(|(name, _)| *name == id) {
             Some((name, f)) => run_one(name, f),
             None => {
                 eprintln!(
-                    "unknown experiment {id:?}; use one of: all perf ops {}",
+                    "unknown experiment {id:?}; use one of: all perf ops chaos {}",
                     experiments
                         .iter()
                         .map(|(n, _)| *n)

@@ -67,6 +67,17 @@ pub struct GasConfig {
     pub op_deadline: Option<Time>,
     /// How often the deadline sweep wakes while ops are in flight.
     pub sweep_interval: Time,
+    /// When the deadline sweep reclaims an op that still has bounce budget
+    /// left, retry it through the directory-recovery path instead of
+    /// failing it — the recovery mode for messages *lost* by the fault
+    /// plane (a lost completion otherwise looks identical to a slow one).
+    /// Off by default: it perturbs no schedule and keeps the legacy
+    /// fail-on-deadline semantics.
+    pub retry_on_deadline: bool,
+    /// Record every put/get/migrate issued or handled here into
+    /// [`crate::GasLocal::history`] for the serializability checker. Off by
+    /// default (zero cost, zero memory growth).
+    pub record_history: bool,
 }
 
 impl Default for GasConfig {
@@ -81,6 +92,8 @@ impl Default for GasConfig {
             retry_backoff: Time::from_ns(400),
             op_deadline: None,
             sweep_interval: Time::from_ns(2_000),
+            retry_on_deadline: false,
+            record_history: false,
         }
     }
 }

@@ -34,7 +34,10 @@ pub mod ops;
 pub use alloc::{alloc_array, free_array, GlobalArray, PgasMap};
 pub use btt::{BlockState, Btt, BttEntry};
 pub use cache::{OwnerCache, OwnerHint};
-pub use check::{assert_consistent, check_blocks, Violation};
+pub use check::{
+    assert_consistent, check_blocks, check_history, check_history_events, value_hash, HistEvent,
+    HistKind, Violation,
+};
 pub use config::{GasConfig, GasMode};
 pub use directory::{Directory, OwnerRec};
 pub use dist::Distribution;
@@ -238,6 +241,10 @@ pub struct GasStats {
     pub protocol_violations: u64,
     /// Ops reclaimed by the deadline sweep.
     pub deadline_exceeded: u64,
+    /// Sweep-reclaimed ops re-issued through directory recovery instead of
+    /// failed ([`GasConfig::retry_on_deadline`] — the lost-message recovery
+    /// path under fault injection).
+    pub deadline_retries: u64,
     /// Ops delivered to the initiator as failed (deadline or retry budget).
     pub ops_failed: u64,
 }
@@ -333,6 +340,13 @@ pub(crate) struct PendingOp {
     /// software (two-sided) path, as real network-managed tables do under
     /// capacity thrash.
     pub force_sw: bool,
+    /// The endpoint-table handle of the op's current photon attempt, so a
+    /// bounce can retire it and a completion of a superseded attempt is
+    /// recognized as stale rather than double-completing.
+    pub attempt: Option<OpId>,
+    /// Index of this op's [`HistEvent`] in the issuing locality's history
+    /// log (only when [`GasConfig::record_history`] is on).
+    pub hist: Option<usize>,
 }
 
 pub(crate) struct MovingState {
@@ -367,6 +381,9 @@ pub struct GasLocal {
     pub stats: GasStats,
     /// Terminal-event rollup for the ops issued here.
     pub outcomes: OutcomeCounters,
+    /// Serializability-checker log of every put/get/migrate observed here
+    /// (empty unless [`GasConfig::record_history`] is on).
+    pub history: Vec<HistEvent>,
     pub(crate) pending: OpTable<PendingOp>,
     pub(crate) next_seq: HashMap<u8, u64>,
     pub(crate) moving: HashMap<u64, MovingState>,
@@ -390,6 +407,7 @@ impl GasLocal {
             get_latency: netsim::LogHistogram::new(),
             stats: GasStats::default(),
             outcomes: OutcomeCounters::default(),
+            history: Vec::new(),
             pending: OpTable::new(),
             next_seq: HashMap::new(),
             moving: HashMap::new(),

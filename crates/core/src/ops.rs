@@ -29,11 +29,14 @@
 //!
 //! [`GasConfig::op_deadline`]: crate::GasConfig::op_deadline
 
+use crate::check::value_hash;
 use crate::gva::Gva;
-use crate::{GasMode, GasMsg, GasWorld, OpPayload, OpPhase, OwnerHint, PendingOp};
+use crate::{
+    GasMode, GasMsg, GasWorld, HistEvent, HistKind, OpPayload, OpPhase, OwnerHint, PendingOp,
+};
 use netsim::{
-    send_user, Engine, LocalityId, NackReason, OpError, OpId, OpKind, OpOutcome, PhysAddr,
-    RdmaTarget, Time, TraceKind,
+    send_user, send_user_classed, Engine, FaultClass, LocalityId, NackReason, OpError, OpId,
+    OpKind, OpOutcome, PhysAddr, RdmaTarget, Time, TraceKind,
 };
 use photon::{pwc_get, pwc_put};
 
@@ -48,6 +51,52 @@ fn record_latency<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, p: &Pending
     match p.payload {
         OpPayload::Put { .. } => g.put_latency.record(ns),
         OpPayload::Get { .. } => g.get_latency.record(ns),
+    }
+}
+
+/// Append the issue-side history event for an op (history recording on).
+fn hist_issue(
+    g: &mut crate::GasLocal,
+    loc: LocalityId,
+    kind: HistKind,
+    gva: Gva,
+    len: u32,
+    value: u64,
+    now: Time,
+) -> Option<usize> {
+    if !g.cfg.record_history {
+        return None;
+    }
+    g.history.push(HistEvent {
+        kind,
+        block: gva.block_key(),
+        offset: gva.offset(),
+        len,
+        value,
+        issued: now,
+        done: None,
+        ok: false,
+        loc,
+    });
+    Some(g.history.len() - 1)
+}
+
+/// Mark an op's history event complete (and, for gets, record the value
+/// fingerprint the initiator observed).
+fn hist_done<S: GasWorld>(
+    eng: &mut Engine<S>,
+    loc: LocalityId,
+    hist: Option<usize>,
+    now: Time,
+    value: Option<u64>,
+) {
+    if let Some(i) = hist {
+        let e = &mut eng.state.gas(loc).history[i];
+        e.done = Some(now);
+        e.ok = true;
+        if let Some(v) = value {
+            e.value = v;
+        }
     }
 }
 
@@ -125,6 +174,12 @@ pub fn memput<S: GasWorld>(
     let g = eng.state.gas(loc);
     g.stats.puts += 1;
     let deadline = g.cfg.op_deadline.map(|d| now + d);
+    let vhash = if g.cfg.record_history {
+        value_hash(&data)
+    } else {
+        0
+    };
+    let hist = hist_issue(g, loc, HistKind::Put, gva, data.len() as u32, vhash, now);
     let op = g.pending.insert(PendingOp {
         payload: OpPayload::Put { data },
         gva,
@@ -134,6 +189,8 @@ pub fn memput<S: GasWorld>(
         deadline,
         phase: OpPhase::Issued,
         force_sw: false,
+        attempt: None,
+        hist,
     });
     open_span(eng, loc, op);
     arm_sweep(eng, loc);
@@ -153,6 +210,7 @@ pub fn memget<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, gva: Gva, len: 
     let g = eng.state.gas(loc);
     g.stats.gets += 1;
     let deadline = g.cfg.op_deadline.map(|d| now + d);
+    let hist = hist_issue(g, loc, HistKind::Get, gva, len, 0, now);
     let op = g.pending.insert(PendingOp {
         payload: OpPayload::Get { len, scratch: None },
         gva,
@@ -162,6 +220,8 @@ pub fn memget<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, gva: Gva, len: 
         deadline,
         phase: OpPhase::Issued,
         force_sw: false,
+        attempt: None,
+        hist,
     });
     open_span(eng, loc, op);
     arm_sweep(eng, loc);
@@ -258,6 +318,7 @@ fn issue_sw<S: GasWorld>(
             return;
         };
         p.phase = OpPhase::Sw;
+        p.attempt = None; // any earlier photon attempt is superseded
         match &p.payload {
             OpPayload::Put { data } => (
                 GasMsg::SwPut {
@@ -281,7 +342,14 @@ fn issue_sw<S: GasWorld>(
             ),
         }
     };
-    send_user(eng, loc, target_loc, wire, S::wrap_gas(msg));
+    send_user_classed(
+        eng,
+        loc,
+        target_loc,
+        wire,
+        S::wrap_gas(msg),
+        FaultClass::Request,
+    );
 }
 
 /// One BTT probe answering "resident here?" and, when yes, at what base —
@@ -329,7 +397,10 @@ fn issue_rdma<S: GasWorld>(
                 OpPayload::Get { .. } => unreachable!(),
             }
         };
-        pwc_put(eng, loc, target_loc, target, data, op, None, None);
+        let att = pwc_put(eng, loc, target_loc, target, data, op, None, None);
+        if let Ok(p) = eng.state.gas(loc).pending.get_mut(op) {
+            p.attempt = Some(att);
+        }
     } else {
         // Ensure a scratch landing buffer exists (reused across retries).
         let (len, scratch) = {
@@ -364,7 +435,10 @@ fn issue_rdma<S: GasWorld>(
         };
         let _ = class;
         // Scratch buffers come from the runtime's pre-registered pool.
-        pwc_get(eng, loc, target_loc, target, len, addr, op, None);
+        let att = pwc_get(eng, loc, target_loc, target, len, addr, op, None);
+        if let Ok(p) = eng.state.gas(loc).pending.get_mut(op) {
+            p.attempt = Some(att);
+        }
     }
 }
 
@@ -417,6 +491,7 @@ fn commit_local<S: GasWorld>(
     };
     record_latency(eng, loc, &p, now + delay);
     finish_ok(eng, loc, op);
+    let hist = p.hist;
     match p.payload {
         OpPayload::Put { data } => {
             eng.state
@@ -424,6 +499,7 @@ fn commit_local<S: GasWorld>(
                 .mem_mut(loc)
                 .write(phys, &data)
                 .expect("local memput out of bounds");
+            hist_done(eng, loc, hist, now, None);
             let ctx = p.ctx;
             eng.schedule(delay, move |eng| S::gas_put_done(eng, loc, ctx));
         }
@@ -438,6 +514,8 @@ fn commit_local<S: GasWorld>(
                 .read(phys, len as usize)
                 .expect("local memget out of bounds")
                 .to_vec();
+            let vhash = hist.map(|_| value_hash(&data));
+            hist_done(eng, loc, hist, now, vhash);
             let ctx = p.ctx;
             eng.schedule(delay, move |eng| S::gas_get_done(eng, loc, ctx, data));
         }
@@ -449,11 +527,12 @@ fn commit_local<S: GasWorld>(
 /// [`OpError::RetriesExhausted`] instead of asserting.
 fn bounce<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, op: OpId, block: u64) {
     let home = Gva(block).home();
-    let (give_up, attempts) = {
+    let (give_up, attempts, stale_attempt) = {
         let g = eng.state.gas(loc);
         let Ok(p) = g.pending.get_mut(op) else {
             return; // completed (or reclaimed) concurrently; nothing to retry
         };
+        let stale_attempt = p.attempt.take();
         p.attempts += 1;
         p.phase = OpPhase::DirRecovery;
         let attempts = p.attempts;
@@ -471,8 +550,14 @@ fn bounce<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, op: OpId, block: u6
             g.stats.sw_fallbacks += 1;
         }
         g.outcomes.record(OpOutcome::Retried { attempt: attempts });
-        (attempts > g.cfg.max_attempts, attempts)
+        (attempts > g.cfg.max_attempts, attempts, stale_attempt)
     };
+    // Retire the superseded photon attempt so a late echo of it (a delayed
+    // or duplicated completion) is dropped as stale instead of completing
+    // the re-issued op, and so a lost completion can't leak endpoint state.
+    if let Some(att) = stale_attempt {
+        eng.state.endpoint(loc).cancel_op(att);
+    }
     if give_up {
         let Ok(p) = eng.state.gas(loc).pending.remove(op) else {
             return;
@@ -492,7 +577,7 @@ fn bounce<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, op: OpId, block: u6
         return;
     }
     let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
-    send_user(
+    send_user_classed(
         eng,
         loc,
         home,
@@ -502,6 +587,7 @@ fn bounce<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, op: OpId, block: u6
             ctx: op,
             reply_to: loc,
         }),
+        FaultClass::Request,
     );
 }
 
@@ -527,6 +613,46 @@ pub(crate) fn arm_sweep<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId) {
 /// failure instead of a hang.
 fn sweep<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId) {
     let now = eng.now();
+    let (retry_on, max_attempts, op_deadline) = {
+        let g = eng.state.gas(loc);
+        (
+            g.cfg.retry_on_deadline,
+            g.cfg.max_attempts,
+            g.cfg.op_deadline,
+        )
+    };
+    // Recovery mode ([`GasConfig::retry_on_deadline`]): an expired op that
+    // still has bounce budget is presumed to have *lost* a message (the
+    // fault plane dropped a request or completion) rather than merely being
+    // slow; re-resolve it through the home directory instead of failing it.
+    // The deadline is refreshed so the next sweep leaves the retry alone.
+    if retry_on {
+        let extension = op_deadline.expect("sweep runs only with deadlines configured");
+        let candidates: Vec<(OpId, u64)> = eng
+            .state
+            .gas(loc)
+            .pending
+            .iter()
+            .filter(|(_, p)| p.deadline.is_some_and(|d| d <= now) && p.attempts < max_attempts)
+            .map(|(id, p)| (id, p.gva.block_key()))
+            .collect();
+        for (id, block) in candidates {
+            let already_scheduled = {
+                let g = eng.state.gas(loc);
+                let Ok(p) = g.pending.get_mut(id) else {
+                    continue;
+                };
+                p.deadline = Some(now + extension);
+                // A Backoff-phase op already has its re-issue scheduled;
+                // extending the deadline is the whole recovery.
+                p.phase == OpPhase::Backoff
+            };
+            if !already_scheduled {
+                eng.state.gas(loc).stats.deadline_retries += 1;
+                bounce(eng, loc, id, block);
+            }
+        }
+    }
     let expired = eng
         .state
         .gas(loc)
@@ -571,6 +697,7 @@ pub fn on_pwc_complete<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, ctx: O
     record_latency(eng, loc, &p, now);
     match p.payload {
         OpPayload::Put { .. } => {
+            hist_done(eng, loc, p.hist, now, None);
             finish_ok(eng, loc, ctx);
             S::gas_put_done(eng, loc, p.ctx);
         }
@@ -602,6 +729,8 @@ pub fn on_pwc_complete<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, ctx: O
                 .expect("scratch vanished")
                 .to_vec();
             eng.state.cluster().mem_mut(loc).free_block(addr, class);
+            let vhash = p.hist.map(|_| value_hash(&data));
+            hist_done(eng, loc, p.hist, now, vhash);
             finish_ok(eng, loc, ctx);
             S::gas_get_done(eng, loc, p.ctx, data);
         }
@@ -682,6 +811,7 @@ pub fn handle_msg<S: GasWorld>(eng: &mut Engine<S>, from: LocalityId, at: Locali
             };
             let now = eng.now();
             record_latency(eng, at, &p, now);
+            hist_done(eng, at, p.hist, now, None);
             finish_ok(eng, at, ctx);
             S::gas_put_done(eng, at, p.ctx);
         }
@@ -704,6 +834,8 @@ pub fn handle_msg<S: GasWorld>(eng: &mut Engine<S>, from: LocalityId, at: Locali
                 // scratch buffer from an earlier RDMA attempt.
                 eng.state.cluster().mem_mut(at).free_block(addr, class);
             }
+            let vhash = p.hist.map(|_| value_hash(&data));
+            hist_done(eng, at, p.hist, now, vhash);
             finish_ok(eng, at, ctx);
             S::gas_get_done(eng, at, p.ctx, data);
         }
@@ -731,7 +863,7 @@ pub fn handle_msg<S: GasWorld>(eng: &mut Engine<S>, from: LocalityId, at: Locali
             eng.schedule_at(finish, move |eng| {
                 let rec = eng.state.gas(at).dir.lookup(block);
                 let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
-                send_user(
+                send_user_classed(
                     eng,
                     at,
                     reply_to,
@@ -742,6 +874,7 @@ pub fn handle_msg<S: GasWorld>(eng: &mut Engine<S>, from: LocalityId, at: Locali
                         generation: rec.generation,
                         ctx,
                     }),
+                    FaultClass::Completion,
                 );
             });
         }
@@ -821,7 +954,25 @@ pub fn handle_msg<S: GasWorld>(eng: &mut Engine<S>, from: LocalityId, at: Locali
         }
         GasMsg::MigAck { block } => crate::migrate::on_mig_ack(eng, at, block),
         GasMsg::MigDone { ctx, block } => {
-            eng.state.gas(at).stats.migrations_done += 1;
+            let g = eng.state.gas(at);
+            g.stats.migrations_done += 1;
+            if g.cfg.record_history {
+                // Context for history reports: when this block last moved
+                // (migration preserves contents, so it carries no value).
+                let now = eng.now();
+                let g = eng.state.gas(at);
+                g.history.push(HistEvent {
+                    kind: HistKind::Migrate,
+                    block,
+                    offset: 0,
+                    len: 0,
+                    value: 0,
+                    issued: now,
+                    done: Some(now),
+                    ok: true,
+                    loc: at,
+                });
+            }
             S::gas_migrate_done(eng, at, ctx, block);
         }
         GasMsg::FreeRequest {
@@ -907,21 +1058,23 @@ fn run_sw_access<S: GasWorld>(eng: &mut Engine<S>, at: LocalityId, msg: GasMsg) 
                     .write(e.base + offset, &data)
                     .expect("BTT entry points outside arena");
                 eng.state.gas(at).stats.sw_puts_handled += 1;
-                send_user(
+                send_user_classed(
                     eng,
                     at,
                     reply_to,
                     ctrl,
                     S::wrap_gas(GasMsg::SwPutAck { ctx }),
+                    FaultClass::Completion,
                 );
             }
             None => {
-                send_user(
+                send_user_classed(
                     eng,
                     at,
                     reply_to,
                     ctrl,
                     S::wrap_gas(GasMsg::SwRetry { ctx, block }),
+                    FaultClass::Completion,
                 );
             }
         },
@@ -945,21 +1098,23 @@ fn run_sw_access<S: GasWorld>(eng: &mut Engine<S>, at: LocalityId, msg: GasMsg) 
                     .expect("BTT entry points outside arena")
                     .to_vec();
                 eng.state.gas(at).stats.sw_gets_handled += 1;
-                send_user(
+                send_user_classed(
                     eng,
                     at,
                     reply_to,
                     len,
                     S::wrap_gas(GasMsg::SwGetReply { ctx, data }),
+                    FaultClass::Completion,
                 );
             }
             None => {
-                send_user(
+                send_user_classed(
                     eng,
                     at,
                     reply_to,
                     ctrl,
                     S::wrap_gas(GasMsg::SwRetry { ctx, block }),
+                    FaultClass::Completion,
                 );
             }
         },

@@ -267,6 +267,101 @@ fn migration_counters_track_moves() {
 }
 
 #[test]
+fn forward_chains_of_depth_k_resolve_with_exactly_k_hops() {
+    // Build a k-deep NIC forwarding chain (the block hops 1 → 2 → … → 1+k
+    // while locality 0 keeps its original owner hint) and verify a single
+    // stale get traverses exactly k Forward tombstones before committing.
+    for k in 0..=4usize {
+        let net = NetConfig {
+            forward_ttl: 5, // chain depth 4 needs ttl ≥ 4 to avoid NACKs
+            ..NetConfig::ideal()
+        };
+        let mut eng = Engine::new(World::new(6, GasMode::AgasNetwork, net), 42);
+        let arr = alloc_array(&mut eng, 6, 12, Distribution::Cyclic);
+        let gva = arr.block(1); // homed and initially owned at 1
+        memput(&mut eng, 0, gva, vec![0x77; 64], OpId::from_raw(1));
+        eng.run(); // locality 0 now caches owner = 1
+        for i in 0..k {
+            migrate_block(
+                &mut eng,
+                1,
+                gva,
+                2 + i as u32,
+                OpId::from_raw(10 + i as u64),
+            );
+            eng.run();
+            assert!(mig_done(&eng, 10 + i as u64), "k={k} hop {i}");
+        }
+        let before = eng.state.cluster.total_counters().xlate_forwards;
+        memget(&mut eng, 0, gva, 64, OpId::from_raw(99));
+        eng.run();
+        assert_eq!(get_data(&eng, 99).unwrap(), vec![0x77; 64], "k={k}");
+        let forwards = eng.state.cluster.total_counters().xlate_forwards - before;
+        assert_eq!(forwards, k as u64, "k={k}: wrong forwarding-chain depth");
+        assert_consistent(&eng, &arr.blocks);
+    }
+}
+
+#[test]
+fn expired_forward_tombstone_recovers_via_directory() {
+    // Ghost-slot expiry: the old owner reclaimed its Forward tombstone
+    // (capacity pressure) before a stale reader arrived. The reader must
+    // get a Miss NACK and recover through the home directory.
+    let mut eng = engine(4, GasMode::AgasNetwork);
+    let arr = alloc_array(&mut eng, 4, 12, Distribution::Cyclic);
+    let gva = arr.block(1);
+    memput(&mut eng, 0, gva, vec![0x3C; 32], OpId::from_raw(1));
+    eng.run();
+    migrate_block(&mut eng, 1, gva, 2, OpId::from_raw(2));
+    eng.run();
+    assert!(mig_done(&eng, 2));
+    assert!(
+        eng.state
+            .cluster
+            .loc_mut(1)
+            .nic
+            .xlate
+            .expire_forward(gva.block_key()),
+        "old owner should hold a live tombstone"
+    );
+    let nacks_before = eng.state.cluster.total_counters().nacks_sent;
+    let retries_before = eng.state.gas[0].stats.retries;
+    memget(&mut eng, 0, gva, 32, OpId::from_raw(3)); // stale hint → locality 1
+    eng.run();
+    assert_eq!(get_data(&eng, 3).unwrap(), vec![0x3C; 32]);
+    assert!(
+        eng.state.cluster.total_counters().nacks_sent > nacks_before,
+        "expired tombstone must NACK rather than forward"
+    );
+    assert!(
+        eng.state.gas[0].stats.retries > retries_before,
+        "recovery must go through the bounce path"
+    );
+    assert_consistent(&eng, &arr.blocks);
+}
+
+#[test]
+fn get_racing_a_second_migration_returns_fresh_data() {
+    for mode in [GasMode::AgasSoftware, GasMode::AgasNetwork] {
+        let mut eng = engine(4, mode);
+        let arr = alloc_array(&mut eng, 2, 16, Distribution::Cyclic); // 64 KiB: long handoff
+        let gva = arr.block(1);
+        memput(&mut eng, 0, gva, vec![0x9D; 256], OpId::from_raw(1));
+        eng.run();
+        // First migration; a get and a *second* migration are injected while
+        // the first handoff is still in flight.
+        migrate_block(&mut eng, 0, gva, 2, OpId::from_raw(2));
+        eng.run_steps(30);
+        memget(&mut eng, 3, gva, 256, OpId::from_raw(3));
+        migrate_block(&mut eng, 0, gva, 1, OpId::from_raw(4));
+        eng.run();
+        assert!(mig_done(&eng, 2) && mig_done(&eng, 4), "{mode:?}");
+        assert_eq!(get_data(&eng, 3).unwrap(), vec![0x9D; 256], "{mode:?}");
+        assert_consistent(&eng, &arr.blocks);
+    }
+}
+
+#[test]
 fn concurrent_migrations_of_same_block_serialize() {
     let mut eng = engine(4, GasMode::AgasNetwork);
     let arr = alloc_array(&mut eng, 2, 12, Distribution::Cyclic);

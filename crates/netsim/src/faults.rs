@@ -1,0 +1,598 @@
+//! Deterministic network fault injection.
+//!
+//! Every non-loopback message the cluster moves can be routed through a
+//! [`FaultPlane`]: a seed-driven adversary that drops, duplicates, delays,
+//! and corrupts traffic according to a declarative [`FaultPlan`]. Two
+//! properties make it usable as a *test* instrument rather than a noise
+//! generator:
+//!
+//! 1. **Reproducibility.** The plane owns a private [`Xoshiro256`] stream
+//!    seeded from `plan.seed`, independent of the engine's RNG. A chaos run
+//!    is a pure function of `(engine seed, FaultPlan)` — rerunning it
+//!    yields bit-identical schedules, counters, and trace hashes.
+//! 2. **Pay-for-what-you-use.** A lossless plan (all rates zero, no
+//!    windows) takes a draw-free early-out in [`FaultPlane::decide`], so
+//!    installing it perturbs neither the engine RNG nor the event
+//!    schedule: golden trace pins recorded without a fault plane must stay
+//!    bit-for-bit identical with a lossless one installed (see
+//!    `crates/core/tests/faults_shadow.rs`).
+//!
+//! Not every message is fair game. The GAS/photon stack retransmits
+//! *requests* (deadline sweep + bounce) and tolerates duplicate
+//! *completions* (generation-checked [`crate::optable::OpTable`] ids), but
+//! migration-protocol control traffic and photon rendezvous control
+//! messages have no retransmit path — dropping them would wedge the run
+//! rather than exercise recovery. [`FaultClass`] encodes which torture a
+//! message can survive; senders label their traffic, the plane respects
+//! the label.
+
+use crate::nic::LocalityId;
+use crate::rng::Xoshiro256;
+use crate::time::Time;
+
+/// How much abuse a message can survive, declared by its sender.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Protocol traffic with no recovery path (migration/free control
+    /// messages, photon rendezvous control, loopback). Never touched.
+    Bypass,
+    /// A retried request (RDMA put/get issue + forwarding hops, SwPut /
+    /// SwGet / DirQuery). May be dropped, duplicated, or delayed; a
+    /// corruption draw *degrades to a drop*, modeling a link-level CRC
+    /// discard — one-sided data has no end-to-end checksum, so delivering
+    /// it corrupted would silently poison memory.
+    Request,
+    /// A completion (PutDone / GetDone / Nack, get data response,
+    /// SwPutAck / SwGetReply / SwRetry / DirReply). May be dropped,
+    /// duplicated, or delayed; the initiator's deadline/retry machinery
+    /// and generation-checked op table absorb the abuse.
+    Completion,
+    /// Checksummed payload bytes (parcel rendezvous data). May be delayed
+    /// or *delivered corrupted* — the parcel checksum added in
+    /// `parcel-rt::codec` detects it at decode. Never dropped or
+    /// duplicated: photon's send path has no payload retransmit.
+    Payload,
+}
+
+impl FaultClass {
+    fn faultable(self) -> bool {
+        !matches!(self, FaultClass::Bypass)
+    }
+}
+
+/// Per-link fault probabilities and delay-spike distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultRates {
+    /// Probability a message is silently dropped.
+    pub drop: f64,
+    /// Probability a message is delivered twice (second copy re-delayed).
+    pub dup: f64,
+    /// Probability a message's bytes are corrupted in flight.
+    pub corrupt: f64,
+    /// Probability a message suffers an extra delay spike.
+    pub delay_p: f64,
+    /// Minimum delay spike (ns).
+    pub delay_min_ns: u64,
+    /// Maximum delay spike (ns).
+    pub delay_max_ns: u64,
+}
+
+impl FaultRates {
+    /// All-zero rates: the plane never draws for this link.
+    pub const fn lossless() -> FaultRates {
+        FaultRates {
+            drop: 0.0,
+            dup: 0.0,
+            corrupt: 0.0,
+            delay_p: 0.0,
+            delay_min_ns: 0,
+            delay_max_ns: 0,
+        }
+    }
+
+    /// Uniform drop/dup/corrupt at `p` each, no delay spikes.
+    pub const fn uniform(p: f64) -> FaultRates {
+        FaultRates {
+            drop: p,
+            dup: p,
+            corrupt: p,
+            delay_p: 0.0,
+            delay_min_ns: 0,
+            delay_max_ns: 0,
+        }
+    }
+
+    fn is_lossless(&self) -> bool {
+        self.drop == 0.0 && self.dup == 0.0 && self.corrupt == 0.0 && self.delay_p == 0.0
+    }
+}
+
+/// A scheduled total outage of one directed link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkFlap {
+    /// Source locality of the flapping link.
+    pub src: LocalityId,
+    /// Destination locality of the flapping link.
+    pub dst: LocalityId,
+    /// Window start (inclusive).
+    pub from: Time,
+    /// Window end (exclusive).
+    pub to: Time,
+}
+
+/// A scheduled partition: traffic crossing between `group_a` and its
+/// complement is dropped for the window's duration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    /// Window start (inclusive).
+    pub from: Time,
+    /// Window end (exclusive).
+    pub to: Time,
+    /// One side of the cut; everything else is the other side.
+    pub group_a: Vec<LocalityId>,
+}
+
+/// Declarative description of a chaos run: seed + rates + scheduled events.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the plane's private RNG stream.
+    pub seed: u64,
+    /// Default rates for every directed link.
+    pub rates: FaultRates,
+    /// Per-link overrides, replacing `rates` for that (src, dst) pair.
+    pub link_rates: Vec<(LocalityId, LocalityId, FaultRates)>,
+    /// Scheduled single-link outages.
+    pub flaps: Vec<LinkFlap>,
+    /// Scheduled cluster partitions.
+    pub partitions: Vec<Partition>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing: installing it must not perturb any
+    /// schedule (verified by the shadow trace pins).
+    pub fn lossless(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rates: FaultRates::lossless(),
+            link_rates: Vec::new(),
+            flaps: Vec::new(),
+            partitions: Vec::new(),
+        }
+    }
+
+    /// Uniform drop/dup/corrupt at `p` on every link.
+    pub fn uniform(seed: u64, p: f64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rates: FaultRates::uniform(p),
+            link_rates: Vec::new(),
+            flaps: Vec::new(),
+            partitions: Vec::new(),
+        }
+    }
+}
+
+/// Injection counters, split by what actually happened.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Faultable messages that passed through untouched.
+    pub delivered: u64,
+    /// Messages dropped by a rate draw.
+    pub dropped: u64,
+    /// Messages delivered twice.
+    pub duplicated: u64,
+    /// Messages hit by a delay spike.
+    pub delayed: u64,
+    /// Payload messages delivered with corrupted bytes.
+    pub corrupted: u64,
+    /// Request-class corruption draws degraded to link-CRC drops.
+    pub corrupt_drops: u64,
+    /// Messages dropped inside a link-flap window.
+    pub flap_drops: u64,
+    /// Messages dropped crossing an active partition.
+    pub partition_drops: u64,
+}
+
+impl FaultStats {
+    /// Total messages the plane removed from the network.
+    pub fn total_drops(&self) -> u64 {
+        self.dropped + self.corrupt_drops + self.flap_drops + self.partition_drops
+    }
+}
+
+/// What the plane decided for one message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultVerdict {
+    /// Deliver, possibly late / twice / corrupted.
+    Deliver {
+        /// Extra latency to add to the scheduled arrival.
+        extra_delay: Time,
+        /// Deliver a second copy (delayed by a fresh spike draw).
+        duplicate: bool,
+        /// Nonzero ⇒ apply [`apply_corruption`] to the payload bytes.
+        corrupt_mask: u64,
+    },
+    /// The message vanishes.
+    Drop,
+}
+
+impl FaultVerdict {
+    /// The verdict for untouched traffic.
+    pub const CLEAN: FaultVerdict = FaultVerdict::Deliver {
+        extra_delay: Time::ZERO,
+        duplicate: false,
+        corrupt_mask: 0,
+    };
+}
+
+/// The live injector: a plan plus its private RNG stream and counters.
+#[derive(Clone, Debug)]
+pub struct FaultPlane {
+    /// The installed plan.
+    pub plan: FaultPlan,
+    /// Injection counters.
+    pub stats: FaultStats,
+    rng: Xoshiro256,
+    lossless: bool,
+}
+
+impl FaultPlane {
+    /// Build the injector for `plan`.
+    pub fn new(plan: FaultPlan) -> FaultPlane {
+        let rng = Xoshiro256::seed_from_u64(plan.seed);
+        let lossless = plan.rates.is_lossless()
+            && plan.link_rates.iter().all(|(_, _, r)| r.is_lossless())
+            && plan.flaps.is_empty()
+            && plan.partitions.is_empty();
+        FaultPlane {
+            plan,
+            stats: FaultStats::default(),
+            rng,
+            lossless,
+        }
+    }
+
+    fn rates_for(&self, src: LocalityId, dst: LocalityId) -> FaultRates {
+        for &(s, d, r) in &self.plan.link_rates {
+            if s == src && d == dst {
+                return r;
+            }
+        }
+        self.plan.rates
+    }
+
+    /// Is (src, dst) severed by a flap or partition at `now`?
+    fn window_drop(&self, now: Time, src: LocalityId, dst: LocalityId) -> Option<bool> {
+        for f in &self.plan.flaps {
+            if f.src == src && f.dst == dst && f.from <= now && now < f.to {
+                return Some(true); // flap
+            }
+        }
+        for p in &self.plan.partitions {
+            if p.from <= now && now < p.to {
+                let a_src = p.group_a.contains(&src);
+                let a_dst = p.group_a.contains(&dst);
+                if a_src != a_dst {
+                    return Some(false); // partition
+                }
+            }
+        }
+        None
+    }
+
+    /// Decide the fate of one message.
+    ///
+    /// `can_dup` is false for messages the caller cannot clone (user
+    /// messages carry an opaque `Protocol::Msg`); the dup draw is still
+    /// made so the stream is independent of payload type, but the verdict
+    /// suppresses the duplicate.
+    pub fn decide(
+        &mut self,
+        now: Time,
+        src: LocalityId,
+        dst: LocalityId,
+        class: FaultClass,
+        can_dup: bool,
+    ) -> FaultVerdict {
+        if !class.faultable() {
+            return FaultVerdict::CLEAN;
+        }
+        // Draw-free early-out: a lossless plan must not advance the
+        // stream, so installing it is schedule-invisible.
+        if self.lossless {
+            self.stats.delivered += 1;
+            return FaultVerdict::CLEAN;
+        }
+        if let Some(flap) = self.window_drop(now, src, dst) {
+            if flap {
+                self.stats.flap_drops += 1;
+            } else {
+                self.stats.partition_drops += 1;
+            }
+            return FaultVerdict::Drop;
+        }
+        let rates = self.rates_for(src, dst);
+        if rates.is_lossless() {
+            self.stats.delivered += 1;
+            return FaultVerdict::CLEAN;
+        }
+
+        // Fixed draw order per message keeps the stream aligned across
+        // verdicts: drop, corrupt, dup, delay_p (+ spike magnitude).
+        let drop = self.rng.next_f64() < rates.drop;
+        let corrupt = self.rng.next_f64() < rates.corrupt;
+        let dup = self.rng.next_f64() < rates.dup;
+        let delay = self.rng.next_f64() < rates.delay_p;
+        let extra_delay = if delay && rates.delay_max_ns > 0 {
+            Time::from_ns(
+                self.rng
+                    .range_inclusive(rates.delay_min_ns, rates.delay_max_ns),
+            )
+        } else {
+            Time::ZERO
+        };
+        let corrupt_mask = if corrupt { self.rng.next_u64() | 1 } else { 0 };
+
+        // Payload has no retransmit: never drop/dup it, but corruption is
+        // delivered (the end-to-end checksum is the detector under test).
+        if class == FaultClass::Payload {
+            if delay {
+                self.stats.delayed += 1;
+            }
+            if corrupt {
+                self.stats.corrupted += 1;
+            } else if extra_delay == Time::ZERO {
+                self.stats.delivered += 1;
+            }
+            return FaultVerdict::Deliver {
+                extra_delay,
+                duplicate: false,
+                corrupt_mask,
+            };
+        }
+
+        if drop {
+            self.stats.dropped += 1;
+            return FaultVerdict::Drop;
+        }
+        // One-sided request/completion data has no end-to-end checksum;
+        // model link-CRC discard instead of delivering poisoned bytes.
+        if corrupt {
+            self.stats.corrupt_drops += 1;
+            return FaultVerdict::Drop;
+        }
+        let duplicate = dup && can_dup;
+        if duplicate {
+            self.stats.duplicated += 1;
+        }
+        if delay {
+            self.stats.delayed += 1;
+        }
+        if !duplicate && extra_delay == Time::ZERO {
+            self.stats.delivered += 1;
+        }
+        FaultVerdict::Deliver {
+            extra_delay,
+            duplicate,
+            corrupt_mask,
+        }
+    }
+
+    /// Delay for a duplicate's second copy, drawn from the link's spike
+    /// distribution (or a fixed 1 µs when the plan has no spikes) so the
+    /// two copies never collapse onto the same instant.
+    pub fn dup_delay(&mut self, src: LocalityId, dst: LocalityId) -> Time {
+        let rates = self.rates_for(src, dst);
+        if rates.delay_max_ns > 0 {
+            Time::from_ns(
+                self.rng
+                    .range_inclusive(rates.delay_min_ns.max(1), rates.delay_max_ns),
+            )
+        } else {
+            Time::from_us(1)
+        }
+    }
+}
+
+/// Deterministically flip one payload byte based on `mask` (as produced by
+/// a corrupt verdict). No-op on empty payloads or a zero mask.
+pub fn apply_corruption(data: &mut [u8], mask: u64) {
+    if mask == 0 || data.is_empty() {
+        return;
+    }
+    let idx = (mask as usize) % data.len();
+    let flip = ((mask >> 8) as u8) | 1; // never a zero XOR
+    data[idx] ^= flip;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(p: f64) -> FaultPlan {
+        FaultPlan::uniform(7, p)
+    }
+
+    #[test]
+    fn lossless_plan_is_draw_free_and_clean() {
+        let mut fp = FaultPlane::new(FaultPlan::lossless(42));
+        let mut witness = Xoshiro256::seed_from_u64(42);
+        let expect = witness.next_u64();
+        for i in 0..1000 {
+            let v = fp.decide(Time::from_ns(i), 0, 1, FaultClass::Request, true);
+            assert_eq!(v, FaultVerdict::CLEAN);
+        }
+        assert_eq!(fp.stats.total_drops(), 0);
+        assert_eq!(fp.stats.delivered, 1000);
+        // The private stream never advanced.
+        assert_eq!(fp.rng.next_u64(), expect);
+    }
+
+    #[test]
+    fn bypass_class_is_never_touched() {
+        let mut fp = FaultPlane::new(plan(1.0));
+        for i in 0..100 {
+            let v = fp.decide(Time::from_ns(i), 0, 1, FaultClass::Bypass, true);
+            assert_eq!(v, FaultVerdict::CLEAN);
+        }
+        assert_eq!(fp.stats.total_drops(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_verdict_stream() {
+        let mut a = FaultPlane::new(plan(0.3));
+        let mut b = FaultPlane::new(plan(0.3));
+        for i in 0..2000 {
+            let va = a.decide(Time::from_ns(i), 0, 1, FaultClass::Request, true);
+            let vb = b.decide(Time::from_ns(i), 0, 1, FaultClass::Request, true);
+            assert_eq!(va, vb);
+        }
+        assert_eq!(a.stats, b.stats);
+        assert!(a.stats.dropped > 0, "p=0.3 over 2000 draws must drop");
+    }
+
+    #[test]
+    fn request_corruption_degrades_to_drop() {
+        let rates = FaultRates {
+            corrupt: 1.0,
+            ..FaultRates::lossless()
+        };
+        let mut fp = FaultPlane::new(FaultPlan {
+            rates,
+            ..FaultPlan::lossless(9)
+        });
+        let v = fp.decide(Time::ZERO, 0, 1, FaultClass::Request, true);
+        assert_eq!(v, FaultVerdict::Drop);
+        assert_eq!(fp.stats.corrupt_drops, 1);
+        assert_eq!(fp.stats.corrupted, 0);
+    }
+
+    #[test]
+    fn payload_is_corrupted_but_never_dropped() {
+        let rates = FaultRates {
+            drop: 1.0,
+            dup: 1.0,
+            corrupt: 1.0,
+            ..FaultRates::lossless()
+        };
+        let mut fp = FaultPlane::new(FaultPlan {
+            rates,
+            ..FaultPlan::lossless(9)
+        });
+        for _ in 0..50 {
+            match fp.decide(Time::ZERO, 0, 1, FaultClass::Payload, true) {
+                FaultVerdict::Deliver {
+                    duplicate,
+                    corrupt_mask,
+                    ..
+                } => {
+                    assert!(!duplicate);
+                    assert_ne!(corrupt_mask, 0);
+                }
+                FaultVerdict::Drop => panic!("payload must never be dropped"),
+            }
+        }
+        assert_eq!(fp.stats.corrupted, 50);
+        assert_eq!(fp.stats.total_drops(), 0);
+    }
+
+    #[test]
+    fn flap_window_severs_only_its_link_and_window() {
+        let mut fp = FaultPlane::new(FaultPlan {
+            flaps: vec![LinkFlap {
+                src: 0,
+                dst: 1,
+                from: Time::from_ns(100),
+                to: Time::from_ns(200),
+            }],
+            ..FaultPlan::lossless(3)
+        });
+        assert_eq!(
+            fp.decide(Time::from_ns(150), 0, 1, FaultClass::Request, true),
+            FaultVerdict::Drop
+        );
+        assert_eq!(
+            fp.decide(Time::from_ns(150), 1, 0, FaultClass::Request, true),
+            FaultVerdict::CLEAN,
+            "reverse direction unaffected"
+        );
+        assert_eq!(
+            fp.decide(Time::from_ns(250), 0, 1, FaultClass::Request, true),
+            FaultVerdict::CLEAN,
+            "outside the window"
+        );
+        assert_eq!(fp.stats.flap_drops, 1);
+    }
+
+    #[test]
+    fn partition_severs_cross_group_traffic_both_ways() {
+        let mut fp = FaultPlane::new(FaultPlan {
+            partitions: vec![Partition {
+                from: Time::ZERO,
+                to: Time::from_us(1),
+                group_a: vec![0, 1],
+            }],
+            ..FaultPlan::lossless(5)
+        });
+        assert_eq!(
+            fp.decide(Time::from_ns(10), 0, 2, FaultClass::Request, true),
+            FaultVerdict::Drop
+        );
+        assert_eq!(
+            fp.decide(Time::from_ns(10), 2, 1, FaultClass::Completion, true),
+            FaultVerdict::Drop
+        );
+        assert_eq!(
+            fp.decide(Time::from_ns(10), 0, 1, FaultClass::Request, true),
+            FaultVerdict::CLEAN,
+            "intra-group traffic flows"
+        );
+        assert_eq!(fp.stats.partition_drops, 2);
+    }
+
+    #[test]
+    fn link_override_replaces_default_rates() {
+        let mut fp = FaultPlane::new(FaultPlan {
+            rates: FaultRates {
+                drop: 1.0,
+                ..FaultRates::lossless()
+            },
+            link_rates: vec![(0, 1, FaultRates::lossless())],
+            ..FaultPlan::lossless(11)
+        });
+        assert_eq!(
+            fp.decide(Time::ZERO, 0, 1, FaultClass::Request, true),
+            FaultVerdict::CLEAN,
+            "override link is clean"
+        );
+        assert_eq!(
+            fp.decide(Time::ZERO, 1, 0, FaultClass::Request, true),
+            FaultVerdict::Drop,
+            "default link drops"
+        );
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_byte() {
+        let mut data = vec![0u8; 64];
+        apply_corruption(&mut data, 0x1234_5678_9abc_def0);
+        assert_eq!(data.iter().filter(|&&b| b != 0).count(), 1);
+        // Deterministic: same mask, same flip.
+        let mut again = vec![0u8; 64];
+        apply_corruption(&mut again, 0x1234_5678_9abc_def0);
+        assert_eq!(data, again);
+        // Zero mask and empty payloads are no-ops.
+        let mut clean = vec![1u8, 2, 3];
+        apply_corruption(&mut clean, 0);
+        assert_eq!(clean, vec![1, 2, 3]);
+        apply_corruption(&mut [], 77);
+    }
+
+    #[test]
+    fn dup_delay_is_never_zero() {
+        let mut fp = FaultPlane::new(plan(0.5));
+        for _ in 0..100 {
+            assert!(fp.dup_delay(0, 1) > Time::ZERO);
+        }
+    }
+}

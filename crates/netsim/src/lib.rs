@@ -23,6 +23,7 @@
 
 pub mod config;
 pub mod engine;
+pub mod faults;
 pub mod flatmap;
 pub mod lru;
 pub mod memory;
@@ -39,11 +40,15 @@ pub mod trace;
 
 pub use config::NetConfig;
 pub use engine::Engine;
+pub use faults::{
+    apply_corruption, FaultClass, FaultPlan, FaultPlane, FaultRates, FaultStats, FaultVerdict,
+    LinkFlap, Partition,
+};
 pub use flatmap::{FlatTable, LruInsert};
 pub use memory::{MemError, Memory, PhysAddr};
 pub use net::{
-    rdma_get, rdma_put, send_user, Cluster, Envelope, GetReq, Locality, NackReason, OpKind, Packet,
-    Protocol, PutReq, RdmaTarget,
+    rdma_get, rdma_put, send_user, send_user_classed, Cluster, Envelope, GetReq, Locality,
+    NackReason, OpKind, Packet, Protocol, PutReq, RdmaTarget,
 };
 pub use nic::{LocalityId, Nic, Xlate, XlateEntry, XlateTable};
 pub use optable::{OpError, OpId, OpOutcome, OpTable, OutcomeCounters};

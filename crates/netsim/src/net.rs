@@ -21,6 +21,7 @@
 
 use crate::config::NetConfig;
 use crate::engine::Engine;
+use crate::faults::{apply_corruption, FaultClass, FaultPlane, FaultVerdict};
 use crate::memory::{Memory, PhysAddr};
 use crate::nic::{LocalityId, Nic, Xlate, XlateEntry};
 use crate::optable::OpId;
@@ -140,6 +141,9 @@ pub struct Cluster {
     switch_free: Time,
     /// Per-byte cost on the switch core (0 = full bisection, skip).
     core_ps_per_byte: u64,
+    /// Installed fault-injection plane (`None` ⇒ a perfectly reliable
+    /// fabric, the pre-chaos behavior, with zero decision overhead).
+    pub faults: Option<FaultPlane>,
 }
 
 impl Cluster {
@@ -167,6 +171,7 @@ impl Cluster {
             tracer: Tracer::new(),
             switch_free: Time::ZERO,
             core_ps_per_byte,
+            faults: None,
         }
     }
 
@@ -292,6 +297,85 @@ fn fabric_arrival<S: Protocol>(eng: &mut Engine<S>, tx_done: Time, bytes: u32) -
     cleared + transit(eng)
 }
 
+/// Ask the installed fault plane (if any) what happens to one message.
+/// `Bypass` traffic and fault-free clusters short-circuit to a clean
+/// verdict without touching any RNG stream.
+fn fault_decide<S: Protocol>(
+    eng: &mut Engine<S>,
+    src: LocalityId,
+    dst: LocalityId,
+    class: FaultClass,
+    can_dup: bool,
+) -> FaultVerdict {
+    if class == FaultClass::Bypass {
+        return FaultVerdict::CLEAN;
+    }
+    let now = eng.now();
+    match eng.state.cluster().faults.as_mut() {
+        None => FaultVerdict::CLEAN,
+        Some(fp) => fp.decide(now, src, dst, class, can_dup),
+    }
+}
+
+/// Spacing between a duplicated message's two copies.
+fn fault_dup_delay<S: Protocol>(eng: &mut Engine<S>, src: LocalityId, dst: LocalityId) -> Time {
+    match eng.state.cluster().faults.as_mut() {
+        None => Time::from_us(1),
+        Some(fp) => fp.dup_delay(src, dst),
+    }
+}
+
+/// Rebuild a NIC-generated control packet for duplicate delivery. User
+/// messages carry an opaque payload and cannot be cloned here.
+fn clone_ctrl<M>(p: &Packet<M>) -> Option<Packet<M>> {
+    match *p {
+        Packet::User(_) => None,
+        Packet::PutDone { op } => Some(Packet::PutDone { op }),
+        Packet::GetDone { op } => Some(Packet::GetDone { op }),
+        Packet::RemoteNote { tag, len } => Some(Packet::RemoteNote { tag, len }),
+        Packet::XlateMiss { block } => Some(Packet::XlateMiss { block }),
+        Packet::Nack {
+            op,
+            kind,
+            reason,
+            block,
+        } => Some(Packet::Nack {
+            op,
+            kind,
+            reason,
+            block,
+        }),
+    }
+}
+
+/// Deliver a NIC-generated control packet at `at`, subject to the fault
+/// plane: it may arrive late, twice, or not at all.
+fn deliver_ctrl_faulty<S: Protocol>(
+    eng: &mut Engine<S>,
+    at: Time,
+    src: LocalityId,
+    dst: LocalityId,
+    packet: Packet<S::Msg>,
+    class: FaultClass,
+) {
+    match fault_decide(eng, src, dst, class, true) {
+        FaultVerdict::Drop => {}
+        FaultVerdict::Deliver {
+            extra_delay,
+            duplicate,
+            ..
+        } => {
+            if duplicate {
+                if let Some(copy) = clone_ctrl(&packet) {
+                    let spacing = fault_dup_delay(eng, src, dst);
+                    deliver_at(eng, at + extra_delay + spacing, src, dst, copy);
+                }
+            }
+            deliver_at(eng, at + extra_delay, src, dst, packet);
+        }
+    }
+}
+
 /// Deliver `packet` to `dst` at absolute time `at` (helper).
 fn deliver_at<S: Protocol>(
     eng: &mut Engine<S>,
@@ -315,12 +399,29 @@ fn deliver_at<S: Protocol>(
 /// Send a two-sided message of `wire_bytes` payload bytes from `src` to
 /// `dst`. The message value `msg` is handed to [`Protocol::deliver`] when it
 /// arrives (after tx serialization, wire latency, and rx serialization).
+///
+/// Messages sent through this entry point bypass the fault plane; traffic
+/// whose protocol can survive loss declares so via [`send_user_classed`].
 pub fn send_user<S: Protocol>(
     eng: &mut Engine<S>,
     src: LocalityId,
     dst: LocalityId,
     wire_bytes: u32,
     msg: S::Msg,
+) {
+    send_user_classed(eng, src, dst, wire_bytes, msg, FaultClass::Bypass)
+}
+
+/// [`send_user`] with an explicit [`FaultClass`]: the installed fault plane
+/// may drop or delay the message (user messages are never duplicated — the
+/// payload is opaque to the substrate and cannot be cloned).
+pub fn send_user_classed<S: Protocol>(
+    eng: &mut Engine<S>,
+    src: LocalityId,
+    dst: LocalityId,
+    wire_bytes: u32,
+    msg: S::Msg,
+    class: FaultClass,
 ) {
     let now = eng.now();
     let cfg = eng.state.cluster().config;
@@ -355,7 +456,11 @@ pub fn send_user<S: Protocol>(
     }
     let dur = cfg.serialize(wire_bytes);
     let tx_done = eng.state.cluster().tx(src, now + cfg.o_send, dur);
-    let arrival = fabric_arrival(eng, tx_done, wire_bytes);
+    let mut arrival = fabric_arrival(eng, tx_done, wire_bytes);
+    match fault_decide(eng, src, dst, class, false) {
+        FaultVerdict::Drop => return,
+        FaultVerdict::Deliver { extra_delay, .. } => arrival += extra_delay,
+    }
     eng.schedule_at(arrival, move |eng| {
         let now = eng.now();
         let dur = eng.state.cluster().config.serialize(wire_bytes);
@@ -378,7 +483,7 @@ pub fn send_user<S: Protocol>(
 }
 
 /// A one-sided write request.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct PutReq {
     /// Locality whose NIC should commit the write (the believed owner).
     pub target: LocalityId,
@@ -394,10 +499,12 @@ pub struct PutReq {
     pub remote_tag: Option<u64>,
     /// Remaining NIC forwarding hops.
     pub ttl: u8,
+    /// How the fault plane may abuse this request and its completions.
+    pub class: FaultClass,
 }
 
 /// A one-sided read request.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct GetReq {
     /// Locality whose NIC should source the bytes (the believed owner).
     pub target: LocalityId,
@@ -411,6 +518,19 @@ pub struct GetReq {
     pub op: OpId,
     /// Remaining NIC forwarding hops.
     pub ttl: u8,
+    /// How the fault plane may abuse this request and its completions.
+    pub class: FaultClass,
+}
+
+/// The class of a NIC-generated response to a request of class `req`:
+/// exempt traffic stays exempt end to end; everything else completes as
+/// [`FaultClass::Completion`].
+fn response_class(req: FaultClass) -> FaultClass {
+    if req == FaultClass::Bypass {
+        FaultClass::Bypass
+    } else {
+        FaultClass::Completion
+    }
 }
 
 fn block_key_of(t: &RdmaTarget) -> u64 {
@@ -448,7 +568,40 @@ pub fn rdma_put<S: Protocol>(eng: &mut Engine<S>, initiator: LocalityId, req: Pu
     let dur = cfg.serialize(req.data.len() as u32);
     let tx_done = eng.state.cluster().tx(initiator, now + cfg.o_send, dur);
     let arrival = fabric_arrival(eng, tx_done, req.data.len() as u32);
-    eng.schedule_at(arrival, move |eng| put_arrive(eng, initiator, req));
+    schedule_put_hop(eng, initiator, req.target, arrival, req);
+}
+
+/// Schedule one wire hop of a put (initial leg or a forwarding hop),
+/// routing it through the fault plane.
+fn schedule_put_hop<S: Protocol>(
+    eng: &mut Engine<S>,
+    initiator: LocalityId,
+    hop_src: LocalityId,
+    arrival: Time,
+    mut req: PutReq,
+) {
+    match fault_decide(eng, hop_src, req.target, req.class, true) {
+        FaultVerdict::Drop => {}
+        FaultVerdict::Deliver {
+            extra_delay,
+            duplicate,
+            corrupt_mask,
+        } => {
+            if corrupt_mask != 0 {
+                apply_corruption(&mut req.data, corrupt_mask);
+            }
+            if duplicate {
+                let copy = req.clone();
+                let spacing = fault_dup_delay(eng, hop_src, req.target);
+                eng.schedule_at(arrival + extra_delay + spacing, move |eng| {
+                    put_arrive(eng, initiator, copy)
+                });
+            }
+            eng.schedule_at(arrival + extra_delay, move |eng| {
+                put_arrive(eng, initiator, req)
+            });
+        }
+    }
 }
 
 fn put_arrive<S: Protocol>(eng: &mut Engine<S>, initiator: LocalityId, req: PutReq) {
@@ -511,7 +664,7 @@ fn put_commit<S: Protocol>(
                         let arrival = fabric_arrival(eng, tx_done, req.data.len() as u32);
                         req.target = next;
                         req.ttl -= 1;
-                        eng.schedule_at(arrival, move |eng| put_arrive(eng, initiator, req));
+                        schedule_put_hop(eng, initiator, target, arrival, req);
                         return;
                     } else if cfg.nic_forwarding {
                         Err(NackReason::TtlExceeded)
@@ -549,6 +702,7 @@ fn put_commit<S: Protocol>(
                     NackReason::Bounds,
                     block,
                     local,
+                    response_class(req.class),
                 );
                 return;
             }
@@ -572,7 +726,14 @@ fn put_commit<S: Protocol>(
                 let ctrl = cfg.serialize_ctrl();
                 let tx_done = eng.state.cluster().tx(target, visible, ctrl);
                 let at = fabric_arrival(eng, tx_done, cfg.ctrl_bytes);
-                deliver_at(eng, at, target, initiator, Packet::PutDone { op });
+                deliver_ctrl_faulty(
+                    eng,
+                    at,
+                    target,
+                    initiator,
+                    Packet::PutDone { op },
+                    response_class(req.class),
+                );
             }
         }
         Err(reason) => nack(
@@ -584,6 +745,7 @@ fn put_commit<S: Protocol>(
             reason,
             block,
             local,
+            response_class(req.class),
         ),
     }
 }
@@ -614,7 +776,38 @@ pub fn rdma_get<S: Protocol>(eng: &mut Engine<S>, initiator: LocalityId, req: Ge
     let ctrl = cfg.serialize_ctrl();
     let tx_done = eng.state.cluster().tx(initiator, now + cfg.o_send, ctrl);
     let arrival = fabric_arrival(eng, tx_done, cfg.ctrl_bytes);
-    eng.schedule_at(arrival, move |eng| get_arrive(eng, initiator, req));
+    schedule_get_hop(eng, initiator, initiator, arrival, req);
+}
+
+/// Schedule one wire hop of a get request (initial leg or a forwarding
+/// hop), routing it through the fault plane. Get requests are control
+/// messages: corruption draws already degrade to drops in the plane.
+fn schedule_get_hop<S: Protocol>(
+    eng: &mut Engine<S>,
+    initiator: LocalityId,
+    hop_src: LocalityId,
+    arrival: Time,
+    req: GetReq,
+) {
+    match fault_decide(eng, hop_src, req.target, req.class, true) {
+        FaultVerdict::Drop => {}
+        FaultVerdict::Deliver {
+            extra_delay,
+            duplicate,
+            ..
+        } => {
+            if duplicate {
+                let copy = req.clone();
+                let spacing = fault_dup_delay(eng, hop_src, req.target);
+                eng.schedule_at(arrival + extra_delay + spacing, move |eng| {
+                    get_arrive(eng, initiator, copy)
+                });
+            }
+            eng.schedule_at(arrival + extra_delay, move |eng| {
+                get_arrive(eng, initiator, req)
+            });
+        }
+    }
 }
 
 fn get_arrive<S: Protocol>(eng: &mut Engine<S>, initiator: LocalityId, req: GetReq) {
@@ -662,7 +855,7 @@ fn get_commit<S: Protocol>(
                         let arrival = fabric_arrival(eng, tx_done, cfg.ctrl_bytes);
                         req.target = next;
                         req.ttl -= 1;
-                        eng.schedule_at(arrival, move |eng| get_arrive(eng, initiator, req));
+                        schedule_get_hop(eng, initiator, target, arrival, req);
                         return;
                     } else if cfg.nic_forwarding {
                         Err(NackReason::TtlExceeded)
@@ -692,6 +885,7 @@ fn get_commit<S: Protocol>(
                         NackReason::Bounds,
                         block,
                         local,
+                        response_class(req.class),
                     );
                     return;
                 }
@@ -727,7 +921,31 @@ fn get_commit<S: Protocol>(
             let dur = cfg.serialize(req.len);
             let ready = now + cfg.dma(req.len);
             let tx_done = eng.state.cluster().tx(target, ready, dur);
-            let arrival = fabric_arrival(eng, tx_done, req.len);
+            let mut arrival = fabric_arrival(eng, tx_done, req.len);
+            match fault_decide(eng, target, initiator, response_class(req.class), true) {
+                FaultVerdict::Drop => return,
+                FaultVerdict::Deliver {
+                    extra_delay,
+                    duplicate,
+                    ..
+                } => {
+                    arrival += extra_delay;
+                    if duplicate {
+                        // The duplicate's payload lands on a registration
+                        // the initiator may have retired; model the NIC
+                        // discarding the bytes while the completion event
+                        // still surfaces (the op table drops it as stale).
+                        let spacing = fault_dup_delay(eng, target, initiator);
+                        deliver_at(
+                            eng,
+                            arrival + spacing,
+                            target,
+                            initiator,
+                            Packet::GetDone { op },
+                        );
+                    }
+                }
+            }
             eng.schedule_at(arrival, move |eng| {
                 let now = eng.now();
                 let dur = eng.state.cluster().config.serialize(data.len() as u32);
@@ -758,6 +976,7 @@ fn get_commit<S: Protocol>(
             reason,
             block,
             local,
+            response_class(req.class),
         ),
     }
 }
@@ -773,42 +992,66 @@ fn nack<S: Protocol>(
     reason: NackReason,
     block: u64,
     local: bool,
+    class: FaultClass,
 ) {
     let now = eng.now();
     let cfg = eng.state.cluster().config;
     eng.state.cluster().loc_mut(target).counters.nacks_sent += 1;
-    let at = if local {
+    let mut at = if local {
         now + cfg.loopback
     } else {
         let ctrl = cfg.serialize_ctrl();
         let tx_done = eng.state.cluster().tx(target, now, ctrl);
         fabric_arrival(eng, tx_done, cfg.ctrl_bytes)
     };
-    eng.schedule_at(at, move |eng| {
-        let now = eng.now();
-        let c = eng.state.cluster();
-        c.tracer.record(
-            now,
-            TraceKind::Nack {
-                from: target,
-                to: initiator,
-            },
-        );
-        c.loc_mut(initiator).counters.nacks_recv += 1;
-        S::deliver(
-            eng,
-            Envelope {
-                src: target,
-                dst: initiator,
-                packet: Packet::Nack {
-                    op,
-                    kind,
-                    reason,
-                    block,
+    let mut dup_at = None;
+    if !local {
+        match fault_decide(eng, target, initiator, class, true) {
+            FaultVerdict::Drop => return,
+            FaultVerdict::Deliver {
+                extra_delay,
+                duplicate,
+                ..
+            } => {
+                at += extra_delay;
+                if duplicate {
+                    let spacing = fault_dup_delay(eng, target, initiator);
+                    dup_at = Some(at + spacing);
+                }
+            }
+        }
+    }
+    let arrive = move |eng: &mut Engine<S>, at: Time| {
+        eng.schedule_at(at, move |eng| {
+            let now = eng.now();
+            let c = eng.state.cluster();
+            c.tracer.record(
+                now,
+                TraceKind::Nack {
+                    from: target,
+                    to: initiator,
                 },
-            },
-        );
-    });
+            );
+            c.loc_mut(initiator).counters.nacks_recv += 1;
+            S::deliver(
+                eng,
+                Envelope {
+                    src: target,
+                    dst: initiator,
+                    packet: Packet::Nack {
+                        op,
+                        kind,
+                        reason,
+                        block,
+                    },
+                },
+            );
+        });
+    };
+    if let Some(d) = dup_at {
+        arrive(eng, d);
+    }
+    arrive(eng, at);
 }
 
 #[cfg(test)]
@@ -908,6 +1151,7 @@ mod tests {
                 op,
                 remote_tag: None,
                 ttl: 2,
+                class: FaultClass::Request,
             },
         );
         eng.run();
@@ -947,6 +1191,7 @@ mod tests {
                 op,
                 remote_tag: Some(77),
                 ttl: 2,
+                class: FaultClass::Request,
             },
         );
         eng.run();
@@ -977,6 +1222,7 @@ mod tests {
                 op,
                 remote_tag: None,
                 ttl: 2,
+                class: FaultClass::Request,
             },
         );
         eng.run();
@@ -1020,6 +1266,7 @@ mod tests {
                 op,
                 remote_tag: None,
                 ttl: 2,
+                class: FaultClass::Request,
             },
         );
         eng.run();
@@ -1060,6 +1307,7 @@ mod tests {
                 op,
                 remote_tag: None,
                 ttl: 2,
+                class: FaultClass::Request,
             },
         );
         eng.run();
@@ -1110,6 +1358,7 @@ mod tests {
                 op,
                 remote_tag: None,
                 ttl: 2,
+                class: FaultClass::Request,
             },
         );
         eng.run();
@@ -1147,6 +1396,7 @@ mod tests {
                 op,
                 remote_tag: None,
                 ttl: 2,
+                class: FaultClass::Request,
             },
         );
         eng.run();
@@ -1188,6 +1438,7 @@ mod tests {
                 local,
                 op,
                 ttl: 2,
+                class: FaultClass::Request,
             },
         );
         eng.run();
@@ -1220,6 +1471,7 @@ mod tests {
                 local,
                 op,
                 ttl: 2,
+                class: FaultClass::Request,
             },
         );
         eng.run();
@@ -1257,6 +1509,7 @@ mod tests {
                 op,
                 remote_tag: Some(1),
                 ttl: 2,
+                class: FaultClass::Request,
             },
         );
         eng.run();
@@ -1309,6 +1562,7 @@ mod tests {
                     op,
                     remote_tag: None,
                     ttl: 2,
+                    class: FaultClass::Request,
                 },
             );
             eng.run();

@@ -1,6 +1,7 @@
 //! Property-based tests for the simulator substrate.
 
 use netsim::engine::Engine;
+use netsim::faults::FaultClass;
 use netsim::lru::LruMap;
 use netsim::net::{rdma_put, send_user, Cluster, Envelope, Packet, Protocol, PutReq, RdmaTarget};
 use netsim::nic::XlateEntry;
@@ -211,6 +212,7 @@ proptest! {
                 op,
                 remote_tag: None,
                 ttl: 2,
+                class: FaultClass::Request,
             });
         }
         eng.run();

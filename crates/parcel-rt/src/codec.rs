@@ -126,6 +126,19 @@ impl<'a> ArgReader<'a> {
     }
 }
 
+/// FNV-1a over `bytes`, truncated to 32 bits: the end-to-end parcel
+/// checksum appended by `Parcel::encode` and verified by
+/// `Parcel::try_decode`. Strong enough to catch the fault plane's
+/// byte-flips; cheap enough to charge no simulated time.
+pub fn checksum(bytes: &[u8]) -> u32 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h ^ (h >> 32)) as u32
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,5 +187,18 @@ mod tests {
         let mut r = ArgReader::new(&payload);
         r.u8();
         r.u8();
+    }
+
+    #[test]
+    fn checksum_detects_single_byte_flips() {
+        let base = b"the quick brown parcel".to_vec();
+        let sum = checksum(&base);
+        assert_eq!(sum, checksum(&base), "deterministic");
+        for i in 0..base.len() {
+            let mut flipped = base.clone();
+            flipped[i] ^= 0x40;
+            assert_ne!(checksum(&flipped), sum, "flip at {i} undetected");
+        }
+        assert_ne!(checksum(b""), checksum(&[0]));
     }
 }

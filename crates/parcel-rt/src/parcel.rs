@@ -44,7 +44,9 @@ impl Parcel {
         self.args.len() as u32 + PARCEL_HEADER_BYTES
     }
 
-    /// Serialize for a byte-oriented transport (the ISIR backend).
+    /// Serialize for a byte-oriented transport (the ISIR backend). A
+    /// trailing FNV-1a checksum covers header and payload, so corruption
+    /// anywhere in flight is detected at [`Parcel::try_decode`].
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.args.len() + 32);
         out.extend_from_slice(&self.target.0.to_le_bytes());
@@ -53,24 +55,40 @@ impl Parcel {
         out.extend_from_slice(&self.src.to_le_bytes());
         out.push(self.hops);
         out.extend_from_slice(&self.args);
+        let sum = crate::codec::checksum(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
         out
     }
 
-    /// Inverse of [`Parcel::encode`].
-    pub fn decode(bytes: &[u8]) -> Parcel {
-        let target = Gva(u64::from_le_bytes(bytes[0..8].try_into().unwrap()));
-        let action = ActionId(u32::from_le_bytes(bytes[8..12].try_into().unwrap()));
-        let cont_raw = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
-        let src = u32::from_le_bytes(bytes[20..24].try_into().unwrap());
-        let hops = bytes[24];
-        Parcel {
+    /// Inverse of [`Parcel::encode`]; `None` if the buffer is truncated or
+    /// fails its checksum (a corrupted delivery).
+    pub fn try_decode(bytes: &[u8]) -> Option<Parcel> {
+        if bytes.len() < 29 {
+            return None;
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 4);
+        let sum = u32::from_le_bytes(tail.try_into().unwrap());
+        if crate::codec::checksum(body) != sum {
+            return None;
+        }
+        let target = Gva(u64::from_le_bytes(body[0..8].try_into().unwrap()));
+        let action = ActionId(u32::from_le_bytes(body[8..12].try_into().unwrap()));
+        let cont_raw = u64::from_le_bytes(body[12..20].try_into().unwrap());
+        let src = u32::from_le_bytes(body[20..24].try_into().unwrap());
+        let hops = body[24];
+        Some(Parcel {
             target,
             action,
-            args: bytes[25..].to_vec(),
+            args: body[25..].to_vec(),
             cont: (cont_raw != 0).then_some(Gva(cont_raw)),
             src,
             hops,
-        }
+        })
+    }
+
+    /// [`Parcel::try_decode`] for callers that know the bytes are intact.
+    pub fn decode(bytes: &[u8]) -> Parcel {
+        Parcel::try_decode(bytes).expect("corrupt or truncated parcel")
     }
 }
 
@@ -177,6 +195,51 @@ mod tests {
             hops: 0,
         };
         assert_eq!(p.wire_size(), 124);
+    }
+
+    #[test]
+    fn encode_decode_round_trips_and_is_checksummed() {
+        let p = Parcel {
+            target: Gva::new(3, 10, 7, 5),
+            action: ActionId(12),
+            args: vec![9u8; 40],
+            cont: Some(Gva::new(1, 10, 2, 0)),
+            src: 2,
+            hops: 3,
+        };
+        let bytes = p.encode();
+        // header 25 + args 40 + checksum 4
+        assert_eq!(bytes.len(), 69);
+        let q = Parcel::decode(&bytes);
+        assert_eq!(q.target, p.target);
+        assert_eq!(q.action, p.action);
+        assert_eq!(q.args, p.args);
+        assert_eq!(q.cont, p.cont);
+        assert_eq!(q.src, p.src);
+        assert_eq!(q.hops, p.hops);
+    }
+
+    #[test]
+    fn try_decode_rejects_any_single_byte_flip() {
+        let p = Parcel {
+            target: Gva::new(0, 8, 1, 16),
+            action: ActionId(4),
+            args: vec![0xAB; 16],
+            cont: None,
+            src: 1,
+            hops: 0,
+        };
+        let bytes = p.encode();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            assert!(
+                Parcel::try_decode(&bad).is_none(),
+                "flip at byte {i} slipped past the checksum"
+            );
+        }
+        assert!(Parcel::try_decode(&bytes[..10]).is_none(), "truncated");
+        assert!(Parcel::try_decode(&bytes).is_some());
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::parcel::{ActionCtx, ActionId, ActionRegistry, Parcel};
 use crate::sched;
 use crate::world::{Completion, Msg, RtConfig, World, NO_COMPLETION};
 use agas::{alloc_array, Distribution, GasConfig, GasMode, GlobalArray, Gva};
-use netsim::{Engine, LocalityId, NetConfig, Time};
+use netsim::{Engine, FaultPlan, FaultPlane, LocalityId, NetConfig, Time};
 use photon::PhotonConfig;
 
 /// Configures and boots a [`Runtime`].
@@ -26,6 +26,7 @@ pub struct RuntimeBuilder {
     rt: RtConfig,
     mem_limit: usize,
     registry: ActionRegistry,
+    faults: Option<FaultPlan>,
 }
 
 impl RuntimeBuilder {
@@ -41,6 +42,7 @@ impl RuntimeBuilder {
             rt: RtConfig::default(),
             mem_limit: 1 << 30,
             registry: ActionRegistry::new(),
+            faults: None,
         }
     }
 
@@ -80,6 +82,14 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Install a network fault plan. Every faultable message then passes
+    /// through the seed-deterministic fault plane; `FaultPlan::lossless`
+    /// plans are draw-free and perturb no schedule.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Register an action (must happen before boot; ids are uniform
     /// cluster-wide, as in any SPMD runtime).
     pub fn register(
@@ -93,7 +103,7 @@ impl RuntimeBuilder {
     /// Boot the cluster.
     pub fn boot(mut self) -> Runtime {
         let collectives = collective::install(&mut self.registry);
-        let world = World::new(
+        let mut world = World::new(
             self.n,
             self.mode,
             self.net,
@@ -103,6 +113,9 @@ impl RuntimeBuilder {
             self.registry,
             self.mem_limit,
         );
+        if let Some(plan) = self.faults {
+            world.cluster.faults = Some(FaultPlane::new(plan));
+        }
         let mut eng = Engine::new(world, self.seed);
         if self.rt.transport == crate::world::Transport::Isir {
             // Arm the tag-matching engine: one standing wildcard-class

@@ -182,6 +182,9 @@ pub struct World {
     pub op_failures: Vec<(OpId, agas::Gva, OpError)>,
     /// Completions/failures naming an unknown or already-fired handle.
     pub stale_completions: u64,
+    /// ISIR parcels discarded because their checksum failed (corrupted in
+    /// flight by the fault plane).
+    pub corrupt_parcels: u64,
     pub(crate) completions: OpTable<Completion>,
     pub(crate) driver_cbs: HashMap<u64, DriverCb>,
     pub(crate) next_driver_cb: u64,
@@ -213,6 +216,7 @@ impl World {
             balancer_stats: crate::balancer::BalancerStats::default(),
             op_failures: Vec::new(),
             stale_completions: 0,
+            corrupt_parcels: 0,
             completions: OpTable::new(),
             driver_cbs: HashMap::new(),
             next_driver_cb: 0,
@@ -295,6 +299,7 @@ impl World {
             total.stale_completions += s.stale_completions;
             total.protocol_violations += s.protocol_violations;
             total.deadline_exceeded += s.deadline_exceeded;
+            total.deadline_retries += s.deadline_retries;
             total.ops_failed += s.ops_failed;
         }
         total
@@ -388,8 +393,13 @@ impl PhotonWorld for World {
             debug_assert_eq!(eng.state.rtcfg.transport, Transport::Isir);
             // Re-arm the matching engine, then hand the parcel on.
             photon::post_recv(eng, loc, PARCEL_TAG);
-            let parcel = Parcel::decode(&data);
-            sched::parcel_arrive(eng, src, loc, parcel);
+            match Parcel::try_decode(&data) {
+                Some(parcel) => sched::parcel_arrive(eng, src, loc, parcel),
+                // Corrupted in flight: a real transport would drop the
+                // frame at the CRC; count it so chaos runs prove the
+                // checksum is live.
+                None => eng.state.corrupt_parcels += 1,
+            }
         }
         // Other tags: raw two-sided traffic driven by benchmark/driver
         // code through the photon API; nothing for the runtime to do.

@@ -32,8 +32,8 @@ pub use matching::{MatchQueue, Unexpected, ANY_TAG};
 pub use rcache::RegCache;
 
 use netsim::{
-    rdma_get, rdma_put, send_user, Engine, GetReq, LocalityId, NackReason, OpId, OpKind, OpTable,
-    Packet, PhysAddr, Protocol, PutReq, RdmaTarget, Time,
+    rdma_get, rdma_put, send_user, Engine, FaultClass, GetReq, LocalityId, NackReason, OpId,
+    OpKind, OpTable, Packet, PhysAddr, Protocol, PutReq, RdmaTarget, Time,
 };
 use std::collections::{HashMap, VecDeque};
 
@@ -183,6 +183,14 @@ impl PhotonEndpoint {
         self.ops.drain_filter(|_, _| true).len()
     }
 
+    /// Retire one specific in-flight one-sided op *without* delivering its
+    /// completion: the initiator has presumed it lost and is re-issuing.
+    /// Any later echo of the old attempt then drops as stale instead of
+    /// double-completing. Returns whether the op was still live.
+    pub fn cancel_op(&mut self, op: OpId) -> bool {
+        self.ops.remove(op).is_ok()
+    }
+
     /// The matching engine (exposed for tests and diagnostics).
     pub fn match_queue(&self) -> &MatchQueue {
         &self.matching
@@ -278,7 +286,7 @@ pub fn pwc_put<S: PhotonWorld>(
     ctx: OpId,
     remote_tag: Option<u64>,
     local_src: Option<(PhysAddr, u64)>,
-) {
+) -> OpId {
     if let Some(tag) = remote_tag {
         assert_eq!(tag & RDV_NOTE_BIT, 0, "remote_tag bit 63 is reserved");
     }
@@ -304,9 +312,11 @@ pub fn pwc_put<S: PhotonWorld>(
                 op,
                 remote_tag,
                 ttl,
+                class: FaultClass::Request,
             },
         );
     });
+    op
 }
 
 /// One-sided get with completion: reads `len` bytes from `target` at `dst`
@@ -323,7 +333,7 @@ pub fn pwc_get<S: PhotonWorld>(
     local: PhysAddr,
     ctx: OpId,
     local_src: Option<(PhysAddr, u64)>,
-) {
+) -> OpId {
     let ep = eng.state.endpoint(src);
     ep.stats.pwc_gets += 1;
     let cfg = ep.cfg;
@@ -344,9 +354,11 @@ pub fn pwc_get<S: PhotonWorld>(
                 local,
                 op,
                 ttl,
+                class: FaultClass::Request,
             },
         );
     });
+    op
 }
 
 // ------------------------------------------------------------------ two-sided
@@ -572,6 +584,7 @@ pub fn handle_msg<S: PhotonWorld>(
                         op,
                         remote_tag: Some(RDV_NOTE_BIT | send_id),
                         ttl,
+                        class: FaultClass::Payload,
                     },
                 );
             });
@@ -1052,6 +1065,99 @@ mod tests {
             })
             .collect();
         assert_eq!(tags, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn duplicated_put_ack_cannot_double_complete() {
+        let mut eng = world(2);
+        let addr = eng.state.cluster.mem_mut(1).alloc_block(10).unwrap();
+        let op = pwc_put(
+            &mut eng,
+            0,
+            1,
+            RdmaTarget::Phys(addr),
+            vec![1u8; 16],
+            OpId::from_raw(4),
+            None,
+            None,
+        );
+        eng.run();
+        assert_eq!(events_of(&eng, 0), vec![&Event::PwcDone(4)]);
+        // A late duplicate of the hardware ack echoes a retired handle: the
+        // generation check drops it instead of double-completing.
+        handle_completion(&mut eng, 1, 0, Packet::<Msg>::PutDone { op });
+        assert_eq!(events_of(&eng, 0), vec![&Event::PwcDone(4)]);
+        assert_eq!(eng.state.eps[0].stats.stale_completions, 1);
+    }
+
+    #[test]
+    fn duplicated_nack_cannot_double_fail() {
+        let mut eng = world(2);
+        let op = pwc_put(
+            &mut eng,
+            0,
+            1,
+            RdmaTarget::Virt {
+                block: 0xBAD,
+                offset: 0,
+            },
+            vec![1u8; 8],
+            OpId::from_raw(6),
+            None,
+            None,
+        );
+        eng.run();
+        assert_eq!(events_of(&eng, 0), vec![&Event::PwcFail(6)]);
+        handle_completion(
+            &mut eng,
+            1,
+            0,
+            Packet::<Msg>::Nack {
+                op,
+                kind: OpKind::Put,
+                reason: NackReason::Miss,
+                block: 0xBAD,
+            },
+        );
+        assert_eq!(events_of(&eng, 0), vec![&Event::PwcFail(6)]);
+        assert_eq!(eng.state.eps[0].stats.stale_completions, 1);
+    }
+
+    #[test]
+    fn fault_plane_duplication_is_absorbed_by_the_op_table() {
+        use netsim::{FaultPlan, FaultPlane, FaultRates};
+        let mut eng = world(2);
+        // Duplicate *everything* faultable: the put request commits twice
+        // (same bytes, idempotent) and each commit acks twice — three of
+        // the four acks must be dropped as stale.
+        eng.state.cluster.faults = Some(FaultPlane::new(FaultPlan {
+            rates: FaultRates {
+                dup: 1.0,
+                ..FaultRates::lossless()
+            },
+            ..FaultPlan::lossless(99)
+        }));
+        let addr = eng.state.cluster.mem_mut(1).alloc_block(10).unwrap();
+        pwc_put(
+            &mut eng,
+            0,
+            1,
+            RdmaTarget::Phys(addr),
+            vec![7u8; 32],
+            OpId::from_raw(3),
+            None,
+            None,
+        );
+        eng.run();
+        assert_eq!(
+            eng.state.cluster.mem(1).read(addr, 32).unwrap(),
+            &[7u8; 32][..]
+        );
+        assert_eq!(events_of(&eng, 0), vec![&Event::PwcDone(3)]);
+        assert_eq!(eng.state.eps[0].stats.stale_completions, 3);
+        assert_eq!(eng.state.eps[0].outstanding_ops(), 0);
+        let stats = eng.state.cluster.faults.as_ref().unwrap().stats;
+        assert_eq!(stats.duplicated, 3, "one request dup + one dup per ack");
     }
 }
 

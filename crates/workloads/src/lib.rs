@@ -15,6 +15,7 @@
 //! benchmark harness (`crates/bench`) sweeps modes and parameters.
 
 pub mod bfs;
+pub mod chaos;
 pub mod chase;
 pub mod driver;
 pub mod gups;
@@ -25,6 +26,7 @@ pub mod stencil3d;
 pub mod transpose;
 
 pub use bfs::{BfsConfig, BfsResult, Graph};
+pub use chaos::{corrupt_mix, drop_mix, run_chaos, ChaosConfig, ChaosReport};
 pub use chase::{ChaseConfig, ChaseResult};
 pub use gups::{GupsConfig, GupsResult};
 pub use skew::{SkewConfig, SkewResult};

@@ -1,0 +1,178 @@
+//! Chaos matrix: the full stack under deterministic network fault
+//! injection (DESIGN.md §3.4).
+//!
+//! Every cell runs the shared [`workloads::chaos`] driver — slot-idempotent
+//! puts, auditing gets, optional migration churn — with a seeded
+//! [`FaultPlan`] installed, then demands the strongest verdict the stack
+//! can offer: the committed history checker finds **zero violations**, and
+//! every issued operation is accounted for (completed or failed cleanly;
+//! nothing silently lost). High fault rates must additionally prove the
+//! recovery machinery actually fired, so a cell that quietly stops
+//! injecting can't pass by doing nothing.
+
+use netsim::{FaultPlan, LinkFlap, Partition, Time};
+use nmvgas::GasMode;
+use workloads::chaos::{corrupt_mix, drop_mix, run_chaos, ChaosConfig, ChaosReport};
+
+fn cell(mode: GasMode, plan: FaultPlan, churn: u64, seed: u64) -> ChaosReport {
+    run_chaos(&ChaosConfig {
+        mode,
+        plan,
+        seed,
+        rounds: 14,
+        churn,
+        ..ChaosConfig::default()
+    })
+}
+
+fn demand_pass(r: &ChaosReport, label: &str) {
+    assert!(
+        r.violations.is_empty(),
+        "{label}: history checker flagged {} violation(s): {:#?}",
+        r.violations.len(),
+        r.violations
+    );
+    assert!(
+        r.accounted(),
+        "{label}: {} issued but {} acked + {} failed",
+        r.issued(),
+        r.acked(),
+        r.op_failures
+    );
+    assert_eq!(r.data_mismatches, 0, "{label}: driver saw corrupt get data");
+}
+
+#[test]
+fn lossless_plan_passes_with_and_without_churn() {
+    for mode in GasMode::ALL {
+        for churn in [0, 3] {
+            let r = cell(mode, FaultPlan::lossless(9), churn, 5);
+            demand_pass(&r, &format!("{mode:?}/churn={churn}"));
+            assert_eq!(r.op_failures, 0);
+            assert_eq!(r.faults.total_drops(), 0);
+        }
+    }
+}
+
+#[test]
+fn one_percent_drop_mix_passes_in_every_mode() {
+    for mode in GasMode::ALL {
+        for churn in [0, 3] {
+            let r = cell(mode, drop_mix(21, 0.01), churn, 13);
+            demand_pass(&r, &format!("{mode:?}/churn={churn}/drop=1%"));
+        }
+    }
+}
+
+#[test]
+fn five_percent_drop_mix_passes_and_exercises_recovery() {
+    for mode in GasMode::ALL {
+        for churn in [0, 3] {
+            let label = format!("{mode:?}/churn={churn}/drop=5%");
+            let r = cell(mode, drop_mix(33, 0.05), churn, 29);
+            demand_pass(&r, &label);
+            assert!(r.faults.dropped > 0, "{label}: plan injected no drops");
+            assert!(
+                r.gas.deadline_retries > 0,
+                "{label}: lost messages never hit the sweep-retry path"
+            );
+        }
+    }
+}
+
+#[test]
+fn corruption_mix_degrades_to_recoverable_drops() {
+    for mode in GasMode::ALL {
+        let label = format!("{mode:?}/corrupt=4%");
+        let r = cell(mode, corrupt_mix(41, 0.04), 3, 37);
+        demand_pass(&r, &label);
+        assert!(
+            r.faults.corrupt_drops > 0,
+            "{label}: no request-class corruption was injected"
+        );
+    }
+}
+
+#[test]
+fn corrupted_rendezvous_parcels_are_rejected_by_checksum() {
+    let r = run_chaos(&ChaosConfig {
+        mode: GasMode::AgasNetwork,
+        plan: corrupt_mix(55, 0.2),
+        seed: 43,
+        rounds: 20,
+        churn: 0,
+        spawns: true,
+        ..ChaosConfig::default()
+    });
+    demand_pass(&r, "AgasNetwork/corrupt=20%/spawns");
+    assert!(
+        r.corrupt_parcels > 0,
+        "no parcel failed its wire checksum: {r:?}"
+    );
+    // A corrupted parcel is discarded, never delivered as garbage — so
+    // some continuations simply never fire.
+    assert!(r.spawn_replies < r.spawns_issued);
+}
+
+#[test]
+fn link_flap_window_recovers_after_heal() {
+    for mode in [GasMode::AgasSoftware, GasMode::AgasNetwork] {
+        let mut plan = drop_mix(61, 0.01);
+        plan.flaps = vec![LinkFlap {
+            src: 0,
+            dst: 1,
+            from: Time::from_us(5),
+            to: Time::from_us(150),
+        }];
+        let label = format!("{mode:?}/flap(0->1)");
+        let r = cell(mode, plan, 3, 47);
+        demand_pass(&r, &label);
+        assert!(
+            r.faults.flap_drops > 0,
+            "{label}: flap window saw no traffic"
+        );
+    }
+}
+
+#[test]
+fn partition_heals_and_everything_is_accounted() {
+    let mut plan = FaultPlan::lossless(71);
+    plan.partitions = vec![Partition {
+        from: Time::from_us(10),
+        to: Time::from_us(160),
+        group_a: vec![0, 1],
+    }];
+    for mode in GasMode::ALL {
+        let label = format!("{mode:?}/partition");
+        let r = cell(mode, plan.clone(), 0, 53);
+        demand_pass(&r, &label);
+        assert!(
+            r.faults.partition_drops > 0,
+            "{label}: the cut saw no traffic"
+        );
+        assert!(
+            r.gas.deadline_retries > 0,
+            "{label}: partitioned ops never retried"
+        );
+    }
+}
+
+#[test]
+fn chaos_cells_replay_bit_identically() {
+    let cfg = ChaosConfig {
+        mode: GasMode::AgasNetwork,
+        plan: drop_mix(81, 0.05),
+        seed: 59,
+        rounds: 14,
+        churn: 3,
+        ..ChaosConfig::default()
+    };
+    let a = run_chaos(&cfg);
+    let b = run_chaos(&cfg);
+    assert_eq!(a.trace_hash, b.trace_hash);
+    assert_eq!(a.end, b.end);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(a.acked(), b.acked());
+    assert_eq!(a.op_failures, b.op_failures);
+}

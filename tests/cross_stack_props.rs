@@ -80,6 +80,65 @@ fn run_schedule(mode: GasMode, cmds: &[Cmd], seed: u64) -> (u64, u64, u64) {
     (completions.get(), hits.get(), rt.eng.trace_hash())
 }
 
+/// Triaged from `tests/cross_stack_props.proptest-regressions` (seed 52):
+/// block 6 is migrated twice back-to-back — the second migration starts
+/// while the first's directory update is still in flight — and a put plus a
+/// spawn then chase the moving block through stale owner hints. The shrunk
+/// schedule lost a completion before the deferred-migration queue handled
+/// re-entrant moves; it is pinned here by name so the case survives even if
+/// the regressions file is pruned.
+#[test]
+fn regression_seed52_double_migrate_with_chasing_put() {
+    let cmds = [
+        Cmd::Migrate { block: 6, to: 3 },
+        Cmd::Get { from: 0, block: 0 },
+        Cmd::Put {
+            from: 1,
+            block: 1,
+            slot: 0,
+        },
+        Cmd::Migrate { block: 6, to: 2 },
+        Cmd::Get { from: 2, block: 0 },
+        Cmd::Put {
+            from: 3,
+            block: 3,
+            slot: 5,
+        },
+        Cmd::Put {
+            from: 2,
+            block: 6,
+            slot: 0,
+        },
+        Cmd::Spawn {
+            from: 2,
+            block: 0,
+            val: 47,
+        },
+        Cmd::Spawn {
+            from: 3,
+            block: 5,
+            val: 208,
+        },
+        Cmd::Get { from: 0, block: 1 },
+        Cmd::Spawn {
+            from: 3,
+            block: 6,
+            val: 43,
+        },
+    ];
+    let expected_completions = 9; // everything except the two migrates
+    let expected_hits = 3;
+    for mode in GasMode::ALL {
+        let (completions, hits, _) = run_schedule(mode, &cmds, 52);
+        assert_eq!(completions, expected_completions, "{mode:?}");
+        assert_eq!(hits, expected_hits, "{mode:?}");
+    }
+    // And the schedule must replay bit-identically.
+    let a = run_schedule(GasMode::AgasNetwork, &cmds, 52);
+    let b = run_schedule(GasMode::AgasNetwork, &cmds, 52);
+    assert_eq!(a, b);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
