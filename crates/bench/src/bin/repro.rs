@@ -821,6 +821,109 @@ fn chaos(json: bool, seed: u64) {
     }
 }
 
+/// `parallel [--shards N] [--locs N] [--updates N]` — the sharded-engine
+/// scaling series (DESIGN.md §3.5): the self-pumping GUPS workload on
+/// network-managed AGAS over the FDR fabric, run on the sequential engine
+/// and then at each lane count up to `--shards`. Wall-clock throughput
+/// scales with lanes (given enough host cores); the simulated results —
+/// trace hash, clock, event and update counts — must be bit-identical at
+/// every lane count, and the process exits nonzero if they are not.
+fn parallel(json: bool, max_shards: usize, cfg: &ParallelGupsConfig) {
+    header(
+        "parallel",
+        &format!(
+            "sharded-engine GUPS scaling, {} localities × {} updates (wall-clock)",
+            cfg.localities, cfg.updates_per_loc
+        ),
+    );
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    // Runs are strictly serial: each one owns the machine while timed.
+    let rows: Vec<ParallelGupsRow> = shard_ladder(max_shards)
+        .into_iter()
+        .map(|k| parallel_gups(cfg, k))
+        .collect();
+    let base = rows[0].events_per_sec();
+    if !json {
+        println!("(host has {cores} core(s); speedup needs cores >= shards)");
+        println!(
+            "{:>7} {:>11} {:>9} {:>13} {:>8} {:>9} {:>7} {:>11}",
+            "shards", "events", "wall s", "events/sec", "speedup", "windows", "sync%", "util"
+        );
+    }
+    for r in &rows {
+        let speedup = if base > 0.0 {
+            r.events_per_sec() / base
+        } else {
+            0.0
+        };
+        if json {
+            let util = r
+                .utilization
+                .iter()
+                .map(|u| format!("{u:.4}"))
+                .collect::<Vec<_>>()
+                .join(",");
+            println!(
+                concat!(
+                    "{{\"id\":\"parallel\",\"series\":\"gups_parallel\",\"shards\":{},",
+                    "\"localities\":{},\"host_cores\":{},\"updates\":{},\"events\":{},",
+                    "\"sim_time_ps\":{},\"wall_seconds\":{:.6},\"events_per_sec\":{:.0},",
+                    "\"speedup\":{:.4},\"trace_hash\":{},\"windows\":{},",
+                    "\"sync_overhead\":{:.4},\"utilization\":[{}]}}"
+                ),
+                r.shards,
+                r.localities,
+                cores,
+                r.updates,
+                r.events,
+                r.sim.ps(),
+                r.wall_secs,
+                r.events_per_sec(),
+                speedup,
+                r.trace_hash,
+                r.windows,
+                r.sync_overhead,
+                util,
+            );
+        } else {
+            let util = if r.utilization.is_empty() {
+                "-".into()
+            } else {
+                let min = r.utilization.iter().cloned().fold(f64::INFINITY, f64::min);
+                let max = r.utilization.iter().cloned().fold(0.0f64, f64::max);
+                format!("{min:.2}-{max:.2}")
+            };
+            println!(
+                "{:>7} {:>11} {:>9.3} {:>13.0} {:>7.2}x {:>9} {:>6.1}% {:>11}",
+                r.shards,
+                r.events,
+                r.wall_secs,
+                r.events_per_sec(),
+                speedup,
+                r.windows,
+                r.sync_overhead * 100.0,
+                util,
+            );
+        }
+    }
+    let gold = &rows[0];
+    let diverged: Vec<String> = rows
+        .iter()
+        .filter(|r| {
+            (r.trace_hash, r.sim, r.events, r.updates)
+                != (gold.trace_hash, gold.sim, gold.events, gold.updates)
+        })
+        .map(|r| format!("{} shards", r.shards))
+        .collect();
+    if !diverged.is_empty() {
+        eprintln!(
+            "parallel runs DIVERGED from the sequential trace: {}",
+            diverged.join(", ")
+        );
+        std::process::exit(1);
+    }
+}
+
 /// Engine throughput on hot-path workloads (wall-clock events/sec).
 fn perf(json: bool) {
     header(
@@ -931,8 +1034,33 @@ fn perf(json: bool) {
     }
 }
 
+/// Pop `--name N` / `--name=N` from `args`, so flag values are never
+/// mistaken for positional arguments (subcommand, chaos seed).
+fn take_opt(args: &mut Vec<String>, name: &str) -> Option<u64> {
+    if let Some(i) = args.iter().position(|a| a == name) {
+        let v = args.get(i + 1).and_then(|v| v.parse().ok());
+        args.drain(i..(i + 2).min(args.len()));
+        return v;
+    }
+    let pfx = format!("{name}=");
+    if let Some(i) = args.iter().position(|a| a.starts_with(&pfx)) {
+        let v = args[i][pfx.len()..].parse().ok();
+        args.remove(i);
+        return v;
+    }
+    None
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let shards = take_opt(&mut args, "--shards").map(|n| n.max(1) as usize);
+    let mut par_cfg = ParallelGupsConfig::default();
+    if let Some(n) = take_opt(&mut args, "--locs") {
+        par_cfg.localities = n.max(1) as usize;
+    }
+    if let Some(n) = take_opt(&mut args, "--updates") {
+        par_cfg.updates_per_loc = n.max(1);
+    }
     let json = args.iter().any(|a| a == "--json");
     let what = args
         .iter()
@@ -974,7 +1102,13 @@ fn main() {
         }
     };
     match what.as_str() {
-        "perf" => perf(json),
+        "perf" => {
+            perf(json);
+            if let Some(k) = shards {
+                parallel(json, k, &par_cfg);
+            }
+        }
+        "parallel" => parallel(json, shards.unwrap_or(8), &par_cfg),
         "ops" => ops_dump(json),
         "chaos" => {
             let seed = args
@@ -990,13 +1124,16 @@ fn main() {
                 run_one(name, f);
             }
             perf(json);
+            if let Some(k) = shards {
+                parallel(json, k, &par_cfg);
+            }
             chaos(json, 101);
         }
         id => match experiments.iter().find(|(name, _)| *name == id) {
             Some((name, f)) => run_one(name, f),
             None => {
                 eprintln!(
-                    "unknown experiment {id:?}; use one of: all perf ops chaos {}",
+                    "unknown experiment {id:?}; use one of: all perf parallel ops chaos {}",
                     experiments
                         .iter()
                         .map(|(n, _)| *n)

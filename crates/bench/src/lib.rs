@@ -8,5 +8,7 @@
 //! deterministic for a given seed.
 
 pub mod experiments;
+pub mod parallel;
 
 pub use experiments::*;
+pub use parallel::*;

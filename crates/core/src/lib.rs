@@ -30,6 +30,7 @@ pub mod dist;
 pub mod gva;
 pub mod migrate;
 pub mod ops;
+pub mod simworld;
 
 pub use alloc::{alloc_array, free_array, GlobalArray, PgasMap};
 pub use btt::{BlockState, Btt, BttEntry};
@@ -42,6 +43,7 @@ pub use config::{GasConfig, GasMode};
 pub use directory::{Directory, OwnerRec};
 pub use dist::Distribution;
 pub use gva::Gva;
+pub use simworld::{SimData, SimEv, SimLoc, SimMsg, SimWorld};
 
 use netsim::{
     Engine, LocalityId, OpError, OpId, OpTable, OutcomeCounters, PhysAddr, ServerPool, Time,

@@ -1,0 +1,454 @@
+//! A `Send` world for the full photon + GAS stack, runnable on both the
+//! sequential [`Engine`] and the sharded
+//! [`ShardedEngine`](netsim::ShardedEngine).
+//!
+//! The integration tests' traditional `World` keeps one shared event log,
+//! which is fine sequentially but unusable across shard lanes. `SimWorld`
+//! is its lane-safe twin: identical construction defaults, identical
+//! protocol dispatch (so any workload replayed on it schedules the exact
+//! same `(time, seq)` event sequence and reproduces the same golden trace
+//! hashes), but every driver-visible observation — completion events,
+//! audit expectations, mismatch counters — lives in a *per-locality*
+//! record that only the owning lane touches.
+//!
+//! It also carries the self-pumping GUPS load generator used by the
+//! parallel-scaling benchmark: each locality holds a private RNG and an
+//! op budget, and every put completion immediately issues the next
+//! random-block put from the completing locality. The pump keeps every
+//! lane saturated without any drive-phase serialization, which is what
+//! makes the sharded speedup measurable.
+
+use crate::check::{check_blocks, check_history, Violation};
+use crate::{GasConfig, GasLocal, GasMode, GasMsg, GasStats, GasWorld, Gva, PgasMap};
+use netsim::rng::Xoshiro256;
+use netsim::shard::ShardMap;
+use netsim::{
+    Cluster, Counters, Engine, Envelope, LocalityId, NackReason, NetConfig, OpError, OpId, OpKind,
+    OutcomeCounters, Packet, Protocol, ServerPool, SharedState, SplitWorld, Time,
+};
+use photon::{PhotonConfig, PhotonEndpoint, PhotonMsg, PhotonWorld};
+use std::collections::HashMap;
+
+/// Wire message: photon control or GAS protocol traffic.
+#[derive(Debug)]
+pub enum SimMsg {
+    /// Photon middleware traffic.
+    Photon(PhotonMsg),
+    /// GAS protocol traffic.
+    Gas(GasMsg),
+}
+
+/// A driver-visible completion event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimEv {
+    /// `memput` completed (ctx bits).
+    PutDone(u64),
+    /// `memget` completed with its data.
+    GetDone(u64, Vec<u8>),
+    /// Migration committed: `(ctx bits, block key)`.
+    MigDone(u64, u64),
+    /// Runtime free committed: `(ctx bits, block key)`.
+    FreeDone(u64, u64),
+    /// Terminal failure: `(ctx bits, rendered error)`.
+    OpFailed(u64, String),
+}
+
+/// Per-locality GUPS pump state: a private RNG and an op budget.
+#[derive(Debug)]
+pub struct GupsPump {
+    /// Puts this locality may still issue.
+    pub remaining: u64,
+    /// Completions observed (pump-issued puts only).
+    pub completed: u64,
+    rng: Xoshiro256,
+    next_op: u64,
+}
+
+/// The slice of driver state owned by one locality — and therefore by one
+/// shard lane.
+#[derive(Default)]
+pub struct SimLoc {
+    /// Completion events observed here (only when
+    /// [`SimData::record_events`] is on).
+    pub events: Vec<(Time, SimEv)>,
+    /// Put completions delivered here.
+    pub put_acks: u64,
+    /// Get completions delivered here.
+    pub get_acks: u64,
+    /// Migration completions delivered here.
+    pub migration_acks: u64,
+    /// Terminal op failures delivered here.
+    pub op_failures: u64,
+    /// Audited gets whose data was neither zeros nor the registered value.
+    pub data_mismatches: u64,
+    /// Audit registry: ctx bits → the slot's one legal non-zero value,
+    /// consumed by the get completion.
+    pub expect: HashMap<u64, u64>,
+    /// The self-pumping GUPS load generator, when armed.
+    pub pump: Option<GupsPump>,
+}
+
+/// The backing storage of a [`SimWorld`]; lanes alias it via
+/// [`SharedState`].
+pub struct SimData {
+    /// The simulated cluster.
+    pub cluster: Cluster,
+    /// Per-locality photon endpoints.
+    pub eps: Vec<PhotonEndpoint>,
+    /// Per-locality GAS state.
+    pub gas: Vec<GasLocal>,
+    /// Per-locality CPU worker pools.
+    pub cpus: Vec<ServerPool>,
+    /// The replicated PGAS placement registry (read-only at event time).
+    pub pgas: PgasMap,
+    /// The active GAS mode.
+    pub mode: GasMode,
+    /// Whether completions append to [`SimLoc::events`] (off for long
+    /// benchmark runs to avoid unbounded logs).
+    pub record_events: bool,
+    /// Blocks the GUPS pump targets (read-only at event time).
+    pub pump_blocks: Vec<Gva>,
+    /// Per-locality driver records.
+    pub locs: Vec<SimLoc>,
+}
+
+/// The world handle: owner on the control engine, alias on each lane.
+pub struct SimWorld {
+    /// Shared backing storage.
+    pub data: SharedState<SimData>,
+}
+
+impl SimWorld {
+    /// Build a world with the integration suite's construction defaults:
+    /// 256 MiB arenas, default photon/GAS configs, two CPU workers per
+    /// locality.
+    pub fn new(n: usize, mode: GasMode, net: NetConfig) -> SimWorld {
+        SimWorld {
+            data: SharedState::new(SimData {
+                cluster: Cluster::new(n, net, 1 << 28),
+                eps: (0..n)
+                    .map(|_| PhotonEndpoint::new(PhotonConfig::default()))
+                    .collect(),
+                gas: (0..n)
+                    .map(|_| GasLocal::new(GasConfig::default()))
+                    .collect(),
+                cpus: (0..n).map(|_| ServerPool::new(2)).collect(),
+                pgas: PgasMap::new(),
+                mode,
+                record_events: true,
+                pump_blocks: Vec::new(),
+                locs: (0..n).map(|_| SimLoc::default()).collect(),
+            }),
+        }
+    }
+
+    /// Install the block set the GUPS pump draws targets from.
+    pub fn set_pump_blocks(&mut self, blocks: Vec<Gva>) {
+        self.data.pump_blocks = blocks;
+    }
+
+    /// Arm the self-pumping GUPS generator on `loc` with `budget` puts.
+    pub fn arm_gups(&mut self, loc: LocalityId, budget: u64, seed: u64) {
+        self.data.locs[loc as usize].pump = Some(GupsPump {
+            remaining: budget,
+            completed: 0,
+            rng: Xoshiro256::seed_from_u64(seed ^ (u64::from(loc) << 32)),
+            next_op: 0,
+        });
+    }
+
+    /// Kick the pump on `loc`: issue its first put (subsequent puts chain
+    /// off completions). Call through `drive_at(loc, ..)` when sharded.
+    pub fn pump_prime(eng: &mut Engine<SimWorld>, loc: LocalityId) {
+        pump_next(eng, loc);
+    }
+
+    /// Register the one legal non-zero value for an audited get.
+    pub fn expect_value(&mut self, loc: LocalityId, ctx: OpId, value: u64) {
+        self.data.locs[loc as usize].expect.insert(ctx.raw(), value);
+    }
+
+    /// Drain every per-locality event log into one time-ordered list.
+    pub fn drain_events(&mut self) -> Vec<(Time, LocalityId, SimEv)> {
+        let mut out = Vec::new();
+        for (l, sl) in self.data.locs.iter_mut().enumerate() {
+            out.extend(sl.events.drain(..).map(|(t, ev)| (t, l as LocalityId, ev)));
+        }
+        out.sort_by_key(|&(t, l, _)| (t, l));
+        out
+    }
+
+    /// Sum of a per-locality counter over all localities.
+    fn total(&self, f: impl Fn(&SimLoc) -> u64) -> u64 {
+        self.data.locs.iter().map(f).sum()
+    }
+
+    /// Put completions across the cluster.
+    pub fn put_acks(&self) -> u64 {
+        self.total(|l| l.put_acks)
+    }
+
+    /// Get completions across the cluster.
+    pub fn get_acks(&self) -> u64 {
+        self.total(|l| l.get_acks)
+    }
+
+    /// Migration completions across the cluster.
+    pub fn migration_acks(&self) -> u64 {
+        self.total(|l| l.migration_acks)
+    }
+
+    /// Terminal op failures across the cluster.
+    pub fn op_failures(&self) -> u64 {
+        self.total(|l| l.op_failures)
+    }
+
+    /// Audited-get mismatches across the cluster.
+    pub fn data_mismatches(&self) -> u64 {
+        self.total(|l| l.data_mismatches)
+    }
+
+    /// GUPS pump completions across the cluster.
+    pub fn pump_completed(&self) -> u64 {
+        self.total(|l| l.pump.as_ref().map_or(0, |p| p.completed))
+    }
+
+    /// Aggregate GAS stats across localities.
+    pub fn total_gas_stats(&self) -> GasStats {
+        let mut total = GasStats::default();
+        for g in &self.data.gas {
+            let s = g.stats;
+            total.puts += s.puts;
+            total.gets += s.gets;
+            total.local_ops += s.local_ops;
+            total.remote_ops += s.remote_ops;
+            total.retries += s.retries;
+            total.dir_queries += s.dir_queries;
+            total.sw_puts_handled += s.sw_puts_handled;
+            total.sw_gets_handled += s.sw_gets_handled;
+            total.sw_fallbacks += s.sw_fallbacks;
+            total.migrations_started += s.migrations_started;
+            total.migrations_done += s.migrations_done;
+            total.stale_completions += s.stale_completions;
+            total.protocol_violations += s.protocol_violations;
+            total.deadline_exceeded += s.deadline_exceeded;
+            total.deadline_retries += s.deadline_retries;
+            total.ops_failed += s.ops_failed;
+        }
+        total
+    }
+
+    /// Aggregate op-outcome counters across localities.
+    pub fn total_outcomes(&self) -> OutcomeCounters {
+        let mut total = OutcomeCounters::default();
+        for g in &self.data.gas {
+            total.merge(&g.outcomes);
+        }
+        total
+    }
+
+    /// Aggregate NIC/network counters across localities.
+    pub fn total_counters(&self) -> Counters {
+        self.data.cluster.total_counters()
+    }
+
+    /// Structural + serializability violations over `blocks` (delegates to
+    /// [`crate::check`]).
+    pub fn violations(&self, blocks: &[Gva]) -> Vec<Violation> {
+        let mut v = check_blocks(self, blocks);
+        v.extend(check_history(self));
+        v
+    }
+}
+
+impl Protocol for SimWorld {
+    type Msg = SimMsg;
+
+    fn cluster(&mut self) -> &mut Cluster {
+        &mut self.data.cluster
+    }
+
+    fn cluster_ref(&self) -> &Cluster {
+        &self.data.cluster
+    }
+
+    fn deliver(eng: &mut Engine<Self>, env: Envelope<SimMsg>) {
+        match env.packet {
+            Packet::User(SimMsg::Photon(p)) => photon::handle_msg(eng, env.src, env.dst, p),
+            Packet::User(SimMsg::Gas(g)) => crate::ops::handle_msg(eng, env.src, env.dst, g),
+            other => photon::handle_completion(eng, env.src, env.dst, other),
+        }
+    }
+}
+
+impl PhotonWorld for SimWorld {
+    fn endpoint(&mut self, loc: LocalityId) -> &mut PhotonEndpoint {
+        &mut self.data.eps[loc as usize]
+    }
+    fn wrap(msg: PhotonMsg) -> SimMsg {
+        SimMsg::Photon(msg)
+    }
+    fn pwc_complete(eng: &mut Engine<Self>, loc: LocalityId, ctx: OpId) {
+        crate::ops::on_pwc_complete(eng, loc, ctx);
+    }
+    fn pwc_remote(_eng: &mut Engine<Self>, _loc: LocalityId, _tag: u64, _len: u32) {}
+    fn pwc_failed(
+        eng: &mut Engine<Self>,
+        loc: LocalityId,
+        ctx: OpId,
+        kind: OpKind,
+        reason: NackReason,
+        block: u64,
+    ) {
+        crate::ops::on_pwc_failed(eng, loc, ctx, kind, reason, block);
+    }
+    fn recv_complete(
+        _eng: &mut Engine<Self>,
+        _loc: LocalityId,
+        _src: LocalityId,
+        _tag: u64,
+        _data: Vec<u8>,
+    ) {
+    }
+    fn send_complete(_eng: &mut Engine<Self>, _loc: LocalityId, _send_id: u64) {}
+    fn xlate_miss_local(eng: &mut Engine<Self>, loc: LocalityId, block: u64) {
+        crate::ops::on_xlate_miss(eng, loc, block);
+    }
+}
+
+impl GasWorld for SimWorld {
+    fn gas(&mut self, loc: LocalityId) -> &mut GasLocal {
+        &mut self.data.gas[loc as usize]
+    }
+    fn gas_ref(&self, loc: LocalityId) -> &GasLocal {
+        &self.data.gas[loc as usize]
+    }
+    fn gas_mode(&self) -> GasMode {
+        self.data.mode
+    }
+    fn pgas(&mut self) -> &mut PgasMap {
+        &mut self.data.pgas
+    }
+    fn cpu(&mut self, loc: LocalityId) -> &mut ServerPool {
+        &mut self.data.cpus[loc as usize]
+    }
+    fn wrap_gas(msg: GasMsg) -> SimMsg {
+        SimMsg::Gas(msg)
+    }
+
+    fn gas_put_done(eng: &mut Engine<Self>, loc: LocalityId, ctx: OpId) {
+        let now = eng.now();
+        let d = &mut *eng.state.data;
+        let record = d.record_events;
+        let sl = &mut d.locs[loc as usize];
+        sl.put_acks += 1;
+        if record {
+            sl.events.push((now, SimEv::PutDone(ctx.raw())));
+        }
+        if sl.pump.is_some() {
+            if let Some(p) = sl.pump.as_mut() {
+                p.completed += 1;
+            }
+            pump_next(eng, loc);
+        }
+    }
+
+    fn gas_get_done(eng: &mut Engine<Self>, loc: LocalityId, ctx: OpId, data: Vec<u8>) {
+        let now = eng.now();
+        let d = &mut *eng.state.data;
+        let record = d.record_events;
+        let sl = &mut d.locs[loc as usize];
+        sl.get_acks += 1;
+        if let Some(expect) = sl.expect.remove(&ctx.raw()) {
+            let got = u64::from_le_bytes(data[..8].try_into().expect("audited get ≥ 8 bytes"));
+            if got != 0 && got != expect {
+                sl.data_mismatches += 1;
+            }
+        }
+        if record {
+            sl.events.push((now, SimEv::GetDone(ctx.raw(), data)));
+        }
+    }
+
+    fn gas_migrate_done(eng: &mut Engine<Self>, loc: LocalityId, ctx: OpId, block: u64) {
+        let now = eng.now();
+        let d = &mut *eng.state.data;
+        let record = d.record_events;
+        let sl = &mut d.locs[loc as usize];
+        sl.migration_acks += 1;
+        if record {
+            sl.events.push((now, SimEv::MigDone(ctx.raw(), block)));
+        }
+    }
+
+    fn gas_free_done(eng: &mut Engine<Self>, loc: LocalityId, ctx: OpId, block: u64) {
+        let now = eng.now();
+        let d = &mut *eng.state.data;
+        let record = d.record_events;
+        let sl = &mut d.locs[loc as usize];
+        if record {
+            sl.events.push((now, SimEv::FreeDone(ctx.raw(), block)));
+        }
+    }
+
+    fn gas_op_failed(eng: &mut Engine<Self>, loc: LocalityId, ctx: OpId, _gva: Gva, err: OpError) {
+        let now = eng.now();
+        let d = &mut *eng.state.data;
+        let record = d.record_events;
+        let sl = &mut d.locs[loc as usize];
+        sl.op_failures += 1;
+        sl.expect.remove(&ctx.raw());
+        if record {
+            sl.events
+                .push((now, SimEv::OpFailed(ctx.raw(), err.to_string())));
+        }
+        // A failed pump put still owes the chain its continuation.
+        if sl.pump.is_some() {
+            pump_next(eng, loc);
+        }
+    }
+}
+
+/// Issue the next pump put from `loc`, if budget remains. Draws target
+/// block, offset, and value from the locality's private RNG — all state
+/// owned by `loc`'s lane, so the pump is lane-safe and its draw order is
+/// fixed by the (deterministic) per-locality completion order.
+fn pump_next(eng: &mut Engine<SimWorld>, loc: LocalityId) {
+    let d = &mut *eng.state.data;
+    let nblocks = d.pump_blocks.len() as u64;
+    let Some(p) = d.locs[loc as usize].pump.as_mut() else {
+        return;
+    };
+    if p.remaining == 0 || nblocks == 0 {
+        return;
+    }
+    p.remaining -= 1;
+    let r = p.rng.next_u64();
+    let op = p.next_op;
+    p.next_op += 1;
+    let base = d.pump_blocks[(r % nblocks) as usize];
+    let slots = base.block_size() / 8;
+    let gva = base.with_offset(((r >> 32) % slots) * 8);
+    // Correlation token namespaced by locality so ctxs never collide.
+    let ctx = OpId::from_raw((u64::from(loc) << 40) | op);
+    crate::ops::memput(eng, loc, gva, r.to_le_bytes().to_vec(), ctx);
+}
+
+// SAFETY: the protocol stack above netsim partitions its mutable state by
+// locality — `eps[loc]`, `gas[loc]`, `cpus[loc]`, `locs[loc]`, and the
+// locality's NIC/memory/counters inside `cluster` — and an event delivered
+// at `loc` only touches `loc`'s slice, which belongs to the executing
+// lane. The shared structures (`pgas`, `pump_blocks`, `mode`,
+// `record_events`, the cluster-wide config) are read-only at event time:
+// `pgas` is only written on the allocation (drive-phase) and runtime-free
+// paths, and sharded workloads must not issue runtime frees. Shared wire
+// state is confined to netsim's own `defer_wire` tails. Event closures
+// capture only owned buffers and `Copy` data.
+unsafe impl SplitWorld for SimWorld {
+    fn lane_handle(&mut self, _lane: u32, _map: ShardMap) -> SimWorld {
+        SimWorld {
+            // SAFETY: `ShardedEngine` drops lane handles before the owner.
+            data: unsafe { self.data.alias() },
+        }
+    }
+}

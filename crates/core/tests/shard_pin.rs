@@ -1,0 +1,349 @@
+//! The golden trace pins, replayed on the sharded engine.
+//!
+//! `trace_pin.rs` pins the sequential `(trace_hash, now)` of five
+//! workloads. The hashes fold every executed `(time, seq)` pair, so they
+//! are a complete witness of execution order — and the sharded engine
+//! contracts to reproduce that order bit-for-bit at any shard count. This
+//! suite re-runs the same five scenarios on [`agas::SimWorld`] (the
+//! `Send` twin of the integration `World`, with identical construction
+//! defaults and protocol dispatch) sequentially *and* under shard counts
+//! {1, 2, 4, 8}, asserting the very same golden constants.
+//!
+//! A pin failure here with a passing `trace_pin.rs` means the sharded
+//! engine (or `SimWorld`) diverged from sequential execution; a failure in
+//! both means the protocol itself moved.
+
+use agas::migrate::migrate_block;
+use agas::ops::{memget, memput};
+use agas::{alloc_array, Distribution, GasMode, GlobalArray, OwnerCache, SimWorld};
+use netsim::{Engine, LocalityId, NetConfig, OpId, ShardedEngine, Time};
+
+/// Shard counts every scenario must reproduce its pin under. `None` is
+/// the plain sequential engine (the control that ties this suite to
+/// `trace_pin.rs`).
+const GRID: [Option<usize>; 5] = [None, Some(1), Some(2), Some(4), Some(8)];
+
+fn jittery() -> NetConfig {
+    NetConfig {
+        jitter_ns: 400,
+        ..NetConfig::ideal()
+    }
+}
+
+/// One workload harness: the same `SimWorld` program driven either by the
+/// sequential engine or by the sharded one.
+enum Harness {
+    Seq(Engine<SimWorld>),
+    Shard(ShardedEngine<SimWorld>),
+}
+
+impl Harness {
+    fn new(n: usize, mode: GasMode, net: NetConfig, seed: u64, shards: Option<usize>) -> Harness {
+        let world = SimWorld::new(n, mode, net);
+        match shards {
+            None => Harness::Seq(Engine::new(world, seed)),
+            Some(k) => Harness::Shard(ShardedEngine::new(world, seed, k)),
+        }
+    }
+
+    /// Driver-phase world access (between runs).
+    fn world(&mut self) -> &mut SimWorld {
+        match self {
+            Harness::Seq(e) => &mut e.state,
+            Harness::Shard(s) => s.state(),
+        }
+    }
+
+    /// Issue driver code attributed to locality `loc` (op submissions,
+    /// injected events).
+    fn issue(&mut self, loc: LocalityId, f: impl FnOnce(&mut Engine<SimWorld>) + 'static) {
+        match self {
+            Harness::Seq(e) => f(e),
+            Harness::Shard(s) => s.drive_at(loc, f),
+        }
+    }
+
+    fn alloc(&mut self, blocks: u64, class: u8) -> GlobalArray {
+        match self {
+            Harness::Seq(e) => alloc_array(e, blocks, class, Distribution::Cyclic),
+            Harness::Shard(s) => s.drive(|e| alloc_array(e, blocks, class, Distribution::Cyclic)),
+        }
+    }
+
+    fn run(&mut self) {
+        match self {
+            Harness::Seq(e) => e.run(),
+            Harness::Shard(s) => s.run(),
+        };
+    }
+
+    fn run_steps(&mut self, n: u64) {
+        match self {
+            Harness::Seq(e) => e.run_steps(n),
+            Harness::Shard(s) => s.run_steps(n),
+        };
+    }
+
+    fn finish(&mut self) -> (u64, u64) {
+        self.run();
+        match self {
+            Harness::Seq(e) => (e.trace_hash(), e.now().ps()),
+            Harness::Shard(s) => (s.trace_hash(), s.now().ps()),
+        }
+    }
+}
+
+fn check(name: &str, shards: Option<usize>, got: (u64, u64), want: (u64, u64)) {
+    assert_eq!(
+        got, want,
+        "{name} (shards={shards:?}): pin moved — observed (hash, ps) = ({:#018x}, {})",
+        got.0, got.1
+    );
+}
+
+/// Remote puts + read-back on a jittery fabric (see `trace_pin.rs`).
+fn jitter_puts(mode: GasMode, seed: u64, shards: Option<usize>) -> (u64, u64) {
+    let mut h = Harness::new(3, mode, jittery(), seed, shards);
+    let arr = h.alloc(4, 12);
+    for i in 0..30u64 {
+        let gva = arr.block(i % 4).with_offset((i / 4) * 16);
+        let loc = (i % 3) as u32;
+        h.issue(loc, move |eng| {
+            memput(eng, loc, gva, vec![(i + 1) as u8; 16], OpId::from_raw(i));
+        });
+    }
+    h.run();
+    for i in 0..30u64 {
+        let gva = arr.block(i % 4).with_offset((i / 4) * 16);
+        let loc = ((i + 1) % 3) as u32;
+        h.issue(loc, move |eng| {
+            memget(eng, loc, gva, 16, OpId::from_raw(100 + i));
+        });
+    }
+    h.finish()
+}
+
+/// Puts racing migrations under jitter.
+fn migration_mix(mode: GasMode, shards: Option<usize>) -> (u64, u64) {
+    let mut h = Harness::new(4, mode, jittery(), 11, shards);
+    let arr = h.alloc(4, 12);
+    for round in 0..6u64 {
+        for b in 0..4u64 {
+            let gva = arr.block(b).with_offset(round * 16);
+            let loc = (b % 4) as u32;
+            h.issue(loc, move |eng| {
+                memput(
+                    eng,
+                    loc,
+                    gva,
+                    vec![(round * 4 + b + 1) as u8; 16],
+                    OpId::from_raw(round * 4 + b),
+                );
+            });
+            let mig = arr.block(b);
+            h.issue(0, move |eng| {
+                migrate_block(
+                    eng,
+                    0,
+                    mig,
+                    ((round + b) % 4) as u32,
+                    OpId::from_raw(9000 + round * 4 + b),
+                );
+            });
+        }
+        h.run_steps(40);
+    }
+    h.finish()
+}
+
+/// The deadline-sweep fault scenario: locality 0 forgets its in-flight
+/// wire ops and the sweep converts the silence into failures.
+fn deadline_fault(seed: u64, shards: Option<usize>) -> (u64, u64) {
+    let mut h = Harness::new(4, GasMode::AgasNetwork, jittery(), seed, shards);
+    for g in &mut h.world().data.gas {
+        g.cfg.op_deadline = Some(Time::from_us(40));
+        g.cfg.sweep_interval = Time::from_us(5);
+    }
+    let arr = h.alloc(4, 12);
+    for i in 0..8u64 {
+        let gva = arr.block(i % 4).with_offset((i / 4) * 64);
+        h.issue(0, move |eng| {
+            memput(eng, 0, gva, vec![i as u8 + 1; 64], OpId::from_raw(i));
+            memget(eng, 0, gva, 64, OpId::from_raw(100 + i));
+        });
+    }
+    let (m1, m2) = (arr.block(1), arr.block(2));
+    h.issue(1, move |eng| {
+        migrate_block(eng, 1, m1, 3, OpId::from_raw(900));
+    });
+    h.issue(2, move |eng| {
+        migrate_block(eng, 2, m2, 0, OpId::from_raw(901));
+    });
+    // The injected endpoint amnesia touches eps[0]: locality 0's event.
+    h.issue(0, |eng| {
+        eng.schedule(Time::from_ns(150), |eng| {
+            eng.state.data.eps[0].drop_pending_ops();
+        });
+    });
+    h.finish()
+}
+
+/// Capacity pressure: tiny NIC table + tiny owner caches.
+fn capacity_pressure(shards: Option<usize>) -> (u64, u64) {
+    let net = NetConfig {
+        xlate_capacity: 4,
+        ..NetConfig::ideal()
+    };
+    let mut h = Harness::new(4, GasMode::AgasNetwork, net, 17, shards);
+    for g in &mut h.world().data.gas {
+        g.cache = OwnerCache::new(3);
+    }
+    let arr = h.alloc(16, 12);
+    for i in 0..120u64 {
+        let gva = arr.block((i * 7) % 16).with_offset((i % 4) * 32);
+        let loc = ((i + 1) % 4) as u32;
+        h.issue(loc, move |eng| {
+            memput(eng, loc, gva, vec![(i + 1) as u8; 32], OpId::from_raw(i));
+        });
+        if i % 11 == 10 {
+            let mig = arr.block(i % 16);
+            let loc = (i % 4) as u32;
+            h.issue(loc, move |eng| {
+                migrate_block(
+                    eng,
+                    loc,
+                    mig,
+                    ((i + 2) % 4) as u32,
+                    OpId::from_raw(9000 + i),
+                );
+            });
+        }
+        h.run_steps(15);
+    }
+    for i in 0..60u64 {
+        let gva = arr.block((i * 3) % 16);
+        let loc = (i % 4) as u32;
+        h.issue(loc, move |eng| {
+            memget(eng, loc, gva, 32, OpId::from_raw(2000 + i));
+        });
+    }
+    h.finish()
+}
+
+/// A NIC firmware reset mid-run: flush + miss-driven reinstall paths.
+fn flush_recovery(shards: Option<usize>) -> (u64, u64) {
+    let mut h = Harness::new(4, GasMode::AgasNetwork, NetConfig::ideal(), 23, shards);
+    let arr = h.alloc(8, 12);
+    for i in 0..60u64 {
+        let gva = arr.block(i % 8).with_offset((i / 8) * 64);
+        let loc = ((i + 1) % 4) as u32;
+        h.issue(loc, move |eng| {
+            memput(eng, loc, gva, vec![(i + 1) as u8; 64], OpId::from_raw(i));
+        });
+        if i == 30 {
+            // Driver-phase firmware reset, between runs: plain state access.
+            let cluster = &mut h.world().data.cluster;
+            for l in 0..4u32 {
+                cluster.loc_mut(l).nic.xlate.flush_live();
+            }
+        }
+        h.run_steps(10);
+    }
+    h.finish()
+}
+
+#[test]
+fn shard_pin_jitter_puts() {
+    for shards in GRID {
+        check(
+            "jitter_puts/pgas",
+            shards,
+            jitter_puts(GasMode::Pgas, 7, shards),
+            GOLDEN_JITTER_PGAS,
+        );
+        check(
+            "jitter_puts/sw",
+            shards,
+            jitter_puts(GasMode::AgasSoftware, 7, shards),
+            GOLDEN_JITTER_SW,
+        );
+        check(
+            "jitter_puts/net",
+            shards,
+            jitter_puts(GasMode::AgasNetwork, 7, shards),
+            GOLDEN_JITTER_NET,
+        );
+    }
+}
+
+#[test]
+fn shard_pin_migration_mix() {
+    for shards in GRID {
+        check(
+            "migration_mix/sw",
+            shards,
+            migration_mix(GasMode::AgasSoftware, shards),
+            GOLDEN_MIG_SW,
+        );
+        check(
+            "migration_mix/net",
+            shards,
+            migration_mix(GasMode::AgasNetwork, shards),
+            GOLDEN_MIG_NET,
+        );
+    }
+}
+
+#[test]
+fn shard_pin_deadline_fault() {
+    for shards in GRID {
+        check(
+            "deadline_fault/11",
+            shards,
+            deadline_fault(11, shards),
+            GOLDEN_DEADLINE_11,
+        );
+        check(
+            "deadline_fault/23",
+            shards,
+            deadline_fault(23, shards),
+            GOLDEN_DEADLINE_23,
+        );
+    }
+}
+
+#[test]
+fn shard_pin_capacity_pressure() {
+    for shards in GRID {
+        check(
+            "capacity_pressure",
+            shards,
+            capacity_pressure(shards),
+            GOLDEN_CAPACITY,
+        );
+    }
+}
+
+#[test]
+fn shard_pin_flush_recovery() {
+    for shards in GRID {
+        check(
+            "flush_recovery",
+            shards,
+            flush_recovery(shards),
+            GOLDEN_FLUSH,
+        );
+    }
+}
+
+// The exact constants from `trace_pin.rs`: the sharded engine must land on
+// the sequential hashes, not merely be self-consistent.
+const GOLDEN_JITTER_PGAS: (u64, u64) = (0x3a1b_a271_08e7_3ff4, 2_155_000);
+const GOLDEN_JITTER_SW: (u64, u64) = (0x7b1b_771a_2630_7d1b, 6_591_400);
+const GOLDEN_JITTER_NET: (u64, u64) = (0x4a67_b315_e66f_9216, 2_165_000);
+const GOLDEN_MIG_SW: (u64, u64) = (0x50aa_0c4b_27e6_6b7e, 109_546_200);
+const GOLDEN_MIG_NET: (u64, u64) = (0x6829_dca1_979a_1fcd, 100_872_800);
+const GOLDEN_DEADLINE_11: (u64, u64) = (0x7d82_ca5b_de6f_587d, 40_000_000);
+const GOLDEN_DEADLINE_23: (u64, u64) = (0xe63a_b7da_7176_c2ea, 40_000_000);
+const GOLDEN_CAPACITY: (u64, u64) = (0xfe4f_3eb2_0d05_710b, 165_756_600);
+const GOLDEN_FLUSH: (u64, u64) = (0xf28f_56b0_057b_a14c, 21_260_000);

@@ -27,7 +27,9 @@
 //! * the trace hash advances by a single 64×64→128-bit multiply per word
 //!   ([`trace_mix`]) rather than a byte-at-a-time FNV loop.
 
+use crate::nic::LocalityId;
 use crate::rng::Xoshiro256;
+use crate::shard::ShardRole;
 use crate::time::Time;
 use crate::timewheel::TimeWheel;
 use std::mem::{ManuallyDrop, MaybeUninit};
@@ -48,13 +50,13 @@ type Payload = MaybeUninit<[u64; INLINE_WORDS]>;
 /// `call(p, None)` destroys it without running (engine dropped while events
 /// were still pending). Exactly one of the two happens per slot, keeping
 /// each queue entry at four words of metadata.
-struct EventSlot<S> {
+pub(crate) struct EventSlot<S> {
     payload: Payload,
     call: unsafe fn(*mut u8, Option<&mut Engine<S>>),
 }
 
 impl<S> EventSlot<S> {
-    fn new<F>(f: F) -> EventSlot<S>
+    pub(crate) fn new<F>(f: F) -> EventSlot<S>
     where
         F: FnOnce(&mut Engine<S>) + 'static,
     {
@@ -99,7 +101,7 @@ impl<S> EventSlot<S> {
     }
 
     /// Consume the slot, running its closure.
-    fn run(self, eng: &mut Engine<S>) {
+    pub(crate) fn run(self, eng: &mut Engine<S>) {
         let mut this = ManuallyDrop::new(self);
         // SAFETY: `self` is wrapped in ManuallyDrop, so this call is the
         // payload's only consumer — `Drop::drop` will not also run.
@@ -138,12 +140,16 @@ impl<S> Drop for EventSlot<S> {
 pub struct Engine<S> {
     /// The simulated world. Public: events address it directly.
     pub state: S,
-    now: Time,
-    seq: u64,
-    queue: TimeWheel<EventSlot<S>>,
-    rng: Xoshiro256,
-    executed: u64,
-    trace_hash: u64,
+    pub(crate) now: Time,
+    pub(crate) seq: u64,
+    pub(crate) queue: TimeWheel<EventSlot<S>>,
+    pub(crate) rng: Xoshiro256,
+    pub(crate) executed: u64,
+    pub(crate) trace_hash: u64,
+    /// Which part a sharded run this engine plays, if any. Plain engines
+    /// are always [`ShardRole::Seq`], which keeps every dispatch below a
+    /// single-discriminant check on the hot path.
+    pub(crate) shard: ShardRole<S>,
 }
 
 /// Initial trace-hash value (the FNV-1a offset basis, kept from the original
@@ -176,6 +182,7 @@ impl<S> Engine<S> {
             rng: Xoshiro256::seed_from_u64(seed),
             executed: 0,
             trace_hash: TRACE_SEED,
+            shard: ShardRole::Seq,
         }
     }
 
@@ -208,8 +215,19 @@ impl<S> Engine<S> {
     }
 
     /// The engine's deterministic PRNG.
+    ///
+    /// In a sharded run only the control engine may draw: lane engines run
+    /// concurrently, so a draw there would consume the global stream in a
+    /// thread-dependent order. Protocol code that needs randomness on the
+    /// wire path wraps the draw in [`Engine::defer_wire`], which replays it
+    /// serially at the window barrier.
     #[inline]
     pub fn rng(&mut self) -> &mut Xoshiro256 {
+        assert!(
+            !matches!(self.shard, ShardRole::Lane(_)),
+            "engine RNG drawn inside a shard lane; wrap the draw in \
+             defer_wire so it replays deterministically on the control engine"
+        );
         &mut self.rng
     }
 
@@ -236,9 +254,60 @@ impl<S> Engine<S> {
             self.now
         );
         let at = at.max(self.now);
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(at, seq, EventSlot::new(event));
+        if let ShardRole::Seq = self.shard {
+            let seq = self.seq;
+            self.seq += 1;
+            self.queue.push(at, seq, EventSlot::new(event));
+        } else {
+            self.shard_schedule(at, None, EventSlot::new(event));
+        }
+    }
+
+    /// Schedule `event` at the absolute instant `at`, naming the locality
+    /// whose state it touches.
+    ///
+    /// On a plain sequential engine this is exactly [`Engine::schedule_at`];
+    /// the locality is advisory. In a sharded run it routes the event to the
+    /// lane owning `loc`, which is how cross-shard messages find the right
+    /// time-wheel. Protocol code must use this form for any event that runs
+    /// on a *different* locality than the one scheduling it.
+    pub fn schedule_at_loc<F>(&mut self, at: Time, loc: LocalityId, event: F)
+    where
+        F: FnOnce(&mut Engine<S>) + 'static,
+    {
+        debug_assert!(
+            at >= self.now,
+            "event scheduled in the past: {at} < {}",
+            self.now
+        );
+        let at = at.max(self.now);
+        if let ShardRole::Seq = self.shard {
+            let seq = self.seq;
+            self.seq += 1;
+            self.queue.push(at, seq, EventSlot::new(event));
+        } else {
+            self.shard_schedule(at, Some(loc), EventSlot::new(event));
+        }
+    }
+
+    /// Run `tail` now — or, on a concurrent shard lane, defer it to the
+    /// window barrier where it replays serially on the control engine.
+    ///
+    /// Wire-path code wraps its *shared-state* half in this: switch-port
+    /// reservation, jitter draws, the fault plane. On a sequential engine
+    /// the closure runs inline immediately (zero behaviour change); on a
+    /// lane whose current window is wire-pure (no jitter, no faults, no
+    /// switch contention model) it also runs inline, because the tail then
+    /// touches nothing shared. Only impure lanes pay the deferral.
+    pub fn defer_wire<F>(&mut self, tail: F)
+    where
+        F: FnOnce(&mut Engine<S>) + 'static,
+    {
+        if self.defers_wire() {
+            self.push_wire_tail(EventSlot::new(tail));
+        } else {
+            tail(self);
+        }
     }
 
     /// Execute the next pending event, if any. Returns `false` when idle.

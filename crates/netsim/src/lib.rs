@@ -32,6 +32,7 @@ pub mod nic;
 pub mod optable;
 pub mod queue;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod telemetry;
 pub mod time;
@@ -53,6 +54,7 @@ pub use net::{
 pub use nic::{LocalityId, Nic, Xlate, XlateEntry, XlateTable};
 pub use optable::{OpError, OpId, OpOutcome, OpTable, OutcomeCounters};
 pub use queue::ServerPool;
+pub use shard::{ShardMap, ShardStats, ShardedEngine, SharedState, SplitWorld};
 pub use stats::{Counters, LogHistogram, TimeWeighted};
 pub use time::Time;
 pub use timewheel::TimeWheel;

@@ -189,6 +189,16 @@ impl Cluster {
         self.switch_free
     }
 
+    /// Whether the wire tail of a send — switch-core reservation, transit
+    /// jitter, fault-plane verdicts — touches any shared mutable state or
+    /// RNG. On a pure fabric (no jitter, no faults, full bisection) the
+    /// tail is a pure function of its inputs, so the sharded engine can
+    /// run it inline on concurrent lanes instead of deferring it to the
+    /// barrier.
+    pub fn wire_is_pure(&self) -> bool {
+        self.core_ps_per_byte == 0 && self.config.jitter_ns == 0 && self.faults.is_none()
+    }
+
     /// Number of localities.
     pub fn len(&self) -> usize {
         self.locs.len()
@@ -384,7 +394,7 @@ fn deliver_at<S: Protocol>(
     dst: LocalityId,
     packet: Packet<S::Msg>,
 ) {
-    eng.schedule_at(at, move |eng| {
+    eng.schedule_at_loc(at, dst, move |eng| {
         if matches!(packet, Packet::PutDone { .. } | Packet::GetDone { .. }) {
             let now = eng.now();
             eng.state
@@ -456,28 +466,33 @@ pub fn send_user_classed<S: Protocol>(
     }
     let dur = cfg.serialize(wire_bytes);
     let tx_done = eng.state.cluster().tx(src, now + cfg.o_send, dur);
-    let mut arrival = fabric_arrival(eng, tx_done, wire_bytes);
-    match fault_decide(eng, src, dst, class, false) {
-        FaultVerdict::Drop => return,
-        FaultVerdict::Deliver { extra_delay, .. } => arrival += extra_delay,
-    }
-    eng.schedule_at(arrival, move |eng| {
-        let now = eng.now();
-        let dur = eng.state.cluster().config.serialize(wire_bytes);
-        let rx_done = eng.state.cluster().rx(dst, now, dur);
-        eng.schedule_at(rx_done, move |eng| {
+    // Everything from here on touches shared wire state (switch core,
+    // jitter RNG, fault plane): on a concurrent shard lane it defers to
+    // the barrier unless the fabric is wire-pure.
+    eng.defer_wire(move |eng| {
+        let mut arrival = fabric_arrival(eng, tx_done, wire_bytes);
+        match fault_decide(eng, src, dst, class, false) {
+            FaultVerdict::Drop => return,
+            FaultVerdict::Deliver { extra_delay, .. } => arrival += extra_delay,
+        }
+        eng.schedule_at_loc(arrival, dst, move |eng| {
             let now = eng.now();
-            let c = eng.state.cluster();
-            c.tracer.record(now, TraceKind::MsgDeliver { src, dst });
-            c.loc_mut(dst).counters.msgs_recv += 1;
-            S::deliver(
-                eng,
-                Envelope {
-                    src,
-                    dst,
-                    packet: Packet::User(msg),
-                },
-            );
+            let dur = eng.state.cluster().config.serialize(wire_bytes);
+            let rx_done = eng.state.cluster().rx(dst, now, dur);
+            eng.schedule_at(rx_done, move |eng| {
+                let now = eng.now();
+                let c = eng.state.cluster();
+                c.tracer.record(now, TraceKind::MsgDeliver { src, dst });
+                c.loc_mut(dst).counters.msgs_recv += 1;
+                S::deliver(
+                    eng,
+                    Envelope {
+                        src,
+                        dst,
+                        packet: Packet::User(msg),
+                    },
+                );
+            });
         });
     });
 }
@@ -565,10 +580,14 @@ pub fn rdma_put<S: Protocol>(eng: &mut Engine<S>, initiator: LocalityId, req: Pu
         eng.schedule_at(at, move |eng| put_commit(eng, initiator, req, true));
         return;
     }
-    let dur = cfg.serialize(req.data.len() as u32);
+    let bytes = req.data.len() as u32;
+    let dur = cfg.serialize(bytes);
     let tx_done = eng.state.cluster().tx(initiator, now + cfg.o_send, dur);
-    let arrival = fabric_arrival(eng, tx_done, req.data.len() as u32);
-    schedule_put_hop(eng, initiator, req.target, arrival, req);
+    let hop_src = req.target;
+    eng.defer_wire(move |eng| {
+        let arrival = fabric_arrival(eng, tx_done, bytes);
+        schedule_put_hop(eng, initiator, hop_src, arrival, req);
+    });
 }
 
 /// Schedule one wire hop of a put (initial leg or a forwarding hop),
@@ -593,11 +612,12 @@ fn schedule_put_hop<S: Protocol>(
             if duplicate {
                 let copy = req.clone();
                 let spacing = fault_dup_delay(eng, hop_src, req.target);
-                eng.schedule_at(arrival + extra_delay + spacing, move |eng| {
+                eng.schedule_at_loc(arrival + extra_delay + spacing, copy.target, move |eng| {
                     put_arrive(eng, initiator, copy)
                 });
             }
-            eng.schedule_at(arrival + extra_delay, move |eng| {
+            let dst = req.target;
+            eng.schedule_at_loc(arrival + extra_delay, dst, move |eng| {
                 put_arrive(eng, initiator, req)
             });
         }
@@ -659,12 +679,15 @@ fn put_commit<S: Protocol>(
                                 block,
                             },
                         );
-                        let dur = cfg.serialize(req.data.len() as u32);
+                        let bytes = req.data.len() as u32;
+                        let dur = cfg.serialize(bytes);
                         let tx_done = eng.state.cluster().tx(target, now, dur);
-                        let arrival = fabric_arrival(eng, tx_done, req.data.len() as u32);
                         req.target = next;
                         req.ttl -= 1;
-                        schedule_put_hop(eng, initiator, target, arrival, req);
+                        eng.defer_wire(move |eng| {
+                            let arrival = fabric_arrival(eng, tx_done, bytes);
+                            schedule_put_hop(eng, initiator, target, arrival, req);
+                        });
                         return;
                     } else if cfg.nic_forwarding {
                         Err(NackReason::TtlExceeded)
@@ -725,15 +748,11 @@ fn put_commit<S: Protocol>(
                 eng.state.cluster().loc_mut(target).counters.ctrl_sent += 1;
                 let ctrl = cfg.serialize_ctrl();
                 let tx_done = eng.state.cluster().tx(target, visible, ctrl);
-                let at = fabric_arrival(eng, tx_done, cfg.ctrl_bytes);
-                deliver_ctrl_faulty(
-                    eng,
-                    at,
-                    target,
-                    initiator,
-                    Packet::PutDone { op },
-                    response_class(req.class),
-                );
+                let class = response_class(req.class);
+                eng.defer_wire(move |eng| {
+                    let at = fabric_arrival(eng, tx_done, cfg.ctrl_bytes);
+                    deliver_ctrl_faulty(eng, at, target, initiator, Packet::PutDone { op }, class);
+                });
             }
         }
         Err(reason) => nack(
@@ -775,8 +794,10 @@ pub fn rdma_get<S: Protocol>(eng: &mut Engine<S>, initiator: LocalityId, req: Ge
     }
     let ctrl = cfg.serialize_ctrl();
     let tx_done = eng.state.cluster().tx(initiator, now + cfg.o_send, ctrl);
-    let arrival = fabric_arrival(eng, tx_done, cfg.ctrl_bytes);
-    schedule_get_hop(eng, initiator, initiator, arrival, req);
+    eng.defer_wire(move |eng| {
+        let arrival = fabric_arrival(eng, tx_done, cfg.ctrl_bytes);
+        schedule_get_hop(eng, initiator, initiator, arrival, req);
+    });
 }
 
 /// Schedule one wire hop of a get request (initial leg or a forwarding
@@ -799,11 +820,12 @@ fn schedule_get_hop<S: Protocol>(
             if duplicate {
                 let copy = req.clone();
                 let spacing = fault_dup_delay(eng, hop_src, req.target);
-                eng.schedule_at(arrival + extra_delay + spacing, move |eng| {
+                eng.schedule_at_loc(arrival + extra_delay + spacing, copy.target, move |eng| {
                     get_arrive(eng, initiator, copy)
                 });
             }
-            eng.schedule_at(arrival + extra_delay, move |eng| {
+            let dst = req.target;
+            eng.schedule_at_loc(arrival + extra_delay, dst, move |eng| {
                 get_arrive(eng, initiator, req)
             });
         }
@@ -852,10 +874,12 @@ fn get_commit<S: Protocol>(
                         l.counters.xlate_forwards += 1;
                         let ctrl = cfg.serialize_ctrl();
                         let tx_done = eng.state.cluster().tx(target, now, ctrl);
-                        let arrival = fabric_arrival(eng, tx_done, cfg.ctrl_bytes);
                         req.target = next;
                         req.ttl -= 1;
-                        schedule_get_hop(eng, initiator, target, arrival, req);
+                        eng.defer_wire(move |eng| {
+                            let arrival = fabric_arrival(eng, tx_done, cfg.ctrl_bytes);
+                            schedule_get_hop(eng, initiator, target, arrival, req);
+                        });
                         return;
                     } else if cfg.nic_forwarding {
                         Err(NackReason::TtlExceeded)
@@ -921,49 +945,53 @@ fn get_commit<S: Protocol>(
             let dur = cfg.serialize(req.len);
             let ready = now + cfg.dma(req.len);
             let tx_done = eng.state.cluster().tx(target, ready, dur);
-            let mut arrival = fabric_arrival(eng, tx_done, req.len);
-            match fault_decide(eng, target, initiator, response_class(req.class), true) {
-                FaultVerdict::Drop => return,
-                FaultVerdict::Deliver {
-                    extra_delay,
-                    duplicate,
-                    ..
-                } => {
-                    arrival += extra_delay;
-                    if duplicate {
-                        // The duplicate's payload lands on a registration
-                        // the initiator may have retired; model the NIC
-                        // discarding the bytes while the completion event
-                        // still surfaces (the op table drops it as stale).
-                        let spacing = fault_dup_delay(eng, target, initiator);
-                        deliver_at(
-                            eng,
-                            arrival + spacing,
-                            target,
-                            initiator,
-                            Packet::GetDone { op },
-                        );
+            let len = req.len;
+            let class = response_class(req.class);
+            eng.defer_wire(move |eng| {
+                let mut arrival = fabric_arrival(eng, tx_done, len);
+                match fault_decide(eng, target, initiator, class, true) {
+                    FaultVerdict::Drop => return,
+                    FaultVerdict::Deliver {
+                        extra_delay,
+                        duplicate,
+                        ..
+                    } => {
+                        arrival += extra_delay;
+                        if duplicate {
+                            // The duplicate's payload lands on a registration
+                            // the initiator may have retired; model the NIC
+                            // discarding the bytes while the completion event
+                            // still surfaces (the op table drops it as stale).
+                            let spacing = fault_dup_delay(eng, target, initiator);
+                            deliver_at(
+                                eng,
+                                arrival + spacing,
+                                target,
+                                initiator,
+                                Packet::GetDone { op },
+                            );
+                        }
                     }
                 }
-            }
-            eng.schedule_at(arrival, move |eng| {
-                let now = eng.now();
-                let dur = eng.state.cluster().config.serialize(data.len() as u32);
-                let rx_done = eng.state.cluster().rx(initiator, now, dur);
-                eng.schedule_at(rx_done, move |eng| {
-                    eng.state
-                        .cluster()
-                        .mem_mut(initiator)
-                        .write(local_addr, &data)
-                        .expect("get local buffer out of bounds");
-                    S::deliver(
-                        eng,
-                        Envelope {
-                            src: target,
-                            dst: initiator,
-                            packet: Packet::GetDone { op },
-                        },
-                    );
+                eng.schedule_at_loc(arrival, initiator, move |eng| {
+                    let now = eng.now();
+                    let dur = eng.state.cluster().config.serialize(data.len() as u32);
+                    let rx_done = eng.state.cluster().rx(initiator, now, dur);
+                    eng.schedule_at(rx_done, move |eng| {
+                        eng.state
+                            .cluster()
+                            .mem_mut(initiator)
+                            .write(local_addr, &data)
+                            .expect("get local buffer out of bounds");
+                        S::deliver(
+                            eng,
+                            Envelope {
+                                src: target,
+                                dst: initiator,
+                                packet: Packet::GetDone { op },
+                            },
+                        );
+                    });
                 });
             });
         }
@@ -997,32 +1025,8 @@ fn nack<S: Protocol>(
     let now = eng.now();
     let cfg = eng.state.cluster().config;
     eng.state.cluster().loc_mut(target).counters.nacks_sent += 1;
-    let mut at = if local {
-        now + cfg.loopback
-    } else {
-        let ctrl = cfg.serialize_ctrl();
-        let tx_done = eng.state.cluster().tx(target, now, ctrl);
-        fabric_arrival(eng, tx_done, cfg.ctrl_bytes)
-    };
-    let mut dup_at = None;
-    if !local {
-        match fault_decide(eng, target, initiator, class, true) {
-            FaultVerdict::Drop => return,
-            FaultVerdict::Deliver {
-                extra_delay,
-                duplicate,
-                ..
-            } => {
-                at += extra_delay;
-                if duplicate {
-                    let spacing = fault_dup_delay(eng, target, initiator);
-                    dup_at = Some(at + spacing);
-                }
-            }
-        }
-    }
     let arrive = move |eng: &mut Engine<S>, at: Time| {
-        eng.schedule_at(at, move |eng| {
+        eng.schedule_at_loc(at, initiator, move |eng| {
             let now = eng.now();
             let c = eng.state.cluster();
             c.tracer.record(
@@ -1048,10 +1052,30 @@ fn nack<S: Protocol>(
             );
         });
     };
-    if let Some(d) = dup_at {
-        arrive(eng, d);
+    if local {
+        arrive(eng, now + cfg.loopback);
+        return;
     }
-    arrive(eng, at);
+    let ctrl = cfg.serialize_ctrl();
+    let tx_done = eng.state.cluster().tx(target, now, ctrl);
+    eng.defer_wire(move |eng| {
+        let mut at = fabric_arrival(eng, tx_done, cfg.ctrl_bytes);
+        match fault_decide(eng, target, initiator, class, true) {
+            FaultVerdict::Drop => return,
+            FaultVerdict::Deliver {
+                extra_delay,
+                duplicate,
+                ..
+            } => {
+                at += extra_delay;
+                if duplicate {
+                    let spacing = fault_dup_delay(eng, target, initiator);
+                    arrive(eng, at + spacing);
+                }
+            }
+        }
+        arrive(eng, at);
+    });
 }
 
 #[cfg(test)]

@@ -184,6 +184,40 @@ impl<T> TimeWheel<T> {
         }
     }
 
+    /// The earliest pending `(time, seq)` key, if any. Advances the wheel's
+    /// internal cursor but removes nothing.
+    ///
+    /// The sharded engine's micro-stepper uses this to find the globally
+    /// next event across lanes without disturbing any queue.
+    #[inline]
+    pub fn next_key(&mut self) -> Option<(Time, u64)> {
+        loop {
+            match (self.cur.last(), self.extra.peek()) {
+                (Some(c), Some(x)) => return Some(c.key().min(x.key())),
+                (Some(c), None) => return Some(c.key()),
+                (None, Some(x)) => return Some(x.key()),
+                (None, None) => {
+                    if !self.advance() {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Remove and return the earliest entry only if its time is strictly
+    /// below `limit`; otherwise leave the queue untouched.
+    ///
+    /// This is the shard lane's window loop: drain everything below the
+    /// lookahead horizon, stop at the first entry beyond it.
+    #[inline]
+    pub fn pop_before(&mut self, limit: Time) -> Option<(Time, u64, T)> {
+        if self.next_time()? >= limit {
+            return None;
+        }
+        self.pop()
+    }
+
     /// Remove and return the earliest entry by `(time, seq)`.
     #[inline]
     pub fn pop(&mut self) -> Option<(Time, u64, T)> {

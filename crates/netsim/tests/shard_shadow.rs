@@ -1,0 +1,529 @@
+//! Shadow-mode equivalence: the sharded engine must replay the sequential
+//! engine bit-for-bit.
+//!
+//! A toy [`SplitWorld`] runs the same randomly generated program — bouncing
+//! messages, one-sided puts/gets, interleaved `run_steps`/`run_until`
+//! driving — once on the plain sequential [`Engine`] and once per shard
+//! count on [`ShardedEngine`]. At every control point the `(trace hash,
+//! clock, executed count, world digest)` snapshot must be identical: the
+//! trace hash folds every executed `(time, seq)` pair, so equality proves
+//! the merged parallel pop order *is* the sequential order, and the world
+//! digest (per-locality delivery logs + memory contents + counters + fault
+//! stats) proves the events also observed identical state.
+//!
+//! Three fabrics cover the three tail regimes: wire-pure (tails inline on
+//! the lanes), jittery (tails deferred for the RNG), and faulty (tails
+//! deferred for the fault plane, including drops/dups/corruption/flaps/
+//! partitions).
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use netsim::engine::trace_mix;
+use netsim::rng::Xoshiro256;
+use netsim::shard::ShardMap;
+use netsim::{
+    rdma_get, rdma_put, send_user_classed, Cluster, Engine, Envelope, FaultClass, FaultPlan,
+    FaultPlane, FaultRates, GetReq, LinkFlap, LocalityId, NetConfig, OpId, Packet, Partition,
+    PhysAddr, Protocol, PutReq, RdmaTarget, ShardedEngine, SharedState, SplitWorld, Time,
+};
+
+/// Bytes in each locality's scratch block (memory class 12).
+const BLOCK: usize = 4096;
+
+struct ToyData {
+    cluster: Cluster,
+    /// Per-locality log of delivered packets (hashed). Strictly
+    /// lane-disjoint: locality `d`'s handler appends only to `hits[d]`.
+    hits: Vec<Vec<u64>>,
+    /// Per-locality scratch block base address.
+    bases: Vec<PhysAddr>,
+}
+
+/// The toy protocol world: user messages are `u64` hop counters that
+/// bounce around the cluster until they decay to zero; every delivery is
+/// logged into the destination's hit vector.
+struct ToyWorld {
+    data: SharedState<ToyData>,
+}
+
+impl Protocol for ToyWorld {
+    type Msg = u64;
+
+    fn cluster(&mut self) -> &mut Cluster {
+        &mut self.data.cluster
+    }
+
+    fn cluster_ref(&self) -> &Cluster {
+        &self.data.cluster
+    }
+
+    fn deliver(eng: &mut Engine<ToyWorld>, env: Envelope<u64>) {
+        let now = eng.now();
+        let tag = match &env.packet {
+            Packet::User(v) => 0x1_0000 ^ *v,
+            Packet::PutDone { op } => 0x2_0000 ^ op.raw(),
+            Packet::GetDone { op } => 0x3_0000 ^ op.raw(),
+            Packet::RemoteNote { tag, len } => 0x4_0000 ^ *tag ^ (u64::from(*len) << 20),
+            Packet::XlateMiss { block } => 0x5_0000 ^ *block,
+            Packet::Nack { op, .. } => 0x6_0000 ^ op.raw(),
+        };
+        let dst = env.dst;
+        let h = trace_mix(trace_mix(tag, u64::from(env.src)), now.ps());
+        eng.state.data.hits[dst as usize].push(h);
+        if let Packet::User(hops) = env.packet {
+            if hops > 0 {
+                let n = eng.state.data.cluster.len() as u64;
+                let next = ((u64::from(dst) + hops) % n) as LocalityId;
+                let bytes = 64 + (hops % 480) as u32;
+                send_user_classed(eng, dst, next, bytes, hops - 1, FaultClass::Request);
+            }
+        }
+    }
+}
+
+// SAFETY: deliveries only mutate the destination locality's slice of the
+// world — `hits[dst]`, its memory arena, its NIC and counters — and the
+// destination is always owned by the executing lane. Shared wire state
+// (switch clock, jitter RNG, fault plane) is reached only through the
+// `defer_wire` tails inside netsim's own send/put/get paths. Every event
+// closure captures only `Copy` data and owned `Vec<u8>` payloads.
+unsafe impl SplitWorld for ToyWorld {
+    fn lane_handle(&mut self, _lane: u32, _map: ShardMap) -> ToyWorld {
+        ToyWorld {
+            // SAFETY: the ShardedEngine drops lane handles before the
+            // owning control world.
+            data: unsafe { self.data.alias() },
+        }
+    }
+}
+
+fn build_world(n: usize, cfg: NetConfig, plan: Option<FaultPlan>) -> ToyWorld {
+    let mut cluster = Cluster::new(n, cfg, 1 << 22);
+    if let Some(p) = plan {
+        cluster.faults = Some(FaultPlane::new(p));
+    }
+    let bases: Vec<PhysAddr> = (0..n)
+        .map(|l| {
+            cluster
+                .loc_mut(l as LocalityId)
+                .mem
+                .alloc_block(12)
+                .expect("scratch block")
+        })
+        .collect();
+    ToyWorld {
+        data: SharedState::new(ToyData {
+            cluster,
+            hits: vec![Vec::new(); n],
+            bases,
+        }),
+    }
+}
+
+/// One step of the generated driver program.
+enum Step {
+    Send {
+        src: LocalityId,
+        dst: LocalityId,
+        hops: u64,
+        bytes: u32,
+    },
+    Put {
+        src: LocalityId,
+        dst: LocalityId,
+        offset: u64,
+        len: usize,
+        op: u64,
+    },
+    Get {
+        src: LocalityId,
+        dst: LocalityId,
+        offset: u64,
+        len: u32,
+        op: u64,
+    },
+    /// Exact serial micro-stepping: at most this many events.
+    Steps(u64),
+    /// Bounded progress: run until this absolute instant (ns).
+    Until(u64),
+    /// Drain to quiescence.
+    Run,
+}
+
+fn gen_program(seed: u64, n: usize, count: usize) -> Vec<Step> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut steps = Vec::with_capacity(count + 1);
+    let mut until_ns = 0u64;
+    for i in 0..count as u64 {
+        let r = rng.next_u64();
+        let src = (rng.next_u64() % n as u64) as LocalityId;
+        let dst = (rng.next_u64() % n as u64) as LocalityId;
+        steps.push(match r % 10 {
+            0..=3 => Step::Send {
+                src,
+                dst,
+                hops: r >> 4 & 0x7,
+                bytes: 32 + (r >> 8 & 0x3ff) as u32,
+            },
+            4..=5 => Step::Put {
+                src,
+                dst,
+                offset: (r >> 4 & 0xf) * 240,
+                len: 16 + (r >> 8 & 0x3) as usize * 16,
+                op: 0x1_0000 + i,
+            },
+            6..=7 => Step::Get {
+                src,
+                dst,
+                offset: (r >> 4 & 0xf) * 240,
+                len: 16 + (r >> 8 & 0x3) as u32 * 16,
+                op: 0x5_0000 + i,
+            },
+            8 => Step::Steps(1 + (r >> 4) % 40),
+            _ => {
+                until_ns += 500 + (r >> 4) % 4000;
+                Step::Until(until_ns)
+            }
+        });
+    }
+    steps.push(Step::Run);
+    steps
+}
+
+/// Everything observable about an engine at a control point.
+#[derive(Debug, PartialEq, Eq, Clone)]
+struct Snapshot {
+    trace_hash: u64,
+    now_ps: u64,
+    executed: u64,
+    pending: usize,
+    digest: u64,
+}
+
+fn world_digest(w: &ToyWorld) -> u64 {
+    let d = &*w.data;
+    let mut h = 0x9e37_79b9_7f4a_7c15u64;
+    for hits in &d.hits {
+        h = trace_mix(h, hits.len() as u64);
+        for &v in hits {
+            h = trace_mix(h, v);
+        }
+    }
+    let mut dh = DefaultHasher::new();
+    for (l, &base) in d.bases.iter().enumerate() {
+        let mem = d
+            .cluster
+            .loc(l as LocalityId)
+            .mem
+            .read(base, BLOCK)
+            .expect("scratch block readable");
+        mem.hash(&mut dh);
+        format!("{:?}", d.cluster.loc(l as LocalityId).counters).hash(&mut dh);
+    }
+    if let Some(f) = &d.cluster.faults {
+        format!("{:?}", f.stats).hash(&mut dh);
+    }
+    trace_mix(h, dh.finish())
+}
+
+/// The common face of `Engine<ToyWorld>` and `ShardedEngine<ToyWorld>` the
+/// shadow runner drives.
+trait Driver {
+    fn issue(&mut self, loc: LocalityId, f: Box<dyn FnOnce(&mut Engine<ToyWorld>)>);
+    fn clock(&self) -> Time;
+    fn go(&mut self) -> u64;
+    fn go_until(&mut self, t: Time) -> u64;
+    fn go_steps(&mut self, n: u64) -> u64;
+    fn snapshot(&mut self) -> Snapshot;
+}
+
+impl Driver for Engine<ToyWorld> {
+    fn issue(&mut self, _loc: LocalityId, f: Box<dyn FnOnce(&mut Engine<ToyWorld>)>) {
+        f(self);
+    }
+    fn clock(&self) -> Time {
+        self.now()
+    }
+    fn go(&mut self) -> u64 {
+        self.run()
+    }
+    fn go_until(&mut self, t: Time) -> u64 {
+        self.run_until(t)
+    }
+    fn go_steps(&mut self, n: u64) -> u64 {
+        self.run_steps(n)
+    }
+    fn snapshot(&mut self) -> Snapshot {
+        Snapshot {
+            trace_hash: self.trace_hash(),
+            now_ps: self.now().ps(),
+            executed: self.events_executed(),
+            pending: self.events_pending(),
+            digest: world_digest(&self.state),
+        }
+    }
+}
+
+impl Driver for ShardedEngine<ToyWorld> {
+    fn issue(&mut self, loc: LocalityId, f: Box<dyn FnOnce(&mut Engine<ToyWorld>)>) {
+        self.drive_at(loc, |eng| f(eng));
+    }
+    fn clock(&self) -> Time {
+        self.now()
+    }
+    fn go(&mut self) -> u64 {
+        self.run()
+    }
+    fn go_until(&mut self, t: Time) -> u64 {
+        self.run_until(t)
+    }
+    fn go_steps(&mut self, n: u64) -> u64 {
+        self.run_steps(n)
+    }
+    fn snapshot(&mut self) -> Snapshot {
+        Snapshot {
+            trace_hash: self.trace_hash(),
+            now_ps: self.now().ps(),
+            executed: self.events_executed(),
+            pending: self.events_pending(),
+            digest: world_digest(self.state_ref()),
+        }
+    }
+}
+
+fn apply(d: &mut dyn Driver, bases: &[PhysAddr], step: &Step, snaps: &mut Vec<Snapshot>) {
+    match *step {
+        Step::Send {
+            src,
+            dst,
+            hops,
+            bytes,
+        } => d.issue(
+            src,
+            Box::new(move |eng| {
+                send_user_classed(eng, src, dst, bytes, hops, FaultClass::Request);
+            }),
+        ),
+        Step::Put {
+            src,
+            dst,
+            offset,
+            len,
+            op,
+        } => {
+            let base_dst = bases[dst as usize];
+            let data: Vec<u8> = (0..len).map(|k| (op ^ k as u64) as u8).collect();
+            d.issue(
+                src,
+                Box::new(move |eng| {
+                    rdma_put(
+                        eng,
+                        src,
+                        PutReq {
+                            target: dst,
+                            dst: RdmaTarget::Phys(base_dst + offset),
+                            data,
+                            op: OpId::from_raw(op),
+                            remote_tag: if op % 3 == 0 { Some(op) } else { None },
+                            ttl: 3,
+                            class: FaultClass::Request,
+                        },
+                    );
+                }),
+            );
+        }
+        Step::Get {
+            src,
+            dst,
+            offset,
+            len,
+            op,
+        } => {
+            let base_dst = bases[dst as usize];
+            let base_src = bases[src as usize];
+            d.issue(
+                src,
+                Box::new(move |eng| {
+                    rdma_get(
+                        eng,
+                        src,
+                        GetReq {
+                            target: dst,
+                            src: RdmaTarget::Phys(base_dst + offset),
+                            len,
+                            local: base_src + offset,
+                            op: OpId::from_raw(op),
+                            ttl: 3,
+                            class: FaultClass::Request,
+                        },
+                    );
+                }),
+            );
+        }
+        Step::Steps(n) => {
+            d.go_steps(n);
+            snaps.push(d.snapshot());
+        }
+        Step::Until(ns) => {
+            // The generated cursor can fall behind the clock after a full
+            // drain; never ask the engine to run to the past.
+            d.go_until(Time::from_ns(ns).max(d.clock()));
+            snaps.push(d.snapshot());
+        }
+        Step::Run => {
+            d.go();
+            snaps.push(d.snapshot());
+        }
+    }
+}
+
+/// Run `program` sequentially and under every shard count in `shards`,
+/// asserting snapshot-for-snapshot equality.
+fn assert_shadow(n: usize, cfg: NetConfig, plan: Option<FaultPlan>, seed: u64, shards: &[usize]) {
+    let program = gen_program(seed, n, 64);
+
+    let world = build_world(n, cfg, plan.clone());
+    let bases = world.data.bases.clone();
+    let mut reference = Engine::new(world, 42);
+    let mut ref_snaps = Vec::new();
+    for step in &program {
+        apply(&mut reference, &bases, step, &mut ref_snaps);
+    }
+    assert!(
+        ref_snaps.last().expect("program ends with Run").pending == 0,
+        "reference program did not quiesce"
+    );
+    assert!(
+        reference.events_executed() > 0,
+        "degenerate program: no events"
+    );
+
+    for &k in shards {
+        let world = build_world(n, cfg, plan.clone());
+        let mut sharded = ShardedEngine::new(world, 42, k);
+        let mut snaps = Vec::new();
+        for step in &program {
+            apply(&mut sharded, &bases, step, &mut snaps);
+        }
+        assert_eq!(
+            snaps, ref_snaps,
+            "sharded run (shards={k}, seed={seed}) diverged from sequential"
+        );
+    }
+}
+
+fn jittery(mut cfg: NetConfig) -> NetConfig {
+    cfg.jitter_ns = 400;
+    cfg
+}
+
+fn chaotic_plan(seed: u64) -> FaultPlan {
+    FaultPlan {
+        seed,
+        rates: FaultRates {
+            drop: 0.02,
+            dup: 0.03,
+            corrupt: 0.02,
+            delay_p: 0.05,
+            delay_min_ns: 100,
+            delay_max_ns: 2_500,
+            ..FaultRates::lossless()
+        },
+        link_rates: vec![(
+            0,
+            1,
+            FaultRates {
+                drop: 0.2,
+                ..FaultRates::lossless()
+            },
+        )],
+        flaps: vec![LinkFlap {
+            src: 1,
+            dst: 2,
+            from: Time::from_ns(2_000),
+            to: Time::from_ns(60_000),
+        }],
+        partitions: vec![Partition {
+            from: Time::from_ns(5_000),
+            to: Time::from_ns(90_000),
+            group_a: vec![0, 3],
+        }],
+    }
+}
+
+#[test]
+fn shadow_pure_fabric_matches_sequential() {
+    // ib_fdr is wire-pure: lanes run their defer_wire tails inline.
+    for seed in [1, 7, 1234] {
+        assert_shadow(12, NetConfig::ib_fdr(), None, seed, &[1, 2, 4, 8]);
+    }
+}
+
+#[test]
+fn shadow_jittery_fabric_matches_sequential() {
+    // Jitter draws from the global engine RNG: tails must defer to the
+    // barrier and replay in merged order.
+    for seed in [3, 99] {
+        assert_shadow(10, jittery(NetConfig::ideal()), None, seed, &[1, 2, 4, 8]);
+    }
+}
+
+#[test]
+fn shadow_faulty_fabric_matches_sequential() {
+    // Drops, dups, corruption, delay spikes, a hot link, a flap, and a
+    // partition — all decided on the fault plane's serial RNG stream.
+    for seed in [17, 404] {
+        assert_shadow(
+            10,
+            jittery(NetConfig::ib_fdr()),
+            Some(chaotic_plan(seed ^ 0xfeed)),
+            seed,
+            &[2, 4, 8],
+        );
+    }
+}
+
+#[test]
+fn shadow_lossless_plan_is_free() {
+    // An installed-but-lossless plan must not move anything either.
+    assert_shadow(
+        8,
+        NetConfig::ib_fdr(),
+        Some(FaultPlan::lossless(5)),
+        21,
+        &[4],
+    );
+}
+
+#[test]
+fn shadow_more_lanes_than_localities_clamps() {
+    assert_shadow(3, NetConfig::ib_fdr(), None, 11, &[8]);
+}
+
+mod prop {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Random programs over random cluster sizes: sequential and
+        /// sharded executions are indistinguishable.
+        #[test]
+        fn random_programs_shadow(
+            seed in 0u64..1_000_000,
+            n in 2usize..16,
+            shards in 2usize..6,
+        ) {
+            let faulty = seed % 2 == 1;
+            let plan = faulty.then(|| chaotic_plan(seed));
+            let cfg = if faulty {
+                jittery(NetConfig::ib_fdr())
+            } else {
+                NetConfig::ib_fdr()
+            };
+            assert_shadow(n, cfg, plan, seed, &[shards]);
+        }
+    }
+}
