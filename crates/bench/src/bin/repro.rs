@@ -6,6 +6,7 @@
 //! cargo run --release -p bench --bin repro -- e1      # one experiment
 //! cargo run --release -p bench --bin repro -- perf    # engine throughput
 //! cargo run --release -p bench --bin repro -- chaos   # fault-injection matrix
+//! cargo run --release -p bench --bin repro -- amo     # NIC active-op A/B series
 //! cargo run --release -p bench --bin repro -- --json all
 //! ```
 //!
@@ -567,6 +568,9 @@ struct PerfRow {
     xlate_lookups: u64,
     xlate_probes: u64,
     memo_hits: u64,
+    amo_executed: u64,
+    amo_nacked: u64,
+    amo_forwarded: u64,
 }
 
 impl PerfRow {
@@ -593,7 +597,8 @@ impl PerfRow {
             concat!(
                 "{{\"id\":\"{}\",\"series\":\"{}\",\"sim_time_ps\":{},",
                 "\"wall_seconds\":{:.6},\"events\":{},\"events_per_sec\":{:.0},",
-                "\"xlate_lookups\":{},\"xlate_probes\":{},\"memo_hits\":{}}}"
+                "\"xlate_lookups\":{},\"xlate_probes\":{},\"memo_hits\":{},",
+                "\"amo_executed\":{},\"amo_nacked\":{},\"amo_forwarded\":{}}}"
             ),
             self.id,
             self.series,
@@ -603,7 +608,10 @@ impl PerfRow {
             self.events_per_sec(),
             self.xlate_lookups,
             self.xlate_probes,
-            self.memo_hits
+            self.memo_hits,
+            self.amo_executed,
+            self.amo_nacked,
+            self.amo_forwarded
         )
     }
 }
@@ -624,6 +632,9 @@ fn measure(id: &str, series: &str, f: impl FnOnce()) -> PerfRow {
         xlate_lookups: d.xlate_lookups,
         xlate_probes: d.xlate_probes,
         memo_hits: d.memo_hits,
+        amo_executed: d.amo_executed,
+        amo_nacked: d.amo_nacked,
+        amo_forwarded: d.amo_forwarded,
     }
 }
 
@@ -821,6 +832,162 @@ fn chaos(json: bool, seed: u64) {
     }
 }
 
+/// `amo [--ops N]` — the NIC-executed active-operation series (DESIGN.md
+/// §3.6): contended fetch-add and CAS-retry throughput on one hot block,
+/// each as an A/B between NIC-side execution (`agas-net`: translation +
+/// op in one NIC visit) and the emulated round-trip (`agas-sw`: the
+/// request bounces to the owner's CPU). `ns/op` is simulated round-trip
+/// time per completed logical op — the headline comparison. Exits nonzero
+/// if any cell leaks ops, or if the NIC/software telemetry split does not
+/// match the mode (NIC mode must execute at the NIC; software mode must
+/// never touch the NIC counters).
+fn amo(json: bool, ops_per_loc: u64) {
+    use agas::AmoPumpKind;
+
+    header(
+        "amo",
+        &format!("NIC-executed active ops: contention series ({ops_per_loc} ops/locality)"),
+    );
+    let kinds = [AmoPumpKind::FetchAdd, AmoPumpKind::CasRetry];
+    let modes = [GasMode::AgasSoftware, GasMode::AgasNetwork];
+    // Cells run strictly serially: the NIC counters are process-wide
+    // telemetry deltas, and concurrent cells would bleed into each other.
+    let mut rows: Vec<AmoBenchRow> = Vec::new();
+    for kind in kinds {
+        for locs in [2usize, 4, 8, 16] {
+            for mode in modes {
+                let cfg = AmoBenchConfig {
+                    localities: locs,
+                    ops_per_loc,
+                    ..AmoBenchConfig::default()
+                };
+                rows.push(amo_bench(&cfg, kind, mode));
+            }
+        }
+    }
+    if !json {
+        println!(
+            "{:<5} {:<9} {:>5} {:>7} {:>8} {:>9} {:>8} {:>9} {:>6} {:>5} {:>9} {:>10}",
+            "kind",
+            "mode",
+            "locs",
+            "ops",
+            "retries",
+            "ns/op",
+            "ops/us",
+            "nic-exec",
+            "nacks",
+            "fwd",
+            "events",
+            "sim time"
+        );
+    }
+    for r in &rows {
+        if json {
+            println!(
+                concat!(
+                    "{{\"id\":\"amo\",\"series\":\"{}/{}\",\"localities\":{},",
+                    "\"ops\":{},\"budget\":{},\"cas_retries\":{},\"amo_acks\":{},",
+                    "\"op_failures\":{},\"events\":{},\"sim_time_ps\":{},",
+                    "\"wall_seconds\":{:.6},\"ns_per_op\":{:.1},",
+                    "\"ops_per_sim_us\":{:.3},\"trace_hash\":{},",
+                    "\"amo_executed\":{},\"amo_nacked\":{},\"amo_forwarded\":{}}}"
+                ),
+                r.kind_label(),
+                r.mode.label(),
+                r.localities,
+                r.ops,
+                r.budget,
+                r.cas_retries,
+                r.amo_acks,
+                r.op_failures,
+                r.events,
+                r.sim.ps(),
+                r.wall_secs,
+                r.ns_per_op(),
+                r.ops_per_sim_us(),
+                r.trace_hash,
+                r.nic_executed,
+                r.nic_nacked,
+                r.nic_forwarded,
+            );
+        } else {
+            println!(
+                "{:<5} {:<9} {:>5} {:>7} {:>8} {:>9.1} {:>8.3} {:>9} {:>6} {:>5} {:>9} {:>10}",
+                r.kind_label(),
+                r.mode.label(),
+                r.localities,
+                r.ops,
+                r.cas_retries,
+                r.ns_per_op(),
+                r.ops_per_sim_us(),
+                r.nic_executed,
+                r.nic_nacked,
+                r.nic_forwarded,
+                r.events,
+                format!("{}", r.sim)
+            );
+        }
+    }
+    if !json {
+        // The A/B in one line per shape: how much simulated round-trip
+        // time the NIC-side execution saves at each contention level.
+        for kind in kinds {
+            for locs in [2usize, 4, 8, 16] {
+                let find = |mode: GasMode| {
+                    rows.iter()
+                        .find(|r| r.kind == kind && r.mode == mode && r.localities == locs)
+                        .expect("every cell ran")
+                };
+                let (sw, net) = (find(GasMode::AgasSoftware), find(GasMode::AgasNetwork));
+                println!(
+                    "-- {}/{locs} locs: sw {:.1} ns/op vs nic {:.1} ns/op ({:.2}x)",
+                    sw.kind_label(),
+                    sw.ns_per_op(),
+                    net.ns_per_op(),
+                    sw.ns_per_op() / net.ns_per_op().max(1e-9),
+                );
+            }
+        }
+    }
+    let mut bad: Vec<String> = Vec::new();
+    for r in &rows {
+        let tag = format!("{}/{}/{}", r.kind_label(), r.mode.label(), r.localities);
+        if !r.clean() {
+            bad.push(format!(
+                "{tag}: {} of {} ops finished, {} failed",
+                r.ops, r.budget, r.op_failures
+            ));
+        }
+        // Locality 0 is co-located with the hot block, so its share of the
+        // budget commits locally; every *remote* op must hit a NIC.
+        let remote = r.ops - r.budget / r.localities as u64;
+        match r.mode {
+            GasMode::AgasNetwork if r.nic_executed < remote => bad.push(format!(
+                "{tag}: only {} of {} remote ops executed at a NIC",
+                r.nic_executed, remote
+            )),
+            GasMode::AgasSoftware | GasMode::Pgas if r.nic_executed > 0 => bad.push(format!(
+                "{tag}: emulated mode touched the NIC counters ({})",
+                r.nic_executed
+            )),
+            _ => {}
+        }
+    }
+    let cas_retries: u64 = rows
+        .iter()
+        .filter(|r| r.kind == AmoPumpKind::CasRetry)
+        .map(|r| r.cas_retries)
+        .sum();
+    if cas_retries == 0 {
+        bad.push("no CAS ever lost the race — the workload is not contended".into());
+    }
+    if !bad.is_empty() {
+        eprintln!("amo cells FAILED:\n  {}", bad.join("\n  "));
+        std::process::exit(1);
+    }
+}
+
 /// `parallel [--shards N] [--locs N] [--updates N]` — the sharded-engine
 /// scaling series (DESIGN.md §3.5): the self-pumping GUPS workload on
 /// network-managed AGAS over the FDR fabric, run on the sequential engine
@@ -1001,14 +1168,26 @@ fn perf(json: bool) {
         rt.run();
     });
 
-    let rows = [dispatch, chain, parcels, gups, churn];
+    // NIC-executed active operations: contended fetch-adds over the
+    // network-managed mode, so the AMO commit path — and its telemetry
+    // counters — run hot. (The emulated modes leave these at zero; see
+    // `repro amo` for the full A/B.)
+    let amo = measure("perf", "amo_agas_net", || {
+        std::hint::black_box(amo_bench(
+            &AmoBenchConfig::default(),
+            agas::AmoPumpKind::FetchAdd,
+            GasMode::AgasNetwork,
+        ));
+    });
+
+    let rows = [dispatch, chain, parcels, gups, churn, amo];
     if json {
         for r in &rows {
             println!("{}", r.json());
         }
     } else {
         println!(
-            "{:<18} {:>12} {:>10} {:>14} {:>14} {:>12} {:>8} {:>10}",
+            "{:<18} {:>12} {:>10} {:>14} {:>14} {:>12} {:>8} {:>10} {:>9}",
             "series",
             "events",
             "wall s",
@@ -1016,11 +1195,12 @@ fn perf(json: bool) {
             "sim time",
             "xl lookups",
             "pr/lk",
-            "memo hits"
+            "memo hits",
+            "amo exec"
         );
         for r in &rows {
             println!(
-                "{:<18} {:>12} {:>10.3} {:>14.0} {:>14} {:>12} {:>8.2} {:>10}",
+                "{:<18} {:>12} {:>10.3} {:>14.0} {:>14} {:>12} {:>8.2} {:>10} {:>9}",
                 r.series,
                 r.events,
                 r.wall_secs,
@@ -1028,7 +1208,8 @@ fn perf(json: bool) {
                 format!("{}", r.sim),
                 r.xlate_lookups,
                 r.probes_per_lookup(),
-                r.memo_hits
+                r.memo_hits,
+                r.amo_executed
             );
         }
     }
@@ -1061,6 +1242,8 @@ fn main() {
     if let Some(n) = take_opt(&mut args, "--updates") {
         par_cfg.updates_per_loc = n.max(1);
     }
+    let amo_ops =
+        take_opt(&mut args, "--ops").map_or(AmoBenchConfig::default().ops_per_loc, |n| n.max(1));
     let json = args.iter().any(|a| a == "--json");
     let what = args
         .iter()
@@ -1109,6 +1292,7 @@ fn main() {
             }
         }
         "parallel" => parallel(json, shards.unwrap_or(8), &par_cfg),
+        "amo" => amo(json, amo_ops),
         "ops" => ops_dump(json),
         "chaos" => {
             let seed = args
@@ -1124,6 +1308,7 @@ fn main() {
                 run_one(name, f);
             }
             perf(json);
+            amo(json, amo_ops);
             if let Some(k) = shards {
                 parallel(json, k, &par_cfg);
             }
@@ -1133,7 +1318,7 @@ fn main() {
             Some((name, f)) => run_one(name, f),
             None => {
                 eprintln!(
-                    "unknown experiment {id:?}; use one of: all perf parallel ops chaos {}",
+                    "unknown experiment {id:?}; use one of: all perf parallel amo ops chaos {}",
                     experiments
                         .iter()
                         .map(|(n, _)| *n)

@@ -7,8 +7,10 @@
 //! implementation. All results are **simulated time** — the model's output,
 //! deterministic for a given seed.
 
+pub mod amo;
 pub mod experiments;
 pub mod parallel;
 
+pub use amo::*;
 pub use experiments::*;
 pub use parallel::*;

@@ -5,7 +5,7 @@
 //! after every scenario; embedders can run it whenever their cluster is
 //! idle to catch protocol regressions.
 //!
-//! Two oracles live here:
+//! Three oracles live here:
 //!
 //! * [`check_blocks`] — end-state invariants: exactly one resident owner
 //!   per block, directory agreement, NIC-table agreement, no leaked ops.
@@ -15,6 +15,11 @@
 //!   the recorded puts allows. This catches wrong-data bugs (lost
 //!   invalidation delivering stale bytes, duplicated put landing after a
 //!   newer one) that leave the end state perfectly tidy.
+//! * [`check_word_history_events`] — a word-level *linearizability* check
+//!   over the AMO logs ([`WordEvent`]): every value an RMW observed must
+//!   have been produced, and (when values are unique) consumed at most
+//!   once. A double-applied fetch-and-add surfaces as a phantom read; a
+//!   lost-but-acked one as a duplicate consumption.
 //!
 //! [`GasConfig::record_history`]: crate::GasConfig::record_history
 
@@ -77,6 +82,58 @@ pub fn value_hash(bytes: &[u8]) -> u64 {
         h = netsim::rng::mix64(h ^ u64::from_le_bytes(buf));
     }
     h
+}
+
+/// What an AMO-level word event did to its 8-byte word, as the initiator
+/// observed it at completion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WordOp {
+    /// The word was set to `value` (scatter words; masked-put/CAS whose
+    /// prior value is folded into `Rmw` instead).
+    Write {
+        /// The value installed.
+        value: u64,
+    },
+    /// The word was observed to hold `value` without changing it (gather
+    /// words, zero-operand fetch-add, failed compare-and-swap, no-op
+    /// masked-put).
+    Read {
+        /// The value observed.
+        value: u64,
+    },
+    /// Atomic read-modify-write: observed `read`, installed `written`
+    /// (`written != read` by construction — no-ops log as `Read`).
+    Rmw {
+        /// The value the op observed.
+        read: u64,
+        /// The value the op installed.
+        written: u64,
+    },
+    /// An RMW that terminally failed: it *may* have applied, and the
+    /// initiator never learned what it observed or installed. Its slot is
+    /// exempted from the strict rules (skipping is always sound).
+    Opaque,
+}
+
+/// One logged word-level event, with its logical-time interval (same
+/// interval semantics as [`HistEvent`]: the true memory effect happened
+/// somewhere inside `[issued, done]`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WordEvent {
+    /// Block key of the accessed block.
+    pub block: u64,
+    /// Byte offset of the 8-byte word within the block.
+    pub offset: u64,
+    /// What happened to the word.
+    pub op: WordOp,
+    /// Submission time.
+    pub issued: Time,
+    /// Completion time (`None` = never completed).
+    pub done: Option<Time>,
+    /// Did the op complete successfully?
+    pub ok: bool,
+    /// The locality that issued it.
+    pub loc: LocalityId,
 }
 
 /// A violated invariant.
@@ -209,15 +266,20 @@ pub fn check_blocks<S: GasWorld>(world: &S, blocks: &[Gva]) -> Vec<Violation> {
     out
 }
 
-/// Run the serializability check over every locality's recorded history.
+/// Run the serializability check over every locality's recorded history,
+/// and the word-level linearizability check over every AMO log.
 /// Empty when [`crate::GasConfig::record_history`] was off everywhere.
 pub fn check_history<S: GasWorld>(world: &S) -> Vec<Violation> {
     let n = world.cluster_ref().len() as u32;
     let mut events: Vec<HistEvent> = Vec::new();
+    let mut words: Vec<WordEvent> = Vec::new();
     for l in 0..n {
         events.extend(world.gas_ref(l).history.iter().copied());
+        words.extend(world.gas_ref(l).word_history.iter().copied());
     }
-    check_history_events(&events)
+    let mut out = check_history_events(&events);
+    out.extend(check_word_history_events(&words));
+    out
 }
 
 /// The serializability rule, over an explicit event list.
@@ -308,6 +370,127 @@ pub fn check_history_events(events: &[HistEvent]) -> Vec<Violation> {
                         candidates.join(", ")
                     ),
                 });
+            }
+        }
+    }
+    out
+}
+
+/// The word-level linearizability rule, over an explicit AMO event list.
+///
+/// Events are grouped by `(block, offset)` word. Per word, with the
+/// *produced* values being the initial zero, every `Write`'s value
+/// (including never-completed writes — they may have applied), and every
+/// successful `Rmw`'s `written`:
+///
+/// 1. **No phantom reads** — every successful `Read`/`Rmw` must have
+///    observed a produced value whose producer was issued no later than
+///    the observer's completion. A double-applied fetch-and-add makes the
+///    next observer read a value nobody produced.
+/// 2. **Unique consumption** — when all produced values are distinct,
+///    each may be consumed (observed as the `read` of a *mutating* `Rmw`)
+///    at most once. An acked-but-lost RMW leaves its observed value in
+///    place for a second RMW to consume.
+///
+/// A word touched by any [`WordOp::Opaque`] event (a terminally-failed
+/// RMW whose effect the initiator never learned) is exempted from both
+/// rules — skipping is sound, and the fault-recovery machinery keeps such
+/// words rare. Rule 2 likewise disables itself when produced values
+/// repeat. Both exemptions only ever weaken the check, so a reported
+/// violation is real under every possible effect placement.
+pub fn check_word_history_events(events: &[WordEvent]) -> Vec<Violation> {
+    let mut slots: BTreeMap<(u64, u64), Vec<&WordEvent>> = BTreeMap::new();
+    for e in events {
+        slots.entry((e.block, e.offset)).or_default().push(e);
+    }
+    let mut out = Vec::new();
+    for ((block, offset), evs) in slots {
+        if evs.iter().any(|e| matches!(e.op, WordOp::Opaque)) {
+            continue;
+        }
+        struct Produced {
+            value: u64,
+            issued: Time,
+        }
+        let mut produced = vec![Produced {
+            value: 0,
+            issued: Time::ZERO,
+        }];
+        for e in &evs {
+            match e.op {
+                // A failed write may still have applied: keep it as a
+                // candidate producer (same treatment as failed puts in
+                // the byte-level checker).
+                WordOp::Write { value } => produced.push(Produced {
+                    value,
+                    issued: e.issued,
+                }),
+                WordOp::Rmw { written, .. } if e.ok => produced.push(Produced {
+                    value: written,
+                    issued: e.issued,
+                }),
+                _ => {}
+            }
+        }
+        let explain = |v: u64| -> String {
+            format!(
+                "word {block:#x}+{offset}: value {v:#018x} vs {} produced value(s): {}",
+                produced.len(),
+                produced
+                    .iter()
+                    .map(|p| format!("{:#018x}@{}", p.value, p.issued))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        };
+        // Rule 1: phantom reads.
+        for e in &evs {
+            let (observed, what) = match e.op {
+                WordOp::Read { value } if e.ok => (value, "read"),
+                WordOp::Rmw { read, .. } if e.ok => (read, "rmw"),
+                _ => continue,
+            };
+            let end = e.done.unwrap_or(Time::MAX);
+            if !produced
+                .iter()
+                .any(|p| p.value == observed && p.issued <= end)
+            {
+                out.push(Violation::History {
+                    gva: Gva(block),
+                    detail: format!(
+                        "{what} at loc {} observed a value nobody produced — {}",
+                        e.loc,
+                        explain(observed)
+                    ),
+                });
+            }
+        }
+        // Rule 2: unique consumption, only when produced values are
+        // pairwise distinct (otherwise two legal RMWs can observe the
+        // same value and the rule would be unsound).
+        let mut values: Vec<u64> = produced.iter().map(|p| p.value).collect();
+        values.sort_unstable();
+        let distinct = values.windows(2).all(|w| w[0] != w[1]);
+        if distinct {
+            let mut consumed: BTreeMap<u64, u32> = BTreeMap::new();
+            for e in &evs {
+                if let WordOp::Rmw { read, .. } = e.op {
+                    if e.ok {
+                        *consumed.entry(read).or_insert(0) += 1;
+                    }
+                }
+            }
+            for (v, count) in consumed {
+                if count > 1 {
+                    out.push(Violation::History {
+                        gva: Gva(block),
+                        detail: format!(
+                            "{count} atomic RMWs all consumed the same value \
+                             (an acked op must have been lost) — {}",
+                            explain(v)
+                        ),
+                    });
+                }
             }
         }
     }
@@ -500,5 +683,253 @@ mod tests {
         assert_ne!(value_hash(&[0u8; 8]), value_hash(&[0u8; 16]));
         assert_ne!(value_hash(&[1u8; 8]), value_hash(&[2u8; 8]));
         assert_eq!(value_hash(b"same"), value_hash(b"same"));
+    }
+
+    fn wev(op: WordOp, issued: u64, done: Option<u64>, ok: bool) -> WordEvent {
+        WordEvent {
+            block: 0x40,
+            offset: 8,
+            op,
+            issued: Time::from_ns(issued),
+            done: done.map(Time::from_ns),
+            ok,
+            loc: 0,
+        }
+    }
+
+    #[test]
+    fn fetch_add_chain_is_legal() {
+        // 0 → 1 → 2 → 3, each FAA consuming the previous written value.
+        let h = [
+            wev(
+                WordOp::Rmw {
+                    read: 0,
+                    written: 1,
+                },
+                0,
+                Some(10),
+                true,
+            ),
+            wev(
+                WordOp::Rmw {
+                    read: 1,
+                    written: 2,
+                },
+                5,
+                Some(20),
+                true,
+            ),
+            wev(
+                WordOp::Rmw {
+                    read: 2,
+                    written: 3,
+                },
+                15,
+                Some(30),
+                true,
+            ),
+            wev(WordOp::Read { value: 3 }, 40, Some(50), true),
+        ];
+        assert!(check_word_history_events(&h).is_empty());
+    }
+
+    #[test]
+    fn phantom_read_is_flagged() {
+        // Nobody produced 7: the canonical double-apply signature (a
+        // replayed FAA bumped the word once too often).
+        let h = [
+            wev(
+                WordOp::Rmw {
+                    read: 0,
+                    written: 1,
+                },
+                0,
+                Some(10),
+                true,
+            ),
+            wev(
+                WordOp::Rmw {
+                    read: 7,
+                    written: 8,
+                },
+                20,
+                Some(30),
+                true,
+            ),
+        ];
+        let v = check_word_history_events(&h);
+        assert_eq!(v.len(), 1);
+        match &v[0] {
+            Violation::History { detail, .. } => {
+                assert!(detail.contains("nobody produced"), "{detail}");
+            }
+            other => panic!("wrong violation: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_consumption_is_flagged() {
+        // Two successful RMWs both observed 1: the first's effect was
+        // acknowledged but lost.
+        let h = [
+            wev(
+                WordOp::Rmw {
+                    read: 0,
+                    written: 1,
+                },
+                0,
+                Some(10),
+                true,
+            ),
+            wev(
+                WordOp::Rmw {
+                    read: 1,
+                    written: 2,
+                },
+                15,
+                Some(25),
+                true,
+            ),
+            wev(
+                WordOp::Rmw {
+                    read: 1,
+                    written: 3,
+                },
+                30,
+                Some(40),
+                true,
+            ),
+        ];
+        let v = check_word_history_events(&h);
+        assert_eq!(v.len(), 1, "{v:?}");
+        match &v[0] {
+            Violation::History { detail, .. } => {
+                assert!(detail.contains("consumed the same value"), "{detail}");
+            }
+            other => panic!("wrong violation: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn opaque_event_exempts_its_word() {
+        // The failed RMW may have applied anything: both the phantom read
+        // and the duplicate consumption become explicable, so the slot is
+        // skipped entirely.
+        let h = [
+            wev(WordOp::Opaque, 0, None, false),
+            wev(
+                WordOp::Rmw {
+                    read: 7,
+                    written: 8,
+                },
+                20,
+                Some(30),
+                true,
+            ),
+            wev(
+                WordOp::Rmw {
+                    read: 7,
+                    written: 9,
+                },
+                40,
+                Some(50),
+                true,
+            ),
+        ];
+        assert!(check_word_history_events(&h).is_empty());
+    }
+
+    #[test]
+    fn repeated_produced_values_disable_uniqueness() {
+        // A write re-produces 1 after the first RMW consumed it, so two
+        // consumptions of 1 are legal — and the checker must notice the
+        // produced multiset is no longer distinct.
+        let h = [
+            wev(
+                WordOp::Rmw {
+                    read: 0,
+                    written: 1,
+                },
+                0,
+                Some(10),
+                true,
+            ),
+            wev(
+                WordOp::Rmw {
+                    read: 1,
+                    written: 2,
+                },
+                15,
+                Some(25),
+                true,
+            ),
+            wev(WordOp::Write { value: 1 }, 30, Some(35), true),
+            wev(
+                WordOp::Rmw {
+                    read: 1,
+                    written: 2,
+                },
+                40,
+                Some(50),
+                true,
+            ),
+        ];
+        assert!(check_word_history_events(&h).is_empty());
+    }
+
+    #[test]
+    fn failed_write_remains_a_candidate_producer() {
+        // The lost scatter word may have landed: reading it is legal.
+        let h = [
+            wev(WordOp::Write { value: 5 }, 0, None, false),
+            wev(WordOp::Read { value: 5 }, 20, Some(30), true),
+            wev(WordOp::Read { value: 0 }, 40, Some(50), true),
+        ];
+        assert!(check_word_history_events(&h).is_empty());
+    }
+
+    #[test]
+    fn producer_must_precede_observer_completion() {
+        // The only producer of 9 was issued after the read finished.
+        let h = [
+            wev(WordOp::Read { value: 9 }, 0, Some(10), true),
+            wev(
+                WordOp::Rmw {
+                    read: 0,
+                    written: 9,
+                },
+                20,
+                Some(30),
+                true,
+            ),
+        ];
+        let v = check_word_history_events(&h);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn distinct_words_are_independent() {
+        let mut a = wev(
+            WordOp::Rmw {
+                read: 0,
+                written: 1,
+            },
+            0,
+            Some(10),
+            true,
+        );
+        a.offset = 0;
+        let mut b = wev(
+            WordOp::Rmw {
+                read: 1,
+                written: 2,
+            },
+            20,
+            Some(30),
+            true,
+        );
+        b.offset = 16; // nobody produced 1 at offset 16
+        let v = check_word_history_events(&[a, b]);
+        assert_eq!(v.len(), 1);
     }
 }

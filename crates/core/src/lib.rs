@@ -36,17 +36,18 @@ pub use alloc::{alloc_array, free_array, GlobalArray, PgasMap};
 pub use btt::{BlockState, Btt, BttEntry};
 pub use cache::{OwnerCache, OwnerHint};
 pub use check::{
-    assert_consistent, check_blocks, check_history, check_history_events, value_hash, HistEvent,
-    HistKind, Violation,
+    assert_consistent, check_blocks, check_history, check_history_events,
+    check_word_history_events, value_hash, HistEvent, HistKind, Violation, WordEvent, WordOp,
 };
 pub use config::{GasConfig, GasMode};
 pub use directory::{Directory, OwnerRec};
 pub use dist::Distribution;
 pub use gva::Gva;
-pub use simworld::{SimData, SimEv, SimLoc, SimMsg, SimWorld};
+pub use simworld::{AmoPumpKind, SimData, SimEv, SimLoc, SimMsg, SimWorld};
 
 use netsim::{
-    Engine, LocalityId, OpError, OpId, OpTable, OutcomeCounters, PhysAddr, ServerPool, Time,
+    AmoKey, AmoOp, AmoResult, Engine, LocalityId, OpError, OpId, OpTable, OutcomeCounters,
+    PhysAddr, ServerPool, Time,
 };
 use photon::PhotonWorld;
 use std::collections::HashMap;
@@ -93,6 +94,33 @@ pub enum GasMsg {
         ctx: OpId,
         /// The data.
         data: Vec<u8>,
+    },
+    /// Software-AGAS (or network-mode fallback) active operation: the
+    /// owner's CPU translates, executes the AMO, and replies with the
+    /// result — the emulated baseline the NIC-executed path is measured
+    /// against.
+    SwAmo {
+        /// Target block key.
+        block: u64,
+        /// Byte offset of the target word (word ops; scatter/gather carry
+        /// their own offsets).
+        offset: u64,
+        /// The operation.
+        amo: AmoOp,
+        /// Retry-stable dedup identity (shared with the NIC responder
+        /// cache, so a retry that switches paths still deduplicates).
+        key: AmoKey,
+        /// Initiator's operation handle.
+        ctx: OpId,
+        /// Where the reply goes.
+        reply_to: LocalityId,
+    },
+    /// Result reply of a software active operation.
+    SwAmoReply {
+        /// Initiator's operation handle.
+        ctx: OpId,
+        /// What the op observed/returned.
+        result: AmoResult,
     },
     /// The believed owner no longer holds the block: initiator must
     /// re-resolve through the home directory.
@@ -162,6 +190,10 @@ pub enum GasMsg {
         generation: u32,
         /// Block contents.
         data: Vec<u8>,
+        /// Remembered AMO completions for the block (responder-cache
+        /// entries travel with the block so retries that chase the
+        /// forward still deduplicate at the new owner).
+        amo_log: Vec<(AmoKey, AmoResult)>,
         /// The old owner.
         src: LocalityId,
         /// Requester op handle, forwarded for the completion callback.
@@ -217,6 +249,8 @@ pub struct GasStats {
     pub puts: u64,
     /// memget operations initiated.
     pub gets: u64,
+    /// memamo operations initiated.
+    pub amos: u64,
     /// Operations satisfied locally.
     pub local_ops: u64,
     /// Operations sent to a remote owner.
@@ -229,6 +263,12 @@ pub struct GasStats {
     pub sw_puts_handled: u64,
     /// Software get handlers executed here.
     pub sw_gets_handled: u64,
+    /// Software AMO handlers executed here (the emulated path).
+    pub sw_amos_handled: u64,
+    /// AMO attempts answered from the responder cache by software (the
+    /// software handler or a post-migration local commit) instead of
+    /// re-executing — the CPU-side twin of the NIC's `amo_replays`.
+    pub amo_replays: u64,
     /// Network-managed operations that degraded to the software path after
     /// repeated NIC-table misses.
     pub sw_fallbacks: u64,
@@ -323,6 +363,9 @@ pub(crate) enum OpPayload {
         len: u32,
         scratch: Option<(PhysAddr, u8)>,
     },
+    Amo {
+        op: AmoOp,
+    },
 }
 
 pub(crate) struct PendingOp {
@@ -379,6 +422,8 @@ pub struct GasLocal {
     pub put_latency: netsim::LogHistogram,
     /// Completion-latency histogram of memgets issued here (ns samples).
     pub get_latency: netsim::LogHistogram,
+    /// Completion-latency histogram of memamos issued here (ns samples).
+    pub amo_latency: netsim::LogHistogram,
     /// Statistics.
     pub stats: GasStats,
     /// Terminal-event rollup for the ops issued here.
@@ -386,6 +431,11 @@ pub struct GasLocal {
     /// Serializability-checker log of every put/get/migrate observed here
     /// (empty unless [`GasConfig::record_history`] is on).
     pub history: Vec<HistEvent>,
+    /// Word-level linearizability log of every AMO issued here (empty
+    /// unless [`GasConfig::record_history`] is on). AMO-touched words are
+    /// checked by [`check::check_word_history_events`]; workloads keep
+    /// them disjoint from put/get slots.
+    pub word_history: Vec<WordEvent>,
     pub(crate) pending: OpTable<PendingOp>,
     pub(crate) next_seq: HashMap<u8, u64>,
     pub(crate) moving: HashMap<u64, MovingState>,
@@ -407,9 +457,11 @@ impl GasLocal {
             heat: HashMap::new(),
             put_latency: netsim::LogHistogram::new(),
             get_latency: netsim::LogHistogram::new(),
+            amo_latency: netsim::LogHistogram::new(),
             stats: GasStats::default(),
             outcomes: OutcomeCounters::default(),
             history: Vec::new(),
+            word_history: Vec::new(),
             pending: OpTable::new(),
             next_seq: HashMap::new(),
             moving: HashMap::new(),
@@ -448,6 +500,7 @@ impl GasLocal {
                 kind: match p.payload {
                     OpPayload::Put { .. } => "put",
                     OpPayload::Get { .. } => "get",
+                    OpPayload::Amo { .. } => "amo",
                 },
                 gva: p.gva,
                 attempts: p.attempts,
@@ -485,6 +538,8 @@ pub trait GasWorld: PhotonWorld {
     fn gas_put_done(eng: &mut Engine<Self>, loc: LocalityId, ctx: OpId);
     /// A memget completed with its data.
     fn gas_get_done(eng: &mut Engine<Self>, loc: LocalityId, ctx: OpId, data: Vec<u8>);
+    /// A memamo completed with its result.
+    fn gas_amo_done(eng: &mut Engine<Self>, loc: LocalityId, ctx: OpId, result: AmoResult);
     /// A migration requested with handle `ctx` fully committed.
     fn gas_migrate_done(eng: &mut Engine<Self>, loc: LocalityId, ctx: OpId, block: u64);
     /// A runtime free requested with handle `ctx` fully committed.

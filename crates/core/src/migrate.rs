@@ -233,6 +233,15 @@ fn start_handoff<S: GasWorld>(
         .cluster()
         .mem_mut(at)
         .free_block(entry.base, entry.class);
+    // The block's remembered AMO completions move with it: a retry that
+    // chases the forward to the new owner must still deduplicate.
+    let amo_log = eng
+        .state
+        .cluster()
+        .loc_mut(at)
+        .nic
+        .amo
+        .take_for_block(block);
     eng.state.cluster().loc_mut(at).counters.migrations_out += 1;
     send_user(
         eng,
@@ -244,6 +253,7 @@ fn start_handoff<S: GasWorld>(
             class: entry.class,
             generation: entry.generation + 1,
             data,
+            amo_log,
             src: at,
             ctx,
             reply_to,
@@ -260,6 +270,7 @@ pub(crate) fn on_mig_data<S: GasWorld>(
     class: u8,
     generation: u32,
     data: Vec<u8>,
+    amo_log: Vec<(netsim::AmoKey, netsim::AmoResult)>,
     src: LocalityId,
     ctx: OpId,
     reply_to: LocalityId,
@@ -285,6 +296,12 @@ pub(crate) fn on_mig_data<S: GasWorld>(
             .mem_mut(at)
             .write(phys, &data)
             .expect("install write failed");
+        eng.state
+            .cluster()
+            .loc_mut(at)
+            .nic
+            .amo
+            .absorb(block, amo_log);
         let g = eng.state.gas(at);
         g.btt.insert(block, phys, class, generation);
         g.cache.update(
@@ -369,6 +386,9 @@ pub(crate) fn on_mig_ack<S: GasWorld>(eng: &mut Engine<S>, at: LocalityId, block
         let wire = match &msg {
             GasMsg::SwPut { data, .. } => data.len() as u32,
             GasMsg::SwGet { .. } => eng.state.cluster_ref().config.ctrl_bytes,
+            GasMsg::SwAmo { amo, .. } => {
+                eng.state.cluster_ref().config.ctrl_bytes + 8 * amo.wire_words() as u32
+            }
             _ => unreachable!("only software accesses queue"),
         };
         send_user(eng, at, ms.dst, wire, S::wrap_gas(msg));

@@ -29,16 +29,16 @@
 //!
 //! [`GasConfig::op_deadline`]: crate::GasConfig::op_deadline
 
-use crate::check::value_hash;
+use crate::check::{value_hash, WordEvent, WordOp};
 use crate::gva::Gva;
 use crate::{
     GasMode, GasMsg, GasWorld, HistEvent, HistKind, OpPayload, OpPhase, OwnerHint, PendingOp,
 };
 use netsim::{
-    send_user, send_user_classed, Engine, FaultClass, LocalityId, NackReason, OpError, OpId,
-    OpKind, OpOutcome, PhysAddr, RdmaTarget, Time, TraceKind,
+    send_user, send_user_classed, AmoKey, AmoOp, AmoResult, Engine, FaultClass, LocalityId,
+    NackReason, OpError, OpId, OpKind, OpOutcome, PhysAddr, RdmaTarget, Time, TraceKind,
 };
-use photon::{pwc_get, pwc_put};
+use photon::{pwc_amo, pwc_get, pwc_put};
 
 fn copy_time(per_byte_ps: u64, len: usize) -> Time {
     Time::from_ps(len as u64 * per_byte_ps)
@@ -51,6 +51,132 @@ fn record_latency<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, p: &Pending
     match p.payload {
         OpPayload::Put { .. } => g.put_latency.record(ns),
         OpPayload::Get { .. } => g.get_latency.record(ns),
+        OpPayload::Amo { .. } => g.amo_latency.record(ns),
+    }
+}
+
+/// The retry-stable responder-cache identity of an AMO: the initiator
+/// plus the *GAS-level* pending-op handle, which survives transport
+/// re-issue (photon attempt ids do not).
+fn amo_key(loc: LocalityId, op: OpId) -> AmoKey {
+    (loc, op.raw())
+}
+
+/// Append the word-level history events a completed AMO implies (no-op
+/// when history recording is off). No-op observations (zero-operand
+/// fetch-add, failed CAS, identity masked-put) log as reads so the
+/// uniqueness rule only counts mutating consumption.
+fn log_amo_words<S: GasWorld>(
+    eng: &mut Engine<S>,
+    loc: LocalityId,
+    gva: Gva,
+    amo: &AmoOp,
+    result: &AmoResult,
+    issued: Time,
+    done: Time,
+) {
+    if !eng.state.gas(loc).cfg.record_history {
+        return;
+    }
+    let off = gva.offset();
+    let evs: Vec<(u64, WordOp)> = match amo {
+        AmoOp::FetchAdd { operand } => {
+            if *operand == 0 {
+                vec![(off, WordOp::Read { value: result.old })]
+            } else {
+                vec![(
+                    off,
+                    WordOp::Rmw {
+                        read: result.old,
+                        written: result.old.wrapping_add(*operand),
+                    },
+                )]
+            }
+        }
+        AmoOp::CompareSwap { desired, .. } => {
+            if result.applied && *desired != result.old {
+                vec![(
+                    off,
+                    WordOp::Rmw {
+                        read: result.old,
+                        written: *desired,
+                    },
+                )]
+            } else {
+                vec![(off, WordOp::Read { value: result.old })]
+            }
+        }
+        AmoOp::MaskedPut { mask, value } => {
+            let written = (result.old & !mask) | (value & mask);
+            if written == result.old {
+                vec![(off, WordOp::Read { value: result.old })]
+            } else {
+                vec![(
+                    off,
+                    WordOp::Rmw {
+                        read: result.old,
+                        written,
+                    },
+                )]
+            }
+        }
+        AmoOp::Scatter { writes } => writes
+            .iter()
+            .map(|&(o, v)| (o, WordOp::Write { value: v }))
+            .collect(),
+        AmoOp::Gather { offsets } => offsets
+            .iter()
+            .zip(&result.values)
+            .map(|(&o, &v)| (o, WordOp::Read { value: v }))
+            .collect(),
+    };
+    let block = gva.block_key();
+    let g = eng.state.gas(loc);
+    for (offset, op) in evs {
+        g.word_history.push(WordEvent {
+            block,
+            offset,
+            op,
+            issued,
+            done: Some(done),
+            ok: true,
+            loc,
+        });
+    }
+}
+
+/// Append what a *terminally failed* AMO may still have done to memory:
+/// scatter words stay candidate producers (their values are known), word
+/// RMWs leave an opaque marker that exempts their word from the strict
+/// rules, and gathers have no effect at all.
+fn log_amo_failure<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, p: &PendingOp) {
+    let OpPayload::Amo { op: amo } = &p.payload else {
+        return;
+    };
+    if !eng.state.gas(loc).cfg.record_history {
+        return;
+    }
+    let evs: Vec<(u64, WordOp)> = match amo {
+        AmoOp::Scatter { writes } => writes
+            .iter()
+            .map(|&(o, v)| (o, WordOp::Write { value: v }))
+            .collect(),
+        AmoOp::Gather { .. } => Vec::new(),
+        _ => vec![(p.gva.offset(), WordOp::Opaque)],
+    };
+    let block = p.gva.block_key();
+    let issued = p.issued;
+    let g = eng.state.gas(loc);
+    for (offset, op) in evs {
+        g.word_history.push(WordEvent {
+            block,
+            offset,
+            op,
+            issued,
+            done: None,
+            ok: false,
+            loc,
+        });
     }
 }
 
@@ -139,6 +265,7 @@ fn fail_op<S: GasWorld>(
     err: OpError,
     outcome: OpOutcome,
 ) {
+    log_amo_failure(eng, loc, &p);
     if let OpPayload::Get {
         scratch: Some((addr, class)),
         ..
@@ -228,19 +355,70 @@ pub fn memget<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, gva: Gva, len: 
     issue(eng, loc, op);
 }
 
+/// What shape of operation `issue` is routing (drives the fast-path
+/// choice; the payload itself stays in the table).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum IssueKind {
+    Put,
+    Get,
+    Amo,
+}
+
+/// Execute `amo` atomically against the word(s) at `gva`. Completion
+/// (with the observed/old values) arrives via [`GasWorld::gas_amo_done`]
+/// with `ctx`; terminal failure via [`GasWorld::gas_op_failed`].
+///
+/// Under [`GasMode::AgasNetwork`] the operation executes **at the target
+/// NIC** in the same visit that translates the virtual block — the target
+/// CPU schedules nothing on the hot path. AMOs are not idempotent, so the
+/// retry machinery shares one dedup identity per op (`amo_key`: the
+/// initiator plus the pending op's raw id, stable across re-issue)
+/// with the target-side responder cache: a duplicated or re-issued
+/// request re-emits the remembered result instead of re-executing,
+/// whichever path (NIC, software fallback, post-migration local commit)
+/// the retry lands on.
+pub fn memamo<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, gva: Gva, amo: AmoOp, ctx: OpId) {
+    assert!(
+        amo.bounds_ok(gva.offset(), gva.block_size()),
+        "memamo touches words outside its block"
+    );
+    let now = eng.now();
+    let g = eng.state.gas(loc);
+    g.stats.amos += 1;
+    let deadline = g.cfg.op_deadline.map(|d| now + d);
+    let op = g.pending.insert(PendingOp {
+        payload: OpPayload::Amo { op: amo },
+        gva,
+        ctx,
+        attempts: 0,
+        issued: now,
+        deadline,
+        phase: OpPhase::Issued,
+        force_sw: false,
+        attempt: None,
+        // AMO words are checked by the word-level oracle, not the
+        // byte-fingerprint history (workloads keep the slots disjoint).
+        hist: None,
+    });
+    open_span(eng, loc, op);
+    arm_sweep(eng, loc);
+    issue(eng, loc, op);
+}
+
 /// (Re-)issue a pending operation along the active mode's fast path.
 fn issue<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, op: OpId) {
     let mode = eng.state.gas_mode();
-    let (gva, is_put, force_sw) = {
+    let (gva, kind, force_sw) = {
         let g = eng.state.gas(loc);
         let Ok(p) = g.pending.get(op) else {
             return; // reclaimed (deadline sweep) between schedule and fire
         };
-        (
-            p.gva,
-            matches!(p.payload, OpPayload::Put { .. }),
-            p.force_sw,
-        )
+        let kind = match p.payload {
+            OpPayload::Put { .. } => IssueKind::Put,
+            OpPayload::Get { .. } => IssueKind::Get,
+            OpPayload::Amo { .. } => IssueKind::Amo,
+        };
+        (p.gva, kind, p.force_sw)
     };
     let block = gva.block_key();
     let home = gva.home();
@@ -249,6 +427,13 @@ fn issue<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, op: OpId) {
         GasMode::Pgas => {
             if home == loc {
                 commit_local(eng, loc, op, None);
+            } else if kind == IssueKind::Amo {
+                // PGAS NICs translate nothing, so there is no virtual
+                // path for a remote AMO to ride; the home's CPU executes
+                // it (the software handler resolves through the
+                // replicated placement map).
+                eng.state.gas(loc).stats.remote_ops += 1;
+                issue_sw(eng, loc, op, gva, home);
             } else {
                 let base = *eng
                     .state
@@ -257,7 +442,7 @@ fn issue<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, op: OpId) {
                     .expect("PGAS op on unallocated block");
                 let target = RdmaTarget::Phys(base + gva.offset());
                 eng.state.gas(loc).stats.remote_ops += 1;
-                issue_rdma(eng, loc, op, home, target, is_put);
+                issue_rdma(eng, loc, op, home, target, kind == IssueKind::Put);
             }
         }
         GasMode::AgasNetwork => {
@@ -274,13 +459,16 @@ fn issue<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, op: OpId) {
                     }
                     eng.state.gas(loc).stats.remote_ops += 1;
                     issue_sw(eng, loc, op, gva, target_loc);
+                } else if kind == IssueKind::Amo {
+                    eng.state.gas(loc).stats.remote_ops += 1;
+                    issue_amo_rdma(eng, loc, op, gva, target_loc);
                 } else {
                     let target = RdmaTarget::Virt {
                         block,
                         offset: gva.offset(),
                     };
                     eng.state.gas(loc).stats.remote_ops += 1;
-                    issue_rdma(eng, loc, op, target_loc, target, is_put);
+                    issue_rdma(eng, loc, op, target_loc, target, kind == IssueKind::Put);
                 }
             }
         }
@@ -340,6 +528,17 @@ fn issue_sw<S: GasWorld>(
                 },
                 ctrl,
             ),
+            OpPayload::Amo { op: amo } => (
+                GasMsg::SwAmo {
+                    block,
+                    offset: gva.offset(),
+                    amo: amo.clone(),
+                    key: amo_key(loc, op),
+                    ctx: op,
+                    reply_to: loc,
+                },
+                ctrl + 8 * amo.wire_words() as u32,
+            ),
         }
     };
     send_user_classed(
@@ -394,7 +593,7 @@ fn issue_rdma<S: GasWorld>(
             p.phase = OpPhase::Rdma;
             match &p.payload {
                 OpPayload::Put { data } => data.clone(),
-                OpPayload::Get { .. } => unreachable!(),
+                OpPayload::Get { .. } | OpPayload::Amo { .. } => unreachable!(),
             }
         };
         let att = pwc_put(eng, loc, target_loc, target, data, op, None, None);
@@ -411,7 +610,7 @@ fn issue_rdma<S: GasWorld>(
             p.phase = OpPhase::Rdma;
             match &p.payload {
                 OpPayload::Get { len, scratch } => (*len, *scratch),
-                OpPayload::Put { .. } => unreachable!(),
+                OpPayload::Put { .. } | OpPayload::Amo { .. } => unreachable!(),
             }
         };
         let (addr, class) = match scratch {
@@ -442,6 +641,43 @@ fn issue_rdma<S: GasWorld>(
     }
 }
 
+/// Issue the one-sided NIC-executed AMO toward `target_loc`: translation
+/// and execution happen in the target NIC's single visit, and the
+/// completion (or NACK/forward outcome) comes back through the photon
+/// layer like any other PWC op.
+fn issue_amo_rdma<S: GasWorld>(
+    eng: &mut Engine<S>,
+    loc: LocalityId,
+    op: OpId,
+    gva: Gva,
+    target_loc: LocalityId,
+) {
+    let amo = {
+        let g = eng.state.gas(loc);
+        let Ok(p) = g.pending.get_mut(op) else {
+            return;
+        };
+        p.phase = OpPhase::Rdma;
+        match &p.payload {
+            OpPayload::Amo { op } => op.clone(),
+            _ => unreachable!(),
+        }
+    };
+    let att = pwc_amo(
+        eng,
+        loc,
+        target_loc,
+        gva.block_key(),
+        gva.offset(),
+        amo,
+        amo_key(loc, op),
+        op,
+    );
+    if let Ok(p) = eng.state.gas(loc).pending.get_mut(op) {
+        p.attempt = Some(att);
+    }
+}
+
 /// Commit an operation against locally resident storage.
 /// `base_hint` carries the physical base from the caller's own BTT probe
 /// (see [`resident_base`]) so the commit doesn't re-translate.
@@ -460,6 +696,7 @@ fn commit_local<S: GasWorld>(
         let len = match &p.payload {
             OpPayload::Put { data } => data.len(),
             OpPayload::Get { len, .. } => *len as usize,
+            OpPayload::Amo { op } => 8 * op.touched_words(),
         };
         (p.gva, len, g.cfg.copy_per_byte_ps)
     };
@@ -518,6 +755,53 @@ fn commit_local<S: GasWorld>(
             hist_done(eng, loc, hist, now, vhash);
             let ctx = p.ctx;
             eng.schedule(delay, move |eng| S::gas_get_done(eng, loc, ctx, data));
+        }
+        OpPayload::Amo { op: amo } => {
+            // An earlier attempt may already have executed remotely (and
+            // its block since migrated here, cache entries riding along),
+            // so consult the responder cache before touching memory —
+            // AMOs must apply exactly once across path switches.
+            let key = amo_key(loc, op);
+            let block = gva.block_key();
+            let cached = eng
+                .state
+                .cluster()
+                .loc_mut(loc)
+                .nic
+                .amo
+                .lookup(key)
+                .cloned();
+            let result = match cached {
+                Some(r) => {
+                    eng.state.gas(loc).stats.amo_replays += 1;
+                    r
+                }
+                None => {
+                    let r = {
+                        let slice = eng
+                            .state
+                            .cluster()
+                            .mem_mut(loc)
+                            .slice_mut(base, gva.block_size() as usize)
+                            .expect("resident block outside arena");
+                        netsim::amo::execute(&amo, slice, gva.offset())
+                    };
+                    // Reads re-execute harmlessly; only mutations need
+                    // (and may consume) replay-cache slots.
+                    if amo.mutates() {
+                        eng.state
+                            .cluster()
+                            .loc_mut(loc)
+                            .nic
+                            .amo
+                            .install(key, block, r.clone());
+                    }
+                    r
+                }
+            };
+            log_amo_words(eng, loc, gva, &amo, &result, p.issued, now);
+            let ctx = p.ctx;
+            eng.schedule(delay, move |eng| S::gas_amo_done(eng, loc, ctx, result));
         }
     }
 }
@@ -734,7 +1018,75 @@ pub fn on_pwc_complete<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, ctx: O
             finish_ok(eng, loc, ctx);
             S::gas_get_done(eng, loc, p.ctx, data);
         }
+        OpPayload::Amo { .. } => {
+            // AMOs complete through the result-carrying path; a bare
+            // completion means crossed wires somewhere below us.
+            let g = eng.state.gas(loc);
+            g.stats.protocol_violations += 1;
+            g.stats.ops_failed += 1;
+            g.outcomes.record(OpOutcome::ProtocolViolation);
+            close_span(eng, loc, ctx, false);
+            S::gas_op_failed(
+                eng,
+                loc,
+                p.ctx,
+                p.gva,
+                OpError::ProtocolViolation {
+                    detail: "result-less completion for an AMO op",
+                },
+            );
+        }
     }
+}
+
+/// Finish a pending AMO with `result`, whichever path delivered it (NIC
+/// completion via [`on_pwc_amo_complete`], or a [`GasMsg::SwAmoReply`]).
+/// Stale or duplicated completions are counted and dropped.
+fn complete_amo<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, id: OpId, result: AmoResult) {
+    let p = match eng.state.gas(loc).pending.remove(id) {
+        Ok(p) => p,
+        Err(_) => {
+            eng.state.gas(loc).stats.stale_completions += 1;
+            return;
+        }
+    };
+    let now = eng.now();
+    record_latency(eng, loc, &p, now);
+    let OpPayload::Amo { op: amo } = &p.payload else {
+        // An AMO completion naming a put/get op: the wire protocol was
+        // violated; fail the op rather than fabricating a result.
+        let g = eng.state.gas(loc);
+        g.stats.protocol_violations += 1;
+        g.stats.ops_failed += 1;
+        g.outcomes.record(OpOutcome::ProtocolViolation);
+        close_span(eng, loc, id, false);
+        S::gas_op_failed(
+            eng,
+            loc,
+            p.ctx,
+            p.gva,
+            OpError::ProtocolViolation {
+                detail: "AMO completion for a non-AMO op",
+            },
+        );
+        return;
+    };
+    let amo = amo.clone();
+    log_amo_words(eng, loc, p.gva, &amo, &result, p.issued, now);
+    finish_ok(eng, loc, id);
+    S::gas_amo_done(eng, loc, p.ctx, result);
+}
+
+/// Route a [`photon::PhotonWorld::pwc_amo_complete`] callback here: the
+/// target NIC executed (or replayed) the op and its result came back on
+/// the completion path.
+pub fn on_pwc_amo_complete<S: GasWorld>(
+    eng: &mut Engine<S>,
+    loc: LocalityId,
+    ctx: OpId,
+    result: AmoResult,
+) {
+    complete_amo(eng, loc, ctx, result);
 }
 
 /// Route a [`photon::PhotonWorld::xlate_miss_local`] callback here: the
@@ -800,7 +1152,10 @@ pub fn on_pwc_failed<S: GasWorld>(
 /// [`netsim::Protocol::deliver`] routes GAS-decoding `User` packets here.
 pub fn handle_msg<S: GasWorld>(eng: &mut Engine<S>, from: LocalityId, at: LocalityId, msg: GasMsg) {
     match msg {
-        GasMsg::SwPut { .. } | GasMsg::SwGet { .. } => handle_sw_access(eng, at, msg),
+        GasMsg::SwPut { .. } | GasMsg::SwGet { .. } | GasMsg::SwAmo { .. } => {
+            handle_sw_access(eng, at, msg)
+        }
+        GasMsg::SwAmoReply { ctx, result } => complete_amo(eng, at, ctx, result),
         GasMsg::SwPutAck { ctx } => {
             let p = match eng.state.gas(at).pending.remove(ctx) {
                 Ok(p) => p,
@@ -946,12 +1301,13 @@ pub fn handle_msg<S: GasWorld>(eng: &mut Engine<S>, from: LocalityId, at: Locali
             class,
             generation,
             data,
+            amo_log,
             src,
             ctx,
             reply_to,
-        } => {
-            crate::migrate::on_mig_data(eng, at, block, class, generation, data, src, ctx, reply_to)
-        }
+        } => crate::migrate::on_mig_data(
+            eng, at, block, class, generation, data, amo_log, src, ctx, reply_to,
+        ),
         GasMsg::MigAck { block } => crate::migrate::on_mig_ack(eng, at, block),
         GasMsg::MigDone { ctx, block } => {
             let g = eng.state.gas(at);
@@ -997,6 +1353,7 @@ fn handle_sw_access<S: GasWorld>(eng: &mut Engine<S>, at: LocalityId, msg: GasMs
     let (block, data_len) = match &msg {
         GasMsg::SwPut { block, data, .. } => (*block, data.len()),
         GasMsg::SwGet { block, len, .. } => (*block, *len as usize),
+        GasMsg::SwAmo { block, amo, .. } => (*block, 8 * amo.touched_words()),
         _ => unreachable!(),
     };
     // Mid-migration: park the access; it is re-sent to the new owner on
@@ -1026,7 +1383,9 @@ fn handle_sw_access<S: GasWorld>(eng: &mut Engine<S>, at: LocalityId, msg: GasMs
 
 fn run_sw_access<S: GasWorld>(eng: &mut Engine<S>, at: LocalityId, msg: GasMsg) {
     let block = match &msg {
-        GasMsg::SwPut { block, .. } | GasMsg::SwGet { block, .. } => *block,
+        GasMsg::SwPut { block, .. } | GasMsg::SwGet { block, .. } | GasMsg::SwAmo { block, .. } => {
+            *block
+        }
         _ => unreachable!(),
     };
     // Re-check residency at execution time: a migration may have started
@@ -1118,6 +1477,84 @@ fn run_sw_access<S: GasWorld>(eng: &mut Engine<S>, at: LocalityId, msg: GasMsg) 
                 );
             }
         },
+        GasMsg::SwAmo {
+            offset,
+            amo,
+            key,
+            ctx,
+            reply_to,
+            ..
+        } => {
+            // Resolve storage: the BTT under AGAS; under PGAS (where the
+            // BTT is empty by design) the replicated placement map — the
+            // home always owns, so no retry path is needed there.
+            let resolved = match entry {
+                Some(e) => Some((e.base, 1u64 << e.class)),
+                None if eng.state.gas_mode() == GasMode::Pgas => eng
+                    .state
+                    .pgas()
+                    .get(&block)
+                    .copied()
+                    .map(|base| (base, Gva(block).block_size())),
+                None => None,
+            };
+            let Some((base, size)) = resolved else {
+                send_user_classed(
+                    eng,
+                    at,
+                    reply_to,
+                    ctrl,
+                    S::wrap_gas(GasMsg::SwRetry { ctx, block }),
+                    FaultClass::Completion,
+                );
+                return;
+            };
+            if !amo.bounds_ok(offset, size) {
+                eng.state.gas(at).stats.protocol_violations += 1;
+                return;
+            }
+            // The same responder cache the NIC path uses: a retry that
+            // degraded to the software path after its first attempt
+            // executed at the NIC still deduplicates.
+            let cached = eng.state.cluster().loc_mut(at).nic.amo.lookup(key).cloned();
+            let result = match cached {
+                Some(r) => {
+                    eng.state.gas(at).stats.amo_replays += 1;
+                    r
+                }
+                None => {
+                    let r = {
+                        let slice = eng
+                            .state
+                            .cluster()
+                            .mem_mut(at)
+                            .slice_mut(base, size as usize)
+                            .expect("AMO storage outside arena");
+                        netsim::amo::execute(&amo, slice, offset)
+                    };
+                    // Same policy as the NIC path: reads re-execute
+                    // harmlessly and never consume replay-cache slots.
+                    if amo.mutates() {
+                        eng.state
+                            .cluster()
+                            .loc_mut(at)
+                            .nic
+                            .amo
+                            .install(key, block, r.clone());
+                    }
+                    r
+                }
+            };
+            eng.state.gas(at).stats.sw_amos_handled += 1;
+            send_user_classed(
+                eng,
+                at,
+                reply_to,
+                ctrl,
+                S::wrap_gas(GasMsg::SwAmoReply { ctx, result }),
+                FaultClass::Completion,
+            );
+        }
         _ => unreachable!(),
     }
 }

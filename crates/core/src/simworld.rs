@@ -23,8 +23,9 @@ use crate::{GasConfig, GasLocal, GasMode, GasMsg, GasStats, GasWorld, Gva, PgasM
 use netsim::rng::Xoshiro256;
 use netsim::shard::ShardMap;
 use netsim::{
-    Cluster, Counters, Engine, Envelope, LocalityId, NackReason, NetConfig, OpError, OpId, OpKind,
-    OutcomeCounters, Packet, Protocol, ServerPool, SharedState, SplitWorld, Time,
+    AmoOp, AmoResult, Cluster, Counters, Engine, Envelope, LocalityId, NackReason, NetConfig,
+    OpError, OpId, OpKind, OutcomeCounters, Packet, Protocol, ServerPool, SharedState, SplitWorld,
+    Time,
 };
 use photon::{PhotonConfig, PhotonEndpoint, PhotonMsg, PhotonWorld};
 use std::collections::HashMap;
@@ -49,6 +50,8 @@ pub enum SimEv {
     MigDone(u64, u64),
     /// Runtime free committed: `(ctx bits, block key)`.
     FreeDone(u64, u64),
+    /// Active operation completed: `(ctx bits, NIC-reported result)`.
+    AmoDone(u64, AmoResult),
     /// Terminal failure: `(ctx bits, rendered error)`.
     OpFailed(u64, String),
 }
@@ -60,6 +63,36 @@ pub struct GupsPump {
     pub remaining: u64,
     /// Completions observed (pump-issued puts only).
     pub completed: u64,
+    rng: Xoshiro256,
+    next_op: u64,
+}
+
+/// Which AMO workload an [`AmoPump`] drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AmoPumpKind {
+    /// Contended fetch-and-add: every op is a `FetchAdd { operand: 1 }`
+    /// on a random hot word.
+    FetchAdd,
+    /// CAS-increment loop: atomic read (`FetchAdd { operand: 0 }`), then
+    /// compare-and-swap `old → old + 1`, retrying with the observed value
+    /// until the swap lands.
+    CasRetry,
+}
+
+/// Per-locality AMO load generator: a private RNG, an op budget, and —
+/// for the CAS workload — the in-flight retry state.
+#[derive(Debug)]
+pub struct AmoPump {
+    /// Logical ops this locality may still start.
+    pub remaining: u64,
+    /// Logical ops finished (for CAS, a landed swap).
+    pub completed: u64,
+    /// CAS attempts that lost the race and were re-issued.
+    pub cas_retries: u64,
+    kind: AmoPumpKind,
+    /// CAS workload phase: `(target word, in-CAS-phase)`; `None` between
+    /// logical ops.
+    cas: Option<(Gva, bool)>,
     rng: Xoshiro256,
     next_op: u64,
 }
@@ -77,6 +110,8 @@ pub struct SimLoc {
     pub get_acks: u64,
     /// Migration completions delivered here.
     pub migration_acks: u64,
+    /// Active-operation completions delivered here.
+    pub amo_acks: u64,
     /// Terminal op failures delivered here.
     pub op_failures: u64,
     /// Audited gets whose data was neither zeros nor the registered value.
@@ -86,6 +121,8 @@ pub struct SimLoc {
     pub expect: HashMap<u64, u64>,
     /// The self-pumping GUPS load generator, when armed.
     pub pump: Option<GupsPump>,
+    /// The self-pumping AMO load generator, when armed.
+    pub amo_pump: Option<AmoPump>,
 }
 
 /// The backing storage of a [`SimWorld`]; lanes alias it via
@@ -163,6 +200,25 @@ impl SimWorld {
         pump_next(eng, loc);
     }
 
+    /// Arm the self-pumping AMO generator on `loc` with `budget` logical
+    /// ops of the given kind.
+    pub fn arm_amo(&mut self, loc: LocalityId, kind: AmoPumpKind, budget: u64, seed: u64) {
+        self.data.locs[loc as usize].amo_pump = Some(AmoPump {
+            remaining: budget,
+            completed: 0,
+            cas_retries: 0,
+            kind,
+            cas: None,
+            rng: Xoshiro256::seed_from_u64(seed ^ 0x05ee_da40 ^ (u64::from(loc) << 32)),
+            next_op: 0,
+        });
+    }
+
+    /// Kick the AMO pump on `loc`: start its first logical op.
+    pub fn amo_pump_prime(eng: &mut Engine<SimWorld>, loc: LocalityId) {
+        amo_pump_start(eng, loc);
+    }
+
     /// Register the one legal non-zero value for an audited get.
     pub fn expect_value(&mut self, loc: LocalityId, ctx: OpId, value: u64) {
         self.data.locs[loc as usize].expect.insert(ctx.raw(), value);
@@ -213,6 +269,21 @@ impl SimWorld {
         self.total(|l| l.pump.as_ref().map_or(0, |p| p.completed))
     }
 
+    /// Active-operation completions across the cluster.
+    pub fn amo_acks(&self) -> u64 {
+        self.total(|l| l.amo_acks)
+    }
+
+    /// AMO pump logical ops finished across the cluster.
+    pub fn amo_pump_completed(&self) -> u64 {
+        self.total(|l| l.amo_pump.as_ref().map_or(0, |p| p.completed))
+    }
+
+    /// CAS attempts that lost the race, across the cluster.
+    pub fn amo_cas_retries(&self) -> u64 {
+        self.total(|l| l.amo_pump.as_ref().map_or(0, |p| p.cas_retries))
+    }
+
     /// Aggregate GAS stats across localities.
     pub fn total_gas_stats(&self) -> GasStats {
         let mut total = GasStats::default();
@@ -220,12 +291,15 @@ impl SimWorld {
             let s = g.stats;
             total.puts += s.puts;
             total.gets += s.gets;
+            total.amos += s.amos;
             total.local_ops += s.local_ops;
             total.remote_ops += s.remote_ops;
             total.retries += s.retries;
             total.dir_queries += s.dir_queries;
             total.sw_puts_handled += s.sw_puts_handled;
             total.sw_gets_handled += s.sw_gets_handled;
+            total.sw_amos_handled += s.sw_amos_handled;
+            total.amo_replays += s.amo_replays;
             total.sw_fallbacks += s.sw_fallbacks;
             total.migrations_started += s.migrations_started;
             total.migrations_done += s.migrations_done;
@@ -314,6 +388,9 @@ impl PhotonWorld for SimWorld {
     fn xlate_miss_local(eng: &mut Engine<Self>, loc: LocalityId, block: u64) {
         crate::ops::on_xlate_miss(eng, loc, block);
     }
+    fn pwc_amo_complete(eng: &mut Engine<Self>, loc: LocalityId, ctx: OpId, result: AmoResult) {
+        crate::ops::on_pwc_amo_complete(eng, loc, ctx, result);
+    }
 }
 
 impl GasWorld for SimWorld {
@@ -391,6 +468,21 @@ impl GasWorld for SimWorld {
         }
     }
 
+    fn gas_amo_done(eng: &mut Engine<Self>, loc: LocalityId, ctx: OpId, result: AmoResult) {
+        let now = eng.now();
+        let d = &mut *eng.state.data;
+        let record = d.record_events;
+        let sl = &mut d.locs[loc as usize];
+        sl.amo_acks += 1;
+        if record {
+            sl.events
+                .push((now, SimEv::AmoDone(ctx.raw(), result.clone())));
+        }
+        if sl.amo_pump.is_some() {
+            amo_pump_advance(eng, loc, result);
+        }
+    }
+
     fn gas_op_failed(eng: &mut Engine<Self>, loc: LocalityId, ctx: OpId, _gva: Gva, err: OpError) {
         let now = eng.now();
         let d = &mut *eng.state.data;
@@ -402,9 +494,20 @@ impl GasWorld for SimWorld {
             sl.events
                 .push((now, SimEv::OpFailed(ctx.raw(), err.to_string())));
         }
+        let had_pump = sl.pump.is_some();
+        // A terminally-failed AMO abandons its logical op; start the next.
+        let had_amo = if let Some(p) = sl.amo_pump.as_mut() {
+            p.cas = None;
+            true
+        } else {
+            false
+        };
         // A failed pump put still owes the chain its continuation.
-        if sl.pump.is_some() {
+        if had_pump {
             pump_next(eng, loc);
+        }
+        if had_amo {
+            amo_pump_start(eng, loc);
         }
     }
 }
@@ -432,6 +535,93 @@ fn pump_next(eng: &mut Engine<SimWorld>, loc: LocalityId) {
     // Correlation token namespaced by locality so ctxs never collide.
     let ctx = OpId::from_raw((u64::from(loc) << 40) | op);
     crate::ops::memput(eng, loc, gva, r.to_le_bytes().to_vec(), ctx);
+}
+
+/// Contended-word count per pump block: AMO traffic stays in the first
+/// eight words (offsets `0..64`), the convention that keeps AMO words
+/// disjoint from put/get byte slots.
+const AMO_PUMP_WORDS: u64 = 8;
+
+/// Start the AMO pump's next logical op from `loc`, if budget remains.
+/// Fetch-add ops issue directly; CAS ops open with an atomic read
+/// (`FetchAdd { operand: 0 }`) to learn the word's current value.
+fn amo_pump_start(eng: &mut Engine<SimWorld>, loc: LocalityId) {
+    let d = &mut *eng.state.data;
+    let nblocks = d.pump_blocks.len() as u64;
+    let Some(p) = d.locs[loc as usize].amo_pump.as_mut() else {
+        return;
+    };
+    if p.remaining == 0 || nblocks == 0 {
+        return;
+    }
+    p.remaining -= 1;
+    let r = p.rng.next_u64();
+    let kind = p.kind;
+    let ctx = amo_pump_ctx(loc, p);
+    let base = d.pump_blocks[(r % nblocks) as usize];
+    let words = (base.block_size() / 8).min(AMO_PUMP_WORDS);
+    let gva = base.with_offset(((r >> 32) % words) * 8);
+    let (amo, cas) = match kind {
+        AmoPumpKind::FetchAdd => (AmoOp::FetchAdd { operand: 1 }, None),
+        AmoPumpKind::CasRetry => (AmoOp::FetchAdd { operand: 0 }, Some((gva, false))),
+    };
+    if let Some(p) = d.locs[loc as usize].amo_pump.as_mut() {
+        p.cas = cas;
+    }
+    crate::ops::memamo(eng, loc, gva, amo, ctx);
+}
+
+/// Feed an AMO completion back into the pump: count finished fetch-adds,
+/// walk the CAS read → swap → retry state machine, and keep the chain
+/// saturated.
+fn amo_pump_advance(eng: &mut Engine<SimWorld>, loc: LocalityId, result: AmoResult) {
+    let d = &mut *eng.state.data;
+    let Some(p) = d.locs[loc as usize].amo_pump.as_mut() else {
+        return;
+    };
+    match (p.kind, p.cas) {
+        (AmoPumpKind::FetchAdd, _) => {
+            p.completed += 1;
+            amo_pump_start(eng, loc);
+        }
+        // The opening read came back: try to swap `old → old + 1`.
+        (AmoPumpKind::CasRetry, Some((gva, false))) => {
+            p.cas = Some((gva, true));
+            let amo = AmoOp::CompareSwap {
+                expected: result.old,
+                desired: result.old.wrapping_add(1),
+            };
+            let ctx = amo_pump_ctx(loc, p);
+            crate::ops::memamo(eng, loc, gva, amo, ctx);
+        }
+        (AmoPumpKind::CasRetry, Some((gva, true))) => {
+            if result.applied {
+                p.completed += 1;
+                p.cas = None;
+                amo_pump_start(eng, loc);
+            } else {
+                // Lost the race; the NACK carries the fresh value, so retry
+                // against it directly.
+                p.cas_retries += 1;
+                let amo = AmoOp::CompareSwap {
+                    expected: result.old,
+                    desired: result.old.wrapping_add(1),
+                };
+                let ctx = amo_pump_ctx(loc, p);
+                crate::ops::memamo(eng, loc, gva, amo, ctx);
+            }
+        }
+        // A completion with no CAS in flight: a stale chain link; restart.
+        (AmoPumpKind::CasRetry, None) => amo_pump_start(eng, loc),
+    }
+}
+
+/// Correlation token for pump-issued AMOs: namespaced by locality, with
+/// bit 39 set so GUPS-pump ctxs can never collide.
+fn amo_pump_ctx(loc: LocalityId, p: &mut AmoPump) -> OpId {
+    let op = p.next_op;
+    p.next_op += 1;
+    OpId::from_raw((u64::from(loc) << 40) | (1 << 39) | op)
 }
 
 // SAFETY: the protocol stack above netsim partitions its mutable state by

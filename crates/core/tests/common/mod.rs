@@ -3,8 +3,8 @@
 
 use agas::{GasConfig, GasLocal, GasMode, GasMsg, GasWorld, PgasMap};
 use netsim::{
-    Cluster, Engine, Envelope, LocalityId, NackReason, NetConfig, OpError, OpId, OpKind, Packet,
-    Protocol, ServerPool, Time,
+    AmoResult, Cluster, Engine, Envelope, LocalityId, NackReason, NetConfig, OpError, OpId, OpKind,
+    Packet, Protocol, ServerPool, Time,
 };
 use photon::{PhotonConfig, PhotonEndpoint, PhotonMsg, PhotonWorld};
 
@@ -21,6 +21,8 @@ pub enum Ev {
     GetDone(u64, Vec<u8>),
     MigDone(u64, u64),
     FreeDone(u64, u64),
+    /// An active operation completed: `(ctx bits, NIC-reported result)`.
+    AmoDone(u64, AmoResult),
     /// A terminal op failure: `(ctx bits, rendered OpError)`.
     OpFailed(u64, String),
 }
@@ -103,6 +105,9 @@ impl PhotonWorld for World {
     fn xlate_miss_local(eng: &mut Engine<Self>, loc: LocalityId, block: u64) {
         agas::ops::on_xlate_miss(eng, loc, block);
     }
+    fn pwc_amo_complete(eng: &mut Engine<Self>, loc: LocalityId, ctx: OpId, result: AmoResult) {
+        agas::ops::on_pwc_amo_complete(eng, loc, ctx, result);
+    }
 }
 
 impl GasWorld for World {
@@ -145,6 +150,12 @@ impl GasWorld for World {
         eng.state
             .events
             .push((now, loc, Ev::FreeDone(ctx.raw(), block)));
+    }
+    fn gas_amo_done(eng: &mut Engine<Self>, loc: LocalityId, ctx: OpId, result: AmoResult) {
+        let now = eng.now();
+        eng.state
+            .events
+            .push((now, loc, Ev::AmoDone(ctx.raw(), result)));
     }
     fn gas_op_failed(
         eng: &mut Engine<Self>,

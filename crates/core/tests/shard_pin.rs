@@ -14,9 +14,9 @@
 //! both means the protocol itself moved.
 
 use agas::migrate::migrate_block;
-use agas::ops::{memget, memput};
+use agas::ops::{memamo, memget, memput};
 use agas::{alloc_array, Distribution, GasMode, GlobalArray, OwnerCache, SimWorld};
-use netsim::{Engine, LocalityId, NetConfig, OpId, ShardedEngine, Time};
+use netsim::{AmoOp, Engine, LocalityId, NetConfig, OpId, ShardedEngine, Time};
 
 /// Shard counts every scenario must reproduce its pin under. `None` is
 /// the plain sequential engine (the control that ties this suite to
@@ -252,6 +252,83 @@ fn flush_recovery(shards: Option<usize>) -> (u64, u64) {
     h.finish()
 }
 
+/// NIC-executed AMOs racing migrations under jitter (see `trace_pin.rs`).
+fn amo_mix(mode: GasMode, shards: Option<usize>) -> (u64, u64) {
+    let mut h = Harness::new(4, mode, jittery(), 19, shards);
+    let arr = h.alloc(4, 12);
+    for i in 0..40u64 {
+        let loc = (i % 4) as u32;
+        let gva = arr.block(i % 4).with_offset((i % 8) * 8);
+        h.issue(loc, move |eng| {
+            memamo(
+                eng,
+                loc,
+                gva,
+                AmoOp::FetchAdd { operand: i + 1 },
+                OpId::from_raw(i),
+            );
+        });
+        if i % 5 == 4 {
+            let cas = arr.block((i + 1) % 4);
+            h.issue(loc, move |eng| {
+                memamo(
+                    eng,
+                    loc,
+                    cas,
+                    AmoOp::CompareSwap {
+                        expected: 0,
+                        desired: i,
+                    },
+                    OpId::from_raw(500 + i),
+                );
+            });
+        }
+        if i % 7 == 6 {
+            let sc = arr.block((i + 2) % 4);
+            h.issue(loc, move |eng| {
+                memamo(
+                    eng,
+                    loc,
+                    sc,
+                    AmoOp::Scatter {
+                        writes: vec![(112, i), (120, i + 1)],
+                    },
+                    OpId::from_raw(700 + i),
+                );
+            });
+        }
+        if i % 16 == 8 && mode.supports_migration() {
+            let mig = arr.block(i % 4);
+            h.issue(loc, move |eng| {
+                migrate_block(
+                    eng,
+                    loc,
+                    mig,
+                    ((i + 1) % 4) as u32,
+                    OpId::from_raw(9000 + i),
+                );
+            });
+        }
+        h.run_steps(12);
+    }
+    for i in 0..16u64 {
+        let loc = (i % 4) as u32;
+        let gva = arr.block(i % 4);
+        h.issue(loc, move |eng| {
+            memamo(
+                eng,
+                loc,
+                gva,
+                AmoOp::Gather {
+                    offsets: vec![0, 8, 16, 24],
+                },
+                OpId::from_raw(2000 + i),
+            );
+        });
+    }
+    h.finish()
+}
+
 #[test]
 fn shard_pin_jitter_puts() {
     for shards in GRID {
@@ -336,6 +413,30 @@ fn shard_pin_flush_recovery() {
     }
 }
 
+#[test]
+fn shard_pin_amo_mix() {
+    for shards in GRID {
+        check(
+            "amo_mix/pgas",
+            shards,
+            amo_mix(GasMode::Pgas, shards),
+            GOLDEN_AMO_PGAS,
+        );
+        check(
+            "amo_mix/sw",
+            shards,
+            amo_mix(GasMode::AgasSoftware, shards),
+            GOLDEN_AMO_SW,
+        );
+        check(
+            "amo_mix/net",
+            shards,
+            amo_mix(GasMode::AgasNetwork, shards),
+            GOLDEN_AMO_NET,
+        );
+    }
+}
+
 // The exact constants from `trace_pin.rs`: the sharded engine must land on
 // the sequential hashes, not merely be self-consistent.
 const GOLDEN_JITTER_PGAS: (u64, u64) = (0x3a1b_a271_08e7_3ff4, 2_155_000);
@@ -347,3 +448,6 @@ const GOLDEN_DEADLINE_11: (u64, u64) = (0x7d82_ca5b_de6f_587d, 40_000_000);
 const GOLDEN_DEADLINE_23: (u64, u64) = (0xe63a_b7da_7176_c2ea, 40_000_000);
 const GOLDEN_CAPACITY: (u64, u64) = (0xfe4f_3eb2_0d05_710b, 165_756_600);
 const GOLDEN_FLUSH: (u64, u64) = (0xf28f_56b0_057b_a14c, 21_260_000);
+const GOLDEN_AMO_PGAS: (u64, u64) = (0x0c6b_7794_17b5_7bcc, 16_428_800);
+const GOLDEN_AMO_SW: (u64, u64) = (0xd8c6_19aa_c5c3_b3e3, 38_448_400);
+const GOLDEN_AMO_NET: (u64, u64) = (0xb4af_369e_0364_317d, 24_868_600);

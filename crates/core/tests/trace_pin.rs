@@ -14,10 +14,10 @@
 mod common;
 
 use agas::migrate::migrate_block;
-use agas::ops::{memget, memput};
+use agas::ops::{memamo, memget, memput};
 use agas::{alloc_array, Distribution, GasMode, OwnerCache};
 use common::World;
-use netsim::{Engine, NetConfig, OpId, Time};
+use netsim::{AmoOp, Engine, NetConfig, OpId, Time};
 
 fn jittery() -> NetConfig {
     NetConfig {
@@ -179,6 +179,69 @@ fn flush_recovery() -> (u64, u64) {
     finish(&mut eng)
 }
 
+/// NIC-executed AMOs racing migrations under jitter: fetch-adds, CAS,
+/// scatters, and a gather audit, with churn forcing the NACK/forward arms
+/// of the AMO commit path into the pinned schedule.
+fn amo_mix(mode: GasMode) -> (u64, u64) {
+    let mut eng = Engine::new(World::new(4, mode, jittery()), 19);
+    let arr = alloc_array(&mut eng, 4, 12, Distribution::Cyclic);
+    for i in 0..40u64 {
+        let loc = (i % 4) as u32;
+        memamo(
+            &mut eng,
+            loc,
+            arr.block(i % 4).with_offset((i % 8) * 8),
+            AmoOp::FetchAdd { operand: i + 1 },
+            OpId::from_raw(i),
+        );
+        if i % 5 == 4 {
+            memamo(
+                &mut eng,
+                loc,
+                arr.block((i + 1) % 4),
+                AmoOp::CompareSwap {
+                    expected: 0,
+                    desired: i,
+                },
+                OpId::from_raw(500 + i),
+            );
+        }
+        if i % 7 == 6 {
+            memamo(
+                &mut eng,
+                loc,
+                arr.block((i + 2) % 4),
+                AmoOp::Scatter {
+                    writes: vec![(112, i), (120, i + 1)],
+                },
+                OpId::from_raw(700 + i),
+            );
+        }
+        if i % 16 == 8 && mode.supports_migration() {
+            migrate_block(
+                &mut eng,
+                loc,
+                arr.block(i % 4),
+                ((i + 1) % 4) as u32,
+                OpId::from_raw(9000 + i),
+            );
+        }
+        eng.run_steps(12);
+    }
+    for i in 0..16u64 {
+        memamo(
+            &mut eng,
+            (i % 4) as u32,
+            arr.block(i % 4),
+            AmoOp::Gather {
+                offsets: vec![0, 8, 16, 24],
+            },
+            OpId::from_raw(2000 + i),
+        );
+    }
+    finish(&mut eng)
+}
+
 #[test]
 fn pin_jitter_puts() {
     check(
@@ -228,6 +291,13 @@ fn pin_flush_recovery() {
     check("flush_recovery", flush_recovery(), GOLDEN_FLUSH);
 }
 
+#[test]
+fn pin_amo_mix() {
+    check("amo_mix/pgas", amo_mix(GasMode::Pgas), GOLDEN_AMO_PGAS);
+    check("amo_mix/sw", amo_mix(GasMode::AgasSoftware), GOLDEN_AMO_SW);
+    check("amo_mix/net", amo_mix(GasMode::AgasNetwork), GOLDEN_AMO_NET);
+}
+
 // Captured from the seed implementation (std HashMap / LruMap translation
 // structures) — see module docs. The flat-table rewrite must reproduce
 // these exactly.
@@ -240,3 +310,7 @@ const GOLDEN_DEADLINE_11: (u64, u64) = (0x7d82_ca5b_de6f_587d, 40_000_000);
 const GOLDEN_DEADLINE_23: (u64, u64) = (0xe63a_b7da_7176_c2ea, 40_000_000);
 const GOLDEN_CAPACITY: (u64, u64) = (0xfe4f_3eb2_0d05_710b, 165_756_600);
 const GOLDEN_FLUSH: (u64, u64) = (0xf28f_56b0_057b_a14c, 21_260_000);
+// Captured when the AMO subsystem landed (NIC-executed active operations).
+const GOLDEN_AMO_PGAS: (u64, u64) = (0x0c6b_7794_17b5_7bcc, 16_428_800);
+const GOLDEN_AMO_SW: (u64, u64) = (0xd8c6_19aa_c5c3_b3e3, 38_448_400);
+const GOLDEN_AMO_NET: (u64, u64) = (0xb4af_369e_0364_317d, 24_868_600);

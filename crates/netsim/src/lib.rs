@@ -21,6 +21,7 @@
 //! Layers above implement [`net::Protocol`] to receive deliveries. See the
 //! repository `DESIGN.md` for how this substitutes for the paper's testbed.
 
+pub mod amo;
 pub mod config;
 pub mod engine;
 pub mod faults;
@@ -39,6 +40,7 @@ pub mod time;
 pub mod timewheel;
 pub mod trace;
 
+pub use amo::{AmoCache, AmoKey, AmoOp, AmoResult};
 pub use config::NetConfig;
 pub use engine::Engine;
 pub use faults::{
@@ -48,8 +50,8 @@ pub use faults::{
 pub use flatmap::{FlatTable, LruInsert};
 pub use memory::{MemError, Memory, PhysAddr};
 pub use net::{
-    rdma_get, rdma_put, send_user, send_user_classed, Cluster, Envelope, GetReq, Locality,
-    NackReason, OpKind, Packet, Protocol, PutReq, RdmaTarget,
+    rdma_amo, rdma_get, rdma_put, send_user, send_user_classed, AmoReq, Cluster, Envelope, GetReq,
+    Locality, NackReason, OpKind, Packet, Protocol, PutReq, RdmaTarget,
 };
 pub use nic::{LocalityId, Nic, Xlate, XlateEntry, XlateTable};
 pub use optable::{OpError, OpId, OpOutcome, OpTable, OutcomeCounters};

@@ -19,6 +19,7 @@
 //! the way back. Port reservations serialize per NIC, which is what produces
 //! contention, bandwidth ceilings, and message-rate limits.
 
+use crate::amo::{self, AmoKey, AmoOp, AmoResult};
 use crate::config::NetConfig;
 use crate::engine::Engine;
 use crate::faults::{apply_corruption, FaultClass, FaultPlane, FaultVerdict};
@@ -36,6 +37,9 @@ pub enum OpKind {
     Put,
     /// One-sided read.
     Get,
+    /// NIC-executed active operation (fetch-add, CAS, masked-put,
+    /// gather/scatter).
+    Amo,
 }
 
 /// Why a NIC refused a one-sided operation.
@@ -73,6 +77,9 @@ pub enum Packet<M> {
     PutDone { op: OpId },
     /// An initiated get completed (`local` buffer now holds the data).
     GetDone { op: OpId },
+    /// An initiated active operation executed at the target NIC; `result`
+    /// carries the fetched/old value(s).
+    AmoDone { op: OpId, result: AmoResult },
     /// Remote-completion notification at the *target* of a put that carried
     /// a `remote_tag` (Photon's put-with-completion ledger entry).
     RemoteNote { tag: u64, len: u32 },
@@ -338,22 +345,29 @@ fn fault_dup_delay<S: Protocol>(eng: &mut Engine<S>, src: LocalityId, dst: Local
 /// Rebuild a NIC-generated control packet for duplicate delivery. User
 /// messages carry an opaque payload and cannot be cloned here.
 fn clone_ctrl<M>(p: &Packet<M>) -> Option<Packet<M>> {
-    match *p {
+    match p {
         Packet::User(_) => None,
-        Packet::PutDone { op } => Some(Packet::PutDone { op }),
-        Packet::GetDone { op } => Some(Packet::GetDone { op }),
-        Packet::RemoteNote { tag, len } => Some(Packet::RemoteNote { tag, len }),
-        Packet::XlateMiss { block } => Some(Packet::XlateMiss { block }),
+        Packet::PutDone { op } => Some(Packet::PutDone { op: *op }),
+        Packet::GetDone { op } => Some(Packet::GetDone { op: *op }),
+        Packet::AmoDone { op, result } => Some(Packet::AmoDone {
+            op: *op,
+            result: result.clone(),
+        }),
+        Packet::RemoteNote { tag, len } => Some(Packet::RemoteNote {
+            tag: *tag,
+            len: *len,
+        }),
+        Packet::XlateMiss { block } => Some(Packet::XlateMiss { block: *block }),
         Packet::Nack {
             op,
             kind,
             reason,
             block,
         } => Some(Packet::Nack {
-            op,
-            kind,
-            reason,
-            block,
+            op: *op,
+            kind: *kind,
+            reason: *reason,
+            block: *block,
         }),
     }
 }
@@ -395,7 +409,10 @@ fn deliver_at<S: Protocol>(
     packet: Packet<S::Msg>,
 ) {
     eng.schedule_at_loc(at, dst, move |eng| {
-        if matches!(packet, Packet::PutDone { .. } | Packet::GetDone { .. }) {
+        if matches!(
+            packet,
+            Packet::PutDone { .. } | Packet::GetDone { .. } | Packet::AmoDone { .. }
+        ) {
             let now = eng.now();
             eng.state
                 .cluster()
@@ -1078,6 +1095,296 @@ fn nack<S: Protocol>(
     });
 }
 
+/// A NIC-executed active-operation request. AMO requests are control-sized
+/// on the wire (the operands ride in the request header); the target NIC
+/// translates the virtual block and applies the op **in the same visit**,
+/// so the target CPU schedules zero events on the hit path.
+#[derive(Clone, Debug)]
+pub struct AmoReq {
+    /// Locality whose NIC should execute the op (the believed owner).
+    pub target: LocalityId,
+    /// Virtual block key the op addresses.
+    pub block: u64,
+    /// Byte offset of the op's target word within the block
+    /// (scatter/gather carry their own per-word offsets).
+    pub offset: u64,
+    /// The operation the NIC executes.
+    pub amo: AmoOp,
+    /// Retry-stable dedup key checked against the target NIC's responder
+    /// cache: the initiating locality plus the initiator's GAS-level op
+    /// id, unchanged across transport retries.
+    pub key: AmoKey,
+    /// Completion token.
+    pub op: OpId,
+    /// Remaining NIC forwarding hops.
+    pub ttl: u8,
+    /// How the fault plane may abuse this request and its completions.
+    pub class: FaultClass,
+}
+
+/// Initiate a NIC-executed active operation from `initiator`.
+pub fn rdma_amo<S: Protocol>(eng: &mut Engine<S>, initiator: LocalityId, req: AmoReq) {
+    let now = eng.now();
+    let cfg = eng.state.cluster().config;
+    {
+        let c = eng.state.cluster();
+        c.tracer.record(
+            now,
+            TraceKind::AmoInject {
+                src: initiator,
+                dst: req.target,
+            },
+        );
+        let l = c.loc_mut(initiator);
+        l.counters.rdma_amos += 1;
+        l.counters.bytes_sent += cfg.ctrl_bytes as u64;
+    }
+    if initiator == req.target {
+        // Loop-back: the local NIC still translates and executes, but no
+        // wire or port serialization is paid.
+        let at = now + cfg.loopback;
+        eng.schedule_at(at, move |eng| amo_commit(eng, initiator, req, true));
+        return;
+    }
+    let ctrl = cfg.serialize_ctrl();
+    let tx_done = eng.state.cluster().tx(initiator, now + cfg.o_send, ctrl);
+    eng.defer_wire(move |eng| {
+        let arrival = fabric_arrival(eng, tx_done, cfg.ctrl_bytes);
+        schedule_amo_hop(eng, initiator, initiator, arrival, req);
+    });
+}
+
+/// Schedule one wire hop of an AMO request (initial leg or a forwarding
+/// hop), routing it through the fault plane. AMO requests are control
+/// messages: corruption draws already degrade to drops in the plane, so a
+/// corrupted request can never execute — it vanishes and the initiator's
+/// deadline machinery retries it. Duplicated requests are safe because
+/// the target's responder cache replays instead of re-executing.
+fn schedule_amo_hop<S: Protocol>(
+    eng: &mut Engine<S>,
+    initiator: LocalityId,
+    hop_src: LocalityId,
+    arrival: Time,
+    req: AmoReq,
+) {
+    match fault_decide(eng, hop_src, req.target, req.class, true) {
+        FaultVerdict::Drop => {}
+        FaultVerdict::Deliver {
+            extra_delay,
+            duplicate,
+            ..
+        } => {
+            if duplicate {
+                let copy = req.clone();
+                let spacing = fault_dup_delay(eng, hop_src, req.target);
+                eng.schedule_at_loc(arrival + extra_delay + spacing, copy.target, move |eng| {
+                    amo_arrive(eng, initiator, copy)
+                });
+            }
+            let dst = req.target;
+            eng.schedule_at_loc(arrival + extra_delay, dst, move |eng| {
+                amo_arrive(eng, initiator, req)
+            });
+        }
+    }
+}
+
+fn amo_arrive<S: Protocol>(eng: &mut Engine<S>, initiator: LocalityId, req: AmoReq) {
+    let now = eng.now();
+    let cfg = eng.state.cluster().config;
+    let ctrl = cfg.serialize_ctrl();
+    let rx_done = eng.state.cluster().rx(req.target, now, ctrl);
+    // The AMO always targets a virtual block: translation cost applies.
+    eng.schedule_at(rx_done + cfg.xlate_ns, move |eng| {
+        amo_commit(eng, initiator, req, false)
+    });
+}
+
+/// Send the `AmoDone` completion (or deliver it loop-back).
+#[allow(clippy::too_many_arguments)]
+fn amo_ack<S: Protocol>(
+    eng: &mut Engine<S>,
+    target: LocalityId,
+    initiator: LocalityId,
+    op: OpId,
+    result: AmoResult,
+    ready: Time,
+    local: bool,
+    class: FaultClass,
+) {
+    let packet = Packet::AmoDone { op, result };
+    if local {
+        deliver_at(eng, ready, target, initiator, packet);
+        return;
+    }
+    let cfg = eng.state.cluster().config;
+    eng.state.cluster().loc_mut(target).counters.ctrl_sent += 1;
+    let ctrl = cfg.serialize_ctrl();
+    let tx_done = eng.state.cluster().tx(target, ready, ctrl);
+    eng.defer_wire(move |eng| {
+        let at = fabric_arrival(eng, tx_done, cfg.ctrl_bytes);
+        deliver_ctrl_faulty(eng, at, target, initiator, packet, class);
+    });
+}
+
+/// Translate and execute an AMO at its current target NIC; generate the
+/// result ack, NACK, or forwarding hop. Mirrors `put_commit` with one
+/// addition: the responder cache is consulted *before* execution so a
+/// duplicated or retried request re-acks its remembered result instead of
+/// applying the op twice.
+fn amo_commit<S: Protocol>(
+    eng: &mut Engine<S>,
+    initiator: LocalityId,
+    mut req: AmoReq,
+    local: bool,
+) {
+    let now = eng.now();
+    let cfg = eng.state.cluster().config;
+    let target = req.target;
+    let block = req.block;
+    if let Some(cached) = eng
+        .state
+        .cluster()
+        .loc(target)
+        .nic
+        .amo
+        .lookup(req.key)
+        .cloned()
+    {
+        eng.state.cluster().loc_mut(target).counters.amo_replays += 1;
+        amo_ack(
+            eng,
+            target,
+            initiator,
+            req.op,
+            cached,
+            now,
+            local,
+            response_class(req.class),
+        );
+        return;
+    }
+    let resolved: Result<XlateEntry, NackReason> = {
+        let l = eng.state.cluster().loc_mut(target);
+        match l.nic.xlate.lookup(block) {
+            Xlate::Hit(entry) => {
+                if req.amo.bounds_ok(req.offset, entry.len) {
+                    l.counters.xlate_hits += 1;
+                    eng.state
+                        .cluster()
+                        .tracer
+                        .record(now, TraceKind::XlateHit { at: target, block });
+                    Ok(entry)
+                } else {
+                    Err(NackReason::Bounds)
+                }
+            }
+            Xlate::Forward(next) => {
+                if cfg.nic_forwarding && req.ttl > 0 {
+                    l.counters.xlate_forwards += 1;
+                    l.counters.amo_forwarded += 1;
+                    crate::telemetry::record_amo(0, 0, 1);
+                    eng.state.cluster().tracer.record(
+                        now,
+                        TraceKind::XlateForward {
+                            at: target,
+                            next,
+                            block,
+                        },
+                    );
+                    let ctrl = cfg.serialize_ctrl();
+                    let tx_done = eng.state.cluster().tx(target, now, ctrl);
+                    req.target = next;
+                    req.ttl -= 1;
+                    eng.defer_wire(move |eng| {
+                        let arrival = fabric_arrival(eng, tx_done, cfg.ctrl_bytes);
+                        schedule_amo_hop(eng, initiator, target, arrival, req);
+                    });
+                    return;
+                } else if cfg.nic_forwarding {
+                    Err(NackReason::TtlExceeded)
+                } else {
+                    Err(NackReason::Miss)
+                }
+            }
+            Xlate::Miss => {
+                l.counters.xlate_misses += 1;
+                eng.state
+                    .cluster()
+                    .tracer
+                    .record(now, TraceKind::XlateMiss { at: target, block });
+                deliver_at(eng, now, target, target, Packet::XlateMiss { block });
+                Err(NackReason::Miss)
+            }
+        }
+    };
+    match resolved {
+        Ok(entry) => {
+            let executed = {
+                let m = eng.state.cluster().mem_mut(target);
+                m.slice_mut(entry.base, entry.len as usize)
+                    .map(|bytes| amo::execute(&req.amo, bytes, req.offset))
+            };
+            let result = match executed {
+                Ok(r) => r,
+                Err(_) => {
+                    eng.state.cluster().loc_mut(target).counters.amo_nacked += 1;
+                    crate::telemetry::record_amo(0, 1, 0);
+                    nack(
+                        eng,
+                        target,
+                        initiator,
+                        req.op,
+                        OpKind::Amo,
+                        NackReason::Bounds,
+                        block,
+                        local,
+                        response_class(req.class),
+                    );
+                    return;
+                }
+            };
+            {
+                let l = eng.state.cluster().loc_mut(target);
+                l.counters.amo_executed += 1;
+                // Only mutations need replay protection; reads re-execute
+                // harmlessly and must not evict entries that do need it.
+                if req.amo.mutates() {
+                    l.nic.amo.install(req.key, block, result.clone());
+                }
+            }
+            crate::telemetry::record_amo(1, 0, 0);
+            let words = req.amo.touched_words() as u32;
+            let visible = now + cfg.dma(8 * words);
+            amo_ack(
+                eng,
+                target,
+                initiator,
+                req.op,
+                result,
+                visible,
+                local,
+                response_class(req.class),
+            );
+        }
+        Err(reason) => {
+            eng.state.cluster().loc_mut(target).counters.amo_nacked += 1;
+            crate::telemetry::record_amo(0, 1, 0);
+            nack(
+                eng,
+                target,
+                initiator,
+                req.op,
+                OpKind::Amo,
+                reason,
+                block,
+                local,
+                response_class(req.class),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1111,6 +1418,15 @@ mod tests {
                 Packet::User(s) => format!("user:{s}"),
                 Packet::PutDone { op } => format!("putdone:{op}"),
                 Packet::GetDone { op } => format!("getdone:{op}"),
+                Packet::AmoDone { op, result } => {
+                    let vals: Vec<String> = result.values.iter().map(|v| v.to_string()).collect();
+                    format!(
+                        "amodone:{op}:{}:{}:[{}]",
+                        result.old,
+                        result.applied,
+                        vals.join(",")
+                    )
+                }
                 Packet::RemoteNote { tag, len } => format!("note:{tag}:{len}"),
                 Packet::XlateMiss { block } => format!("xmiss:{block}"),
                 Packet::Nack { op, reason, .. } => format!("nack:{op}:{reason:?}"),
@@ -1547,6 +1863,368 @@ mod tests {
             .iter()
             .any(|(_, _, d)| d.starts_with("putdone")));
         assert!(eng.state.log.iter().any(|(_, _, d)| d == "note:1:4"));
+    }
+
+    fn amo_req(target: LocalityId, block: u64, offset: u64, amo: AmoOp, op: OpId) -> AmoReq {
+        AmoReq {
+            target,
+            block,
+            offset,
+            amo,
+            key: (0, op.raw()),
+            op,
+            ttl: 2,
+            class: FaultClass::Request,
+        }
+    }
+
+    fn seed_word(eng: &mut Engine<TestWorld>, loc: LocalityId, addr: PhysAddr, val: u64) {
+        eng.state
+            .cluster
+            .mem_mut(loc)
+            .write(addr, &val.to_le_bytes())
+            .unwrap();
+    }
+
+    fn read_word(eng: &Engine<TestWorld>, loc: LocalityId, addr: PhysAddr) -> u64 {
+        u64::from_le_bytes(
+            eng.state.cluster.mem(loc).read(addr, 8).unwrap()[..8]
+                .try_into()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn amo_fetch_add_executes_at_nic_without_target_events() {
+        let mut eng = engine(2);
+        let base = eng.state.cluster.mem_mut(1).alloc_block(10).unwrap();
+        eng.state.cluster.install_xlate(
+            1,
+            0xA1,
+            XlateEntry {
+                base,
+                len: 1024,
+                generation: 1,
+            },
+        );
+        seed_word(&mut eng, 1, base + 16, 40);
+        let op = eng.state.cluster.alloc_op();
+        rdma_amo(
+            &mut eng,
+            0,
+            amo_req(1, 0xA1, 16, AmoOp::FetchAdd { operand: 2 }, op),
+        );
+        eng.run();
+        assert_eq!(read_word(&eng, 1, base + 16), 42);
+        // One completion, at the initiator, carrying the old value.
+        assert_eq!(eng.state.log.len(), 1);
+        let (_, dst, ref desc) = eng.state.log[0];
+        assert_eq!(dst, 0);
+        assert_eq!(desc, &format!("amodone:{op}:40:true:[]"));
+        // Zero target-CPU involvement: no software deliveries at 1, and
+        // the hot path charges the NIC, not the message handler.
+        assert!(eng.state.log.iter().all(|&(_, d, _)| d != 1));
+        let t = eng.state.cluster.loc(1).counters.clone();
+        assert_eq!(t.sw_handler_runs, 0);
+        assert_eq!(t.amo_executed, 1);
+        assert_eq!(t.xlate_hits, 1);
+        assert_eq!(eng.state.cluster.loc(0).counters.rdma_amos, 1);
+    }
+
+    #[test]
+    fn amo_cas_success_and_failure() {
+        let mut eng = engine(2);
+        let base = eng.state.cluster.mem_mut(1).alloc_block(10).unwrap();
+        eng.state.cluster.install_xlate(
+            1,
+            7,
+            XlateEntry {
+                base,
+                len: 1024,
+                generation: 1,
+            },
+        );
+        seed_word(&mut eng, 1, base, 5);
+        let op1 = eng.state.cluster.alloc_op();
+        rdma_amo(
+            &mut eng,
+            0,
+            amo_req(
+                1,
+                7,
+                0,
+                AmoOp::CompareSwap {
+                    expected: 9,
+                    desired: 100,
+                },
+                op1,
+            ),
+        );
+        eng.run();
+        assert_eq!(read_word(&eng, 1, base), 5, "failed CAS must not write");
+        assert_eq!(
+            eng.state.log[0].2,
+            format!("amodone:{op1}:5:false:[]"),
+            "failed CAS still completes, with applied=false"
+        );
+        let op2 = eng.state.cluster.alloc_op();
+        rdma_amo(
+            &mut eng,
+            0,
+            amo_req(
+                1,
+                7,
+                0,
+                AmoOp::CompareSwap {
+                    expected: 5,
+                    desired: 100,
+                },
+                op2,
+            ),
+        );
+        eng.run();
+        assert_eq!(read_word(&eng, 1, base), 100);
+        assert_eq!(eng.state.log[1].2, format!("amodone:{op2}:5:true:[]"));
+        assert_eq!(eng.state.cluster.loc(1).counters.amo_executed, 2);
+    }
+
+    #[test]
+    fn amo_masked_put_and_gather_scatter() {
+        let mut eng = engine(2);
+        let base = eng.state.cluster.mem_mut(1).alloc_block(10).unwrap();
+        eng.state.cluster.install_xlate(
+            1,
+            9,
+            XlateEntry {
+                base,
+                len: 1024,
+                generation: 1,
+            },
+        );
+        let op1 = eng.state.cluster.alloc_op();
+        rdma_amo(
+            &mut eng,
+            0,
+            amo_req(
+                1,
+                9,
+                8,
+                AmoOp::MaskedPut {
+                    mask: 0xFF,
+                    value: 0x42,
+                },
+                op1,
+            ),
+        );
+        let op2 = eng.state.cluster.alloc_op();
+        rdma_amo(
+            &mut eng,
+            0,
+            amo_req(
+                1,
+                9,
+                0,
+                AmoOp::Scatter {
+                    writes: vec![(32, 11), (40, 22)],
+                },
+                op2,
+            ),
+        );
+        eng.run();
+        assert_eq!(read_word(&eng, 1, base + 8), 0x42);
+        assert_eq!(read_word(&eng, 1, base + 32), 11);
+        let op3 = eng.state.cluster.alloc_op();
+        rdma_amo(
+            &mut eng,
+            0,
+            amo_req(
+                1,
+                9,
+                0,
+                AmoOp::Gather {
+                    offsets: vec![40, 32, 8],
+                },
+                op3,
+            ),
+        );
+        eng.run();
+        assert_eq!(
+            eng.state.log.last().unwrap().2,
+            format!("amodone:{op3}:0:true:[22,11,66]")
+        );
+    }
+
+    #[test]
+    fn amo_unknown_block_nacks_miss_and_raises_interrupt() {
+        let mut eng = engine(2);
+        let op = eng.state.cluster.alloc_op();
+        rdma_amo(
+            &mut eng,
+            0,
+            amo_req(1, 0xDEAD, 0, AmoOp::FetchAdd { operand: 1 }, op),
+        );
+        eng.run();
+        let kinds: Vec<&str> = eng.state.log.iter().map(|(_, _, d)| d.as_str()).collect();
+        assert!(kinds.contains(&"xmiss:57005"), "{kinds:?}");
+        assert!(
+            kinds.contains(&format!("nack:{op}:Miss").as_str()),
+            "{kinds:?}"
+        );
+        assert_eq!(eng.state.cluster.loc(1).counters.amo_nacked, 1);
+        assert_eq!(eng.state.cluster.loc(1).counters.amo_executed, 0);
+    }
+
+    #[test]
+    fn amo_out_of_block_nacks_bounds() {
+        let mut eng = engine(2);
+        let base = eng.state.cluster.mem_mut(1).alloc_block(6).unwrap();
+        eng.state.cluster.install_xlate(
+            1,
+            5,
+            XlateEntry {
+                base,
+                len: 64,
+                generation: 1,
+            },
+        );
+        let op = eng.state.cluster.alloc_op();
+        rdma_amo(
+            &mut eng,
+            0,
+            amo_req(1, 5, 60, AmoOp::FetchAdd { operand: 1 }, op),
+        );
+        eng.run();
+        assert_eq!(eng.state.log[0].2, format!("nack:{op}:Bounds"));
+        assert_eq!(eng.state.cluster.loc(1).counters.amo_nacked, 1);
+    }
+
+    #[test]
+    fn amo_forwarding_chases_to_new_owner() {
+        let mut eng = engine(3);
+        let base = eng.state.cluster.mem_mut(2).alloc_block(10).unwrap();
+        eng.state.cluster.install_xlate(
+            2,
+            0xAB,
+            XlateEntry {
+                base,
+                len: 1024,
+                generation: 2,
+            },
+        );
+        eng.state
+            .cluster
+            .loc_mut(1)
+            .nic
+            .xlate
+            .retire_to_forward(0xAB, 2);
+        seed_word(&mut eng, 2, base, 10);
+        let op = eng.state.cluster.alloc_op();
+        rdma_amo(
+            &mut eng,
+            0,
+            amo_req(1, 0xAB, 0, AmoOp::FetchAdd { operand: 1 }, op),
+        );
+        eng.run();
+        assert_eq!(read_word(&eng, 2, base), 11, "op executed at new owner");
+        assert_eq!(eng.state.cluster.loc(1).counters.amo_forwarded, 1);
+        assert_eq!(eng.state.cluster.loc(2).counters.amo_executed, 1);
+        assert_eq!(
+            eng.state.log[0].2,
+            format!("amodone:{op}:10:true:[]"),
+            "completion comes from the final owner"
+        );
+    }
+
+    #[test]
+    fn amo_forwarding_ttl_exhaustion() {
+        let mut eng = engine(3);
+        eng.state
+            .cluster
+            .loc_mut(1)
+            .nic
+            .xlate
+            .retire_to_forward(0xAB, 2);
+        eng.state
+            .cluster
+            .loc_mut(2)
+            .nic
+            .xlate
+            .retire_to_forward(0xAB, 1);
+        let op = eng.state.cluster.alloc_op();
+        rdma_amo(
+            &mut eng,
+            0,
+            amo_req(1, 0xAB, 0, AmoOp::FetchAdd { operand: 1 }, op),
+        );
+        eng.run();
+        assert_eq!(eng.state.log[0].2, format!("nack:{op}:TtlExceeded"));
+        assert_eq!(eng.state.cluster.total_counters().amo_forwarded, 2);
+    }
+
+    #[test]
+    fn amo_duplicate_request_executes_once() {
+        // A retried request reuses its dedup key: the second delivery must
+        // replay the cached result, not re-execute (a re-executed
+        // fetch-add would double-count).
+        let mut eng = engine(2);
+        let base = eng.state.cluster.mem_mut(1).alloc_block(10).unwrap();
+        eng.state.cluster.install_xlate(
+            1,
+            3,
+            XlateEntry {
+                base,
+                len: 1024,
+                generation: 1,
+            },
+        );
+        seed_word(&mut eng, 1, base, 100);
+        let op = eng.state.cluster.alloc_op();
+        let req = amo_req(1, 3, 0, AmoOp::FetchAdd { operand: 1 }, op);
+        rdma_amo(&mut eng, 0, req.clone());
+        eng.run();
+        rdma_amo(&mut eng, 0, req);
+        eng.run();
+        assert_eq!(
+            read_word(&eng, 1, base),
+            101,
+            "second delivery must not apply"
+        );
+        let t = eng.state.cluster.loc(1).counters.clone();
+        assert_eq!(t.amo_executed, 1);
+        assert_eq!(t.amo_replays, 1);
+        // Both completions carry the same old value.
+        let descs: Vec<&str> = eng.state.log.iter().map(|(_, _, d)| d.as_str()).collect();
+        assert_eq!(
+            descs,
+            vec![
+                format!("amodone:{op}:100:true:[]").as_str(),
+                format!("amodone:{op}:100:true:[]").as_str(),
+            ]
+        );
+    }
+
+    #[test]
+    fn amo_loopback_executes_locally() {
+        let mut eng = engine(1);
+        let base = eng.state.cluster.mem_mut(0).alloc_block(8).unwrap();
+        eng.state.cluster.install_xlate(
+            0,
+            1,
+            XlateEntry {
+                base,
+                len: 256,
+                generation: 1,
+            },
+        );
+        let op = eng.state.cluster.alloc_op();
+        rdma_amo(
+            &mut eng,
+            0,
+            amo_req(0, 1, 0, AmoOp::FetchAdd { operand: 7 }, op),
+        );
+        eng.run();
+        assert_eq!(read_word(&eng, 0, base), 7);
+        assert_eq!(eng.state.log[0].2, format!("amodone:{op}:0:true:[]"));
     }
 
     #[test]

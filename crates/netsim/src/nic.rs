@@ -15,6 +15,7 @@
 //! this is what produces the bandwidth roll-off and message-rate ceilings in
 //! experiments E3/E4.
 
+use crate::amo::{AmoCache, AMO_CACHE_CAP};
 use crate::flatmap::FlatTable;
 use crate::memory::PhysAddr;
 use crate::time::Time;
@@ -315,6 +316,10 @@ pub struct Nic {
     rx_free: Vec<Time>,
     /// The network-managed translation state (the paper's contribution).
     pub xlate: XlateTable,
+    /// Responder cache for NIC-executed active operations: remembers
+    /// executed AMOs by retry-stable key so duplicated or retried
+    /// requests re-emit the cached result instead of re-executing.
+    pub amo: AmoCache,
 }
 
 fn reserve(ports: &mut [Time], earliest: Time, dur: Time) -> (Time, Time) {
@@ -339,6 +344,7 @@ impl Nic {
             tx_free: vec![Time::ZERO; ports],
             rx_free: vec![Time::ZERO; ports],
             xlate: XlateTable::new(xlate_capacity),
+            amo: AmoCache::new(AMO_CACHE_CAP),
         }
     }
 

@@ -24,6 +24,8 @@ pub struct Counters {
     pub rdma_puts: u64,
     /// RDMA get operations initiated.
     pub rdma_gets: u64,
+    /// NIC-executed active operations initiated.
+    pub rdma_amos: u64,
     /// NIC translation-table hits at this locality's NIC.
     pub xlate_hits: u64,
     /// NIC translation-table misses (→ NACK to initiator).
@@ -47,6 +49,17 @@ pub struct Counters {
     pub migrations_out: u64,
     /// Blocks migrated into this locality.
     pub migrations_in: u64,
+    /// Active memory operations executed at this locality's NIC (no
+    /// target-CPU involvement).
+    pub amo_executed: u64,
+    /// AMO requests NACKed by this NIC (translation miss / bounds / TTL).
+    pub amo_nacked: u64,
+    /// AMO requests this NIC re-injected via a forwarding entry.
+    pub amo_forwarded: u64,
+    /// AMO requests answered from the responder cache (a duplicated or
+    /// retried request whose execution already happened — the
+    /// exactly-once machinery working).
+    pub amo_replays: u64,
     /// Cumulative CPU busy time of this locality's workers.
     pub cpu_busy: Time,
     /// Cumulative NIC transmit-port busy time.
@@ -63,6 +76,7 @@ impl Counters {
         self.bytes_sent += other.bytes_sent;
         self.rdma_puts += other.rdma_puts;
         self.rdma_gets += other.rdma_gets;
+        self.rdma_amos += other.rdma_amos;
         self.xlate_hits += other.xlate_hits;
         self.xlate_misses += other.xlate_misses;
         self.xlate_forwards += other.xlate_forwards;
@@ -74,6 +88,10 @@ impl Counters {
         self.dir_lookups += other.dir_lookups;
         self.migrations_out += other.migrations_out;
         self.migrations_in += other.migrations_in;
+        self.amo_executed += other.amo_executed;
+        self.amo_nacked += other.amo_nacked;
+        self.amo_forwarded += other.amo_forwarded;
+        self.amo_replays += other.amo_replays;
         self.cpu_busy += other.cpu_busy;
         self.nic_tx_busy += other.nic_tx_busy;
         self.nic_rx_busy += other.nic_rx_busy;
@@ -81,7 +99,7 @@ impl Counters {
 
     /// Total network operations (one- plus two-sided) initiated.
     pub fn ops_initiated(&self) -> u64 {
-        self.msgs_sent + self.rdma_puts + self.rdma_gets
+        self.msgs_sent + self.rdma_puts + self.rdma_gets + self.rdma_amos
     }
 }
 

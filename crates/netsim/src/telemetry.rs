@@ -15,6 +15,9 @@ static SIM_PS: AtomicU64 = AtomicU64::new(0);
 static XLATE_LOOKUPS: AtomicU64 = AtomicU64::new(0);
 static XLATE_PROBES: AtomicU64 = AtomicU64::new(0);
 static XLATE_MEMO_HITS: AtomicU64 = AtomicU64::new(0);
+static AMO_EXECUTED: AtomicU64 = AtomicU64::new(0);
+static AMO_NACKED: AtomicU64 = AtomicU64::new(0);
+static AMO_FORWARDED: AtomicU64 = AtomicU64::new(0);
 
 /// Fold one finished engine run into the process totals.
 pub(crate) fn record_run(events: u64, sim_advance_ps: u64) {
@@ -41,6 +44,20 @@ pub fn record_translation(lookups: u64, probes: u64, memo_hits: u64) {
     }
 }
 
+/// Fold a batch of NIC active-operation outcomes into the process totals
+/// (called by the AMO commit path in `net`).
+pub fn record_amo(executed: u64, nacked: u64, forwarded: u64) {
+    if executed > 0 {
+        AMO_EXECUTED.fetch_add(executed, Ordering::Relaxed);
+    }
+    if nacked > 0 {
+        AMO_NACKED.fetch_add(nacked, Ordering::Relaxed);
+    }
+    if forwarded > 0 {
+        AMO_FORWARDED.fetch_add(forwarded, Ordering::Relaxed);
+    }
+}
+
 /// Totals accumulated so far (monotone; see [`Snapshot::since`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Snapshot {
@@ -58,6 +75,13 @@ pub struct Snapshot {
     /// Translations satisfied by a one-entry last-translation memo
     /// (dependent-access workloads: chase, sssp).
     pub memo_hits: u64,
+    /// Active memory operations executed at a NIC (translation + op in
+    /// one visit, zero target-CPU events).
+    pub amo_executed: u64,
+    /// AMO requests NACKed back to their initiator.
+    pub amo_nacked: u64,
+    /// AMO requests re-injected through a forwarding entry.
+    pub amo_forwarded: u64,
 }
 
 impl Snapshot {
@@ -69,6 +93,9 @@ impl Snapshot {
             xlate_lookups: self.xlate_lookups - earlier.xlate_lookups,
             xlate_probes: self.xlate_probes - earlier.xlate_probes,
             memo_hits: self.memo_hits - earlier.memo_hits,
+            amo_executed: self.amo_executed - earlier.amo_executed,
+            amo_nacked: self.amo_nacked - earlier.amo_nacked,
+            amo_forwarded: self.amo_forwarded - earlier.amo_forwarded,
         }
     }
 }
@@ -81,6 +108,9 @@ pub fn snapshot() -> Snapshot {
         xlate_lookups: XLATE_LOOKUPS.load(Ordering::Relaxed),
         xlate_probes: XLATE_PROBES.load(Ordering::Relaxed),
         memo_hits: XLATE_MEMO_HITS.load(Ordering::Relaxed),
+        amo_executed: AMO_EXECUTED.load(Ordering::Relaxed),
+        amo_nacked: AMO_NACKED.load(Ordering::Relaxed),
+        amo_forwarded: AMO_FORWARDED.load(Ordering::Relaxed),
     }
 }
 

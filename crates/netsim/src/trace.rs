@@ -50,6 +50,13 @@ pub enum TraceKind {
         /// Bytes requested.
         bytes: u32,
     },
+    /// A NIC-executed active operation entered the fabric.
+    AmoInject {
+        /// Initiator.
+        src: LocalityId,
+        /// Believed owner.
+        dst: LocalityId,
+    },
     /// A NIC translated a virtual block (hit).
     XlateHit {
         /// The translating NIC's locality.
@@ -126,6 +133,9 @@ impl fmt::Display for TraceEvent {
             }
             TraceKind::GetInject { src, dst, bytes } => {
                 write!(f, "get   {src} → {dst}  ({bytes} B)")
+            }
+            TraceKind::AmoInject { src, dst } => {
+                write!(f, "amo   {src} → {dst}")
             }
             TraceKind::XlateHit { at, block } => {
                 write!(f, "xlate HIT   @{at}  block {block:#x}")
@@ -269,6 +279,7 @@ mod tests {
                 dst: 1,
                 bytes: 64,
             },
+            TraceKind::AmoInject { src: 0, dst: 1 },
             TraceKind::XlateHit { at: 1, block: 0x40 },
             TraceKind::XlateMiss { at: 1, block: 0x40 },
             TraceKind::XlateForward {

@@ -163,6 +163,7 @@ impl Protocol for World {
             Packet::User(v) => v,
             Packet::PutDone { op } => 1_000_000 + op.raw(),
             Packet::GetDone { op } => 2_000_000 + op.raw(),
+            Packet::AmoDone { op, .. } => 6_000_000 + op.raw(),
             Packet::RemoteNote { tag, .. } => 3_000_000 + tag,
             Packet::XlateMiss { block } => 5_000_000 + block,
             Packet::Nack { op, .. } => 4_000_000 + op.raw(),

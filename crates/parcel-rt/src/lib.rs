@@ -56,6 +56,6 @@ pub use parcel::{ActionCtx, ActionFn, ActionId, ActionRegistry, Parcel};
 pub use rt::{Runtime, RuntimeBuilder};
 pub use sched::{reply, send_parcel};
 pub use world::{
-    fire_completion, CoalesceConfig, Completion, Msg, RtConfig, RtLocal, RtStats, Transport, World,
-    NO_COMPLETION, PARCEL_TAG,
+    decode_amo_result, encode_amo_result, fire_completion, CoalesceConfig, Completion, Msg,
+    RtConfig, RtLocal, RtStats, Transport, World, NO_COMPLETION, PARCEL_TAG,
 };

@@ -229,6 +229,27 @@ impl Runtime {
         agas::ops::memput(&mut self.eng, loc, gva, data, NO_COMPLETION);
     }
 
+    /// Asynchronous NIC-executed atomic; `cb` receives the encoded
+    /// [`netsim::AmoResult`] (see [`crate::world::encode_amo_result`]).
+    pub fn memamo_cb(
+        &mut self,
+        loc: LocalityId,
+        gva: Gva,
+        amo: netsim::AmoOp,
+        cb: impl FnOnce(&mut Engine<World>, Vec<u8>) + 'static,
+    ) {
+        let ctx = self
+            .eng
+            .state
+            .new_completion(Completion::Driver(Box::new(cb)));
+        agas::ops::memamo(&mut self.eng, loc, gva, amo, ctx);
+    }
+
+    /// Fire-and-forget NIC-executed atomic.
+    pub fn memamo(&mut self, loc: LocalityId, gva: Gva, amo: netsim::AmoOp) {
+        agas::ops::memamo(&mut self.eng, loc, gva, amo, NO_COMPLETION);
+    }
+
     /// Asynchronous global read; `cb` receives the data.
     pub fn memget_cb(
         &mut self,

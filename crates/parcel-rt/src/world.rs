@@ -6,8 +6,8 @@ use crate::parcel::{ActionRegistry, Parcel};
 use crate::sched;
 use agas::{GasConfig, GasLocal, GasMode, GasMsg, GasWorld, PgasMap};
 use netsim::{
-    Cluster, Engine, Envelope, LocalityId, NackReason, NetConfig, OpError, OpId, OpKind, OpTable,
-    Packet, Protocol, ServerPool, Time,
+    AmoResult, Cluster, Engine, Envelope, LocalityId, NackReason, NetConfig, OpError, OpId, OpKind,
+    OpTable, Packet, Protocol, ServerPool, Time,
 };
 use photon::{PhotonConfig, PhotonEndpoint, PhotonMsg, PhotonWorld};
 use std::collections::HashMap;
@@ -287,12 +287,15 @@ impl World {
             let s = g.stats;
             total.puts += s.puts;
             total.gets += s.gets;
+            total.amos += s.amos;
             total.local_ops += s.local_ops;
             total.remote_ops += s.remote_ops;
             total.retries += s.retries;
             total.dir_queries += s.dir_queries;
             total.sw_puts_handled += s.sw_puts_handled;
             total.sw_gets_handled += s.sw_gets_handled;
+            total.sw_amos_handled += s.sw_amos_handled;
+            total.amo_replays += s.amo_replays;
             total.sw_fallbacks += s.sw_fallbacks;
             total.migrations_started += s.migrations_started;
             total.migrations_done += s.migrations_done;
@@ -408,6 +411,38 @@ impl PhotonWorld for World {
     fn xlate_miss_local(eng: &mut Engine<Self>, loc: LocalityId, block: u64) {
         agas::ops::on_xlate_miss(eng, loc, block);
     }
+    fn pwc_amo_complete(eng: &mut Engine<Self>, loc: LocalityId, ctx: OpId, result: AmoResult) {
+        agas::ops::on_pwc_amo_complete(eng, loc, ctx, result);
+    }
+}
+
+/// Decode completion bytes produced by [`encode_amo_result`]. Panics on a
+/// malformed buffer — completions are generated in-process, never by the
+/// (faultable) wire.
+pub fn decode_amo_result(data: &[u8]) -> AmoResult {
+    let old = u64::from_le_bytes(data[..8].try_into().unwrap());
+    let applied = data[8] != 0;
+    let values = data[9..]
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    AmoResult {
+        old,
+        applied,
+        values,
+    }
+}
+
+/// Wire an [`AmoResult`] into completion bytes: `old` (8 LE bytes),
+/// `applied` (1 byte), then each gathered value (8 LE bytes apiece).
+pub fn encode_amo_result(result: &AmoResult) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9 + 8 * result.values.len());
+    out.extend_from_slice(&result.old.to_le_bytes());
+    out.push(u8::from(result.applied));
+    for v in &result.values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
 }
 
 impl GasWorld for World {
@@ -437,6 +472,9 @@ impl GasWorld for World {
     }
     fn gas_migrate_done(eng: &mut Engine<Self>, _loc: LocalityId, ctx: OpId, block: u64) {
         complete(eng, ctx, block.to_le_bytes().to_vec());
+    }
+    fn gas_amo_done(eng: &mut Engine<Self>, _loc: LocalityId, ctx: OpId, result: AmoResult) {
+        complete(eng, ctx, encode_amo_result(&result));
     }
     fn gas_free_done(eng: &mut Engine<Self>, _loc: LocalityId, ctx: OpId, block: u64) {
         complete(eng, ctx, block.to_le_bytes().to_vec());

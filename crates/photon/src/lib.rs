@@ -32,8 +32,9 @@ pub use matching::{MatchQueue, Unexpected, ANY_TAG};
 pub use rcache::RegCache;
 
 use netsim::{
-    rdma_get, rdma_put, send_user, Engine, FaultClass, GetReq, LocalityId, NackReason, OpId,
-    OpKind, OpTable, Packet, PhysAddr, Protocol, PutReq, RdmaTarget, Time,
+    rdma_amo, rdma_get, rdma_put, send_user, AmoKey, AmoOp, AmoReq, AmoResult, Engine, FaultClass,
+    GetReq, LocalityId, NackReason, OpId, OpKind, OpTable, Packet, PhysAddr, Protocol, PutReq,
+    RdmaTarget, Time,
 };
 use std::collections::{HashMap, VecDeque};
 
@@ -88,6 +89,8 @@ pub struct PhotonStats {
     pub pwc_puts: u64,
     /// PWC gets initiated.
     pub pwc_gets: u64,
+    /// PWC active operations (NIC-executed AMOs) initiated.
+    pub pwc_amos: u64,
     /// Credits returned to peers.
     pub credits_returned: u64,
     /// Completions/NACKs naming an unknown or stale [`OpId`], dropped.
@@ -258,6 +261,12 @@ pub trait PhotonWorld: Protocol {
     fn xlate_miss_local(eng: &mut Engine<Self>, loc: LocalityId, block: u64) {
         let _ = (eng, loc, block);
     }
+    /// An initiated PWC active operation ([`pwc_amo`]) executed at the
+    /// target NIC; `result` carries the fetched/old value(s). Worlds that
+    /// never issue AMOs can keep the default (which drops the result).
+    fn pwc_amo_complete(eng: &mut Engine<Self>, loc: LocalityId, ctx: OpId, result: AmoResult) {
+        let _ = (eng, loc, ctx, result);
+    }
 }
 
 fn copy_time(cfg: &PhotonConfig, len: usize) -> Time {
@@ -358,6 +367,46 @@ pub fn pwc_get<S: PhotonWorld>(
             },
         );
     });
+    op
+}
+
+/// One-sided active operation with completion: the target NIC translates
+/// `block` and executes `amo` in the same visit. `ctx` returns via
+/// [`PhotonWorld::pwc_amo_complete`] (or `pwc_failed` with
+/// [`OpKind::Amo`]). `key` is the caller's retry-stable dedup identity —
+/// it must survive re-issue (use the GAS-level op id, not this attempt's
+/// wire token) so the target's responder cache can recognize a retry of
+/// an already-executed op. Operands ride in the control-sized request;
+/// no registration cost applies.
+#[allow(clippy::too_many_arguments)]
+pub fn pwc_amo<S: PhotonWorld>(
+    eng: &mut Engine<S>,
+    src: LocalityId,
+    dst: LocalityId,
+    block: u64,
+    offset: u64,
+    amo: AmoOp,
+    key: AmoKey,
+    ctx: OpId,
+) -> OpId {
+    let ep = eng.state.endpoint(src);
+    ep.stats.pwc_amos += 1;
+    let ttl = eng.state.cluster_ref().config.forward_ttl;
+    let op = eng.state.endpoint(src).ops.insert(Pending::Pwc { ctx });
+    rdma_amo(
+        eng,
+        src,
+        AmoReq {
+            target: dst,
+            block,
+            offset,
+            amo,
+            key,
+            op,
+            ttl,
+            class: FaultClass::Request,
+        },
+    );
     op
 }
 
@@ -623,6 +672,15 @@ pub fn handle_completion<S: PhotonWorld>(
                 Err(_) => eng.state.endpoint(at).stats.stale_completions += 1,
             }
         }
+        Packet::AmoDone { op, result } => match eng.state.endpoint(at).ops.remove(op) {
+            Ok(Pending::Pwc { ctx }) => S::pwc_amo_complete(eng, at, ctx, result),
+            Ok(Pending::RdvData { .. }) => {
+                // Rendezvous data never issues AMOs; an AmoDone naming a
+                // rendezvous op is a protocol violation, not a crash.
+                eng.state.endpoint(at).stats.protocol_violations += 1;
+            }
+            Err(_) => eng.state.endpoint(at).stats.stale_completions += 1,
+        },
         Packet::RemoteNote { tag, len } => {
             if tag & RDV_NOTE_BIT != 0 {
                 let send_id = tag & !RDV_NOTE_BIT;

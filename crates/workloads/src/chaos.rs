@@ -52,6 +52,11 @@ pub struct ChaosConfig {
     /// transport, exercising the payload-corruption / checksum path. Only
     /// sensible with drop-free plans: parcels have no retransmit.
     pub spawns: bool,
+    /// Issue one NIC-executed fetch-add per locality per round against a
+    /// rotating block's AMO words (offsets 0..64, disjoint from the put/get
+    /// slot table), exercising the AMO request/completion classes and the
+    /// responder replay cache under faults.
+    pub amos: bool,
 }
 
 impl Default for ChaosConfig {
@@ -65,6 +70,7 @@ impl Default for ChaosConfig {
             blocks: 8,
             churn: 4,
             spawns: false,
+            amos: false,
         }
     }
 }
@@ -84,6 +90,8 @@ pub struct ChaosReport {
     pub migrations_issued: u64,
     /// Rendezvous parcels spawned by the driver.
     pub spawns_issued: u64,
+    /// NIC-executed AMOs issued by the driver.
+    pub amos_issued: u64,
     /// Put completions delivered to the driver.
     pub put_acks: u64,
     /// Get completions delivered to the driver.
@@ -92,6 +100,8 @@ pub struct ChaosReport {
     pub migration_acks: u64,
     /// Parcel continuations that fired (a corrupted parcel never replies).
     pub spawn_replies: u64,
+    /// AMO completions delivered to the driver.
+    pub amo_acks: u64,
     /// Ops that exhausted their retry budget and failed cleanly.
     pub op_failures: u64,
     /// Gets whose data was neither zeros nor the slot's one legal value.
@@ -120,12 +130,12 @@ impl ChaosReport {
     /// Driver-side async ops issued (spawns excluded — they complete via
     /// LCO continuations, not op completions).
     pub fn issued(&self) -> u64 {
-        self.puts_issued + self.gets_issued + self.migrations_issued
+        self.puts_issued + self.gets_issued + self.migrations_issued + self.amos_issued
     }
 
     /// Completions that came back.
     pub fn acked(&self) -> u64 {
-        self.put_acks + self.get_acks + self.migration_acks
+        self.put_acks + self.get_acks + self.migration_acks + self.amo_acks
     }
 
     /// Every issued op either completed or failed cleanly — nothing was
@@ -232,11 +242,13 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     let put_acks = Rc::new(Cell::new(0u64));
     let get_acks = Rc::new(Cell::new(0u64));
     let migration_acks = Rc::new(Cell::new(0u64));
+    let amo_acks = Rc::new(Cell::new(0u64));
     let data_mismatches = Rc::new(Cell::new(0u64));
     let mut puts_issued = 0u64;
     let mut gets_issued = 0u64;
     let mut migrations_issued = 0u64;
     let mut spawns_issued = 0u64;
+    let mut amos_issued = 0u64;
 
     for round in 0..cfg.rounds {
         for l in 0..n {
@@ -273,6 +285,25 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
                 },
             );
             gets_issued += 1;
+        }
+
+        if cfg.amos {
+            for l in 0..n {
+                // Counter: locality l fetch-adds a rotating block's AMO
+                // word. Words live at offsets 0..64, strictly below the
+                // put/get slot table, so the word-level oracle sees every
+                // observation and nothing aliases byte traffic.
+                let ab = (round + 7 * l as u64) % cfg.blocks;
+                let word = (round + l as u64) % 8;
+                let acks = amo_acks.clone();
+                rt.memamo_cb(
+                    l,
+                    arr.block(ab).with_offset(word * 8),
+                    netsim::AmoOp::FetchAdd { operand: 1 },
+                    move |_, _| acks.set(acks.get() + 1),
+                );
+                amos_issued += 1;
+            }
         }
 
         if cfg.churn > 0 && round % cfg.churn == 0 && cfg.mode.supports_migration() {
@@ -314,10 +345,12 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
         gets_issued,
         migrations_issued,
         spawns_issued,
+        amos_issued,
         put_acks: put_acks.get(),
         get_acks: get_acks.get(),
         migration_acks: migration_acks.get(),
         spawn_replies: spawn_replies.get(),
+        amo_acks: amo_acks.get(),
         op_failures: world.op_failures.len() as u64,
         data_mismatches: data_mismatches.get(),
         corrupt_parcels: world.corrupt_parcels,
@@ -374,6 +407,21 @@ mod tests {
             "drops must exercise the sweep-retry path: {:?}",
             r.gas
         );
+    }
+
+    #[test]
+    fn amo_traffic_is_fully_acked_and_checked() {
+        for mode in GasMode::ALL {
+            let r = run_chaos(&ChaosConfig {
+                mode,
+                rounds: 12,
+                amos: true,
+                ..ChaosConfig::default()
+            });
+            assert!(r.passed(), "{mode:?}: {r:?}");
+            assert_eq!(r.amo_acks, r.amos_issued, "{mode:?}");
+            assert_eq!(r.gas.amos, r.amos_issued, "{mode:?}");
+        }
     }
 
     #[test]

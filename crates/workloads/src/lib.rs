@@ -8,6 +8,8 @@
 //!   E1/E2 verification and the parcel-forwarding comparison);
 //! * [`skew`] — Zipf-skewed access with migration rebalancing (E8);
 //! * [`bfs`] — message-driven breadth-first search (irregular graph class);
+//! * [`lockfree`] — distributed lock-free structures (MPSC queue, hash
+//!   map, work-stealing deque) built on NIC-executed active operations;
 //! * [`driver`] — the windowed asynchronous-operation pumps all of them
 //!   are built on.
 //!
@@ -19,6 +21,7 @@ pub mod chaos;
 pub mod chase;
 pub mod driver;
 pub mod gups;
+pub mod lockfree;
 pub mod skew;
 pub mod sssp;
 pub mod stencil;
@@ -29,6 +32,10 @@ pub use bfs::{BfsConfig, BfsResult, Graph};
 pub use chaos::{corrupt_mix, drop_mix, run_chaos, ChaosConfig, ChaosReport};
 pub use chase::{ChaseConfig, ChaseResult};
 pub use gups::{GupsConfig, GupsResult};
+pub use lockfree::{
+    run_deque, run_hashmap, run_mpsc, DequeConfig, DequeReport, HashMapConfig, HashMapReport,
+    MpscConfig, MpscReport,
+};
 pub use skew::{SkewConfig, SkewResult};
 pub use sssp::{SsspConfig, SsspResult, WeightedGraph};
 pub use stencil::{StencilConfig, StencilResult};

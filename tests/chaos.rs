@@ -158,6 +158,67 @@ fn partition_heals_and_everything_is_accounted() {
 }
 
 #[test]
+fn amo_traffic_survives_the_fault_matrix_in_every_mode() {
+    // NIC-executed fetch-adds ride the chaos driver under both fault
+    // mixes, across three seeds and every mode. The history checker's
+    // word-level rules (phantom reads, unique consumption) make a lost or
+    // double-applied AMO a hard failure, so a clean pass here is the
+    // exactly-once proof for the request *and* completion classes.
+    let mut amo_replays = 0u64;
+    for (plan_seed, seed) in [(91u64, 67u64), (93, 71), (95, 73)] {
+        for mode in GasMode::ALL {
+            for (tag, plan) in [
+                ("drop=5%", drop_mix(plan_seed, 0.05)),
+                ("corrupt=4%", corrupt_mix(plan_seed, 0.04)),
+            ] {
+                let label = format!("{mode:?}/{tag}/seed={seed}");
+                let r = run_chaos(&ChaosConfig {
+                    mode,
+                    plan,
+                    seed,
+                    rounds: 14,
+                    churn: 3,
+                    amos: true,
+                    ..ChaosConfig::default()
+                });
+                demand_pass(&r, &label);
+                assert!(r.amos_issued > 0, "{label}: no AMO traffic ran");
+                assert!(r.faults.total_drops() > 0, "{label}: plan injected nothing");
+                assert!(
+                    r.gas.deadline_retries > 0,
+                    "{label}: lost AMOs never hit the sweep-retry path"
+                );
+                amo_replays += r.gas.amo_replays + r.net.amo_replays;
+            }
+        }
+    }
+    // Somewhere in the matrix a duplicated or re-issued AMO must have hit
+    // the responder replay cache instead of re-executing.
+    assert!(amo_replays > 0, "replay cache never deduplicated anything");
+}
+
+#[test]
+fn amo_chaos_cells_replay_bit_identically() {
+    for seed in [67u64, 71, 73] {
+        let cfg = ChaosConfig {
+            mode: GasMode::AgasNetwork,
+            plan: drop_mix(seed, 0.05),
+            seed,
+            rounds: 14,
+            churn: 3,
+            amos: true,
+            ..ChaosConfig::default()
+        };
+        let a = run_chaos(&cfg);
+        let b = run_chaos(&cfg);
+        assert_eq!(a.trace_hash, b.trace_hash, "seed {seed}");
+        assert_eq!(a.end, b.end, "seed {seed}");
+        assert_eq!(a.events, b.events, "seed {seed}");
+        assert_eq!(a.amo_acks, b.amo_acks, "seed {seed}");
+    }
+}
+
+#[test]
 fn chaos_cells_replay_bit_identically() {
     let cfg = ChaosConfig {
         mode: GasMode::AgasNetwork,
