@@ -12,7 +12,7 @@
 
 use agas::GasMode;
 use netsim::{NetConfig, Time};
-use parcel_rt::{CoalesceConfig, RtConfig, Runtime, Transport};
+use parcel_rt::{RtConfig, Runtime, Transport};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -102,7 +102,7 @@ fn builder(args: &Args) -> (usize, GasMode, NetConfig, RtConfig) {
         } else {
             Transport::Pwc
         },
-        coalesce: args.bool("coalesce").then(CoalesceConfig::default),
+        ring: args.bool("coalesce").then(netsim::RingConfig::default),
         workers: args.get("workers", 4),
         ..RtConfig::default()
     };
@@ -151,8 +151,8 @@ fn main() {
         mode.label(),
         args.str("fabric", "ib"),
         rtcfg.transport,
-        if rtcfg.coalesce.is_some() {
-            " +coalescing"
+        if rtcfg.ring.is_some() {
+            " +ring-batching"
         } else {
             ""
         }

@@ -982,8 +982,220 @@ fn amo(json: bool, ops_per_loc: u64) {
     if cas_retries == 0 {
         bad.push("no CAS ever lost the race — the workload is not contended".into());
     }
+    // The ring-enabled cell: AMOs issued through the submission rings must
+    // share doorbells when several target the same responder.
+    let ab = amo_ring_batching(64);
+    if json {
+        println!(
+            concat!(
+                "{{\"id\":\"amo\",\"series\":\"ring_batch\",\"amos\":{},",
+                "\"amo_batched\":{},\"ring_doorbells\":{},\"sim_time_ps\":{},",
+                "\"counter\":{}}}"
+            ),
+            ab.amos,
+            ab.amo_batched,
+            ab.doorbells,
+            ab.elapsed.ps(),
+            ab.counter,
+        );
+    } else {
+        println!(
+            "-- ring batching: {} of {} fetch-adds shared a doorbell ({} doorbells)",
+            ab.amo_batched, ab.amos, ab.doorbells
+        );
+    }
+    if ab.amo_batched == 0 {
+        bad.push("ring_batch: concurrent AMOs never shared a ring doorbell".into());
+    }
+    if ab.counter != ab.amos {
+        bad.push(format!(
+            "ring_batch: counter {} after {} fetch-adds",
+            ab.counter, ab.amos
+        ));
+    }
     if !bad.is_empty() {
         eprintln!("amo cells FAILED:\n  {}", bad.join("\n  "));
+        std::process::exit(1);
+    }
+}
+
+/// `ring [--ops N]` — the descriptor-ring issue-path series (DESIGN.md
+/// §3.7): a doorbell-batching ladder (vectored `put_many` bursts through
+/// the photon submission rings at increasing `doorbell_batch`), the
+/// shm-vs-network crossover (intra-domain puts/gets short-circuit the NIC
+/// with zero wire messages), and the AMO-batching cell. Exits nonzero if
+/// rings fail to batch (descriptors per doorbell, occupancy), if an
+/// intra-domain op touches the wire or loses to the network path, or if
+/// concurrent AMOs never share a doorbell.
+fn ring(json: bool, ops: u64) {
+    header(
+        "ring",
+        &format!("descriptor-ring issue path: doorbell batching + shm crossover ({ops} ops)"),
+    );
+    // Every cell reads process-wide telemetry deltas: strictly serial.
+    let rungs = [0usize, 1, 4, 16];
+    let ladder: Vec<RingLadderRow> = rungs.iter().map(|&b| ring_ladder_row(b, ops)).collect();
+    if !json {
+        println!(
+            "{:>6} {:>7} {:>12} {:>10} {:>9} {:>7} {:>8} {:>7} {:>8}",
+            "batch", "ops", "sim time", "doorbells", "descs", "coal", "desc/db", "occ", "db/op"
+        );
+    }
+    for r in &ladder {
+        if json {
+            println!(
+                concat!(
+                    "{{\"id\":\"ring\",\"series\":\"ladder/batch{}\",\"ops\":{},",
+                    "\"sim_time_ps\":{},\"events\":{},\"messages\":{},",
+                    "\"ring_doorbells\":{},\"ring_descs\":{},\"ring_coalesced\":{},",
+                    "\"max_occupancy\":{},\"descs_per_doorbell\":{:.3},",
+                    "\"doorbells_per_op\":{:.4}}}"
+                ),
+                r.batch,
+                r.ops,
+                r.elapsed.ps(),
+                r.events,
+                r.msgs,
+                r.doorbells,
+                r.descs,
+                r.coalesced,
+                r.max_occupancy,
+                r.descs_per_doorbell(),
+                r.doorbells_per_op(),
+            );
+        } else {
+            println!(
+                "{:>6} {:>7} {:>12} {:>10} {:>9} {:>7} {:>8.2} {:>7} {:>8.4}",
+                if r.batch == 0 {
+                    "off".into()
+                } else {
+                    r.batch.to_string()
+                },
+                r.ops,
+                format!("{}", r.elapsed),
+                r.doorbells,
+                r.descs,
+                r.coalesced,
+                r.descs_per_doorbell(),
+                r.max_occupancy,
+                r.doorbells_per_op(),
+            );
+        }
+    }
+    let sizes = [8u32, 256, 4096, 65536];
+    let cross: Vec<ShmCrossRow> = sizes.iter().map(|&s| shm_cross_row(s)).collect();
+    if !json {
+        println!(
+            "{:>9} {:>12} {:>12} {:>12} {:>12} {:>9} {:>9}",
+            "size", "net put", "shm put", "net get", "shm get", "speedup", "shm msgs"
+        );
+    }
+    for c in &cross {
+        if json {
+            println!(
+                concat!(
+                    "{{\"id\":\"ring\",\"series\":\"shm_cross/{}\",",
+                    "\"net_put_ps\":{},\"shm_put_ps\":{},",
+                    "\"net_get_ps\":{},\"shm_get_ps\":{},",
+                    "\"put_speedup\":{:.3},\"shm_msgs\":{},\"shm_ops\":{}}}"
+                ),
+                c.size,
+                c.net_put.ps(),
+                c.shm_put.ps(),
+                c.net_get.ps(),
+                c.shm_get.ps(),
+                c.put_speedup(),
+                c.shm_msgs,
+                c.shm_ops,
+            );
+        } else {
+            println!(
+                "{:>9} {:>12} {:>12} {:>12} {:>12} {:>8.2}x {:>9}",
+                c.size,
+                format!("{}", c.net_put),
+                format!("{}", c.shm_put),
+                format!("{}", c.net_get),
+                format!("{}", c.shm_get),
+                c.put_speedup(),
+                c.shm_msgs,
+            );
+        }
+    }
+    let ab = amo_ring_batching(64);
+    if json {
+        println!(
+            concat!(
+                "{{\"id\":\"ring\",\"series\":\"amo_batch\",\"amos\":{},",
+                "\"amo_batched\":{},\"ring_doorbells\":{},\"sim_time_ps\":{},",
+                "\"counter\":{}}}"
+            ),
+            ab.amos,
+            ab.amo_batched,
+            ab.doorbells,
+            ab.elapsed.ps(),
+            ab.counter,
+        );
+    } else {
+        println!(
+            "amo batching: {} fetch-adds, {} shared a doorbell ({} doorbells), counter {}",
+            ab.amos, ab.amo_batched, ab.doorbells, ab.counter
+        );
+    }
+    let mut bad: Vec<String> = Vec::new();
+    let rung = |b: usize| ladder.iter().find(|r| r.batch == b).expect("rung ran");
+    let (b1, b16) = (rung(1), rung(16));
+    if b16.doorbells == 0 {
+        bad.push("batch16: rings never rang a doorbell".into());
+    }
+    if b16.descs_per_doorbell() < 2.0 {
+        bad.push(format!(
+            "batch16: {:.2} descs/doorbell — descriptors are not batching",
+            b16.descs_per_doorbell()
+        ));
+    }
+    if b16.max_occupancy < 2 {
+        bad.push(format!(
+            "batch16: max ring occupancy {} — ops never queued behind each other",
+            b16.max_occupancy
+        ));
+    }
+    if b16.doorbells >= b1.doorbells {
+        bad.push(format!(
+            "batch16 rang {} doorbells vs batch1's {} — batching did not reduce doorbell events",
+            b16.doorbells, b1.doorbells
+        ));
+    }
+    for c in &cross {
+        if c.shm_msgs != 0 {
+            bad.push(format!(
+                "shm_cross/{}: intra-domain ops sent {} wire messages (must be 0)",
+                c.size, c.shm_msgs
+            ));
+        }
+        if c.shm_ops != 2 {
+            bad.push(format!(
+                "shm_cross/{}: {} of 2 ops took the shm short-circuit",
+                c.size, c.shm_ops
+            ));
+        }
+        if c.shm_put >= c.net_put || c.shm_get >= c.net_get {
+            bad.push(format!(
+                "shm_cross/{}: load/store path not faster than the wire",
+                c.size
+            ));
+        }
+    }
+    if ab.amo_batched == 0 {
+        bad.push("amo_batch: concurrent AMOs never shared a ring doorbell".into());
+    }
+    if ab.counter != ab.amos {
+        bad.push(format!(
+            "amo_batch: counter {} after {} fetch-adds",
+            ab.counter, ab.amos
+        ));
+    }
+    if !bad.is_empty() {
+        eprintln!("ring cells FAILED:\n  {}", bad.join("\n  "));
         std::process::exit(1);
     }
 }
@@ -1033,7 +1245,8 @@ fn parallel(json: bool, max_shards: usize, cfg: &ParallelGupsConfig) {
             println!(
                 concat!(
                     "{{\"id\":\"parallel\",\"series\":\"gups_parallel\",\"shards\":{},",
-                    "\"localities\":{},\"host_cores\":{},\"updates\":{},\"events\":{},",
+                    "\"localities\":{},\"host_cores\":{},\"single_core_caveat\":{},",
+                    "\"updates\":{},\"events\":{},",
                     "\"sim_time_ps\":{},\"wall_seconds\":{:.6},\"events_per_sec\":{:.0},",
                     "\"speedup\":{:.4},\"trace_hash\":{},\"windows\":{},",
                     "\"sync_overhead\":{:.4},\"utilization\":[{}]}}"
@@ -1041,6 +1254,7 @@ fn parallel(json: bool, max_shards: usize, cfg: &ParallelGupsConfig) {
                 r.shards,
                 r.localities,
                 cores,
+                cores < r.shards,
                 r.updates,
                 r.events,
                 r.sim.ps(),
@@ -1242,8 +1456,9 @@ fn main() {
     if let Some(n) = take_opt(&mut args, "--updates") {
         par_cfg.updates_per_loc = n.max(1);
     }
-    let amo_ops =
-        take_opt(&mut args, "--ops").map_or(AmoBenchConfig::default().ops_per_loc, |n| n.max(1));
+    let ops_flag = take_opt(&mut args, "--ops");
+    let amo_ops = ops_flag.map_or(AmoBenchConfig::default().ops_per_loc, |n| n.max(1));
+    let ring_ops = ops_flag.map_or(2048, |n| n.max(1));
     let json = args.iter().any(|a| a == "--json");
     let what = args
         .iter()
@@ -1293,6 +1508,7 @@ fn main() {
         }
         "parallel" => parallel(json, shards.unwrap_or(8), &par_cfg),
         "amo" => amo(json, amo_ops),
+        "ring" => ring(json, ring_ops),
         "ops" => ops_dump(json),
         "chaos" => {
             let seed = args
@@ -1309,6 +1525,7 @@ fn main() {
             }
             perf(json);
             amo(json, amo_ops);
+            ring(json, ring_ops);
             if let Some(k) = shards {
                 parallel(json, k, &par_cfg);
             }
@@ -1318,7 +1535,7 @@ fn main() {
             Some((name, f)) => run_one(name, f),
             None => {
                 eprintln!(
-                    "unknown experiment {id:?}; use one of: all perf parallel amo ops chaos {}",
+                    "unknown experiment {id:?}; use one of: all perf parallel amo ring ops chaos {}",
                     experiments
                         .iter()
                         .map(|(n, _)| *n)

@@ -535,7 +535,7 @@ pub fn parcel_flood(coalesce: bool, k: u64) -> CoalesceRow {
     let mut rt = b
         .net(NetConfig::ethernet_10g())
         .rt_config(parcel_rt::RtConfig {
-            coalesce: coalesce.then(parcel_rt::CoalesceConfig::default),
+            ring: coalesce.then(netsim::RingConfig::default),
             ..parcel_rt::RtConfig::default()
         })
         .boot();
@@ -571,7 +571,7 @@ pub fn bfs_coalescing(coalesce: bool) -> CoalesceRow {
     bfs::register_actions(&mut b, slot.clone());
     let mut rt = b
         .rt_config(parcel_rt::RtConfig {
-            coalesce: coalesce.then(parcel_rt::CoalesceConfig::default),
+            ring: coalesce.then(netsim::RingConfig::default),
             ..parcel_rt::RtConfig::default()
         })
         .boot();
@@ -600,9 +600,9 @@ pub fn gups_coalescing_on(coalesce: bool, net: NetConfig) -> CoalesceRow {
     let mut rt = b
         .net(net)
         .rt_config(parcel_rt::RtConfig {
-            coalesce: coalesce.then(|| parcel_rt::CoalesceConfig {
-                flush_after: Time::from_us(2),
-                ..parcel_rt::CoalesceConfig::default()
+            ring: coalesce.then(|| netsim::RingConfig {
+                doorbell_delay: Time::from_us(2),
+                ..netsim::RingConfig::default()
             }),
             ..parcel_rt::RtConfig::default()
         })

@@ -10,7 +10,9 @@
 pub mod amo;
 pub mod experiments;
 pub mod parallel;
+pub mod ring;
 
 pub use amo::*;
 pub use experiments::*;
 pub use parallel::*;
+pub use ring::*;

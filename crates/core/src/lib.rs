@@ -289,6 +289,11 @@ pub struct GasStats {
     pub deadline_retries: u64,
     /// Ops delivered to the initiator as failed (deadline or retry budget).
     pub ops_failed: u64,
+    /// Remote operations that short-circuited the NIC over an intra-domain
+    /// shared-memory mapping ([`netsim::ShmDomain`]): zero wire messages.
+    pub shm_ops: u64,
+    /// Payload bytes moved over the shared-memory short-circuit.
+    pub shm_bytes: u64,
 }
 
 /// Where an in-flight op last was in its lifecycle (diagnostics: stuck-op
@@ -301,6 +306,9 @@ pub enum OpPhase {
     Rdma,
     /// Two-sided software request in flight.
     Sw,
+    /// Intra-domain shared-memory access in flight (commit scheduled at
+    /// the co-located target; no wire message exists to wait on).
+    Shm,
     /// Bounced; waiting on the home directory's answer.
     DirRecovery,
     /// Directory answered; waiting out the exponential backoff.
@@ -313,6 +321,7 @@ impl fmt::Display for OpPhase {
             OpPhase::Issued => "issued",
             OpPhase::Rdma => "rdma-in-flight",
             OpPhase::Sw => "sw-in-flight",
+            OpPhase::Shm => "shm-in-flight",
             OpPhase::DirRecovery => "dir-recovery",
             OpPhase::Backoff => "backoff",
         };

@@ -36,7 +36,7 @@ use crate::{
 };
 use netsim::{
     send_user, send_user_classed, AmoKey, AmoOp, AmoResult, Engine, FaultClass, LocalityId,
-    NackReason, OpError, OpId, OpKind, OpOutcome, PhysAddr, RdmaTarget, Time, TraceKind,
+    NackReason, OpError, OpId, OpKind, OpOutcome, PhysAddr, RdmaTarget, ShmDomain, Time, TraceKind,
 };
 use photon::{pwc_amo, pwc_get, pwc_put};
 
@@ -355,6 +355,32 @@ pub fn memget<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, gva: Gva, len: 
     issue(eng, loc, op);
 }
 
+/// Vectored [`memput`]: issue every `(gva, data, ctx)` write at the same
+/// instant. Each element completes (or fails) independently through
+/// [`GasWorld::gas_put_done`] / [`GasWorld::gas_op_failed`]. Same-instant
+/// issue is what the photon descriptor rings batch on: a vectored put whose
+/// elements share a responder packs into one submission batch and rides a
+/// single doorbell instead of one per element.
+pub fn put_many<S: GasWorld>(
+    eng: &mut Engine<S>,
+    loc: LocalityId,
+    puts: Vec<(Gva, Vec<u8>, OpId)>,
+) {
+    for (gva, data, ctx) in puts {
+        memput(eng, loc, gva, data, ctx);
+    }
+}
+
+/// Vectored [`memget`]: issue every `(gva, len, ctx)` read at the same
+/// instant. Each element completes independently through
+/// [`GasWorld::gas_get_done`]; with descriptor rings enabled, same-peer
+/// elements share one doorbell (see [`put_many`]).
+pub fn get_many<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, gets: Vec<(Gva, u32, OpId)>) {
+    for (gva, len, ctx) in gets {
+        memget(eng, loc, gva, len, ctx);
+    }
+}
+
 /// What shape of operation `issue` is routing (drives the fast-path
 /// choice; the payload itself stays in the table).
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -427,6 +453,9 @@ fn issue<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, op: OpId) {
         GasMode::Pgas => {
             if home == loc {
                 commit_local(eng, loc, op, None);
+            } else if try_shm(eng, loc, op, gva, home) {
+                // Co-located home: the access went over shared memory and
+                // the NIC never saw it.
             } else if kind == IssueKind::Amo {
                 // PGAS NICs translate nothing, so there is no virtual
                 // path for a remote AMO to ride; the home's CPU executes
@@ -452,7 +481,11 @@ fn issue<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, op: OpId) {
                 commit_local(eng, loc, op, Some(base));
             } else {
                 let target_loc = hint_owner(eng, loc, block, home);
-                if force_sw {
+                if try_shm(eng, loc, op, gva, target_loc) {
+                    // Intra-domain short-circuit. Valid even under
+                    // `force_sw`: the shm path touches no NIC table, so
+                    // capacity thrash cannot bounce it.
+                } else if force_sw {
                     if target_loc == loc {
                         bounce(eng, loc, op, block);
                         return;
@@ -481,6 +514,9 @@ fn issue<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, op: OpId) {
                     // A hint naming ourselves while the block is absent is
                     // stale by construction; re-resolve.
                     bounce(eng, loc, op, block);
+                    return;
+                }
+                if try_shm(eng, loc, op, gva, target_loc) {
                     return;
                 }
                 eng.state.gas(loc).stats.remote_ops += 1;
@@ -549,6 +585,219 @@ fn issue_sw<S: GasWorld>(
         S::wrap_gas(msg),
         FaultClass::Request,
     );
+}
+
+// ------------------------------------------------------- shm fast path
+
+/// The payload snapshot an intra-domain access carries to the target lane.
+enum ShmPayload {
+    Put { data: Vec<u8> },
+    Get { len: u32 },
+    Amo { amo: AmoOp },
+}
+
+/// Try the intra-domain shared-memory short-circuit for a remote op
+/// believed to live at `target_loc`. Returns `true` when the op took the
+/// shm path (or was reclaimed concurrently); `false` means the caller
+/// issues over the fabric as usual.
+///
+/// The access pays [`ShmDomain::access`] for the mapped load/store plus
+/// copy, commits against the target's arena, and sends **zero wire
+/// messages**. If the block migrated out from under the mapping, the op
+/// falls back to ordinary directory recovery ([`bounce`]).
+fn try_shm<S: GasWorld>(
+    eng: &mut Engine<S>,
+    loc: LocalityId,
+    op: OpId,
+    gva: Gva,
+    target_loc: LocalityId,
+) -> bool {
+    let Some(shm) = eng.state.cluster_ref().config.shm else {
+        return false;
+    };
+    if target_loc == loc || !shm.same_domain(loc, target_loc) {
+        return false;
+    }
+    let payload = {
+        let g = eng.state.gas(loc);
+        let Ok(p) = g.pending.get_mut(op) else {
+            return true; // reclaimed (deadline sweep); nothing to issue
+        };
+        p.phase = OpPhase::Shm;
+        p.attempt = None; // any earlier photon attempt is superseded
+        match &p.payload {
+            OpPayload::Put { data } => ShmPayload::Put { data: data.clone() },
+            OpPayload::Get { len, .. } => ShmPayload::Get { len: *len },
+            OpPayload::Amo { op } => ShmPayload::Amo { amo: op.clone() },
+        }
+    };
+    let bytes = match &payload {
+        ShmPayload::Put { data } => data.len() as u32,
+        ShmPayload::Get { len } => *len,
+        ShmPayload::Amo { amo } => 8 * amo.touched_words() as u32,
+    };
+    {
+        let g = eng.state.gas(loc);
+        g.stats.remote_ops += 1;
+        g.stats.shm_ops += 1;
+        g.stats.shm_bytes += bytes as u64;
+    }
+    netsim::telemetry::record_shm(1, bytes as u64);
+    let now = eng.now();
+    eng.state.cluster().tracer.record(
+        now,
+        TraceKind::ShmOp {
+            src: loc,
+            dst: target_loc,
+            bytes,
+        },
+    );
+    // The commit runs on the target's lane (its arena, BTT, and responder
+    // cache live there); the hop is a simulation artifact of shard
+    // ownership, not a message. `access()` >= `load_store` >= the sharded
+    // engine's shm-aware lookahead, so the hop respects the window.
+    let at = now + shm.access(bytes);
+    eng.schedule_at_loc(at, target_loc, move |eng| {
+        shm_commit(eng, loc, target_loc, op, gva, payload, shm)
+    });
+    true
+}
+
+/// Commit an intra-domain access at the co-located target's lane, then
+/// deliver the completion back on the initiator's lane.
+fn shm_commit<S: GasWorld>(
+    eng: &mut Engine<S>,
+    loc: LocalityId,
+    target: LocalityId,
+    op: OpId,
+    gva: Gva,
+    payload: ShmPayload,
+    shm: ShmDomain,
+) {
+    let block = gva.block_key();
+    // Re-check residency at commit time: a migration may have raced the
+    // access (PGAS placements never move, so the map lookup cannot fail).
+    let base = match eng.state.gas_mode() {
+        GasMode::Pgas => eng.state.pgas().get(&block).copied(),
+        _ => resident_base(eng, target, block),
+    };
+    let back = eng.now() + shm.load_store;
+    let Some(base) = base else {
+        // The mapping is stale (block migrated / freed): hop home and run
+        // ordinary directory recovery.
+        eng.schedule_at_loc(back, loc, move |eng| {
+            if eng.state.gas(loc).pending.contains(op) {
+                bounce(eng, loc, op, block);
+            } else {
+                eng.state.gas(loc).stats.stale_completions += 1;
+            }
+        });
+        return;
+    };
+    let phys = base + gva.offset();
+    match payload {
+        ShmPayload::Put { data } => {
+            eng.state
+                .cluster()
+                .mem_mut(target)
+                .write(phys, &data)
+                .expect("shm put outside arena");
+            eng.schedule_at_loc(back, loc, move |eng| shm_put_finish(eng, loc, op));
+        }
+        ShmPayload::Get { len } => {
+            let data = eng
+                .state
+                .cluster()
+                .mem(target)
+                .read(phys, len as usize)
+                .expect("shm get outside arena")
+                .to_vec();
+            eng.schedule_at_loc(back, loc, move |eng| shm_get_finish(eng, loc, op, data));
+        }
+        ShmPayload::Amo { amo } => {
+            // Same dedup identity and responder cache as the NIC, software,
+            // and local-commit paths: a retry that switches paths still
+            // applies exactly once.
+            let key = amo_key(loc, op);
+            let cached = eng
+                .state
+                .cluster()
+                .loc_mut(target)
+                .nic
+                .amo
+                .lookup(key)
+                .cloned();
+            let result = match cached {
+                Some(r) => {
+                    eng.state.gas(target).stats.amo_replays += 1;
+                    r
+                }
+                None => {
+                    let r = {
+                        let slice = eng
+                            .state
+                            .cluster()
+                            .mem_mut(target)
+                            .slice_mut(base, gva.block_size() as usize)
+                            .expect("shm AMO storage outside arena");
+                        netsim::amo::execute(&amo, slice, gva.offset())
+                    };
+                    if amo.mutates() {
+                        eng.state
+                            .cluster()
+                            .loc_mut(target)
+                            .nic
+                            .amo
+                            .install(key, block, r.clone());
+                    }
+                    r
+                }
+            };
+            eng.schedule_at_loc(back, loc, move |eng| complete_amo(eng, loc, op, result));
+        }
+    }
+}
+
+/// Finish a put that committed over shared memory (initiator's lane).
+fn shm_put_finish<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, op: OpId) {
+    let p = match eng.state.gas(loc).pending.remove(op) {
+        Ok(p) => p,
+        Err(_) => {
+            eng.state.gas(loc).stats.stale_completions += 1;
+            return;
+        }
+    };
+    let now = eng.now();
+    record_latency(eng, loc, &p, now);
+    hist_done(eng, loc, p.hist, now, None);
+    finish_ok(eng, loc, op);
+    S::gas_put_done(eng, loc, p.ctx);
+}
+
+/// Finish a get that committed over shared memory (initiator's lane).
+fn shm_get_finish<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, op: OpId, data: Vec<u8>) {
+    let p = match eng.state.gas(loc).pending.remove(op) {
+        Ok(p) => p,
+        Err(_) => {
+            eng.state.gas(loc).stats.stale_completions += 1;
+            return;
+        }
+    };
+    let now = eng.now();
+    record_latency(eng, loc, &p, now);
+    if let OpPayload::Get {
+        scratch: Some((addr, class)),
+        ..
+    } = p.payload
+    {
+        // An earlier RDMA attempt left a scratch buffer behind; the shm
+        // path never needs one.
+        eng.state.cluster().mem_mut(loc).free_block(addr, class);
+    }
+    let vhash = p.hist.map(|_| value_hash(&data));
+    hist_done(eng, loc, p.hist, now, vhash);
+    finish_ok(eng, loc, op);
+    S::gas_get_done(eng, loc, p.ctx, data);
 }
 
 /// One BTT probe answering "resident here?" and, when yes, at what base —

@@ -160,12 +160,17 @@ impl SimWorld {
     /// 256 MiB arenas, default photon/GAS configs, two CPU workers per
     /// locality.
     pub fn new(n: usize, mode: GasMode, net: NetConfig) -> SimWorld {
+        SimWorld::with_photon(n, mode, net, PhotonConfig::default())
+    }
+
+    /// [`SimWorld::new`] with an explicit photon configuration — how the
+    /// ring benchmarks and shadow tests turn the descriptor-ring issue
+    /// path on without disturbing the default-config schedules.
+    pub fn with_photon(n: usize, mode: GasMode, net: NetConfig, pcfg: PhotonConfig) -> SimWorld {
         SimWorld {
             data: SharedState::new(SimData {
                 cluster: Cluster::new(n, net, 1 << 28),
-                eps: (0..n)
-                    .map(|_| PhotonEndpoint::new(PhotonConfig::default()))
-                    .collect(),
+                eps: (0..n).map(|_| PhotonEndpoint::new(pcfg)).collect(),
                 gas: (0..n)
                     .map(|_| GasLocal::new(GasConfig::default()))
                     .collect(),
@@ -308,6 +313,8 @@ impl SimWorld {
             total.deadline_exceeded += s.deadline_exceeded;
             total.deadline_retries += s.deadline_retries;
             total.ops_failed += s.ops_failed;
+            total.shm_ops += s.shm_ops;
+            total.shm_bytes += s.shm_bytes;
         }
         total
     }

@@ -19,6 +19,57 @@ pub const fn ps_per_byte_from_gbps(gb_per_s_times_10: u64) -> u64 {
     10_000 / gb_per_s_times_10
 }
 
+/// A shared-memory domain: groups of co-located localities whose
+/// intra-domain puts/gets/AMOs bypass the NIC entirely.
+///
+/// Localities are grouped by index: localities `[k·size, (k+1)·size)` share
+/// domain `k` (the usual rank-to-node mapping of `size` ranks per node).
+/// An intra-domain operation pays a fixed load/store cost plus a per-byte
+/// memory-copy cost and sends **zero wire messages** — the MPI-3
+/// shared-memory short-circuit applied to the GAS issue path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShmDomain {
+    /// Localities per domain (co-located ranks per node). `size <= 1`
+    /// means every locality is alone and nothing short-circuits.
+    pub size: u32,
+    /// Fixed cost of one cross-process load/store access (mapping lookup +
+    /// cache-coherent access), paid once per intra-domain operation.
+    pub load_store: Time,
+    /// Per-byte cost of the shared-memory copy, in picoseconds per byte.
+    pub per_byte_ps: u64,
+}
+
+impl ShmDomain {
+    /// A DDR4-class intra-node model: ~90 ns access, ~12 GB/s effective
+    /// cross-socket copy bandwidth.
+    pub fn node(size: u32) -> ShmDomain {
+        ShmDomain {
+            size,
+            load_store: Time::from_ns(90),
+            per_byte_ps: 83, // ~12 GB/s
+        }
+    }
+
+    /// Are `a` and `b` in the same domain (and distinct processes that can
+    /// still reach each other through the mapping)?
+    #[inline]
+    pub fn same_domain(&self, a: u32, b: u32) -> bool {
+        self.size > 1 && a / self.size == b / self.size
+    }
+
+    /// Time for one intra-domain access of `n` payload bytes.
+    #[inline]
+    pub fn access(&self, n: u32) -> Time {
+        self.load_store + Time::from_ps(n as u64 * self.per_byte_ps)
+    }
+}
+
+impl Default for ShmDomain {
+    fn default() -> ShmDomain {
+        ShmDomain::node(4)
+    }
+}
+
 /// Parameters of the simulated network, NICs, and per-locality CPU model.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct NetConfig {
@@ -65,6 +116,10 @@ pub struct NetConfig {
     /// the failure-injection knob the protocol property tests use. Drawn
     /// from the engine's deterministic PRNG, so runs stay reproducible.
     pub jitter_ns: u64,
+    /// Shared-memory domains of co-located localities (`None` = every
+    /// locality is its own node and all remote traffic takes the NIC).
+    /// Intra-domain puts/gets/AMOs short-circuit the fabric entirely.
+    pub shm: Option<ShmDomain>,
 }
 
 impl NetConfig {
@@ -90,6 +145,7 @@ impl NetConfig {
             nic_ports: 1,
             oversubscription: 1,
             jitter_ns: 0,
+            shm: None,
         }
     }
 
@@ -112,6 +168,7 @@ impl NetConfig {
             nic_ports: 1,
             oversubscription: 1,
             jitter_ns: 0,
+            shm: None,
         }
     }
 
@@ -135,6 +192,7 @@ impl NetConfig {
             nic_ports: 1,
             oversubscription: 1,
             jitter_ns: 0,
+            shm: None,
         }
     }
 
@@ -158,6 +216,7 @@ impl NetConfig {
             nic_ports: 1,
             oversubscription: 1,
             jitter_ns: 0,
+            shm: None,
         }
     }
 

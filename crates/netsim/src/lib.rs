@@ -32,6 +32,7 @@ pub mod net;
 pub mod nic;
 pub mod optable;
 pub mod queue;
+pub mod ring;
 pub mod rng;
 pub mod shard;
 pub mod stats;
@@ -41,7 +42,7 @@ pub mod timewheel;
 pub mod trace;
 
 pub use amo::{AmoCache, AmoKey, AmoOp, AmoResult};
-pub use config::NetConfig;
+pub use config::{NetConfig, ShmDomain};
 pub use engine::Engine;
 pub use faults::{
     apply_corruption, FaultClass, FaultPlan, FaultPlane, FaultRates, FaultStats, FaultVerdict,
@@ -56,6 +57,7 @@ pub use net::{
 pub use nic::{LocalityId, Nic, Xlate, XlateEntry, XlateTable};
 pub use optable::{OpError, OpId, OpOutcome, OpTable, OutcomeCounters};
 pub use queue::ServerPool;
+pub use ring::{Desc, DescSnapshot, PushOutcome, Ring, RingConfig, RingSet, RingStats};
 pub use shard::{ShardMap, ShardStats, ShardedEngine, SharedState, SplitWorld};
 pub use stats::{Counters, LogHistogram, TimeWeighted};
 pub use time::Time;

@@ -393,7 +393,16 @@ impl<W: SplitWorld> ShardedEngine<W> {
     /// Build a sharded engine over `state` with (at most) `shards` lanes.
     pub fn new(state: W, seed: u64, shards: usize) -> ShardedEngine<W> {
         let locs = state.cluster_ref().len();
-        let lookahead = state.cluster_ref().config.latency;
+        let mut lookahead = state.cluster_ref().config.latency;
+        // Shared-memory domains bypass the wire: their cross-locality hops
+        // arrive after the load/store cost rather than the wire latency, so
+        // the conservative lookahead must shrink to the smallest delay any
+        // cross-lane event can have.
+        if let Some(shm) = state.cluster_ref().config.shm {
+            if shm.size > 1 && shm.load_store < lookahead {
+                lookahead = shm.load_store;
+            }
+        }
         assert!(
             lookahead > Time::ZERO,
             "sharded execution requires a positive wire latency for lookahead"

@@ -18,6 +18,12 @@ static XLATE_MEMO_HITS: AtomicU64 = AtomicU64::new(0);
 static AMO_EXECUTED: AtomicU64 = AtomicU64::new(0);
 static AMO_NACKED: AtomicU64 = AtomicU64::new(0);
 static AMO_FORWARDED: AtomicU64 = AtomicU64::new(0);
+static RING_DOORBELLS: AtomicU64 = AtomicU64::new(0);
+static RING_DESCS: AtomicU64 = AtomicU64::new(0);
+static RING_COALESCED: AtomicU64 = AtomicU64::new(0);
+static AMO_BATCHED: AtomicU64 = AtomicU64::new(0);
+static SHM_OPS: AtomicU64 = AtomicU64::new(0);
+static SHM_BYTES: AtomicU64 = AtomicU64::new(0);
 
 /// Fold one finished engine run into the process totals.
 pub(crate) fn record_run(events: u64, sim_advance_ps: u64) {
@@ -58,6 +64,38 @@ pub fn record_amo(executed: u64, nacked: u64, forwarded: u64) {
     }
 }
 
+/// Fold one descriptor-ring doorbell into the process totals (called by
+/// [`crate::ring::Ring::drain`]). `coalesced` is the number of descriptors
+/// that shared the doorbell with an earlier one — the saved per-op events.
+pub fn record_ring(doorbells: u64, descs: u64, coalesced: u64) {
+    if doorbells > 0 {
+        RING_DOORBELLS.fetch_add(doorbells, Ordering::Relaxed);
+        RING_DESCS.fetch_add(descs, Ordering::Relaxed);
+    }
+    if coalesced > 0 {
+        RING_COALESCED.fetch_add(coalesced, Ordering::Relaxed);
+    }
+}
+
+/// Fold AMO descriptors that shared a submission doorbell with another AMO
+/// to the same responder (the PR-7 batching follow-up) into the totals.
+pub fn record_amo_batched(n: u64) {
+    if n > 0 {
+        AMO_BATCHED.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Fold intra-domain shared-memory operations (NIC and wire bypassed
+/// entirely) into the process totals.
+pub fn record_shm(ops: u64, bytes: u64) {
+    if ops > 0 {
+        SHM_OPS.fetch_add(ops, Ordering::Relaxed);
+    }
+    if bytes > 0 {
+        SHM_BYTES.fetch_add(bytes, Ordering::Relaxed);
+    }
+}
+
 /// Totals accumulated so far (monotone; see [`Snapshot::since`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Snapshot {
@@ -82,6 +120,20 @@ pub struct Snapshot {
     pub amo_nacked: u64,
     /// AMO requests re-injected through a forwarding entry.
     pub amo_forwarded: u64,
+    /// Descriptor-ring doorbells rung (one per non-empty drain).
+    pub ring_doorbells: u64,
+    /// Descriptors that passed through rings.
+    pub ring_descs: u64,
+    /// Descriptors that shared a doorbell with an earlier one.
+    pub ring_coalesced: u64,
+    /// AMO descriptors that shared a submission doorbell with another AMO
+    /// to the same responder.
+    pub amo_batched: u64,
+    /// Intra-domain operations short-circuited over shared memory (zero
+    /// wire messages, zero NIC visits).
+    pub shm_ops: u64,
+    /// Payload bytes moved by those shared-memory operations.
+    pub shm_bytes: u64,
 }
 
 impl Snapshot {
@@ -96,6 +148,12 @@ impl Snapshot {
             amo_executed: self.amo_executed - earlier.amo_executed,
             amo_nacked: self.amo_nacked - earlier.amo_nacked,
             amo_forwarded: self.amo_forwarded - earlier.amo_forwarded,
+            ring_doorbells: self.ring_doorbells - earlier.ring_doorbells,
+            ring_descs: self.ring_descs - earlier.ring_descs,
+            ring_coalesced: self.ring_coalesced - earlier.ring_coalesced,
+            amo_batched: self.amo_batched - earlier.amo_batched,
+            shm_ops: self.shm_ops - earlier.shm_ops,
+            shm_bytes: self.shm_bytes - earlier.shm_bytes,
         }
     }
 }
@@ -111,6 +169,12 @@ pub fn snapshot() -> Snapshot {
         amo_executed: AMO_EXECUTED.load(Ordering::Relaxed),
         amo_nacked: AMO_NACKED.load(Ordering::Relaxed),
         amo_forwarded: AMO_FORWARDED.load(Ordering::Relaxed),
+        ring_doorbells: RING_DOORBELLS.load(Ordering::Relaxed),
+        ring_descs: RING_DESCS.load(Ordering::Relaxed),
+        ring_coalesced: RING_COALESCED.load(Ordering::Relaxed),
+        amo_batched: AMO_BATCHED.load(Ordering::Relaxed),
+        shm_ops: SHM_OPS.load(Ordering::Relaxed),
+        shm_bytes: SHM_BYTES.load(Ordering::Relaxed),
     }
 }
 

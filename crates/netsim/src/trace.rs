@@ -109,6 +109,25 @@ pub enum TraceKind {
         /// retries exhausted (`false`).
         ok: bool,
     },
+    /// A descriptor-ring doorbell rang: one batch of descriptors entered
+    /// the fabric under a single submission event.
+    Doorbell {
+        /// The ringing locality.
+        at: LocalityId,
+        /// The peer the ring points at.
+        peer: LocalityId,
+        /// Descriptors in the batch.
+        descs: u32,
+    },
+    /// An intra-domain operation bypassed the NIC over shared memory.
+    ShmOp {
+        /// Initiator.
+        src: LocalityId,
+        /// Co-located target.
+        dst: LocalityId,
+        /// Payload bytes.
+        bytes: u32,
+    },
 }
 
 /// A timestamped trace record.
@@ -155,6 +174,12 @@ impl fmt::Display for TraceEvent {
                     "span- @{at}  op {op}  {}",
                     if ok { "ok" } else { "FAIL" }
                 )
+            }
+            TraceKind::Doorbell { at, peer, descs } => {
+                write!(f, "ring  @{at} → {peer}  ({descs} descs)")
+            }
+            TraceKind::ShmOp { src, dst, bytes } => {
+                write!(f, "shm   {src} → {dst}  ({bytes} B)")
             }
         }
     }
@@ -297,6 +322,16 @@ mod tests {
                 at: 0,
                 op: OpId::from_parts(3, 1),
                 ok: false,
+            },
+            TraceKind::Doorbell {
+                at: 0,
+                peer: 1,
+                descs: 16,
+            },
+            TraceKind::ShmOp {
+                src: 0,
+                dst: 1,
+                bytes: 64,
             },
         ];
         for k in kinds {

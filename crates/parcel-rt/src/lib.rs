@@ -52,10 +52,11 @@ pub use lco::{
     attach_driver, attach_parcel, decode_gather, lco_set, new_and, new_future, new_gather,
     new_reduce, set_gather, ReduceOp,
 };
+pub use netsim::RingConfig;
 pub use parcel::{ActionCtx, ActionFn, ActionId, ActionRegistry, Parcel};
 pub use rt::{Runtime, RuntimeBuilder};
 pub use sched::{reply, send_parcel};
 pub use world::{
-    decode_amo_result, encode_amo_result, fire_completion, CoalesceConfig, Completion, Msg,
-    RtConfig, RtLocal, RtStats, Transport, World, NO_COMPLETION, PARCEL_TAG,
+    decode_amo_result, encode_amo_result, fire_completion, Completion, Msg, RtConfig, RtLocal,
+    RtStats, Transport, World, NO_COMPLETION, PARCEL_TAG,
 };

@@ -481,11 +481,12 @@ impl Runtime {
     }
 
     /// Assert the cluster is truly quiescent: no pending GAS operations,
-    /// no outstanding PWC ops, no undelivered completions, no buffered
-    /// coalesced parcels. Call after `run()` in tests/drivers to catch
-    /// protocol leaks early. On failure the message lists every stuck op —
-    /// kind, GVA, locality, age, attempts, and last protocol state — from
-    /// the op-table snapshots.
+    /// no descriptors sitting in any submission/completion ring (parcel
+    /// rings and photon endpoint rings alike), no outstanding PWC ops, no
+    /// undelivered completions. Call after `run()` in tests/drivers to
+    /// catch protocol leaks early. On failure one unified report lists
+    /// every stuck item — GAS ops with kind, GVA, age, attempts, and last
+    /// protocol state; ring descriptors with kind, peer, bytes, and age.
     pub fn assert_quiescent(&self) {
         let w = &self.eng.state;
         let now = self.eng.now();
@@ -494,10 +495,18 @@ impl Runtime {
             for s in w.gas[l as usize].op_snapshots() {
                 stuck.push(format!("  locality {l}: {}", s.render(now)));
             }
+            if let Some(rings) = &w.rt[l as usize].parcel_rings {
+                for d in rings.snapshots(now) {
+                    stuck.push(format!("  locality {l}: {}", d.render()));
+                }
+            }
+            for d in w.eps[l as usize].ring_snapshots(l, now) {
+                stuck.push(format!("  locality {l}: {}", d.render()));
+            }
         }
         assert!(
             stuck.is_empty(),
-            "{} GAS op(s) still in flight after run():\n{}",
+            "{} GAS op(s)/ring descriptor(s) still in flight after run():\n{}",
             stuck.len(),
             stuck.join("\n")
         );
@@ -506,13 +515,6 @@ impl Runtime {
                 w.eps[l as usize].outstanding_ops(),
                 0,
                 "locality {l}: outstanding PWC ops"
-            );
-            assert!(
-                w.rt[l as usize]
-                    .coalesce_buf
-                    .values()
-                    .all(|(v, _, _)| v.is_empty()),
-                "locality {l}: parcels stuck in the coalescer"
             );
         }
         assert!(

@@ -11,7 +11,7 @@ use crate::lco::{self, LCO_CLASS};
 use crate::parcel::{ActionCtx, Parcel, ACTION_LCO_SET};
 use crate::world::{Msg, Transport, World, PARCEL_TAG};
 use agas::GasWorld;
-use netsim::{send_user, Engine, LocalityId, Time};
+use netsim::{send_user, Desc, Engine, LocalityId, PushOutcome, Time, TraceKind};
 
 const MAX_PARCEL_HOPS: u8 = 64;
 
@@ -39,11 +39,9 @@ pub(crate) fn transmit(
 ) {
     match eng.state.rtcfg.transport {
         Transport::Pwc => {
-            if let Some(ccfg) = eng.state.rtcfg.coalesce {
-                if from != next {
-                    coalesce(eng, from, next, parcel, ccfg);
-                    return;
-                }
+            if from != next && eng.state.rt[from as usize].parcel_rings.is_some() {
+                ring_submit(eng, from, next, parcel);
+                return;
             }
             let wire = parcel.wire_size();
             send_user(eng, from, next, wire, Msg::Parcel(parcel));
@@ -57,49 +55,62 @@ pub(crate) fn transmit(
     }
 }
 
-/// Buffer `parcel` toward `next`, flushing on size or (armed once per
-/// buffer) after the configured delay.
-fn coalesce(
-    eng: &mut Engine<World>,
-    from: LocalityId,
-    next: LocalityId,
-    parcel: Parcel,
-    ccfg: crate::world::CoalesceConfig,
-) {
-    let (full, arm_timer) = {
-        let buf = eng.state.rt[from as usize]
-            .coalesce_buf
-            .entry(next)
-            .or_insert_with(|| (Vec::new(), 0, false));
-        buf.1 += parcel.wire_size() as usize;
-        buf.0.push(parcel);
-        let full = buf.0.len() >= ccfg.max_parcels || buf.1 >= ccfg.max_bytes;
-        let arm = !full && !buf.2;
-        if arm {
-            buf.2 = true;
-        }
-        (full, arm)
+/// Post `parcel` as a descriptor into `from`'s submission ring toward
+/// `next`, ringing the doorbell when the batch threshold trips and arming
+/// the moderation timer when the ring transitions from empty.
+fn ring_submit(eng: &mut Engine<World>, from: LocalityId, next: LocalityId, parcel: Parcel) {
+    let now = eng.now();
+    let desc = Desc {
+        bytes: parcel.wire_size(),
+        item: parcel,
+        kind: "parcel",
+        enqueued: now,
     };
-    if full {
-        flush_coalesced(eng, from, next);
-    } else if arm_timer {
-        eng.schedule(ccfg.flush_after, move |eng| {
-            flush_coalesced(eng, from, next);
-        });
+    let rings = eng.state.rt[from as usize]
+        .parcel_rings
+        .as_mut()
+        .expect("ring_submit without rings configured");
+    let delay = rings.config().doorbell_delay;
+    match rings.push(next, desc) {
+        PushOutcome::Flush => ring_doorbell(eng, from, next),
+        PushOutcome::Armed(epoch) => {
+            eng.schedule(delay, move |eng| {
+                let due = eng.state.rt[from as usize]
+                    .parcel_rings
+                    .as_ref()
+                    .is_some_and(|r| r.timer_due(next, epoch));
+                if due {
+                    ring_doorbell(eng, from, next);
+                }
+            });
+        }
+        PushOutcome::Buffered => {}
     }
 }
 
-/// Send a destination's buffered parcels as one batch message.
-fn flush_coalesced(eng: &mut Engine<World>, from: LocalityId, next: LocalityId) {
-    let Some((parcels, bytes, _)) = eng.state.rt[from as usize].coalesce_buf.remove(&next) else {
-        return; // already flushed by the size trigger
-    };
-    if parcels.is_empty() {
+/// Ring the doorbell: drain `from`'s submission ring toward `next` and send
+/// the whole batch as one wire message (summed payloads + one shared header).
+fn ring_doorbell(eng: &mut Engine<World>, from: LocalityId, next: LocalityId) {
+    let descs = eng.state.rt[from as usize]
+        .parcel_rings
+        .as_mut()
+        .expect("doorbell without rings configured")
+        .drain(next);
+    if descs.is_empty() {
         return;
     }
     eng.state.rt[from as usize].stats.batches_sent += 1;
-    // One wire message: summed payloads + one shared header.
-    let wire = bytes as u32;
+    let now = eng.now();
+    eng.state.cluster.tracer.record(
+        now,
+        TraceKind::Doorbell {
+            at: from,
+            peer: next,
+            descs: descs.len() as u32,
+        },
+    );
+    let wire: u32 = descs.iter().map(|d| d.bytes).sum();
+    let parcels: Vec<Parcel> = descs.into_iter().map(|d| d.item).collect();
     send_user(eng, from, next, wire, Msg::ParcelBatch(parcels));
 }
 

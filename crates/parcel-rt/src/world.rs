@@ -7,7 +7,7 @@ use crate::sched;
 use agas::{GasConfig, GasLocal, GasMode, GasMsg, GasWorld, PgasMap};
 use netsim::{
     AmoResult, Cluster, Engine, Envelope, LocalityId, NackReason, NetConfig, OpError, OpId, OpKind,
-    OpTable, Packet, Protocol, ServerPool, Time,
+    OpTable, Packet, Protocol, RingConfig, RingSet, ServerPool, Time,
 };
 use photon::{PhotonConfig, PhotonEndpoint, PhotonMsg, PhotonWorld};
 use std::collections::HashMap;
@@ -18,29 +18,6 @@ pub const NO_COMPLETION: OpId = OpId::NONE;
 
 /// The Photon tag class parcels travel under on the ISIR transport.
 pub const PARCEL_TAG: u64 = 0x5041_5243; // "PARC"
-
-/// Parcel-coalescing parameters (the message-aggregation optimization the
-/// AM++/HPX graph papers lean on: batch small parcels per destination into
-/// one wire message, trading a bounded delay for per-message overhead).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct CoalesceConfig {
-    /// Flush a destination's buffer at this many parcels.
-    pub max_parcels: usize,
-    /// Flush at this many buffered payload bytes.
-    pub max_bytes: usize,
-    /// Flush a non-empty buffer after this delay regardless.
-    pub flush_after: Time,
-}
-
-impl Default for CoalesceConfig {
-    fn default() -> CoalesceConfig {
-        CoalesceConfig {
-            max_parcels: 16,
-            max_bytes: 8192,
-            flush_after: Time::from_us(5),
-        }
-    }
-}
 
 /// Which network backend carries parcels — HPX-5's `--hpx-network` knob.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -61,9 +38,13 @@ pub enum Transport {
 pub struct RtConfig {
     /// Parcel network backend.
     pub transport: Transport,
-    /// Per-destination parcel coalescing (PWC transport only; `None`
-    /// sends every parcel immediately).
-    pub coalesce: Option<CoalesceConfig>,
+    /// Per-destination parcel submission rings (PWC transport only; `None`
+    /// sends every parcel immediately). Parcels post as descriptors into
+    /// the shared [`netsim::ring`] layer and one doorbell per drain sends
+    /// the whole batch as a single wire message — the message-aggregation
+    /// optimization the AM++/HPX graph papers lean on, now expressed on
+    /// the same rings photon issues through.
+    pub ring: Option<RingConfig>,
     /// Worker threads per locality (the CPU pool shared by actions and GAS
     /// software handlers).
     pub workers: usize,
@@ -79,7 +60,7 @@ impl Default for RtConfig {
     fn default() -> RtConfig {
         RtConfig {
             transport: Transport::Pwc,
-            coalesce: None,
+            ring: None,
             workers: 4,
             action_base: Time::from_ns(800),
             recv_per_byte_ps: 25,
@@ -113,20 +94,32 @@ pub struct RtLocal {
     /// the APEX-style instrumentation HPX-5 shipped.
     pub action_profile: HashMap<u32, (u64, Time)>,
     pub(crate) next_lco_seq: u64,
-    /// Per-destination coalescing buffers: (parcels, payload bytes,
-    /// flush-timer armed).
-    pub(crate) coalesce_buf: HashMap<LocalityId, (Vec<Parcel>, usize, bool)>,
+    /// Per-destination parcel submission rings (present when
+    /// [`RtConfig::ring`] is set).
+    pub(crate) parcel_rings: Option<RingSet<Parcel>>,
 }
 
 impl RtLocal {
-    fn new() -> RtLocal {
+    fn new(ring: Option<RingConfig>) -> RtLocal {
         RtLocal {
             lcos: HashMap::new(),
             stats: RtStats::default(),
             action_profile: HashMap::new(),
             next_lco_seq: 0,
-            coalesce_buf: HashMap::new(),
+            parcel_rings: ring.map(RingSet::new),
         }
+    }
+
+    /// Parcels currently buffered in this locality's submission rings.
+    pub fn ring_occupancy(&self) -> usize {
+        self.parcel_rings.as_ref().map_or(0, RingSet::occupancy)
+    }
+
+    /// Pooled ring counters for this locality's parcel rings.
+    pub fn ring_stats(&self) -> netsim::RingStats {
+        self.parcel_rings
+            .as_ref()
+            .map_or_else(Default::default, RingSet::stats)
     }
 }
 
@@ -210,7 +203,7 @@ impl World {
             cpus: (0..n).map(|_| ServerPool::new(rtcfg.workers)).collect(),
             pgas_map: PgasMap::new(),
             mode,
-            rt: (0..n).map(|_| RtLocal::new()).collect(),
+            rt: (0..n).map(|_| RtLocal::new(rtcfg.ring)).collect(),
             rtcfg,
             registry: Rc::new(registry),
             balancer_stats: crate::balancer::BalancerStats::default(),
@@ -304,6 +297,8 @@ impl World {
             total.deadline_exceeded += s.deadline_exceeded;
             total.deadline_retries += s.deadline_retries;
             total.ops_failed += s.ops_failed;
+            total.shm_ops += s.shm_ops;
+            total.shm_bytes += s.shm_bytes;
         }
         total
     }

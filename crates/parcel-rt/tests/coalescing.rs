@@ -1,17 +1,19 @@
-//! Parcel coalescing: batching small parcels per destination.
+//! Parcel batching through the shared descriptor-ring layer: small parcels
+//! per destination ride one doorbell per drained batch.
 
 use agas::{Distribution, GasMode};
-use netsim::Time;
-use parcel_rt::{CoalesceConfig, RtConfig, Runtime};
+use netsim::{RingConfig, Time};
+use parcel_rt::{RtConfig, Runtime};
 use std::cell::Cell;
 use std::rc::Rc;
 
-fn coalesced(max_parcels: usize, flush_after: Time) -> RtConfig {
+fn ringed(doorbell_batch: usize, doorbell_delay: Time) -> RtConfig {
     RtConfig {
-        coalesce: Some(CoalesceConfig {
-            max_parcels,
+        ring: Some(RingConfig {
+            doorbell_batch,
+            doorbell_delay,
             max_bytes: 1 << 20,
-            flush_after,
+            ..RingConfig::default()
         }),
         ..RtConfig::default()
     }
@@ -30,7 +32,7 @@ fn spawn_burst(
 }
 
 #[test]
-fn coalescing_delivers_everything() {
+fn ring_batching_delivers_everything() {
     let mut b = Runtime::builder(2, GasMode::AgasNetwork);
     let count = Rc::new(Cell::new(0u32));
     let c2 = count.clone();
@@ -38,7 +40,7 @@ fn coalescing_delivers_everything() {
         c2.set(c2.get() + 1);
         parcel_rt::reply(eng, &ctx, vec![]);
     });
-    let mut rt = b.rt_config(coalesced(8, Time::from_us(5))).boot();
+    let mut rt = b.rt_config(ringed(8, Time::from_us(5))).boot();
     let arr = rt.alloc(2, 12, Distribution::Cyclic);
     let gate = rt.new_and(0, 100);
     spawn_burst(&mut rt, &arr, bump, 100, gate);
@@ -49,20 +51,24 @@ fn coalescing_delivers_everything() {
     rt.assert_quiescent();
     assert!(fired.get());
     assert_eq!(count.get(), 100);
-    // 100 parcels in batches of ≤8: at least 13 batches, far fewer than 100
-    // wire messages.
+    // 100 parcels in batches of ≤8: at least 13 doorbells, far fewer than
+    // 100 wire messages.
     let stats = rt.eng.state.total_rt_stats();
     assert!(stats.batches_sent >= 13, "{}", stats.batches_sent);
+    // The shared ring layer saw those doorbells and coalesced descriptors.
+    let rs = rt.eng.state.rt[0].ring_stats();
+    assert!(rs.doorbells >= 13, "{rs:?}");
+    assert!(rs.coalesced > 0, "{rs:?}");
 }
 
 #[test]
-fn coalescing_cuts_message_count() {
-    let run = |coalesce: Option<CoalesceConfig>| {
+fn ring_batching_cuts_message_count() {
+    let run = |ring: Option<RingConfig>| {
         let mut b = Runtime::builder(2, GasMode::AgasNetwork);
         let bump = b.register("bump", |_, _| {});
         let mut rt = b
             .rt_config(RtConfig {
-                coalesce,
+                ring,
                 ..RtConfig::default()
             })
             .boot();
@@ -74,47 +80,47 @@ fn coalescing_cuts_message_count() {
         rt.counters().msgs_sent
     };
     let plain = run(None);
-    let batched = run(Some(CoalesceConfig::default()));
+    let batched = run(Some(RingConfig::default()));
     assert!(
         batched * 4 < plain,
-        "batched={batched} plain={plain}: coalescing should slash message count"
+        "batched={batched} plain={plain}: ring batching should slash message count"
     );
 }
 
 #[test]
-fn flush_timer_drains_partial_batches() {
+fn doorbell_timer_drains_partial_batches() {
     let mut b = Runtime::builder(2, GasMode::AgasNetwork);
     let count = Rc::new(Cell::new(0u32));
     let c2 = count.clone();
     let bump = b.register("bump", move |_, _| c2.set(c2.get() + 1));
-    // Huge thresholds: only the timer can flush.
-    let mut rt = b.rt_config(coalesced(1_000_000, Time::from_us(3))).boot();
+    // Huge thresholds: only the moderation timer can ring the doorbell.
+    let mut rt = b.rt_config(ringed(1_000_000, Time::from_us(3))).boot();
     let arr = rt.alloc(2, 12, Distribution::Cyclic);
     for _ in 0..5 {
         rt.spawn(0, arr.block(1), bump, vec![], None);
     }
     rt.run();
-    assert_eq!(count.get(), 5, "timer flush lost parcels");
+    assert_eq!(count.get(), 5, "timer doorbell lost parcels");
     assert_eq!(rt.eng.state.total_rt_stats().batches_sent, 1);
 }
 
 #[test]
-fn local_parcels_bypass_coalescing() {
+fn local_parcels_bypass_the_ring() {
     let mut b = Runtime::builder(2, GasMode::AgasNetwork);
     let hit = Rc::new(Cell::new(false));
     let h = hit.clone();
     let probe = b.register("probe", move |_, _| h.set(true));
-    let mut rt = b.rt_config(coalesced(1_000_000, Time::from_ms(10))).boot();
+    let mut rt = b.rt_config(ringed(1_000_000, Time::from_ms(10))).boot();
     let arr = rt.alloc(2, 12, Distribution::Cyclic);
-    // Block 0 is local to locality 0: must not sit in a buffer.
+    // Block 0 is local to locality 0: must not sit in a submission ring.
     rt.spawn(0, arr.block(0), probe, vec![], None);
     rt.eng.run_until(Time::from_us(50));
-    assert!(hit.get(), "local parcel stuck behind the coalescer");
+    assert!(hit.get(), "local parcel stuck behind the ring");
     rt.run();
 }
 
 #[test]
-fn coalescing_preserves_gups_checksum() {
+fn ring_batching_preserves_gups_checksum() {
     let cfg = workloads::gups::GupsConfig {
         cells_per_loc: 256,
         updates_per_loc: 200,
@@ -125,7 +131,7 @@ fn coalescing_preserves_gups_checksum() {
     let expect = workloads::gups::expected_checksum(&cfg, 3);
     let mut b = Runtime::builder(3, GasMode::AgasNetwork);
     workloads::gups::register_actions(&mut b);
-    let mut rt = b.rt_config(coalesced(16, Time::from_us(5))).boot();
+    let mut rt = b.rt_config(ringed(16, Time::from_us(5))).boot();
     let table = workloads::gups::alloc_table(&mut rt, &cfg);
     workloads::gups::run(&mut rt, &cfg, &table);
     assert_eq!(workloads::gups::table_checksum(&rt, &table), expect);

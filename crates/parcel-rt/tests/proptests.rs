@@ -2,7 +2,7 @@
 //! semantics against oracles, and coalescing/transport equivalence.
 
 use agas::{Distribution, GasMode};
-use parcel_rt::{ArgWriter, CoalesceConfig, ReduceOp, RtConfig, Runtime, Transport};
+use parcel_rt::{ArgWriter, ReduceOp, RingConfig, RtConfig, Runtime, Transport};
 use proptest::prelude::*;
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
@@ -90,7 +90,7 @@ proptest! {
                 .seed(seed)
                 .rt_config(RtConfig {
                     transport,
-                    coalesce: coalesce.then(CoalesceConfig::default),
+                    ring: coalesce.then(RingConfig::default),
                     ..RtConfig::default()
                 })
                 .boot();

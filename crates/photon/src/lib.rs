@@ -32,9 +32,9 @@ pub use matching::{MatchQueue, Unexpected, ANY_TAG};
 pub use rcache::RegCache;
 
 use netsim::{
-    rdma_amo, rdma_get, rdma_put, send_user, AmoKey, AmoOp, AmoReq, AmoResult, Engine, FaultClass,
-    GetReq, LocalityId, NackReason, OpId, OpKind, OpTable, Packet, PhysAddr, Protocol, PutReq,
-    RdmaTarget, Time,
+    rdma_amo, rdma_get, rdma_put, send_user, AmoKey, AmoOp, AmoReq, AmoResult, Desc, DescSnapshot,
+    Engine, FaultClass, GetReq, LocalityId, NackReason, OpId, OpKind, OpTable, Packet, PhysAddr,
+    Protocol, PushOutcome, PutReq, RdmaTarget, Ring, RingSet, RingStats, Time, TraceKind,
 };
 use std::collections::{HashMap, VecDeque};
 
@@ -98,11 +98,30 @@ pub struct PhotonStats {
     /// Control messages that violated the protocol state machine (e.g. a
     /// CTS for an unknown rendezvous send), dropped.
     pub protocol_violations: u64,
+    /// AMO descriptors that shared a submission doorbell with another AMO
+    /// to the same responder (only counted with the ring path enabled).
+    pub amo_batched: u64,
 }
 
 enum Pending {
     Pwc { ctx: OpId },
     RdvData { send_id: u64 },
+}
+
+/// A submission-ring descriptor payload: one not-yet-injected PWC op.
+enum RingOp {
+    Put(PutReq),
+    Get(GetReq),
+    Amo(AmoReq),
+}
+
+/// A completion buffered in the coalescing ring, waiting on the moderation
+/// timer or the batch threshold.
+enum CompEvent {
+    /// A `PutDone`/`GetDone` naming endpoint-table handle `op`.
+    Done { op: OpId },
+    /// An `AmoDone` with its fetched result.
+    AmoDone { op: OpId, result: AmoResult },
 }
 
 struct RdvSend {
@@ -134,6 +153,11 @@ pub struct PhotonEndpoint {
     rdv_recvs: HashMap<u64, RdvRecv>,
     next_send_id: u64,
     remote_ledger: VecDeque<(u64, u32)>,
+    /// Per-peer submission rings (`Some` iff [`PhotonConfig::ring`] is set).
+    subq: Option<RingSet<RingOp>>,
+    /// The completion-coalescing ring, moderated by
+    /// [`netsim::RingConfig::moderation`].
+    compq: Option<Ring<CompEvent>>,
 }
 
 impl PhotonEndpoint {
@@ -141,7 +165,6 @@ impl PhotonEndpoint {
     pub fn new(cfg: PhotonConfig) -> PhotonEndpoint {
         PhotonEndpoint {
             rcache: RegCache::new(&cfg),
-            cfg,
             stats: PhotonStats::default(),
             ops: OpTable::new(),
             matching: MatchQueue::new(),
@@ -151,6 +174,9 @@ impl PhotonEndpoint {
             rdv_recvs: HashMap::new(),
             next_send_id: 0,
             remote_ledger: VecDeque::new(),
+            subq: cfg.ring.map(RingSet::new),
+            compq: cfg.ring.map(Ring::new),
+            cfg,
         }
     }
 
@@ -197,6 +223,43 @@ impl PhotonEndpoint {
     /// The matching engine (exposed for tests and diagnostics).
     pub fn match_queue(&self) -> &MatchQueue {
         &self.matching
+    }
+
+    /// Descriptors waiting in the submission and completion rings (0 with
+    /// rings disabled) — drained work that has not yet entered the fabric
+    /// or reached its callback.
+    pub fn ring_occupancy(&self) -> usize {
+        self.subq.as_ref().map_or(0, RingSet::occupancy) + self.compq.as_ref().map_or(0, Ring::len)
+    }
+
+    /// Stuck-descriptor snapshots across both rings, for quiescence
+    /// reports. `loc` names this endpoint's locality (completion-ring
+    /// entries are local, so they report it as their peer).
+    pub fn ring_snapshots(&self, loc: LocalityId, now: Time) -> Vec<DescSnapshot> {
+        let mut out = self
+            .subq
+            .as_ref()
+            .map_or_else(Vec::new, |r| r.snapshots(now));
+        if let Some(c) = &self.compq {
+            out.extend(c.snapshots(loc, now));
+        }
+        out
+    }
+
+    /// Pooled doorbell/occupancy/coalesce counters across both rings.
+    pub fn ring_stats(&self) -> RingStats {
+        let mut total = self
+            .subq
+            .as_ref()
+            .map_or_else(RingStats::default, RingSet::stats);
+        if let Some(c) = &self.compq {
+            let cs = c.stats();
+            total.doorbells += cs.doorbells;
+            total.descs += cs.descs;
+            total.coalesced += cs.coalesced;
+            total.max_occupancy = total.max_occupancy.max(cs.max_occupancy);
+        }
+        total
     }
 
     /// Remaining eager credits toward `peer`.
@@ -278,6 +341,149 @@ fn size_class_for(len: u32) -> u8 {
     (u32::BITS - (needed - 1).leading_zeros()) as u8
 }
 
+// ------------------------------------------------------------------ rings
+
+/// Post one PWC op into the submission ring toward `dst`, flushing or
+/// arming the doorbell timer as the ring directs. Only called when
+/// [`PhotonConfig::ring`] is set.
+fn ring_submit<S: PhotonWorld>(
+    eng: &mut Engine<S>,
+    src: LocalityId,
+    dst: LocalityId,
+    item: RingOp,
+    bytes: u32,
+    kind: &'static str,
+) {
+    let now = eng.now();
+    let rings = eng
+        .state
+        .endpoint(src)
+        .subq
+        .as_mut()
+        .expect("ring_submit with rings disabled");
+    let outcome = rings.push(
+        dst,
+        Desc {
+            item,
+            bytes,
+            kind,
+            enqueued: now,
+        },
+    );
+    match outcome {
+        PushOutcome::Flush => ring_doorbell(eng, src, dst),
+        PushOutcome::Armed(epoch) => {
+            let delay = rings.config().doorbell_delay;
+            eng.schedule(delay, move |eng| {
+                let due = eng
+                    .state
+                    .endpoint(src)
+                    .subq
+                    .as_ref()
+                    .is_some_and(|r| r.timer_due(dst, epoch));
+                if due {
+                    ring_doorbell(eng, src, dst);
+                }
+            });
+        }
+        PushOutcome::Buffered => {}
+    }
+}
+
+/// Ring the submission doorbell toward `dst`: drain the ring and inject
+/// every descriptor, in post order, under this one event.
+fn ring_doorbell<S: PhotonWorld>(eng: &mut Engine<S>, src: LocalityId, dst: LocalityId) {
+    let batch = match eng.state.endpoint(src).subq.as_mut() {
+        Some(rings) => rings.drain(dst),
+        None => return,
+    };
+    if batch.is_empty() {
+        return;
+    }
+    let now = eng.now();
+    eng.state.cluster().tracer.record(
+        now,
+        TraceKind::Doorbell {
+            at: src,
+            peer: dst,
+            descs: batch.len() as u32,
+        },
+    );
+    let amos = batch
+        .iter()
+        .filter(|d| matches!(d.item, RingOp::Amo(_)))
+        .count() as u64;
+    if amos >= 2 {
+        eng.state.endpoint(src).stats.amo_batched += amos;
+        netsim::telemetry::record_amo_batched(amos);
+    }
+    for desc in batch {
+        match desc.item {
+            RingOp::Put(req) => rdma_put(eng, src, req),
+            RingOp::Get(req) => rdma_get(eng, src, req),
+            RingOp::Amo(req) => rdma_amo(eng, src, req),
+        }
+    }
+}
+
+/// Buffer one NIC completion in the coalescing ring, flushing or arming
+/// the moderation timer as the ring directs. Only called when
+/// [`PhotonConfig::ring`] is set.
+fn ring_coalesce_completion<S: PhotonWorld>(eng: &mut Engine<S>, at: LocalityId, ev: CompEvent) {
+    let now = eng.now();
+    let ring = eng
+        .state
+        .endpoint(at)
+        .compq
+        .as_mut()
+        .expect("completion coalescing with rings disabled");
+    let outcome = ring.push(Desc {
+        item: ev,
+        bytes: 0,
+        kind: "completion",
+        enqueued: now,
+    });
+    match outcome {
+        PushOutcome::Flush => ring_deliver_completions(eng, at),
+        PushOutcome::Armed(epoch) => {
+            let moderation = eng
+                .state
+                .endpoint(at)
+                .cfg
+                .ring
+                .expect("ring cfg")
+                .moderation;
+            eng.schedule(moderation, move |eng| {
+                let due = eng
+                    .state
+                    .endpoint(at)
+                    .compq
+                    .as_ref()
+                    .is_some_and(|r| r.timer_due(epoch));
+                if due {
+                    ring_deliver_completions(eng, at);
+                }
+            });
+        }
+        PushOutcome::Buffered => {}
+    }
+}
+
+/// The coalesced interrupt: drain the completion ring and deliver every
+/// buffered completion through the normal endpoint-table path.
+fn ring_deliver_completions<S: PhotonWorld>(eng: &mut Engine<S>, at: LocalityId) {
+    let batch = match eng.state.endpoint(at).compq.as_mut() {
+        Some(ring) => ring.drain(),
+        None => return,
+    };
+    for desc in batch {
+        match desc.item {
+            CompEvent::Done { op } => deliver_done(eng, at, op),
+            CompEvent::AmoDone { op, result } => deliver_amo_done(eng, at, op, result),
+        }
+    }
+}
+
 // ------------------------------------------------------------------ PWC
 
 /// One-sided put with completion. `ctx` returns via
@@ -307,23 +513,26 @@ pub fn pwc_put<S: PhotonWorld>(
         None => Time::ZERO,
     };
     let ttl = eng.state.cluster_ref().config.forward_ttl;
+    let ring_enabled = cfg.ring.is_some();
     // The wire token *is* the endpoint-table handle: the completion or
     // NACK echoes it back, and a stale echo fails the generation check.
     let op = eng.state.endpoint(src).ops.insert(Pending::Pwc { ctx });
     eng.schedule(reg_delay, move |eng| {
-        rdma_put(
-            eng,
-            src,
-            PutReq {
-                target: dst,
-                dst: target,
-                data,
-                op,
-                remote_tag,
-                ttl,
-                class: FaultClass::Request,
-            },
-        );
+        let bytes = data.len() as u32;
+        let req = PutReq {
+            target: dst,
+            dst: target,
+            data,
+            op,
+            remote_tag,
+            ttl,
+            class: FaultClass::Request,
+        };
+        if ring_enabled {
+            ring_submit(eng, src, dst, RingOp::Put(req), bytes, "put");
+        } else {
+            rdma_put(eng, src, req);
+        }
     });
     op
 }
@@ -351,21 +560,23 @@ pub fn pwc_get<S: PhotonWorld>(
         None => Time::ZERO,
     };
     let ttl = eng.state.cluster_ref().config.forward_ttl;
+    let ring_enabled = cfg.ring.is_some();
     let op = eng.state.endpoint(src).ops.insert(Pending::Pwc { ctx });
     eng.schedule(reg_delay, move |eng| {
-        rdma_get(
-            eng,
-            src,
-            GetReq {
-                target: dst,
-                src: target,
-                len,
-                local,
-                op,
-                ttl,
-                class: FaultClass::Request,
-            },
-        );
+        let req = GetReq {
+            target: dst,
+            src: target,
+            len,
+            local,
+            op,
+            ttl,
+            class: FaultClass::Request,
+        };
+        if ring_enabled {
+            ring_submit(eng, src, dst, RingOp::Get(req), len, "get");
+        } else {
+            rdma_get(eng, src, req);
+        }
     });
     op
 }
@@ -391,22 +602,25 @@ pub fn pwc_amo<S: PhotonWorld>(
 ) -> OpId {
     let ep = eng.state.endpoint(src);
     ep.stats.pwc_amos += 1;
+    let ring_enabled = ep.cfg.ring.is_some();
     let ttl = eng.state.cluster_ref().config.forward_ttl;
     let op = eng.state.endpoint(src).ops.insert(Pending::Pwc { ctx });
-    rdma_amo(
-        eng,
-        src,
-        AmoReq {
-            target: dst,
-            block,
-            offset,
-            amo,
-            key,
-            op,
-            ttl,
-            class: FaultClass::Request,
-        },
-    );
+    let wire = 8 * amo.wire_words() as u32;
+    let req = AmoReq {
+        target: dst,
+        block,
+        offset,
+        amo,
+        key,
+        op,
+        ttl,
+        class: FaultClass::Request,
+    };
+    if ring_enabled {
+        ring_submit(eng, src, dst, RingOp::Amo(req), wire, "amo");
+    } else {
+        rdma_amo(eng, src, req);
+    }
     op
 }
 
@@ -664,23 +878,19 @@ pub fn handle_completion<S: PhotonWorld>(
 ) {
     match packet {
         Packet::PutDone { op } | Packet::GetDone { op } => {
-            match eng.state.endpoint(at).ops.remove(op) {
-                Ok(Pending::Pwc { ctx }) => S::pwc_complete(eng, at, ctx),
-                Ok(Pending::RdvData { send_id }) => S::send_complete(eng, at, send_id),
-                // Stale or unknown handle (slot already retired): a late
-                // duplicate, or the op was dropped by fault injection.
-                Err(_) => eng.state.endpoint(at).stats.stale_completions += 1,
+            if eng.state.endpoint(at).compq.is_some() {
+                ring_coalesce_completion(eng, at, CompEvent::Done { op });
+            } else {
+                deliver_done(eng, at, op);
             }
         }
-        Packet::AmoDone { op, result } => match eng.state.endpoint(at).ops.remove(op) {
-            Ok(Pending::Pwc { ctx }) => S::pwc_amo_complete(eng, at, ctx, result),
-            Ok(Pending::RdvData { .. }) => {
-                // Rendezvous data never issues AMOs; an AmoDone naming a
-                // rendezvous op is a protocol violation, not a crash.
-                eng.state.endpoint(at).stats.protocol_violations += 1;
+        Packet::AmoDone { op, result } => {
+            if eng.state.endpoint(at).compq.is_some() {
+                ring_coalesce_completion(eng, at, CompEvent::AmoDone { op, result });
+            } else {
+                deliver_amo_done(eng, at, op, result);
             }
-            Err(_) => eng.state.endpoint(at).stats.stale_completions += 1,
-        },
+        }
         Packet::RemoteNote { tag, len } => {
             if tag & RDV_NOTE_BIT != 0 {
                 let send_id = tag & !RDV_NOTE_BIT;
@@ -730,6 +940,35 @@ pub fn handle_completion<S: PhotonWorld>(
     }
 }
 
+/// Deliver one `PutDone`/`GetDone` through the endpoint table.
+fn deliver_done<S: PhotonWorld>(eng: &mut Engine<S>, at: LocalityId, op: OpId) {
+    match eng.state.endpoint(at).ops.remove(op) {
+        Ok(Pending::Pwc { ctx }) => S::pwc_complete(eng, at, ctx),
+        Ok(Pending::RdvData { send_id }) => S::send_complete(eng, at, send_id),
+        // Stale or unknown handle (slot already retired): a late
+        // duplicate, or the op was dropped by fault injection.
+        Err(_) => eng.state.endpoint(at).stats.stale_completions += 1,
+    }
+}
+
+/// Deliver one `AmoDone` through the endpoint table.
+fn deliver_amo_done<S: PhotonWorld>(
+    eng: &mut Engine<S>,
+    at: LocalityId,
+    op: OpId,
+    result: AmoResult,
+) {
+    match eng.state.endpoint(at).ops.remove(op) {
+        Ok(Pending::Pwc { ctx }) => S::pwc_amo_complete(eng, at, ctx, result),
+        Ok(Pending::RdvData { .. }) => {
+            // Rendezvous data never issues AMOs; an AmoDone naming a
+            // rendezvous op is a protocol violation, not a crash.
+            eng.state.endpoint(at).stats.protocol_violations += 1;
+        }
+        Err(_) => eng.state.endpoint(at).stats.stale_completions += 1,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -744,6 +983,7 @@ mod tests {
         PwcDone(u64),
         PwcRemote(u64, u32),
         PwcFail(u64),
+        AmoDone(u64, u64),
         Recv { src: u32, tag: u64, len: usize },
         SendDone(u64),
     }
@@ -828,10 +1068,24 @@ mod tests {
             let now = eng.now();
             eng.state.events.push((now, loc, Event::SendDone(send_id)));
         }
+        fn pwc_amo_complete(eng: &mut Engine<Self>, loc: LocalityId, ctx: OpId, result: AmoResult) {
+            let now = eng.now();
+            eng.state
+                .events
+                .push((now, loc, Event::AmoDone(ctx.raw(), result.old)));
+        }
     }
 
     fn world(n: usize) -> Engine<World> {
         Engine::new(World::new(n, PhotonConfig::default()), 5)
+    }
+
+    fn ring_world(n: usize, ring: netsim::RingConfig) -> Engine<World> {
+        let pcfg = PhotonConfig {
+            ring: Some(ring),
+            ..PhotonConfig::default()
+        };
+        Engine::new(World::new(n, pcfg), 5)
     }
 
     fn events_of(eng: &Engine<World>, loc: LocalityId) -> Vec<&Event> {
@@ -1216,6 +1470,184 @@ mod tests {
         assert_eq!(eng.state.eps[0].outstanding_ops(), 0);
         let stats = eng.state.cluster.faults.as_ref().unwrap().stats;
         assert_eq!(stats.duplicated, 3, "one request dup + one dup per ack");
+    }
+
+    fn install_block(eng: &mut Engine<World>, loc: LocalityId, block: u64) -> PhysAddr {
+        let base = eng.state.cluster.mem_mut(loc).alloc_block(12).unwrap();
+        eng.state.cluster.install_xlate(
+            loc,
+            block,
+            XlateEntry {
+                base,
+                len: 4096,
+                generation: 1,
+            },
+        );
+        base
+    }
+
+    #[test]
+    fn ring_batches_puts_under_one_doorbell() {
+        let mut eng = ring_world(
+            2,
+            netsim::RingConfig {
+                doorbell_batch: 4,
+                ..netsim::RingConfig::default()
+            },
+        );
+        let base = install_block(&mut eng, 1, 77);
+        for i in 0..4u64 {
+            pwc_put(
+                &mut eng,
+                0,
+                1,
+                RdmaTarget::Virt {
+                    block: 77,
+                    offset: i * 64,
+                },
+                vec![i as u8 + 1; 64],
+                OpId::from_raw(i),
+                None,
+                None,
+            );
+        }
+        eng.run();
+        for i in 0..4u64 {
+            assert_eq!(
+                eng.state.cluster.mem(1).read(base + i * 64, 64).unwrap(),
+                &[i as u8 + 1; 64][..]
+            );
+            assert!(events_of(&eng, 0).contains(&&Event::PwcDone(i)));
+        }
+        let stats = eng.state.eps[0].ring_stats();
+        // Four descriptors entered the fabric under a single submission
+        // doorbell (completions add their own ring doorbells).
+        assert!(stats.descs >= 4, "expected 4+ descs, got {stats:?}");
+        assert!(stats.coalesced >= 3, "expected coalescing, got {stats:?}");
+        assert_eq!(eng.state.eps[0].ring_occupancy(), 0);
+        assert_eq!(eng.state.eps[0].outstanding_ops(), 0);
+    }
+
+    #[test]
+    fn ring_doorbell_timer_flushes_partial_batch() {
+        let mut eng = ring_world(2, netsim::RingConfig::default());
+        let base = install_block(&mut eng, 1, 9);
+        // Two puts: far below the 16-descriptor batch, so only the
+        // doorbell_delay timer can inject them.
+        for i in 0..2u64 {
+            pwc_put(
+                &mut eng,
+                0,
+                1,
+                RdmaTarget::Virt {
+                    block: 9,
+                    offset: i * 8,
+                },
+                vec![0xEE; 8],
+                OpId::from_raw(i),
+                None,
+                None,
+            );
+        }
+        eng.run();
+        assert_eq!(
+            eng.state.cluster.mem(1).read(base, 8).unwrap(),
+            &[0xEE; 8][..]
+        );
+        assert!(events_of(&eng, 0).contains(&&Event::PwcDone(0)));
+        assert!(events_of(&eng, 0).contains(&&Event::PwcDone(1)));
+        assert_eq!(eng.state.eps[0].ring_occupancy(), 0);
+        // Ring-path latency includes the doorbell delay.
+        let done_at = eng
+            .state
+            .events
+            .iter()
+            .find(|(_, l, e)| *l == 0 && matches!(e, Event::PwcDone(0)))
+            .map(|(t, _, _)| *t)
+            .unwrap();
+        assert!(done_at >= netsim::RingConfig::default().doorbell_delay);
+    }
+
+    #[test]
+    fn ring_batches_amos_and_counts_them() {
+        let mut eng = ring_world(
+            2,
+            netsim::RingConfig {
+                doorbell_batch: 3,
+                ..netsim::RingConfig::default()
+            },
+        );
+        let base = install_block(&mut eng, 1, 5);
+        eng.state
+            .cluster
+            .mem_mut(1)
+            .write(base, &7u64.to_le_bytes())
+            .unwrap();
+        for i in 0..3u64 {
+            pwc_amo(
+                &mut eng,
+                0,
+                1,
+                5,
+                0,
+                AmoOp::FetchAdd { operand: 1 },
+                (0, 1000 + i),
+                OpId::from_raw(i),
+            );
+        }
+        eng.run();
+        let olds: Vec<u64> = eng
+            .state
+            .events
+            .iter()
+            .filter_map(|(_, l, e)| match e {
+                Event::AmoDone(_, old) if *l == 0 => Some(*old),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(olds, vec![7, 8, 9], "FIFO ring order preserves AMO order");
+        assert_eq!(eng.state.eps[0].stats.amo_batched, 3);
+        assert_eq!(eng.state.eps[0].outstanding_ops(), 0);
+    }
+
+    #[test]
+    fn ring_disabled_matches_legacy_issue_path() {
+        // The same workload with and without a never-batching ring: the
+        // ring adds scheduling hops but must not change outcomes.
+        let outcome = |ring: Option<netsim::RingConfig>| {
+            let pcfg = PhotonConfig {
+                ring,
+                ..PhotonConfig::default()
+            };
+            let mut eng = Engine::new(World::new(2, pcfg), 5);
+            let base = install_block(&mut eng, 1, 77);
+            for i in 0..5u64 {
+                pwc_put(
+                    &mut eng,
+                    0,
+                    1,
+                    RdmaTarget::Virt {
+                        block: 77,
+                        offset: i * 8,
+                    },
+                    vec![i as u8; 8],
+                    OpId::from_raw(i),
+                    None,
+                    None,
+                );
+            }
+            eng.run();
+            let mem: Vec<u8> = eng.state.cluster.mem(1).read(base, 40).unwrap().to_vec();
+            let dones = events_of(&eng, 0).len();
+            (mem, dones)
+        };
+        let plain = outcome(None);
+        let ringed = outcome(Some(netsim::RingConfig {
+            doorbell_batch: 1,
+            ..netsim::RingConfig::default()
+        }));
+        assert_eq!(plain.0, ringed.0);
+        assert_eq!(plain.1, ringed.1);
     }
 }
 

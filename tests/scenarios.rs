@@ -4,14 +4,14 @@
 
 use nmvgas::workloads::{bfs, gups, skew, transpose};
 use nmvgas::{Distribution, GasMode, NetConfig, Runtime, Time};
-use parcel_rt::{BalancerConfig, CoalesceConfig, RtConfig, Transport};
+use parcel_rt::{BalancerConfig, RingConfig, RtConfig, Transport};
 use std::cell::RefCell;
 use std::rc::Rc;
 
 fn rtcfg(transport: Transport, coalesce: bool) -> RtConfig {
     RtConfig {
         transport,
-        coalesce: coalesce.then(CoalesceConfig::default),
+        ring: coalesce.then(RingConfig::default),
         ..RtConfig::default()
     }
 }
