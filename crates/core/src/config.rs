@@ -1,6 +1,6 @@
 //! GAS-layer tuning parameters.
 
-use netsim::Time;
+use netsim::{RingConfig, Time};
 
 /// Which global-address-space implementation is active.
 ///
@@ -78,6 +78,12 @@ pub struct GasConfig {
     /// [`crate::GasLocal::history`] for the serializability checker. Off by
     /// default (zero cost, zero memory growth).
     pub record_history: bool,
+    /// Post migration/free control traffic (requests, acks, directory
+    /// commits) through per-peer descriptor rings instead of one ad-hoc
+    /// send per message, sharing doorbells exactly like the data path.
+    /// `None` (the default) keeps the pre-ring schedules bit-identical
+    /// for the golden trace pins.
+    pub ctrl_ring: Option<RingConfig>,
 }
 
 impl Default for GasConfig {
@@ -94,6 +100,7 @@ impl Default for GasConfig {
             sweep_interval: Time::from_ns(2_000),
             retry_on_deadline: false,
             record_history: false,
+            ctrl_ring: None,
         }
     }
 }

@@ -240,6 +240,10 @@ pub enum GasMsg {
         /// The freed block.
         block: u64,
     },
+    /// Several control messages toward one peer that shared a doorbell on
+    /// the sender's control ring ([`GasConfig::ctrl_ring`]): one wire
+    /// message, unpacked and dispatched in post order at the receiver.
+    CtrlBatch(Vec<GasMsg>),
 }
 
 /// GAS-layer statistics (per locality).
@@ -445,6 +449,9 @@ pub struct GasLocal {
     /// checked by [`check::check_word_history_events`]; workloads keep
     /// them disjoint from put/get slots.
     pub word_history: Vec<WordEvent>,
+    /// Per-peer control-message rings ([`GasConfig::ctrl_ring`]):
+    /// migration/free protocol traffic batches here and shares doorbells.
+    pub(crate) ctrl_rings: Option<netsim::RingSet<GasMsg>>,
     pub(crate) pending: OpTable<PendingOp>,
     pub(crate) next_seq: HashMap<u8, u64>,
     pub(crate) moving: HashMap<u64, MovingState>,
@@ -471,6 +478,7 @@ impl GasLocal {
             outcomes: OutcomeCounters::default(),
             history: Vec::new(),
             word_history: Vec::new(),
+            ctrl_rings: cfg.ctrl_ring.map(netsim::RingSet::new),
             pending: OpTable::new(),
             next_seq: HashMap::new(),
             moving: HashMap::new(),
@@ -497,6 +505,30 @@ impl GasLocal {
     /// `false` when [`GasConfig::op_deadline`] is `None`.
     pub fn sweep_armed(&self) -> bool {
         self.sweep_armed
+    }
+
+    /// Buffered control descriptors across this locality's migration
+    /// control rings (0 when [`GasConfig::ctrl_ring`] is off).
+    pub fn ctrl_ring_occupancy(&self) -> usize {
+        self.ctrl_rings
+            .as_ref()
+            .map_or(0, netsim::RingSet::occupancy)
+    }
+
+    /// Stuck-descriptor snapshots of the control rings, for quiescence
+    /// reports.
+    pub fn ctrl_ring_snapshots(&self, now: Time) -> Vec<netsim::DescSnapshot> {
+        self.ctrl_rings
+            .as_ref()
+            .map_or_else(Vec::new, |r| r.snapshots(now))
+    }
+
+    /// Per-peer effective doorbell batch of the control rings' AIMD
+    /// controllers (empty when adaptive batching is off).
+    pub fn ctrl_ring_eff_batches(&self) -> Vec<(LocalityId, usize)> {
+        self.ctrl_rings
+            .as_ref()
+            .map_or_else(Vec::new, netsim::RingSet::eff_batches)
     }
 
     /// Diagnostic snapshots of every in-flight op issued here, in slot

@@ -27,9 +27,84 @@
 
 use crate::gva::Gva;
 use crate::{GasMode, GasMsg, GasWorld, MovingState, PendingInstall};
-use netsim::{send_user, Engine, LocalityId, OpId, Time, XlateEntry};
+use netsim::{send_user, Desc, Engine, LocalityId, OpId, PushOutcome, Time, XlateEntry};
 
 const MAX_ROUTE_HOPS: u8 = 64;
+
+/// Send one migration/free *control* message from `src` to `dst`.
+///
+/// With [`crate::GasConfig::ctrl_ring`] set, the message posts into the
+/// sender's per-peer control ring and shares a doorbell with other control
+/// traffic toward the same peer — batches travel as one
+/// [`GasMsg::CtrlBatch`] wire message. With rings off (the default) this
+/// is exactly the old ad-hoc `send_user`, so every golden schedule is
+/// unchanged. Bulk `MigData` payloads and queued data-path accesses never
+/// ride the control ring.
+pub(crate) fn send_ctrl<S: GasWorld>(
+    eng: &mut Engine<S>,
+    src: LocalityId,
+    dst: LocalityId,
+    bytes: u32,
+    msg: GasMsg,
+) {
+    let now = eng.now();
+    let g = eng.state.gas(src);
+    let Some(rings) = g.ctrl_rings.as_mut() else {
+        send_user(eng, src, dst, bytes, S::wrap_gas(msg));
+        return;
+    };
+    netsim::telemetry::record_migration_ring(1);
+    match rings.push(
+        dst,
+        Desc {
+            item: msg,
+            bytes,
+            kind: "migrate",
+            enqueued: now,
+        },
+    ) {
+        PushOutcome::Flush => ctrl_doorbell(eng, src, dst),
+        PushOutcome::Armed(epoch) => {
+            // Arm the doorbell timer on the *sender's* lane; the epoch
+            // guard stands the timer down if a flush got there first.
+            let delay = rings.effective_delay(dst);
+            eng.schedule_at_loc(now + delay, src, move |eng| {
+                let due = eng
+                    .state
+                    .gas(src)
+                    .ctrl_rings
+                    .as_ref()
+                    .is_some_and(|r| r.timer_due(dst, epoch));
+                if due {
+                    ctrl_doorbell(eng, src, dst);
+                }
+            });
+        }
+        PushOutcome::Buffered => {}
+    }
+}
+
+/// Ring the control-ring doorbell toward `dst`: drain the ring and put
+/// the whole batch on the wire as one message.
+fn ctrl_doorbell<S: GasWorld>(eng: &mut Engine<S>, src: LocalityId, dst: LocalityId) {
+    let batch = eng
+        .state
+        .gas(src)
+        .ctrl_rings
+        .as_mut()
+        .map_or_else(Vec::new, |r| r.drain(dst));
+    if batch.is_empty() {
+        return;
+    }
+    let bytes: u32 = batch.iter().map(|d| d.bytes).sum();
+    let mut msgs: Vec<GasMsg> = batch.into_iter().map(|d| d.item).collect();
+    let wire = if msgs.len() == 1 {
+        msgs.pop().expect("one-element batch")
+    } else {
+        GasMsg::CtrlBatch(msgs)
+    };
+    send_user(eng, src, dst, bytes, S::wrap_gas(wire));
+}
 
 /// Request that `gva`'s block move to `dst`. Completion arrives via
 /// [`GasWorld::gas_migrate_done`] with `ctx`. Panics in PGAS mode (static
@@ -48,18 +123,18 @@ pub fn migrate_block<S: GasWorld>(
     let block = gva.block_key();
     let home = gva.home();
     let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
-    send_user(
+    send_ctrl(
         eng,
         loc,
         home,
         ctrl,
-        S::wrap_gas(GasMsg::MigRequest {
+        GasMsg::MigRequest {
             block,
             dst,
             ctx,
             reply_to: loc,
             hops: 0,
-        }),
+        },
     );
 }
 
@@ -85,13 +160,7 @@ pub(crate) fn on_mig_request<S: GasWorld>(
     if let Some(entry) = g.btt.lookup(block) {
         if dst == at {
             // Already here: trivially complete.
-            send_user(
-                eng,
-                at,
-                reply_to,
-                ctrl,
-                S::wrap_gas(GasMsg::MigDone { ctx, block }),
-            );
+            send_ctrl(eng, at, reply_to, ctrl, GasMsg::MigDone { ctx, block });
             return;
         }
         if entry.pins > 0 {
@@ -130,18 +199,18 @@ pub(crate) fn on_mig_request<S: GasWorld>(
             } else {
                 owner
             };
-            send_user(
+            send_ctrl(
                 eng,
                 at,
                 next,
                 ctrl,
-                S::wrap_gas(GasMsg::MigRequest {
+                GasMsg::MigRequest {
                     block,
                     dst,
                     ctx,
                     reply_to,
                     hops: hops + 1,
-                }),
+                },
             );
         });
     } else {
@@ -166,18 +235,18 @@ fn resend_request_via_home<S: GasWorld>(
     let home = Gva(block).home();
     eng.schedule(delay, move |eng| {
         let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
-        send_user(
+        send_ctrl(
             eng,
             at,
             home,
             ctrl,
-            S::wrap_gas(GasMsg::MigRequest {
+            GasMsg::MigRequest {
                 block,
                 dst,
                 ctx,
                 reply_to,
                 hops: hops + 1,
-            }),
+            },
         );
     });
 }
@@ -333,17 +402,17 @@ pub(crate) fn on_mig_data<S: GasWorld>(
         eng.state.cluster().loc_mut(at).counters.migrations_in += 1;
         let home = Gva(block).home();
         let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
-        send_user(
+        send_ctrl(
             eng,
             at,
             home,
             ctrl,
-            S::wrap_gas(GasMsg::DirUpdate {
+            GasMsg::DirUpdate {
                 block,
                 owner: at,
                 generation,
                 reply_to: at,
-            }),
+            },
         );
     });
 }
@@ -357,19 +426,13 @@ pub(crate) fn on_dir_update_ack<S: GasWorld>(eng: &mut Engine<S>, at: LocalityId
         return;
     };
     let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
-    send_user(
-        eng,
-        at,
-        pi.old_owner,
-        ctrl,
-        S::wrap_gas(GasMsg::MigAck { block }),
-    );
-    send_user(
+    send_ctrl(eng, at, pi.old_owner, ctrl, GasMsg::MigAck { block });
+    send_ctrl(
         eng,
         at,
         pi.reply_to,
         ctrl,
-        S::wrap_gas(GasMsg::MigDone { ctx: pi.ctx, block }),
+        GasMsg::MigDone { ctx: pi.ctx, block },
     );
 }
 
@@ -403,17 +466,17 @@ pub fn free_block<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, gva: Gva, c
     let block = gva.block_key();
     let home = gva.home();
     let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
-    send_user(
+    send_ctrl(
         eng,
         loc,
         home,
         ctrl,
-        S::wrap_gas(GasMsg::FreeRequest {
+        GasMsg::FreeRequest {
             block,
             ctx,
             reply_to: loc,
             hops: 0,
-        }),
+        },
     );
 }
 
@@ -444,17 +507,17 @@ pub(crate) fn on_free_request<S: GasWorld>(
             let home = Gva(block).home();
             eng.schedule(backoff, move |eng| {
                 let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
-                send_user(
+                send_ctrl(
                     eng,
                     at,
                     home,
                     ctrl,
-                    S::wrap_gas(GasMsg::FreeRequest {
+                    GasMsg::FreeRequest {
                         block,
                         ctx,
                         reply_to,
                         hops: hops + 1,
-                    }),
+                    },
                 );
             });
             return;
@@ -475,34 +538,34 @@ pub(crate) fn on_free_request<S: GasWorld>(
         eng.schedule_at(finish, move |eng| {
             let owner = eng.state.gas(at).dir.lookup(block).owner;
             let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
-            send_user(
+            send_ctrl(
                 eng,
                 at,
                 owner,
                 ctrl,
-                S::wrap_gas(GasMsg::FreeRequest {
+                GasMsg::FreeRequest {
                     block,
                     ctx,
                     reply_to,
                     hops: hops + 1,
-                }),
+                },
             );
         });
     } else {
         let backoff = eng.state.gas(at).cfg.retry_backoff * (1u64 << hops.min(12));
         eng.schedule(backoff, move |eng| {
             let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
-            send_user(
+            send_ctrl(
                 eng,
                 at,
                 home,
                 ctrl,
-                S::wrap_gas(GasMsg::FreeRequest {
+                GasMsg::FreeRequest {
                     block,
                     ctx,
                     reply_to,
                     hops: hops + 1,
-                }),
+                },
             );
         });
     }
@@ -532,16 +595,16 @@ fn commit_free<S: GasWorld>(
     }
     let home = Gva(block).home();
     let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
-    send_user(
+    send_ctrl(
         eng,
         at,
         home,
         ctrl,
-        S::wrap_gas(GasMsg::DirUnregister {
+        GasMsg::DirUnregister {
             block,
             ctx,
             reply_to,
-        }),
+        },
     );
 }
 
@@ -565,13 +628,7 @@ pub(crate) fn on_dir_unregister<S: GasWorld>(
         eng.state.gas(at).dir.unregister(block);
         eng.state.pgas().remove(&block);
         let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
-        send_user(
-            eng,
-            at,
-            reply_to,
-            ctrl,
-            S::wrap_gas(GasMsg::FreeDone { ctx, block }),
-        );
+        send_ctrl(eng, at, reply_to, ctrl, GasMsg::FreeDone { ctx, block });
     });
 }
 
@@ -604,13 +661,7 @@ pub(crate) fn retry_deferred<S: GasWorld>(eng: &mut Engine<S>, at: LocalityId, b
     }
     if dst == at {
         let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
-        send_user(
-            eng,
-            at,
-            reply_to,
-            ctrl,
-            S::wrap_gas(GasMsg::MigDone { ctx, block }),
-        );
+        send_ctrl(eng, at, reply_to, ctrl, GasMsg::MigDone { ctx, block });
     } else {
         start_handoff(eng, at, block, dst, ctx, reply_to);
     }

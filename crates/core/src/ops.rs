@@ -35,8 +35,8 @@ use crate::{
     GasMode, GasMsg, GasWorld, HistEvent, HistKind, OpPayload, OpPhase, OwnerHint, PendingOp,
 };
 use netsim::{
-    send_user, send_user_classed, AmoKey, AmoOp, AmoResult, Engine, FaultClass, LocalityId,
-    NackReason, OpError, OpId, OpKind, OpOutcome, PhysAddr, RdmaTarget, ShmDomain, Time, TraceKind,
+    send_user_classed, AmoKey, AmoOp, AmoResult, Engine, FaultClass, LocalityId, NackReason,
+    OpError, OpId, OpKind, OpOutcome, PhysAddr, RdmaTarget, ShmDomain, Time, TraceKind,
 };
 use photon::{pwc_amo, pwc_get, pwc_put};
 
@@ -1528,16 +1528,18 @@ pub fn handle_msg<S: GasWorld>(eng: &mut Engine<S>, from: LocalityId, at: Locali
                     .dir
                     .update(block, crate::OwnerRec { owner, generation });
                 let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
-                send_user(
-                    eng,
-                    at,
-                    reply_to,
-                    ctrl,
-                    S::wrap_gas(GasMsg::DirUpdateAck { block }),
-                );
+                crate::migrate::send_ctrl(eng, at, reply_to, ctrl, GasMsg::DirUpdateAck { block });
             });
         }
         GasMsg::DirUpdateAck { block } => crate::migrate::on_dir_update_ack(eng, at, block),
+        GasMsg::CtrlBatch(msgs) => {
+            // A control-ring doorbell delivered several control messages in
+            // one wire message; unpack in post order so the batch behaves
+            // exactly like the same messages sent back-to-back.
+            for m in msgs {
+                handle_msg(eng, from, at, m);
+            }
+        }
         GasMsg::MigRequest {
             block,
             dst,

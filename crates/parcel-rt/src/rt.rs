@@ -486,7 +486,10 @@ impl Runtime {
     /// undelivered completions. Call after `run()` in tests/drivers to
     /// catch protocol leaks early. On failure one unified report lists
     /// every stuck item — GAS ops with kind, GVA, age, attempts, and last
-    /// protocol state; ring descriptors with kind, peer, bytes, and age.
+    /// protocol state; ring descriptors with kind, peer, bytes, and age —
+    /// followed by the adaptive-controller state ([`Self::controller_report`])
+    /// so a hang can be attributed to a mistuned batching controller at a
+    /// glance.
     pub fn assert_quiescent(&self) {
         let w = &self.eng.state;
         let now = self.eng.now();
@@ -500,15 +503,19 @@ impl Runtime {
                     stuck.push(format!("  locality {l}: {}", d.render()));
                 }
             }
+            for d in w.gas[l as usize].ctrl_ring_snapshots(now) {
+                stuck.push(format!("  locality {l}: {}", d.render()));
+            }
             for d in w.eps[l as usize].ring_snapshots(l, now) {
                 stuck.push(format!("  locality {l}: {}", d.render()));
             }
         }
         assert!(
             stuck.is_empty(),
-            "{} GAS op(s)/ring descriptor(s) still in flight after run():\n{}",
+            "{} GAS op(s)/ring descriptor(s) still in flight after run():\n{}\n{}",
             stuck.len(),
-            stuck.join("\n")
+            stuck.join("\n"),
+            self.controller_report()
         );
         for l in 0..w.cluster.len() as u32 {
             assert_eq!(
@@ -522,6 +529,36 @@ impl Runtime {
             "{} completions never fired",
             w.completions.len()
         );
+    }
+
+    /// Render the feedback-controller state: the effective barrier-window
+    /// multiplier and every ring's effective doorbell batch. The sequential
+    /// runtime always reports a ×1 window (adaptive lookahead lives in
+    /// [`netsim::ShardedEngine`]); per-ring lines appear only where an AIMD
+    /// controller is attached and list `(peer, effective batch)` pairs.
+    pub fn controller_report(&self) -> String {
+        let w = &self.eng.state;
+        let mut out = vec![
+            "controller state:".to_string(),
+            "  window multiplier: x1 (sequential engine)".to_string(),
+        ];
+        for l in 0..w.cluster.len() as u32 {
+            let parcel = w.rt[l as usize]
+                .parcel_rings
+                .as_ref()
+                .map_or_else(Vec::new, netsim::RingSet::eff_batches);
+            if !parcel.is_empty() {
+                out.push(format!("  locality {l}: parcel ring eff_batch {parcel:?}"));
+            }
+            let ctrl = w.gas[l as usize].ctrl_ring_eff_batches();
+            if !ctrl.is_empty() {
+                out.push(format!("  locality {l}: ctrl ring eff_batch {ctrl:?}"));
+            }
+        }
+        if out.len() == 2 {
+            out.push("  (no adaptive ring controllers attached)".to_string());
+        }
+        out.join("\n")
     }
 
     /// Cluster-wide hardware counters.

@@ -6,19 +6,24 @@
 //! the GAS software handlers — in software-AGAS mode remote memory traffic
 //! and application actions fight for the same cores, which is precisely
 //! the contention the network-managed design removes.
+//!
+//! Everything here is generic over [`RtWorld`], so the same scheduler
+//! drives the classic single-threaded [`crate::World`] and the lane-safe
+//! [`crate::ShardWorld`] running under a
+//! [`ShardedEngine`](netsim::ShardedEngine).
 
 use crate::lco::{self, LCO_CLASS};
 use crate::parcel::{ActionCtx, Parcel, ACTION_LCO_SET};
-use crate::world::{Msg, Transport, World, PARCEL_TAG};
-use agas::GasWorld;
+use crate::world::{RtWorld, Transport, PARCEL_TAG};
+
 use netsim::{send_user, Desc, Engine, LocalityId, PushOutcome, Time, TraceKind};
 
 const MAX_PARCEL_HOPS: u8 = 64;
 
 /// Inject `parcel` from `from`: route it toward the believed owner of its
 /// target and send (loop-back when the first hop is local).
-pub fn send_parcel(eng: &mut Engine<World>, from: LocalityId, parcel: Parcel) {
-    eng.state.rt[from as usize].stats.parcels_sent += 1;
+pub fn send_parcel<W: RtWorld>(eng: &mut Engine<W>, from: LocalityId, parcel: Parcel) {
+    eng.state.rt(from).stats.parcels_sent += 1;
     let first_hop = if parcel.target.class() == LCO_CLASS {
         parcel.target.home()
     } else {
@@ -31,20 +36,20 @@ pub fn send_parcel(eng: &mut Engine<World>, from: LocalityId, parcel: Parcel) {
 }
 
 /// Put a parcel on the wire toward `next` using the configured transport.
-pub(crate) fn transmit(
-    eng: &mut Engine<World>,
+pub(crate) fn transmit<W: RtWorld>(
+    eng: &mut Engine<W>,
     from: LocalityId,
     next: LocalityId,
     parcel: Parcel,
 ) {
-    match eng.state.rtcfg.transport {
+    match eng.state.rtcfg().transport {
         Transport::Pwc => {
-            if from != next && eng.state.rt[from as usize].parcel_rings.is_some() {
+            if from != next && eng.state.rt(from).parcel_rings.is_some() {
                 ring_submit(eng, from, next, parcel);
                 return;
             }
             let wire = parcel.wire_size();
-            send_user(eng, from, next, wire, Msg::Parcel(parcel));
+            send_user(eng, from, next, wire, W::wrap_parcel(parcel));
         }
         Transport::Isir => {
             // Serialize and go through the tag-matching two-sided path
@@ -58,7 +63,12 @@ pub(crate) fn transmit(
 /// Post `parcel` as a descriptor into `from`'s submission ring toward
 /// `next`, ringing the doorbell when the batch threshold trips and arming
 /// the moderation timer when the ring transitions from empty.
-fn ring_submit(eng: &mut Engine<World>, from: LocalityId, next: LocalityId, parcel: Parcel) {
+fn ring_submit<W: RtWorld>(
+    eng: &mut Engine<W>,
+    from: LocalityId,
+    next: LocalityId,
+    parcel: Parcel,
+) {
     let now = eng.now();
     let desc = Desc {
         bytes: parcel.wire_size(),
@@ -66,16 +76,28 @@ fn ring_submit(eng: &mut Engine<World>, from: LocalityId, next: LocalityId, parc
         kind: "parcel",
         enqueued: now,
     };
-    let rings = eng.state.rt[from as usize]
+    let rings = eng
+        .state
+        .rt(from)
         .parcel_rings
         .as_mut()
         .expect("ring_submit without rings configured");
-    let delay = rings.config().doorbell_delay;
     match rings.push(next, desc) {
         PushOutcome::Flush => ring_doorbell(eng, from, next),
         PushOutcome::Armed(epoch) => {
-            eng.schedule(delay, move |eng| {
-                let due = eng.state.rt[from as usize]
+            // The adaptive controller may have shrunk the effective batch
+            // — and with it the moderation delay — since construction.
+            let delay = eng
+                .state
+                .rt(from)
+                .parcel_rings
+                .as_ref()
+                .expect("rings vanished")
+                .effective_delay(next);
+            eng.schedule_at_loc(now + delay, from, move |eng| {
+                let due = eng
+                    .state
+                    .rt(from)
                     .parcel_rings
                     .as_ref()
                     .is_some_and(|r| r.timer_due(next, epoch));
@@ -90,8 +112,10 @@ fn ring_submit(eng: &mut Engine<World>, from: LocalityId, next: LocalityId, parc
 
 /// Ring the doorbell: drain `from`'s submission ring toward `next` and send
 /// the whole batch as one wire message (summed payloads + one shared header).
-fn ring_doorbell(eng: &mut Engine<World>, from: LocalityId, next: LocalityId) {
-    let descs = eng.state.rt[from as usize]
+fn ring_doorbell<W: RtWorld>(eng: &mut Engine<W>, from: LocalityId, next: LocalityId) {
+    let descs = eng
+        .state
+        .rt(from)
         .parcel_rings
         .as_mut()
         .expect("doorbell without rings configured")
@@ -99,9 +123,9 @@ fn ring_doorbell(eng: &mut Engine<World>, from: LocalityId, next: LocalityId) {
     if descs.is_empty() {
         return;
     }
-    eng.state.rt[from as usize].stats.batches_sent += 1;
+    eng.state.rt(from).stats.batches_sent += 1;
     let now = eng.now();
-    eng.state.cluster.tracer.record(
+    eng.state.cluster().tracer.record(
         now,
         TraceKind::Doorbell {
             at: from,
@@ -111,11 +135,16 @@ fn ring_doorbell(eng: &mut Engine<World>, from: LocalityId, next: LocalityId) {
     );
     let wire: u32 = descs.iter().map(|d| d.bytes).sum();
     let parcels: Vec<Parcel> = descs.into_iter().map(|d| d.item).collect();
-    send_user(eng, from, next, wire, Msg::ParcelBatch(parcels));
+    send_user(eng, from, next, wire, W::wrap_batch(parcels));
 }
 
 /// A parcel arrived at `dst` (called from the world's packet dispatch).
-pub fn parcel_arrive(eng: &mut Engine<World>, _src: LocalityId, dst: LocalityId, parcel: Parcel) {
+pub fn parcel_arrive<W: RtWorld>(
+    eng: &mut Engine<W>,
+    _src: LocalityId,
+    dst: LocalityId,
+    parcel: Parcel,
+) {
     // LCO parcels: handled at the LCO's home with a light CPU charge.
     if parcel.target.class() == LCO_CLASS {
         let home = parcel.target.home();
@@ -124,10 +153,10 @@ pub fn parcel_arrive(eng: &mut Engine<World>, _src: LocalityId, dst: LocalityId,
             return;
         }
         debug_assert_eq!(parcel.action, ACTION_LCO_SET, "non-set parcel at an LCO");
-        let service = eng.state.rtcfg.lco_op;
+        let service = eng.state.rtcfg().lco_op;
         let now = eng.now();
         let (_, finish) = eng.state.cpu(dst).admit(now, service);
-        eng.state.cluster.loc_mut(dst).counters.cpu_busy += service;
+        eng.state.cluster().loc_mut(dst).counters.cpu_busy += service;
         let (lco, value) = (parcel.target, parcel.args);
         eng.schedule_at(finish, move |eng| lco::apply(eng, dst, lco, value));
         return;
@@ -136,14 +165,16 @@ pub fn parcel_arrive(eng: &mut Engine<World>, _src: LocalityId, dst: LocalityId,
         agas::ops::Route::Local { .. } => {
             // Charge the action dispatch + argument handling to a worker.
             let (base_cost, per_byte) = {
-                let c = &eng.state.rtcfg;
+                let c = eng.state.rtcfg();
                 (c.action_base, c.recv_per_byte_ps)
             };
             let service = base_cost + Time::from_ps(parcel.args.len() as u64 * per_byte);
             let now = eng.now();
             let (_, finish) = eng.state.cpu(dst).admit(now, service);
-            eng.state.cluster.loc_mut(dst).counters.cpu_busy += service;
-            let prof = eng.state.rt[dst as usize]
+            eng.state.cluster().loc_mut(dst).counters.cpu_busy += service;
+            let prof = eng
+                .state
+                .rt(dst)
                 .action_profile
                 .entry(parcel.action.0)
                 .or_insert((0, Time::ZERO));
@@ -166,7 +197,7 @@ pub fn parcel_arrive(eng: &mut Engine<World>, _src: LocalityId, dst: LocalityId,
     }
 }
 
-fn forward(eng: &mut Engine<World>, at: LocalityId, mut parcel: Parcel, next: LocalityId) {
+fn forward<W: RtWorld>(eng: &mut Engine<W>, at: LocalityId, mut parcel: Parcel, next: LocalityId) {
     assert!(
         parcel.hops < MAX_PARCEL_HOPS,
         "parcel to {:?} forwarded {} times (routing loop?)",
@@ -174,7 +205,7 @@ fn forward(eng: &mut Engine<World>, at: LocalityId, mut parcel: Parcel, next: Lo
         parcel.hops
     );
     parcel.hops += 1;
-    eng.state.rt[at as usize].stats.parcels_forwarded += 1;
+    eng.state.rt(at).stats.parcels_forwarded += 1;
     // A long chase means the target block is churning: back off so the
     // migration can commit instead of racing our retransmissions.
     let delay = if parcel.hops > 4 {
@@ -182,20 +213,20 @@ fn forward(eng: &mut Engine<World>, at: LocalityId, mut parcel: Parcel, next: Lo
     } else {
         Time::ZERO
     };
-    eng.schedule(delay, move |eng| {
+    let now = eng.now();
+    eng.schedule_at_loc(now + delay, at, move |eng| {
         transmit(eng, at, next, parcel);
     });
 }
 
 /// Run the action: pin the target block, invoke the handler, unpin.
-fn execute(eng: &mut Engine<World>, dst: LocalityId, parcel: Parcel) {
+fn execute<W: RtWorld>(eng: &mut Engine<W>, dst: LocalityId, parcel: Parcel) {
     let Some((base, class)) = agas::ops::pin(&mut eng.state, dst, parcel.target) else {
         // The block moved while the parcel queued; chase it.
         parcel_arrive(eng, dst, dst, parcel);
         return;
     };
-    eng.state.rt[dst as usize].stats.parcels_executed += 1;
-    let registry = eng.state.registry.clone();
+    eng.state.rt(dst).stats.parcels_executed += 1;
     let target = parcel.target;
     let ctx = ActionCtx {
         loc: dst,
@@ -206,13 +237,13 @@ fn execute(eng: &mut Engine<World>, dst: LocalityId, parcel: Parcel) {
         cont: parcel.cont,
         src: parcel.src,
     };
-    registry.get(parcel.action)(eng, ctx);
+    W::run_action(eng, parcel.action, ctx);
     agas::ops::unpin(eng, dst, target);
 }
 
 /// Send `value` to an action's continuation LCO, if it has one. The usual
 /// last line of an action that produces a result.
-pub fn reply(eng: &mut Engine<World>, ctx: &ActionCtx, value: Vec<u8>) {
+pub fn reply<W: RtWorld>(eng: &mut Engine<W>, ctx: &ActionCtx, value: Vec<u8>) {
     if let Some(cont) = ctx.cont {
         lco::lco_set(eng, ctx.loc, cont, value);
     }

@@ -123,6 +123,36 @@ impl RtLocal {
     }
 }
 
+/// World hooks the parcel scheduler and LCO layer need beyond
+/// [`GasWorld`]: runtime state, the action table, and the driver
+/// notification channel. Implemented by the classic single-threaded
+/// [`World`] (closure actions, driver callbacks) and by the lane-safe
+/// [`crate::ShardWorld`] (fn-pointer actions, recorded notifications) —
+/// one scheduler/LCO implementation serves both.
+pub trait RtWorld: GasWorld {
+    /// Per-locality runtime state.
+    fn rt(&mut self, loc: LocalityId) -> &mut RtLocal;
+    /// Shared access to per-locality runtime state (diagnostics).
+    fn rt_ref(&self, loc: LocalityId) -> &RtLocal;
+    /// Runtime tuning (uniform across the cluster).
+    fn rtcfg(&self) -> RtConfig;
+    /// Embed a parcel into the world's wire enum.
+    fn wrap_parcel(p: Parcel) -> Self::Msg;
+    /// Embed a coalesced parcel batch into the world's wire enum.
+    fn wrap_batch(b: Vec<Parcel>) -> Self::Msg;
+    /// Invoke the registered action body (the table's representation is
+    /// the world's business: boxed closures here, `fn` pointers in the
+    /// sharded world).
+    fn run_action(
+        eng: &mut Engine<Self>,
+        id: crate::parcel::ActionId,
+        ctx: crate::parcel::ActionCtx,
+    );
+    /// An LCO a driver was waiting on (slot `id`, see
+    /// [`crate::lco::attach_driver_slot`]) fired with `value`.
+    fn notify_driver(eng: &mut Engine<Self>, loc: LocalityId, id: u64, value: Vec<u8>);
+}
+
 /// The wire message enum: everything that travels between localities.
 #[derive(Debug)]
 pub enum Msg {
@@ -408,6 +438,40 @@ impl PhotonWorld for World {
     }
     fn pwc_amo_complete(eng: &mut Engine<Self>, loc: LocalityId, ctx: OpId, result: AmoResult) {
         agas::ops::on_pwc_amo_complete(eng, loc, ctx, result);
+    }
+}
+
+impl RtWorld for World {
+    fn rt(&mut self, loc: LocalityId) -> &mut RtLocal {
+        &mut self.rt[loc as usize]
+    }
+    fn rt_ref(&self, loc: LocalityId) -> &RtLocal {
+        &self.rt[loc as usize]
+    }
+    fn rtcfg(&self) -> RtConfig {
+        self.rtcfg
+    }
+    fn wrap_parcel(p: Parcel) -> Msg {
+        Msg::Parcel(p)
+    }
+    fn wrap_batch(b: Vec<Parcel>) -> Msg {
+        Msg::ParcelBatch(b)
+    }
+    fn run_action(
+        eng: &mut Engine<Self>,
+        id: crate::parcel::ActionId,
+        ctx: crate::parcel::ActionCtx,
+    ) {
+        let registry = eng.state.registry.clone();
+        registry.get(id)(eng, ctx);
+    }
+    fn notify_driver(eng: &mut Engine<Self>, _loc: LocalityId, id: u64, value: Vec<u8>) {
+        let cb = eng
+            .state
+            .driver_cbs
+            .remove(&id)
+            .expect("driver waiter vanished");
+        eng.schedule(Time::ZERO, move |eng| cb(eng, value));
     }
 }
 
