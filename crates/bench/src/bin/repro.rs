@@ -576,6 +576,12 @@ struct PerfRow {
     doorbell_batch_raised: u64,
     doorbell_batch_lowered: u64,
     migration_ring_descs: u64,
+    members_joined: u64,
+    members_drained: u64,
+    members_crashed: u64,
+    blocks_rehomed: u64,
+    blocks_recovered: u64,
+    stale_xlate_dropped: u64,
 }
 
 impl PerfRow {
@@ -606,7 +612,10 @@ impl PerfRow {
                 "\"amo_executed\":{},\"amo_nacked\":{},\"amo_forwarded\":{},",
                 "\"window_widened\":{},\"window_narrowed\":{},",
                 "\"doorbell_batch_raised\":{},\"doorbell_batch_lowered\":{},",
-                "\"migration_ring_descs\":{}}}"
+                "\"migration_ring_descs\":{},",
+                "\"members_joined\":{},\"members_drained\":{},",
+                "\"members_crashed\":{},\"blocks_rehomed\":{},",
+                "\"blocks_recovered\":{},\"stale_xlate_dropped\":{}}}"
             ),
             self.id,
             self.series,
@@ -624,7 +633,13 @@ impl PerfRow {
             self.window_narrowed,
             self.doorbell_batch_raised,
             self.doorbell_batch_lowered,
-            self.migration_ring_descs
+            self.migration_ring_descs,
+            self.members_joined,
+            self.members_drained,
+            self.members_crashed,
+            self.blocks_rehomed,
+            self.blocks_recovered,
+            self.stale_xlate_dropped
         )
     }
 }
@@ -653,6 +668,12 @@ fn measure(id: &str, series: &str, f: impl FnOnce()) -> PerfRow {
         doorbell_batch_raised: d.doorbell_batch_raised,
         doorbell_batch_lowered: d.doorbell_batch_lowered,
         migration_ring_descs: d.migration_ring_descs,
+        members_joined: d.members_joined,
+        members_drained: d.members_drained,
+        members_crashed: d.members_crashed,
+        blocks_rehomed: d.blocks_rehomed,
+        blocks_recovered: d.blocks_recovered,
+        stale_xlate_dropped: d.stale_xlate_dropped,
     }
 }
 
@@ -846,6 +867,120 @@ fn chaos(json: bool, seed: u64) {
         .collect();
     if !bad.is_empty() {
         eprintln!("chaos cells FAILED: {}", bad.join(", "));
+        std::process::exit(1);
+    }
+}
+
+/// `membership [seed]` — the elastic membership plane (DESIGN.md §3.9):
+/// every GAS mode runs the chaos driver's join → drain → crash schedule
+/// under a lossless plan and a 2% drop mix, reporting the transition and
+/// recovery counters plus the history checker's verdict. Exits nonzero if
+/// any cell fails its gate: zero violations, full op accounting, a
+/// nonzero re-homed slice, and (AGAS modes) nonzero crash recovery.
+/// Deterministic for a given seed — the `--json` rows carry no
+/// wall-clock fields.
+fn membership(json: bool, seed: u64) {
+    use netsim::FaultPlan;
+    use workloads::chaos::{drop_mix, run_chaos, ChaosConfig};
+
+    header(
+        "membership",
+        &format!("elastic membership: join / drain / crash under traffic (seed {seed})"),
+    );
+    let mixes: Vec<(&str, FaultPlan)> = vec![
+        ("lossless", FaultPlan::lossless(9 ^ seed)),
+        ("drop2", drop_mix(21 ^ seed, 0.02)),
+    ];
+    if !json {
+        println!(
+            "{:<10} {:<9} {:>6} {:>7} {:>7} {:>8} {:>9} {:>6} {:>7} {:>5} {:>5}",
+            "mode",
+            "mix",
+            "joined",
+            "drained",
+            "crashed",
+            "rehomed",
+            "recovered",
+            "stale",
+            "failed",
+            "acct",
+            "viol"
+        );
+    }
+    let mut bad: Vec<String> = Vec::new();
+    // Sequential on purpose: each cell's membership telemetry is read as a
+    // global-counter delta around its run.
+    for mode in GasMode::ALL {
+        for (label, plan) in &mixes {
+            let before = telemetry::snapshot();
+            let r = run_chaos(&ChaosConfig {
+                mode,
+                plan: plan.clone(),
+                seed,
+                rounds: 24,
+                churn: 4,
+                amos: true,
+                membership: true,
+                ..ChaosConfig::default()
+            });
+            let d = telemetry::snapshot().since(before);
+            if json {
+                println!(
+                    concat!(
+                        "{{\"id\":\"membership\",\"series\":\"{}/{}\",\"seed\":{},",
+                        "\"sim_time_ps\":{},\"events\":{},\"trace_hash\":{},",
+                        "\"members_joined\":{},\"members_drained\":{},",
+                        "\"members_crashed\":{},\"blocks_rehomed\":{},",
+                        "\"blocks_recovered\":{},\"stale_xlate_dropped\":{},",
+                        "\"issued\":{},\"acked\":{},\"op_failures\":{},",
+                        "\"violations\":{}}}"
+                    ),
+                    mode.label(),
+                    label,
+                    seed,
+                    r.end.ps(),
+                    r.events,
+                    r.trace_hash,
+                    d.members_joined,
+                    d.members_drained,
+                    d.members_crashed,
+                    r.gas.blocks_rehomed,
+                    r.gas.blocks_recovered,
+                    r.gas.stale_xlate_dropped,
+                    r.issued(),
+                    r.acked(),
+                    r.op_failures,
+                    r.violations.len(),
+                );
+            } else {
+                println!(
+                    "{:<10} {:<9} {:>6} {:>7} {:>7} {:>8} {:>9} {:>6} {:>7} {:>5} {:>5}",
+                    mode.label(),
+                    label,
+                    d.members_joined,
+                    d.members_drained,
+                    d.members_crashed,
+                    r.gas.blocks_rehomed,
+                    r.gas.blocks_recovered,
+                    r.gas.stale_xlate_dropped,
+                    r.op_failures,
+                    if r.accounted() { "ok" } else { "LEAK" },
+                    r.violations.len()
+                );
+            }
+            let ok = r.passed()
+                && d.members_joined == 1
+                && d.members_drained == 1
+                && r.gas.blocks_rehomed > 0
+                && (!mode.supports_migration()
+                    || (d.members_crashed == 1 && r.gas.blocks_recovered > 0));
+            if !ok {
+                bad.push(format!("{}/{}", mode.label(), label));
+            }
+        }
+    }
+    if !bad.is_empty() {
+        eprintln!("membership cells FAILED: {}", bad.join(", "));
         std::process::exit(1);
     }
 }
@@ -1788,6 +1923,15 @@ fn main() {
                 .unwrap_or(101);
             chaos(json, seed);
         }
+        "membership" => {
+            let seed = args
+                .iter()
+                .filter(|a| !a.starts_with('-'))
+                .nth(1)
+                .and_then(|a| a.parse().ok())
+                .unwrap_or(101);
+            membership(json, seed);
+        }
         "all" => {
             for (name, f) in &experiments {
                 run_one(name, f);
@@ -1800,12 +1944,13 @@ fn main() {
                 parallel(json, k, &par_cfg);
             }
             chaos(json, 101);
+            membership(json, 101);
         }
         id => match experiments.iter().find(|(name, _)| *name == id) {
             Some((name, f)) => run_one(name, f),
             None => {
                 eprintln!(
-                    "unknown experiment {id:?}; use one of: all perf parallel adaptive amo ring ops chaos {}",
+                    "unknown experiment {id:?}; use one of: all perf parallel adaptive amo ring ops chaos membership {}",
                     experiments
                         .iter()
                         .map(|(n, _)| *n)

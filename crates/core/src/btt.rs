@@ -155,6 +155,16 @@ impl Btt {
     pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
         self.entries.keys()
     }
+
+    /// Remove every entry regardless of state or pin count — the locality
+    /// crashed, and its pins die with it. Returns the entries sorted by
+    /// block key so teardown (arena frees, censuses) is deterministic.
+    pub fn take_all(&mut self) -> Vec<(u64, BttEntry)> {
+        let mut v: Vec<(u64, BttEntry)> = self.entries.iter().map(|(k, e, _)| (k, *e)).collect();
+        v.sort_unstable_by_key(|&(k, _)| k);
+        self.entries.clear();
+        v
+    }
 }
 
 #[cfg(test)]

@@ -137,6 +137,25 @@ impl OwnerCache {
         self.map.remove(block_key);
     }
 
+    /// Drop every hint naming `owner` — it left or crashed, so any guess
+    /// pointing there would bounce (or black-hole) until the directory
+    /// re-query. Returns the number of hints dropped. The one-entry memo
+    /// is safe: it re-validates its key on use, so a purged slot can never
+    /// be served.
+    pub fn purge_owner(&mut self, owner: LocalityId) -> u64 {
+        let dead: Vec<u64> = self
+            .map
+            .iter()
+            .filter(|&(_, h, _)| h.owner == owner)
+            .map(|(k, _, _)| k)
+            .collect();
+        let n = dead.len() as u64;
+        for k in dead {
+            self.map.remove(k);
+        }
+        n
+    }
+
     /// `(hits, misses)` so far.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)

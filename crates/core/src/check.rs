@@ -38,6 +38,11 @@ pub enum HistKind {
     /// A block migration (context for reports; not part of the value
     /// legality relation — migration must preserve contents).
     Migrate,
+    /// Crash recovery re-issued the block zero-filled at `issued`. Enters
+    /// the legality relation as a block-wide write of zeros: reads after
+    /// the recovery may legally observe fresh zeros *or* (if a racing
+    /// pre-crash put straddles the window) the old value.
+    Recover,
 }
 
 /// One logged operation, with its logical-time interval.
@@ -220,7 +225,10 @@ pub fn check_blocks<S: GasWorld>(world: &S, blocks: &[Gva]) -> Vec<Violation> {
         }
         let owner = owners[0];
         if mode != GasMode::Pgas {
-            let home = gva.home();
+            // Membership may have re-homed the record; ask the resident
+            // owner's view (quiescence means every view agrees, but the
+            // owner's is the one the data path actually consulted).
+            let home = world.gas_ref(owner).member.resolve(key, gva.home());
             match world.gas_ref(home).dir.peek(key) {
                 None => out.push(Violation::MissingDirectory { gva }),
                 Some(rec) if rec.owner != owner => out.push(Violation::StaleDirectory {
@@ -277,8 +285,13 @@ pub fn check_history<S: GasWorld>(world: &S) -> Vec<Violation> {
         events.extend(world.gas_ref(l).history.iter().copied());
         words.extend(world.gas_ref(l).word_history.iter().copied());
     }
+    let recovers: Vec<(u64, Time)> = events
+        .iter()
+        .filter(|e| e.kind == HistKind::Recover)
+        .map(|e| (e.block, e.issued))
+        .collect();
     let mut out = check_history_events(&events);
-    out.extend(check_word_history_events(&words));
+    out.extend(check_word_history_events_with_recovery(&words, &recovers));
     out
 }
 
@@ -308,7 +321,14 @@ pub fn check_history_events(events: &[HistEvent]) -> Vec<Violation> {
         value: u64,
     }
     let mut slots: BTreeMap<(u64, u64, u32), Vec<&HistEvent>> = BTreeMap::new();
+    // Crash recoveries zero the whole block: they act as a synthetic
+    // all-zeros put on *every* slot of the block, whatever its shape.
+    let mut recovers: Vec<(u64, Time)> = Vec::new();
     for e in events {
+        if e.kind == HistKind::Recover {
+            recovers.push((e.block, e.issued));
+            continue;
+        }
         if e.kind == HistKind::Migrate {
             continue;
         }
@@ -321,6 +341,16 @@ pub fn check_history_events(events: &[HistEvent]) -> Vec<Violation> {
             done: Some(Time::ZERO),
             value: value_hash(&vec![0u8; len as usize]),
         }];
+        writes.extend(
+            recovers
+                .iter()
+                .filter(|&&(b, _)| b == block)
+                .map(|&(_, t)| Write {
+                    issued: t,
+                    done: Some(t),
+                    value: value_hash(&vec![0u8; len as usize]),
+                }),
+        );
         writes.extend(
             evs.iter()
                 .filter(|e| e.kind == HistKind::Put)
@@ -399,6 +429,20 @@ pub fn check_history_events(events: &[HistEvent]) -> Vec<Violation> {
 /// repeat. Both exemptions only ever weaken the check, so a reported
 /// violation is real under every possible effect placement.
 pub fn check_word_history_events(events: &[WordEvent]) -> Vec<Violation> {
+    check_word_history_events_with_recovery(events, &[])
+}
+
+/// [`check_word_history_events`], with crash recoveries folded in: each
+/// `(block, time)` recovery re-produces zero on every word of the block
+/// (the recovered storage is zero-filled). A second zero producer makes
+/// the word's produced values non-distinct, which auto-disables the
+/// unique-consumption rule there — exactly the weakening recovery
+/// requires, since a pre- and a post-crash RMW may both legally observe
+/// zero.
+pub fn check_word_history_events_with_recovery(
+    events: &[WordEvent],
+    recovers: &[(u64, Time)],
+) -> Vec<Violation> {
     let mut slots: BTreeMap<(u64, u64), Vec<&WordEvent>> = BTreeMap::new();
     for e in events {
         slots.entry((e.block, e.offset)).or_default().push(e);
@@ -416,6 +460,15 @@ pub fn check_word_history_events(events: &[WordEvent]) -> Vec<Violation> {
             value: 0,
             issued: Time::ZERO,
         }];
+        produced.extend(
+            recovers
+                .iter()
+                .filter(|&&(b, _)| b == block)
+                .map(|&(_, t)| Produced {
+                    value: 0,
+                    issued: t,
+                }),
+        );
         for e in &evs {
             match e.op {
                 // A failed write may still have applied: keep it as a
@@ -679,6 +732,41 @@ mod tests {
     }
 
     #[test]
+    fn recovery_reproduces_zeros() {
+        let zeros = value_hash(&[0u8; 8]);
+        // Put lands, crash recovery zeroes the block, later read sees
+        // zeros again: legal only because of the Recover event.
+        let h = [
+            ev(HistKind::Put, 0xA, 5, Some(10), true),
+            ev(HistKind::Recover, 0, 20, Some(20), true),
+            ev(HistKind::Get, zeros, 30, Some(40), true),
+        ];
+        assert!(check_history_events(&h).is_empty());
+        let without = [h[0], h[2]];
+        assert_eq!(check_history_events(&without).len(), 1);
+    }
+
+    #[test]
+    fn recovery_masks_fully_earlier_puts() {
+        // The put finished before recovery zeroed the block; reading its
+        // value afterwards means the zero-fill was lost.
+        let h = [
+            ev(HistKind::Put, 0xA, 0, Some(10), true),
+            ev(HistKind::Recover, 0, 20, Some(20), true),
+            ev(HistKind::Get, 0xA, 30, Some(40), true),
+        ];
+        assert_eq!(check_history_events(&h).len(), 1);
+        // A put straddling the recovery window stays a candidate (its
+        // retry may have re-applied after the zero-fill).
+        let straddle = [
+            ev(HistKind::Put, 0xA, 0, Some(25), true),
+            ev(HistKind::Recover, 0, 20, Some(20), true),
+            ev(HistKind::Get, 0xA, 30, Some(40), true),
+        ];
+        assert!(check_history_events(&straddle).is_empty());
+    }
+
+    #[test]
     fn value_hash_distinguishes_contents_and_length() {
         assert_ne!(value_hash(&[0u8; 8]), value_hash(&[0u8; 16]));
         assert_ne!(value_hash(&[1u8; 8]), value_hash(&[2u8; 8]));
@@ -905,6 +993,38 @@ mod tests {
         ];
         let v = check_word_history_events(&h);
         assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn word_recovery_reproduces_zero_and_relaxes_uniqueness() {
+        // RMW consumes the initial zero; the crash re-zeroes the word; a
+        // post-recovery RMW legally consumes zero *again*.
+        let h = [
+            wev(
+                WordOp::Rmw {
+                    read: 0,
+                    written: 1,
+                },
+                0,
+                Some(10),
+                true,
+            ),
+            wev(
+                WordOp::Rmw {
+                    read: 0,
+                    written: 2,
+                },
+                30,
+                Some(40),
+                true,
+            ),
+        ];
+        assert_eq!(check_word_history_events(&h).len(), 1);
+        let recovers = [(0x40u64, Time::from_ns(20))];
+        assert!(check_word_history_events_with_recovery(&h, &recovers).is_empty());
+        // Recovery on a different block changes nothing.
+        let other = [(0x9999u64, Time::from_ns(20))];
+        assert_eq!(check_word_history_events_with_recovery(&h, &other).len(), 1);
     }
 
     #[test]

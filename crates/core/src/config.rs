@@ -41,6 +41,38 @@ impl GasMode {
     }
 }
 
+/// How the membership plane recovers and evacuates blocks when the
+/// locality set changes (see `core::membership`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Re-issue a crashed locality's home-directory blocks as zero-filled,
+    /// generation-bumped replacements at the serving home. Off means the
+    /// blocks are simply lost (callers must stop checking them).
+    pub reissue_home_blocks: bool,
+    /// Generation bump applied to re-issued blocks, large enough to
+    /// dominate any in-flight migration commit racing the recovery.
+    pub generation_bump: u32,
+    /// Blocks a draining locality evacuates per pump round.
+    pub evac_batch: usize,
+    /// Delay between evacuation pump rounds.
+    pub evac_interval: Time,
+    /// Recover from replica copies instead of zero re-issue. Not yet
+    /// implemented — reserved so plans can declare intent (follow-up).
+    pub replicas: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> RecoveryPolicy {
+        RecoveryPolicy {
+            reissue_home_blocks: true,
+            generation_bump: 1 << 20,
+            evac_batch: 4,
+            evac_interval: Time::from_ns(2_000),
+            replicas: false,
+        }
+    }
+}
+
 /// Cost parameters of the GAS software paths.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct GasConfig {
@@ -84,6 +116,9 @@ pub struct GasConfig {
     /// `None` (the default) keeps the pre-ring schedules bit-identical
     /// for the golden trace pins.
     pub ctrl_ring: Option<RingConfig>,
+    /// Membership-plane recovery/evacuation tuning. Inert until a
+    /// membership event fires (the defaults change no schedule).
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for GasConfig {
@@ -101,6 +136,7 @@ impl Default for GasConfig {
             retry_on_deadline: false,
             record_history: false,
             ctrl_ring: None,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }

@@ -87,9 +87,49 @@ impl Directory {
         }
     }
 
+    /// Counting lookup that tolerates unknown blocks — the membership
+    /// plane's variant of [`Directory::lookup`]: while a join slice, drain
+    /// hand-off, or crash take-over is in flight, a home may legitimately
+    /// be asked about a block whose record now lives elsewhere.
+    pub fn lookup_opt(&mut self, block_key: u64) -> Option<OwnerRec> {
+        self.lookups += 1;
+        self.map.get(block_key).copied()
+    }
+
     /// Non-counting read of an ownership record (diagnostics/tests).
     pub fn peek(&self, block_key: u64) -> Option<OwnerRec> {
         self.map.peek(block_key).copied()
+    }
+
+    /// Install a record transferred from another shard (join slice, drain
+    /// hand-off, crash census). Inserts if absent; otherwise newer
+    /// generations win, exactly like [`Directory::update`].
+    pub fn install(&mut self, block_key: u64, rec: OwnerRec) {
+        self.updates += 1;
+        match self.map.get_mut(block_key) {
+            Some(e) => {
+                if rec.generation > e.generation {
+                    *e = rec;
+                }
+            }
+            None => {
+                self.map.insert(block_key, rec);
+            }
+        }
+    }
+
+    /// All records in this shard, sorted by block key (deterministic order
+    /// for hand-off batches and crash censuses).
+    pub fn records(&self) -> Vec<(u64, OwnerRec)> {
+        let mut v: Vec<(u64, OwnerRec)> = self.map.iter().map(|(k, r, _)| (k, *r)).collect();
+        v.sort_unstable_by_key(|&(k, _)| k);
+        v
+    }
+
+    /// Drop every record (the shard's duty moved wholesale to a take-over
+    /// locality, or the locality crashed).
+    pub fn clear(&mut self) {
+        self.map.clear();
     }
 
     /// Forget a freed block.

@@ -28,6 +28,7 @@ pub mod config;
 pub mod directory;
 pub mod dist;
 pub mod gva;
+pub mod membership;
 pub mod migrate;
 pub mod ops;
 pub mod simworld;
@@ -39,10 +40,11 @@ pub use check::{
     assert_consistent, check_blocks, check_history, check_history_events,
     check_word_history_events, value_hash, HistEvent, HistKind, Violation, WordEvent, WordOp,
 };
-pub use config::{GasConfig, GasMode};
+pub use config::{GasConfig, GasMode, RecoveryPolicy};
 pub use directory::{Directory, OwnerRec};
 pub use dist::Distribution;
 pub use gva::Gva;
+pub use membership::{MemberState, MemberUpdate, MembershipView};
 pub use simworld::{AmoPumpKind, SimData, SimEv, SimLoc, SimMsg, SimWorld};
 
 use netsim::{
@@ -244,6 +246,20 @@ pub enum GasMsg {
     /// the sender's control ring ([`GasConfig::ctrl_ring`]): one wire
     /// message, unpacked and dispatched in post order at the receiver.
     CtrlBatch(Vec<GasMsg>),
+    /// A membership transition broadcast over the wire (a drain's final
+    /// `Left`, carrying the re-homed block set).
+    Member {
+        /// The transition.
+        update: membership::MemberUpdate,
+    },
+    /// A departing locality hands its directory shard to the take-over
+    /// locality (installed newest-generation-wins).
+    DirHandoff {
+        /// The shard's records, sorted by block key.
+        records: Vec<(u64, OwnerRec)>,
+        /// The departing locality.
+        from: LocalityId,
+    },
 }
 
 /// GAS-layer statistics (per locality).
@@ -298,6 +314,14 @@ pub struct GasStats {
     pub shm_ops: u64,
     /// Payload bytes moved over the shared-memory short-circuit.
     pub shm_bytes: u64,
+    /// Directory records this locality took over through a membership join
+    /// slice (counted at the joiner).
+    pub blocks_rehomed: u64,
+    /// Lost blocks re-issued here after a crash (zero-filled,
+    /// generation-bumped — see `membership`).
+    pub blocks_recovered: u64,
+    /// NIC forward entries purged because their next hop crashed.
+    pub stale_xlate_dropped: u64,
 }
 
 /// Where an in-flight op last was in its lifecycle (diagnostics: stuck-op
@@ -449,6 +473,9 @@ pub struct GasLocal {
     /// checked by [`check::check_word_history_events`]; workloads keep
     /// them disjoint from put/get slots.
     pub word_history: Vec<WordEvent>,
+    /// This locality's view of the elastic membership plane (inert — zero
+    /// overhead, zero schedule change — until a membership event fires).
+    pub member: MembershipView,
     /// Per-peer control-message rings ([`GasConfig::ctrl_ring`]):
     /// migration/free protocol traffic batches here and shares doorbells.
     pub(crate) ctrl_rings: Option<netsim::RingSet<GasMsg>>,
@@ -478,6 +505,7 @@ impl GasLocal {
             outcomes: OutcomeCounters::default(),
             history: Vec::new(),
             word_history: Vec::new(),
+            member: MembershipView::default(),
             ctrl_rings: cfg.ctrl_ring.map(netsim::RingSet::new),
             pending: OpTable::new(),
             next_seq: HashMap::new(),

@@ -121,7 +121,9 @@ pub fn migrate_block<S: GasWorld>(
         "migration requested under PGAS"
     );
     let block = gva.block_key();
-    let home = gva.home();
+    // Membership may have re-homed the block's directory record; aim the
+    // request at whoever serves the home role in this locality's view.
+    let home = eng.state.gas_ref(loc).member.resolve(block, gva.home());
     let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
     send_ctrl(
         eng,
@@ -157,6 +159,14 @@ pub(crate) fn on_mig_request<S: GasWorld>(
     }
     let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
     let g = eng.state.gas(at);
+    if dst != at && g.member.is_enabled() && g.member.state_of(dst) != crate::MemberState::Active {
+        // The destination left (or is leaving) the cluster between request
+        // and arrival: complete as a no-op rather than strand the block on
+        // a dying locality. The requester's ctx resolves normally.
+        send_ctrl(eng, at, reply_to, ctrl, GasMsg::MigDone { ctx, block });
+        return;
+    }
+    let g = eng.state.gas(at);
     if let Some(entry) = g.btt.lookup(block) {
         if dst == at {
             // Already here: trivially complete.
@@ -180,8 +190,8 @@ pub(crate) fn on_mig_request<S: GasWorld>(
         start_handoff(eng, at, block, dst, ctx, reply_to);
         return;
     }
-    let home = Gva(block).home();
-    if at == home {
+    let serving = g.member.resolve(block, Gva(block).home());
+    if at == serving {
         // Authoritative routing through the directory (software cost).
         let service = eng.state.gas(at).cfg.dir_lookup;
         let now = eng.now();
@@ -192,7 +202,20 @@ pub(crate) fn on_mig_request<S: GasWorld>(
             l.counters.dir_lookups += 1;
         }
         eng.schedule_at(finish, move |eng| {
-            let owner = eng.state.gas(at).dir.lookup(block).owner;
+            let g = eng.state.gas(at);
+            let rec = if g.member.is_enabled() {
+                g.dir.lookup_opt(block)
+            } else {
+                Some(g.dir.lookup(block))
+            };
+            let Some(rec) = rec else {
+                // Record in flight to us (hand-off racing the request):
+                // re-chase after a backoff so the hop budget isn't burned.
+                let backoff = eng.state.gas(at).cfg.retry_backoff * (1u64 << hops.min(12));
+                resend_request_via_home(eng, at, block, dst, ctx, reply_to, hops, backoff);
+                return;
+            };
+            let owner = rec.owner;
             let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
             let next = if owner == at {
                 Gva(block).home()
@@ -232,8 +255,15 @@ fn resend_request_via_home<S: GasWorld>(
     hops: u8,
     delay: Time,
 ) {
-    let home = Gva(block).home();
     eng.schedule(delay, move |eng| {
+        // Resolve the serving home at *send* time: by the time a backoff
+        // fires, a drain hand-off or crash takeover may have moved the
+        // record, and re-aiming at a Left locality would strand the chase.
+        let home = eng
+            .state
+            .gas_ref(at)
+            .member
+            .resolve(block, Gva(block).home());
         let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
         send_ctrl(
             eng,
@@ -344,6 +374,13 @@ pub(crate) fn on_mig_data<S: GasWorld>(
     ctx: OpId,
     reply_to: LocalityId,
 ) {
+    // A hand-off whose source has since crashed must not install: the
+    // recovery path already re-issued the block at a dominating
+    // generation, and installing these bytes would resurrect a stale copy.
+    if eng.state.gas_ref(at).member.is_crashed(src) {
+        eng.state.gas(at).stats.protocol_violations += 1;
+        return;
+    }
     // Installation is software work (allocate, copy, table updates).
     let (service, per_byte) = {
         let g = eng.state.gas(at);
@@ -400,7 +437,11 @@ pub(crate) fn on_mig_data<S: GasWorld>(
             );
         }
         eng.state.cluster().loc_mut(at).counters.migrations_in += 1;
-        let home = Gva(block).home();
+        let home = eng
+            .state
+            .gas_ref(at)
+            .member
+            .resolve(block, Gva(block).home());
         let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
         send_ctrl(
             eng,
@@ -464,7 +505,7 @@ pub(crate) fn on_mig_ack<S: GasWorld>(eng: &mut Engine<S>, at: LocalityId, block
 /// distributed use-after-free; the simulator panics when it detects it).
 pub fn free_block<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, gva: Gva, ctx: OpId) {
     let block = gva.block_key();
-    let home = gva.home();
+    let home = eng.state.gas_ref(loc).member.resolve(block, gva.home());
     let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
     send_ctrl(
         eng,
@@ -504,8 +545,12 @@ pub(crate) fn on_free_request<S: GasWorld>(
         }
         if g.moving.contains_key(&block) {
             let backoff = g.cfg.retry_backoff * (1u64 << hops.min(12));
-            let home = Gva(block).home();
             eng.schedule(backoff, move |eng| {
+                let home = eng
+                    .state
+                    .gas_ref(at)
+                    .member
+                    .resolve(block, Gva(block).home());
                 let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
                 send_ctrl(
                     eng,
@@ -525,8 +570,8 @@ pub(crate) fn on_free_request<S: GasWorld>(
         commit_free(eng, at, block, ctx, reply_to);
         return;
     }
-    let home = Gva(block).home();
-    if at == home {
+    let serving = g.member.resolve(block, Gva(block).home());
+    if at == serving {
         let service = eng.state.gas(at).cfg.dir_lookup;
         let now = eng.now();
         let (_, finish) = eng.state.cpu(at).admit(now, service);
@@ -536,12 +581,43 @@ pub(crate) fn on_free_request<S: GasWorld>(
             l.counters.dir_lookups += 1;
         }
         eng.schedule_at(finish, move |eng| {
-            let owner = eng.state.gas(at).dir.lookup(block).owner;
+            let g = eng.state.gas(at);
+            let rec = if g.member.is_enabled() {
+                g.dir.lookup_opt(block)
+            } else {
+                Some(g.dir.lookup(block))
+            };
+            let Some(rec) = rec else {
+                // Record in flight to us (hand-off racing the free):
+                // re-chase after a backoff.
+                let backoff = eng.state.gas(at).cfg.retry_backoff * (1u64 << hops.min(12));
+                eng.schedule(backoff, move |eng| {
+                    let home = eng
+                        .state
+                        .gas_ref(at)
+                        .member
+                        .resolve(block, Gva(block).home());
+                    let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
+                    send_ctrl(
+                        eng,
+                        at,
+                        home,
+                        ctrl,
+                        GasMsg::FreeRequest {
+                            block,
+                            ctx,
+                            reply_to,
+                            hops: hops + 1,
+                        },
+                    );
+                });
+                return;
+            };
             let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
             send_ctrl(
                 eng,
                 at,
-                owner,
+                rec.owner,
                 ctrl,
                 GasMsg::FreeRequest {
                     block,
@@ -554,6 +630,11 @@ pub(crate) fn on_free_request<S: GasWorld>(
     } else {
         let backoff = eng.state.gas(at).cfg.retry_backoff * (1u64 << hops.min(12));
         eng.schedule(backoff, move |eng| {
+            let home = eng
+                .state
+                .gas_ref(at)
+                .member
+                .resolve(block, Gva(block).home());
             let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
             send_ctrl(
                 eng,
@@ -593,7 +674,11 @@ fn commit_free<S: GasWorld>(
     if eng.state.gas_mode() == GasMode::Pgas {
         // Unreachable (free routes via AGAS machinery), kept for clarity.
     }
-    let home = Gva(block).home();
+    let home = eng
+        .state
+        .gas_ref(at)
+        .member
+        .resolve(block, Gva(block).home());
     let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
     send_ctrl(
         eng,
@@ -625,7 +710,28 @@ pub(crate) fn on_dir_unregister<S: GasWorld>(
         l.counters.dir_lookups += 1;
     }
     eng.schedule_at(finish, move |eng| {
-        eng.state.gas(at).dir.unregister(block);
+        let g = eng.state.gas(at);
+        if g.dir.unregister(block).is_none() && g.member.is_enabled() {
+            // The record moved with a membership hand-off; retire it at
+            // whoever serves the home role now (if that's still us, the
+            // record is simply gone and the free already took effect).
+            let serving = g.member.resolve(block, Gva(block).home());
+            if serving != at {
+                let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
+                send_ctrl(
+                    eng,
+                    at,
+                    serving,
+                    ctrl,
+                    GasMsg::DirUnregister {
+                        block,
+                        ctx,
+                        reply_to,
+                    },
+                );
+                return;
+            }
+        }
         eng.state.pgas().remove(&block);
         let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
         send_ctrl(eng, at, reply_to, ctrl, GasMsg::FreeDone { ctx, block });

@@ -480,7 +480,8 @@ fn issue<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, op: OpId) {
             if let Some(base) = resident_base(eng, loc, block) {
                 commit_local(eng, loc, op, Some(base));
             } else {
-                let target_loc = hint_owner(eng, loc, block, home);
+                let serving = eng.state.gas_ref(loc).member.resolve(block, home);
+                let target_loc = hint_owner(eng, loc, block, serving);
                 if try_shm(eng, loc, op, gva, target_loc) {
                     // Intra-domain short-circuit. Valid even under
                     // `force_sw`: the shm path touches no NIC table, so
@@ -509,7 +510,8 @@ fn issue<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, op: OpId) {
             if let Some(base) = resident_base(eng, loc, block) {
                 commit_local(eng, loc, op, Some(base));
             } else {
-                let target_loc = hint_owner(eng, loc, block, home);
+                let serving = eng.state.gas_ref(loc).member.resolve(block, home);
+                let target_loc = hint_owner(eng, loc, block, serving);
                 if target_loc == loc {
                     // A hint naming ourselves while the block is absent is
                     // stale by construction; re-resolve.
@@ -1059,7 +1061,14 @@ fn commit_local<S: GasWorld>(
 /// When the retry budget runs out the op fails terminally with
 /// [`OpError::RetriesExhausted`] instead of asserting.
 fn bounce<S: GasWorld>(eng: &mut Engine<S>, loc: LocalityId, op: OpId, block: u64) {
-    let home = Gva(block).home();
+    // Re-resolve through the *serving* home: a membership event (join
+    // slice, drain hand-off, crash take-over) may have moved the block's
+    // directory duty off its encoded home.
+    let home = eng
+        .state
+        .gas_ref(loc)
+        .member
+        .resolve(block, Gva(block).home());
     let (give_up, attempts, stale_attempt) = {
         let g = eng.state.gas(loc);
         let Ok(p) = g.pending.get_mut(op) else {
@@ -1400,6 +1409,17 @@ pub fn on_pwc_failed<S: GasWorld>(
 /// Handle a [`GasMsg`] delivered to `at` from `from`. The world's
 /// [`netsim::Protocol::deliver`] routes GAS-decoding `User` packets here.
 pub fn handle_msg<S: GasWorld>(eng: &mut Engine<S>, from: LocalityId, at: LocalityId, msg: GasMsg) {
+    // A crashed locality is dead silicon: it neither serves nor consumes
+    // protocol traffic. The fault plane already blackholes its links, but
+    // Bypass-class messages (migration control, shm doorbells) dodge the
+    // plane by design — discard them here. Inert membership views make
+    // both checks free no-ops.
+    {
+        let member = &eng.state.gas_ref(at).member;
+        if member.is_crashed(at) || member.is_crashed(from) {
+            return;
+        }
+    }
     match msg {
         GasMsg::SwPut { .. } | GasMsg::SwGet { .. } | GasMsg::SwAmo { .. } => {
             handle_sw_access(eng, at, msg)
@@ -1465,19 +1485,34 @@ pub fn handle_msg<S: GasWorld>(eng: &mut Engine<S>, from: LocalityId, at: Locali
                 l.counters.dir_lookups += 1;
             }
             eng.schedule_at(finish, move |eng| {
-                let rec = eng.state.gas(at).dir.lookup(block);
+                // With the membership plane live, a query can legitimately
+                // land at a home whose record moved (join slice or hand-off
+                // in flight): answer SwRetry so the initiator re-resolves
+                // through its (by then updated) view, bounded by its
+                // attempts budget. Without membership the old invariant
+                // stands: the home must know every block homed at it.
+                let enabled = eng.state.gas_ref(at).member.is_enabled();
+                let rec = if enabled {
+                    eng.state.gas(at).dir.lookup_opt(block)
+                } else {
+                    Some(eng.state.gas(at).dir.lookup(block))
+                };
                 let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
+                let reply = match rec {
+                    Some(rec) => GasMsg::DirReply {
+                        block,
+                        owner: rec.owner,
+                        generation: rec.generation,
+                        ctx,
+                    },
+                    None => GasMsg::SwRetry { ctx, block },
+                };
                 send_user_classed(
                     eng,
                     at,
                     reply_to,
                     ctrl,
-                    S::wrap_gas(GasMsg::DirReply {
-                        block,
-                        owner: rec.owner,
-                        generation: rec.generation,
-                        ctx,
-                    }),
+                    S::wrap_gas(reply),
                     FaultClass::Completion,
                 );
             });
@@ -1523,6 +1558,43 @@ pub fn handle_msg<S: GasWorld>(eng: &mut Engine<S>, from: LocalityId, at: Locali
                 l.counters.dir_lookups += 1;
             }
             eng.schedule_at(finish, move |eng| {
+                let g = eng.state.gas(at);
+                if g.member.is_enabled() && g.dir.lookup_opt(block).is_none() {
+                    // The record isn't homed here (any more / yet). If the
+                    // view points elsewhere, forward the update along the
+                    // serving chain; otherwise adopt the record — a commit
+                    // racing a hand-off lands on the new home before the
+                    // DirHandoff batch does.
+                    let serving = g.member.resolve(block, Gva(block).home());
+                    let ctrl = eng.state.cluster_ref().config.ctrl_bytes;
+                    if serving != at {
+                        crate::migrate::send_ctrl(
+                            eng,
+                            at,
+                            serving,
+                            ctrl,
+                            GasMsg::DirUpdate {
+                                block,
+                                owner,
+                                generation,
+                                reply_to,
+                            },
+                        );
+                        return;
+                    }
+                    eng.state
+                        .gas(at)
+                        .dir
+                        .install(block, crate::OwnerRec { owner, generation });
+                    crate::migrate::send_ctrl(
+                        eng,
+                        at,
+                        reply_to,
+                        ctrl,
+                        GasMsg::DirUpdateAck { block },
+                    );
+                    return;
+                }
                 eng.state
                     .gas(at)
                     .dir
@@ -1580,6 +1652,13 @@ pub fn handle_msg<S: GasWorld>(eng: &mut Engine<S>, from: LocalityId, at: Locali
                     loc: at,
                 });
             }
+            // Drain-evacuation completions carry the membership sentinel
+            // handle and finish inside the plane — no user callback.
+            if ctx == crate::membership::evac_ctx(block)
+                && eng.state.gas(at).member.evac.remove(&block)
+            {
+                return;
+            }
             S::gas_migrate_done(eng, at, ctx, block);
         }
         GasMsg::FreeRequest {
@@ -1594,6 +1673,10 @@ pub fn handle_msg<S: GasWorld>(eng: &mut Engine<S>, from: LocalityId, at: Locali
             reply_to,
         } => crate::migrate::on_dir_unregister(eng, at, block, ctx, reply_to),
         GasMsg::FreeDone { ctx, block } => S::gas_free_done(eng, at, ctx, block),
+        GasMsg::Member { update } => crate::membership::on_member_update(eng, at, update),
+        GasMsg::DirHandoff { records, from } => {
+            crate::membership::on_dir_handoff(eng, at, records, from)
+        }
     }
     let _ = from;
 }
@@ -1850,6 +1933,9 @@ pub fn route<S: GasWorld>(world: &mut S, loc: LocalityId, gva: Gva) -> Route {
         }
         GasMode::AgasSoftware | GasMode::AgasNetwork => {
             let g = world.gas(loc);
+            // Membership may have re-homed the block's directory record
+            // (join slice, drain hand-off, crash takeover).
+            let serving = g.member.resolve(block, home);
             if let Some(e) = g.btt.lookup(block) {
                 match e.state {
                     crate::BlockState::Resident => Route::Local {
@@ -1857,17 +1943,23 @@ pub fn route<S: GasWorld>(world: &mut S, loc: LocalityId, gva: Gva) -> Route {
                         class: e.class,
                     },
                     crate::BlockState::Moving => {
-                        let dst = g.moving.get(&block).map(|m| m.dst).unwrap_or(home);
+                        let dst = g.moving.get(&block).map(|m| m.dst).unwrap_or(serving);
                         Route::Forward(dst)
                     }
                 }
-            } else if home == loc {
+            } else if serving == loc {
                 // We are the authority: route to the directory's owner.
-                Route::Forward(g.dir.lookup(block).owner)
+                match g.dir.lookup_opt(block) {
+                    Some(rec) => Route::Forward(rec.owner),
+                    // Record still in flight to us (hand-off racing the
+                    // access): fall back to the encoded home, whose own
+                    // view will re-forward as it catches up.
+                    None => Route::Forward(home),
+                }
             } else if let Some(h) = g.cache.lookup(block) {
                 Route::Forward(h.owner)
             } else {
-                Route::Forward(home)
+                Route::Forward(serving)
             }
         }
     }

@@ -15,7 +15,9 @@
 
 use agas::migrate::migrate_block;
 use agas::ops::{memamo, memget, memput};
-use agas::{alloc_array, Distribution, GasMode, GlobalArray, OwnerCache, SimWorld};
+use agas::{
+    alloc_array, membership, Distribution, GasMode, GlobalArray, MemberState, OwnerCache, SimWorld,
+};
 use netsim::{AmoOp, Engine, LocalityId, NetConfig, OpId, ShardedEngine, Time};
 
 /// Shard counts every scenario must reproduce its pin under. `None` is
@@ -67,6 +69,15 @@ impl Harness {
         match self {
             Harness::Seq(e) => alloc_array(e, blocks, class, Distribution::Cyclic),
             Harness::Shard(s) => s.drive(|e| alloc_array(e, blocks, class, Distribution::Cyclic)),
+        }
+    }
+
+    /// Driver-phase code that plans a global transition (the membership
+    /// drivers): reads any locality, mutates only via scheduled events.
+    fn drive(&mut self, f: impl FnOnce(&mut Engine<SimWorld>) + 'static) {
+        match self {
+            Harness::Seq(e) => f(e),
+            Harness::Shard(s) => s.drive(f),
         }
     }
 
@@ -329,6 +340,66 @@ fn amo_mix(mode: GasMode, shards: Option<usize>) -> (u64, u64) {
     h.finish()
 }
 
+/// The elastic membership ladder (see `trace_pin.rs::member_mix`): join,
+/// drain, and — under the AGAS modes — crash + recovery, with every
+/// transition a per-locality engine event so shard counts cannot reorder
+/// it.
+fn member_mix(mode: GasMode, shards: Option<usize>) -> (u64, u64) {
+    let mut h = Harness::new(4, mode, jittery(), 29, shards);
+    h.drive(|eng| membership::mark(eng, 3, MemberState::Joining));
+    let arr = h.alloc(8, 12);
+    for i in 0..24u64 {
+        let gva = arr.block(i % 8).with_offset((i / 8) * 32);
+        let loc = (i % 3) as u32;
+        h.issue(loc, move |eng| {
+            memput(eng, loc, gva, vec![(i + 1) as u8; 32], OpId::from_raw(i));
+        });
+        h.run_steps(10);
+    }
+    h.drive(|eng| membership::join(eng, 3, 0));
+    for i in 0..24u64 {
+        let gva = arr.block(i % 8).with_offset(64 + (i / 8) * 32);
+        let loc = (i % 4) as u32;
+        h.issue(loc, move |eng| {
+            memput(
+                eng,
+                loc,
+                gva,
+                vec![(i + 101) as u8; 32],
+                OpId::from_raw(100 + i),
+            );
+        });
+        h.run_steps(10);
+    }
+    let drainee = if mode.supports_migration() { 2 } else { 3 };
+    h.drive(move |eng| membership::drain(eng, drainee));
+    for i in 0..16u64 {
+        let gva = arr.block(i % 8);
+        let loc = (i % 2) as u32;
+        h.issue(loc, move |eng| {
+            memget(eng, loc, gva, 32, OpId::from_raw(200 + i));
+        });
+        h.run_steps(10);
+    }
+    if mode.supports_migration() {
+        h.run();
+        let mig = arr.block(0);
+        h.issue(0, move |eng| {
+            migrate_block(eng, 0, mig, 1, OpId::from_raw(900));
+        });
+        h.run();
+        h.drive(|eng| membership::crash(eng, 1));
+        h.run_steps(64);
+        for i in 0..8u64 {
+            let gva = arr.block(i % 8);
+            h.issue(0, move |eng| {
+                memget(eng, 0, gva, 32, OpId::from_raw(300 + i));
+            });
+        }
+    }
+    h.finish()
+}
+
 #[test]
 fn shard_pin_jitter_puts() {
     for shards in GRID {
@@ -437,6 +508,30 @@ fn shard_pin_amo_mix() {
     }
 }
 
+#[test]
+fn shard_pin_member_mix() {
+    for shards in GRID {
+        check(
+            "member_mix/pgas",
+            shards,
+            member_mix(GasMode::Pgas, shards),
+            GOLDEN_MEMBER_PGAS,
+        );
+        check(
+            "member_mix/sw",
+            shards,
+            member_mix(GasMode::AgasSoftware, shards),
+            GOLDEN_MEMBER_SW,
+        );
+        check(
+            "member_mix/net",
+            shards,
+            member_mix(GasMode::AgasNetwork, shards),
+            GOLDEN_MEMBER_NET,
+        );
+    }
+}
+
 // The exact constants from `trace_pin.rs`: the sharded engine must land on
 // the sequential hashes, not merely be self-consistent.
 const GOLDEN_JITTER_PGAS: (u64, u64) = (0x3a1b_a271_08e7_3ff4, 2_155_000);
@@ -451,3 +546,6 @@ const GOLDEN_FLUSH: (u64, u64) = (0xf28f_56b0_057b_a14c, 21_260_000);
 const GOLDEN_AMO_PGAS: (u64, u64) = (0x0c6b_7794_17b5_7bcc, 16_428_800);
 const GOLDEN_AMO_SW: (u64, u64) = (0xd8c6_19aa_c5c3_b3e3, 38_448_400);
 const GOLDEN_AMO_NET: (u64, u64) = (0xb4af_369e_0364_317d, 24_868_600);
+const GOLDEN_MEMBER_PGAS: (u64, u64) = (0x5e47_706e_d8f4_81fb, 21_898_800);
+const GOLDEN_MEMBER_SW: (u64, u64) = (0x8ab1_8722_e778_5b6f, 59_989_200);
+const GOLDEN_MEMBER_NET: (u64, u64) = (0x93bf_22a4_bb30_2218, 47_268_200);

@@ -15,7 +15,7 @@ mod common;
 
 use agas::migrate::migrate_block;
 use agas::ops::{memamo, memget, memput};
-use agas::{alloc_array, Distribution, GasMode, OwnerCache};
+use agas::{alloc_array, membership, Distribution, GasMode, MemberState, OwnerCache};
 use common::World;
 use netsim::{AmoOp, Engine, NetConfig, OpId, Time};
 
@@ -242,6 +242,65 @@ fn amo_mix(mode: GasMode) -> (u64, u64) {
     finish(&mut eng)
 }
 
+/// The elastic membership plane as a pinned schedule: locality 3 boots
+/// `Joining` and takes over a slice of locality 0's directory shard, a
+/// member drains through the migration protocol while puts keep flowing,
+/// and (under the AGAS modes) a member crashes after a seeded migration so
+/// recovery re-issues its home blocks. Every transition is an engine
+/// event, so the whole ladder lands in the trace hash.
+fn member_mix(mode: GasMode) -> (u64, u64) {
+    let mut eng = Engine::new(World::new(4, mode, jittery()), 29);
+    membership::mark(&mut eng, 3, MemberState::Joining);
+    let arr = alloc_array(&mut eng, 8, 12, Distribution::Cyclic);
+    for i in 0..24u64 {
+        memput(
+            &mut eng,
+            (i % 3) as u32,
+            arr.block(i % 8).with_offset((i / 8) * 32),
+            vec![(i + 1) as u8; 32],
+            OpId::from_raw(i),
+        );
+        eng.run_steps(10);
+    }
+    membership::join(&mut eng, 3, 0);
+    for i in 0..24u64 {
+        memput(
+            &mut eng,
+            (i % 4) as u32,
+            arr.block(i % 8).with_offset(64 + (i / 8) * 32),
+            vec![(i + 101) as u8; 32],
+            OpId::from_raw(100 + i),
+        );
+        eng.run_steps(10);
+    }
+    let drainee = if mode.supports_migration() { 2 } else { 3 };
+    membership::drain(&mut eng, drainee);
+    for i in 0..16u64 {
+        memget(
+            &mut eng,
+            (i % 2) as u32,
+            arr.block(i % 8),
+            32,
+            OpId::from_raw(200 + i),
+        );
+        eng.run_steps(10);
+    }
+    if mode.supports_migration() {
+        // Quiesce before the crash: migration completions carry no
+        // deadline, and the seeded migration guarantees the victim owns a
+        // block when the links sever.
+        eng.run();
+        migrate_block(&mut eng, 0, arr.block(0), 1, OpId::from_raw(900));
+        eng.run();
+        membership::crash(&mut eng, 1);
+        eng.run_steps(64);
+        for i in 0..8u64 {
+            memget(&mut eng, 0, arr.block(i % 8), 32, OpId::from_raw(300 + i));
+        }
+    }
+    finish(&mut eng)
+}
+
 #[test]
 fn pin_jitter_puts() {
     check(
@@ -298,6 +357,25 @@ fn pin_amo_mix() {
     check("amo_mix/net", amo_mix(GasMode::AgasNetwork), GOLDEN_AMO_NET);
 }
 
+#[test]
+fn pin_member_mix() {
+    check(
+        "member_mix/pgas",
+        member_mix(GasMode::Pgas),
+        GOLDEN_MEMBER_PGAS,
+    );
+    check(
+        "member_mix/sw",
+        member_mix(GasMode::AgasSoftware),
+        GOLDEN_MEMBER_SW,
+    );
+    check(
+        "member_mix/net",
+        member_mix(GasMode::AgasNetwork),
+        GOLDEN_MEMBER_NET,
+    );
+}
+
 // Captured from the seed implementation (std HashMap / LruMap translation
 // structures) — see module docs. The flat-table rewrite must reproduce
 // these exactly.
@@ -314,3 +392,7 @@ const GOLDEN_FLUSH: (u64, u64) = (0xf28f_56b0_057b_a14c, 21_260_000);
 const GOLDEN_AMO_PGAS: (u64, u64) = (0x0c6b_7794_17b5_7bcc, 16_428_800);
 const GOLDEN_AMO_SW: (u64, u64) = (0xd8c6_19aa_c5c3_b3e3, 38_448_400);
 const GOLDEN_AMO_NET: (u64, u64) = (0xb4af_369e_0364_317d, 24_868_600);
+// Captured when the elastic membership plane landed (join / drain / crash).
+const GOLDEN_MEMBER_PGAS: (u64, u64) = (0x5e47_706e_d8f4_81fb, 21_898_800);
+const GOLDEN_MEMBER_SW: (u64, u64) = (0x8ab1_8722_e778_5b6f, 59_989_200);
+const GOLDEN_MEMBER_NET: (u64, u64) = (0x93bf_22a4_bb30_2218, 47_268_200);

@@ -378,6 +378,36 @@ impl FaultPlane {
         }
     }
 
+    /// Permanently sever every link into and out of `dead` from `from`
+    /// onward — the membership plane's crash primitive. Installs
+    /// never-ending [`LinkFlap`] windows in both directions against each of
+    /// the `n` localities, so every faultable message touching `dead` is
+    /// dropped before any rate draw. Traffic between surviving localities
+    /// keeps its exact verdict stream: flap checks precede (and never
+    /// consume) RNG draws, and links whose rates are lossless still take
+    /// the draw-free early-out.
+    ///
+    /// [`FaultClass::Bypass`] traffic still bypasses the plane; a crashed
+    /// locality must discard it at its own message handler.
+    pub fn sever_locality(&mut self, dead: LocalityId, n: usize, from: Time) {
+        for peer in 0..n as LocalityId {
+            if peer == dead {
+                continue;
+            }
+            for (src, dst) in [(dead, peer), (peer, dead)] {
+                self.plan.flaps.push(LinkFlap {
+                    src,
+                    dst,
+                    from,
+                    to: Time::MAX,
+                });
+            }
+        }
+        // The plan is no longer lossless; the early-out must not skip the
+        // new flap windows.
+        self.lossless = false;
+    }
+
     /// Delay for a duplicate's second copy, drawn from the link's spike
     /// distribution (or a fixed 1 µs when the plan has no spikes) so the
     /// two copies never collapse onto the same instant.
@@ -522,6 +552,42 @@ mod tests {
             "outside the window"
         );
         assert_eq!(fp.stats.flap_drops, 1);
+    }
+
+    #[test]
+    fn sever_locality_blackholes_both_directions_forever() {
+        let mut fp = FaultPlane::new(FaultPlan::lossless(42));
+        let mut witness = Xoshiro256::seed_from_u64(42);
+        let expect = witness.next_u64();
+        fp.sever_locality(2, 4, Time::from_us(1));
+        // Before the cut the links are alive.
+        assert_eq!(
+            fp.decide(Time::from_ns(10), 0, 2, FaultClass::Request, true),
+            FaultVerdict::CLEAN
+        );
+        // After it, everything touching locality 2 is dropped...
+        for t in [Time::from_us(1), Time::from_ms(5)] {
+            assert_eq!(
+                fp.decide(t, 0, 2, FaultClass::Request, true),
+                FaultVerdict::Drop
+            );
+            assert_eq!(
+                fp.decide(t, 2, 3, FaultClass::Completion, true),
+                FaultVerdict::Drop
+            );
+        }
+        // ...while survivor↔survivor traffic stays clean and draw-free.
+        assert_eq!(
+            fp.decide(Time::from_ms(5), 0, 1, FaultClass::Request, true),
+            FaultVerdict::CLEAN
+        );
+        assert_eq!(
+            fp.decide(Time::from_ms(5), 2, 2, FaultClass::Bypass, true),
+            FaultVerdict::CLEAN,
+            "bypass traffic is the crashed handler's problem, not the wire's"
+        );
+        assert_eq!(fp.stats.flap_drops, 4);
+        assert_eq!(fp.rng.next_u64(), expect, "severing never consumes draws");
     }
 
     #[test]

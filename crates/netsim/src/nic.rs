@@ -250,6 +250,38 @@ impl XlateTable {
         true
     }
 
+    /// Purge every forwarding tombstone whose next hop is `dead` — the hop
+    /// crashed, so a forward-chain transiting it would re-inject traffic
+    /// into a black hole until the TTL burned out. Counters earned while
+    /// the entries were live park as ghosts (like
+    /// [`XlateTable::expire_forward`]); subsequent lookups miss and recover
+    /// through the home directory. Returns the number of forwards dropped.
+    pub fn purge_forwards_via(&mut self, dead: LocalityId) -> u64 {
+        let mut hot = Vec::new();
+        let mut cold = Vec::new();
+        for (key, s, _) in self.table.iter_mut() {
+            if s.state == XState::Forward && s.next_hop == dead {
+                if s.hits > 0 {
+                    hot.push(key);
+                } else {
+                    cold.push(key);
+                }
+            }
+        }
+        let dropped = (hot.len() + cold.len()) as u64;
+        for key in hot {
+            let s = self.table.get_mut(key).expect("slot vanished");
+            s.state = XState::Ghost;
+            s.next_hop = 0;
+            self.forwards -= 1;
+        }
+        for key in cold {
+            self.table.remove(key);
+            self.forwards -= 1;
+        }
+        dropped
+    }
+
     /// Drain the per-entry hit telemetry (counters reset to zero, parked
     /// ghost counters are released), **sorted by block key** so consumers
     /// (the load balancer) see a deterministic order.
@@ -414,6 +446,32 @@ mod tests {
         t.invalidate(2);
         assert_eq!(t.lookup(1), Xlate::Miss);
         assert_eq!(t.lookup(2), Xlate::Miss);
+    }
+
+    #[test]
+    fn purge_forwards_via_crashed_hop() {
+        let mut t = XlateTable::new(8);
+        // Three tombstones: two transit the doomed hop 3 (one with parked
+        // telemetry), one forwards elsewhere and must survive.
+        t.install(10, entry(0, 64, 1));
+        t.retire_to_forward(10, 3);
+        assert_eq!(t.lookup(10), Xlate::Forward(3));
+        t.install(11, entry(64, 64, 1));
+        assert_eq!(t.lookup(11), Xlate::Hit(entry(64, 64, 1)));
+        t.retire_to_forward(11, 3);
+        t.retire_to_forward(12, 5);
+        assert_eq!(t.forward_entries(), 3);
+        assert_eq!(t.purge_forwards_via(3), 2);
+        // Chains through the dead hop now miss (initiator re-chases via the
+        // home directory) instead of re-injecting toward the crashed node.
+        assert_eq!(t.lookup(10), Xlate::Miss);
+        assert_eq!(t.lookup(11), Xlate::Miss);
+        assert_eq!(t.lookup(12), Xlate::Forward(5));
+        assert_eq!(t.forward_entries(), 1);
+        // The hit earned while 11 was live survives the purge as a ghost.
+        assert_eq!(t.take_hit_telemetry(), vec![(11, 1)]);
+        // Idempotent: nothing left to purge.
+        assert_eq!(t.purge_forwards_via(3), 0);
     }
 
     #[test]

@@ -29,6 +29,12 @@ static WINDOW_NARROWED: AtomicU64 = AtomicU64::new(0);
 static DOORBELL_BATCH_RAISED: AtomicU64 = AtomicU64::new(0);
 static DOORBELL_BATCH_LOWERED: AtomicU64 = AtomicU64::new(0);
 static MIGRATION_RING_DESCS: AtomicU64 = AtomicU64::new(0);
+static MEMBERS_JOINED: AtomicU64 = AtomicU64::new(0);
+static MEMBERS_DRAINED: AtomicU64 = AtomicU64::new(0);
+static MEMBERS_CRASHED: AtomicU64 = AtomicU64::new(0);
+static BLOCKS_REHOMED: AtomicU64 = AtomicU64::new(0);
+static BLOCKS_RECOVERED: AtomicU64 = AtomicU64::new(0);
+static STALE_XLATE_DROPPED: AtomicU64 = AtomicU64::new(0);
 
 /// Fold one finished engine run into the process totals.
 pub(crate) fn record_run(events: u64, sim_advance_ps: u64) {
@@ -131,6 +137,45 @@ pub fn record_migration_ring(descs: u64) {
     }
 }
 
+/// Fold membership state-machine transitions into the process totals
+/// (called by the membership plane when a locality joins, finishes a
+/// drain, or is declared crashed).
+pub fn record_membership(joined: u64, drained: u64, crashed: u64) {
+    if joined > 0 {
+        MEMBERS_JOINED.fetch_add(joined, Ordering::Relaxed);
+    }
+    if drained > 0 {
+        MEMBERS_DRAINED.fetch_add(drained, Ordering::Relaxed);
+    }
+    if crashed > 0 {
+        MEMBERS_CRASHED.fetch_add(crashed, Ordering::Relaxed);
+    }
+}
+
+/// Fold directory records re-homed to another serving locality (join
+/// slices, drain hand-offs, crash take-overs) into the process totals.
+pub fn record_blocks_rehomed(n: u64) {
+    if n > 0 {
+        BLOCKS_REHOMED.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Fold blocks re-issued (zero-filled, generation-bumped) by the
+/// crash-recovery policy into the process totals.
+pub fn record_blocks_recovered(n: u64) {
+    if n > 0 {
+        BLOCKS_RECOVERED.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Fold NIC translation entries dropped because they named (or forwarded
+/// through) a crashed locality into the process totals.
+pub fn record_stale_xlate_dropped(n: u64) {
+    if n > 0 {
+        STALE_XLATE_DROPPED.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
 /// Totals accumulated so far (monotone; see [`Snapshot::since`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Snapshot {
@@ -180,6 +225,18 @@ pub struct Snapshot {
     pub doorbell_batch_lowered: u64,
     /// Migration control messages that posted through a descriptor ring.
     pub migration_ring_descs: u64,
+    /// Localities that completed a Joining → Active transition.
+    pub members_joined: u64,
+    /// Localities that completed a Draining → Left transition.
+    pub members_drained: u64,
+    /// Localities declared Crashed by the membership plane.
+    pub members_crashed: u64,
+    /// Directory records re-homed to another serving locality.
+    pub blocks_rehomed: u64,
+    /// Blocks re-issued (zeroed, generation-bumped) by crash recovery.
+    pub blocks_recovered: u64,
+    /// NIC translation entries dropped for naming a crashed locality.
+    pub stale_xlate_dropped: u64,
 }
 
 impl Snapshot {
@@ -205,6 +262,12 @@ impl Snapshot {
             doorbell_batch_raised: self.doorbell_batch_raised - earlier.doorbell_batch_raised,
             doorbell_batch_lowered: self.doorbell_batch_lowered - earlier.doorbell_batch_lowered,
             migration_ring_descs: self.migration_ring_descs - earlier.migration_ring_descs,
+            members_joined: self.members_joined - earlier.members_joined,
+            members_drained: self.members_drained - earlier.members_drained,
+            members_crashed: self.members_crashed - earlier.members_crashed,
+            blocks_rehomed: self.blocks_rehomed - earlier.blocks_rehomed,
+            blocks_recovered: self.blocks_recovered - earlier.blocks_recovered,
+            stale_xlate_dropped: self.stale_xlate_dropped - earlier.stale_xlate_dropped,
         }
     }
 }
@@ -231,6 +294,12 @@ pub fn snapshot() -> Snapshot {
         doorbell_batch_raised: DOORBELL_BATCH_RAISED.load(Ordering::Relaxed),
         doorbell_batch_lowered: DOORBELL_BATCH_LOWERED.load(Ordering::Relaxed),
         migration_ring_descs: MIGRATION_RING_DESCS.load(Ordering::Relaxed),
+        members_joined: MEMBERS_JOINED.load(Ordering::Relaxed),
+        members_drained: MEMBERS_DRAINED.load(Ordering::Relaxed),
+        members_crashed: MEMBERS_CRASHED.load(Ordering::Relaxed),
+        blocks_rehomed: BLOCKS_REHOMED.load(Ordering::Relaxed),
+        blocks_recovered: BLOCKS_RECOVERED.load(Ordering::Relaxed),
+        stale_xlate_dropped: STALE_XLATE_DROPPED.load(Ordering::Relaxed),
     }
 }
 

@@ -510,11 +510,20 @@ impl Runtime {
                 stuck.push(format!("  locality {l}: {}", d.render()));
             }
         }
+        let membership: String = (0..w.cluster.len() as u32)
+            .filter_map(|l| {
+                w.gas[l as usize]
+                    .member
+                    .render()
+                    .map(|m| format!("  locality {l} view: {m}\n"))
+            })
+            .collect();
         assert!(
             stuck.is_empty(),
-            "{} GAS op(s)/ring descriptor(s) still in flight after run():\n{}\n{}",
+            "{} GAS op(s)/ring descriptor(s) still in flight after run():\n{}\n{}{}",
             stuck.len(),
             stuck.join("\n"),
+            membership,
             self.controller_report()
         );
         for l in 0..w.cluster.len() as u32 {

@@ -329,6 +329,9 @@ impl World {
             total.ops_failed += s.ops_failed;
             total.shm_ops += s.shm_ops;
             total.shm_bytes += s.shm_bytes;
+            total.blocks_rehomed += s.blocks_rehomed;
+            total.blocks_recovered += s.blocks_recovered;
+            total.stale_xlate_dropped += s.stale_xlate_dropped;
         }
         total
     }

@@ -61,6 +61,16 @@ pub struct ChaosConfig {
     /// Photon endpoint tuning for the run; set `ring` to drive every op
     /// through the descriptor-ring issue path under the fault plane.
     pub photon: PhotonConfig,
+    /// Run the elastic-membership schedule (requires `localities >= 4`):
+    /// the last locality starts `Joining` and joins (taking a slice of
+    /// locality 0's directory shard) at ¼ of the rounds; locality 2 drains
+    /// at ½ while traffic keeps flowing; locality 1 crashes at ¾ (after a
+    /// quiescence point — migration completions carry no deadline, so the
+    /// driver only kills a node at a migration-quiescent boundary) and its
+    /// blocks are recovered zero-filled at the survivors. Under PGAS the
+    /// schedule is metadata-only (the joiner joins, then leaves; static
+    /// placement cannot evacuate or recover blocks, so nothing crashes).
+    pub membership: bool,
 }
 
 impl Default for ChaosConfig {
@@ -76,6 +86,7 @@ impl Default for ChaosConfig {
             spawns: false,
             amos: false,
             photon: PhotonConfig::default(),
+            membership: false,
         }
     }
 }
@@ -245,6 +256,34 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     let mut rt = b.boot();
     let arr = rt.alloc(cfg.blocks, 12, Distribution::Cyclic);
 
+    // Membership schedule: who transitions, and when (see the field doc).
+    let (joiner, drainee, crashee) = (n - 1, 2u32, 1u32);
+    let drainee = if cfg.mode.supports_migration() {
+        drainee
+    } else {
+        joiner // PGAS: the joiner leaves again; nothing can evacuate
+    };
+    let r_join = cfg.rounds / 4;
+    let r_drain = cfg.rounds / 2;
+    let r_crash = cfg.rounds * 3 / 4;
+    if cfg.membership {
+        assert!(n >= 4, "the membership schedule needs 4 localities");
+        assert!(cfg.rounds >= 8, "the membership schedule needs >= 8 rounds");
+        agas::membership::mark(&mut rt.eng, joiner, agas::MemberState::Joining);
+    }
+    // Is locality `l` issuing driver traffic this round? Joining members
+    // issue nothing until they join; drained/crashed members issue nothing
+    // from their transition round on. (Traffic *to* their blocks keeps
+    // flowing — that is the point of the exercise.)
+    let participates = |l: u32, round: u64| -> bool {
+        if !cfg.membership {
+            return true;
+        }
+        (l != joiner || round >= r_join)
+            && (l != drainee || round < r_drain)
+            && (!cfg.mode.supports_migration() || l != crashee || round < r_crash)
+    };
+
     let put_acks = Rc::new(Cell::new(0u64));
     let get_acks = Rc::new(Cell::new(0u64));
     let migration_acks = Rc::new(Cell::new(0u64));
@@ -257,7 +296,37 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     let mut amos_issued = 0u64;
 
     for round in 0..cfg.rounds {
+        if cfg.membership {
+            if round == r_join {
+                agas::membership::join(&mut rt.eng, joiner, 0);
+            }
+            if round == r_drain {
+                agas::membership::drain(&mut rt.eng, drainee);
+            }
+            if round == r_crash && cfg.mode.supports_migration() {
+                // Quiesce first: migration completions carry no deadline,
+                // so an in-flight hand-off severed mid-protocol would hang
+                // its requester forever. (The drain above also finishes
+                // here — the evacuation pump runs until the node is Left.)
+                rt.run();
+                // Make sure the victim holds at least one block, so the
+                // crash always has home-directory state to recover.
+                let acks = migration_acks.clone();
+                rt.migrate_cb(0, arr.block(0), crashee, move |_, _| {
+                    acks.set(acks.get() + 1)
+                });
+                migrations_issued += 1;
+                rt.run();
+                agas::membership::crash(&mut rt.eng, crashee);
+                // Let teardown + survivor notices execute so the next
+                // round's traffic routes through the updated views.
+                rt.eng.run_steps(64);
+            }
+        }
         for l in 0..n {
+            if !participates(l, round) {
+                continue;
+            }
             // Writer: locality l refreshes its own slot of a rotating block.
             let wb = (round + 3 * l as u64) % cfg.blocks;
             let val = slot_value(wb, l);
@@ -295,6 +364,9 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
 
         if cfg.amos {
             for l in 0..n {
+                if !participates(l, round) {
+                    continue;
+                }
                 // Counter: locality l fetch-adds a rotating block's AMO
                 // word. Words live at offsets 0..64, strictly below the
                 // put/get slot table, so the word-level oracle sees every
@@ -314,14 +386,17 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
 
         if cfg.churn > 0 && round % cfg.churn == 0 && cfg.mode.supports_migration() {
             let k = round / cfg.churn;
-            let acks = migration_acks.clone();
-            rt.migrate_cb(
-                (k % n as u64) as u32,
-                arr.block(k % cfg.blocks),
-                ((k + 1) % n as u64) as u32,
-                move |_, _| acks.set(acks.get() + 1),
-            );
-            migrations_issued += 1;
+            let req = (k % n as u64) as u32;
+            let dst = ((k + 1) % n as u64) as u32;
+            // Churn only between issuing members (migrating *to* a
+            // draining or departed locality would no-op anyway).
+            if participates(req, round) && participates(dst, round) {
+                let acks = migration_acks.clone();
+                rt.migrate_cb(req, arr.block(k % cfg.blocks), dst, move |_, _| {
+                    acks.set(acks.get() + 1)
+                });
+                migrations_issued += 1;
+            }
         }
 
         if cfg.spawns && round % 2 == 0 {
@@ -443,6 +518,27 @@ mod tests {
         assert_eq!(a.end, b.end);
         assert_eq!(a.faults, b.faults);
         assert_eq!(a.acked(), b.acked());
+    }
+
+    #[test]
+    fn membership_schedule_runs_lossless_in_every_mode() {
+        for mode in GasMode::ALL {
+            let r = run_chaos(&ChaosConfig {
+                mode,
+                membership: true,
+                amos: true,
+                ..ChaosConfig::default()
+            });
+            assert!(r.passed(), "{mode:?}: {r:?}");
+            assert!(r.gas.blocks_rehomed > 0, "{mode:?}: join re-homed nothing");
+            if mode.supports_migration() {
+                assert!(
+                    r.gas.blocks_recovered > 0,
+                    "{mode:?}: crash recovered nothing: {:?}",
+                    r.gas
+                );
+            }
+        }
     }
 
     #[test]

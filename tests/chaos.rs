@@ -218,6 +218,71 @@ fn amo_chaos_cells_replay_bit_identically() {
     }
 }
 
+/// One membership chaos cell: the full join → drain → crash schedule under
+/// a seeded drop mix, with puts/gets/AMOs and migration churn flowing
+/// throughout.
+fn membership_cell(mode: GasMode, seed: u64) -> ChaosConfig {
+    ChaosConfig {
+        mode,
+        plan: drop_mix(seed ^ 0xA5, 0.02),
+        seed,
+        rounds: 24,
+        churn: 4,
+        amos: true,
+        membership: true,
+        ..ChaosConfig::default()
+    }
+}
+
+#[test]
+fn membership_schedule_survives_chaos_in_every_mode() {
+    // Join, drain, and crash under sustained faulted traffic, three seeds
+    // per mode. Zero history violations, full accounting (no op hangs past
+    // its deadline — a hung op would surface as issued > acked + failed),
+    // and the crash must actually recover home-directory blocks.
+    for seed in [67u64, 71, 73] {
+        for mode in GasMode::ALL {
+            let label = format!("{mode:?}/membership/seed={seed}");
+            let r = run_chaos(&membership_cell(mode, seed));
+            demand_pass(&r, &label);
+            assert!(
+                r.gas.blocks_rehomed > 0,
+                "{label}: the join slice re-homed nothing"
+            );
+            if mode.supports_migration() {
+                assert!(
+                    r.gas.blocks_recovered > 0,
+                    "{label}: the crash recovered no blocks: {:?}",
+                    r.gas
+                );
+                assert!(
+                    r.migration_acks > 0,
+                    "{label}: no migration completed around the drain"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn membership_cells_replay_bit_identically() {
+    for seed in [67u64, 71, 73] {
+        for mode in GasMode::ALL {
+            let cfg = membership_cell(mode, seed);
+            let a = run_chaos(&cfg);
+            let b = run_chaos(&cfg);
+            assert_eq!(a.trace_hash, b.trace_hash, "{mode:?} seed {seed}");
+            assert_eq!(a.end, b.end, "{mode:?} seed {seed}");
+            assert_eq!(a.events, b.events, "{mode:?} seed {seed}");
+            assert_eq!(a.acked(), b.acked(), "{mode:?} seed {seed}");
+            assert_eq!(
+                a.gas.blocks_recovered, b.gas.blocks_recovered,
+                "{mode:?} seed {seed}"
+            );
+        }
+    }
+}
+
 #[test]
 fn chaos_cells_replay_bit_identically() {
     let cfg = ChaosConfig {
